@@ -1,0 +1,21 @@
+"""Ablation: PocketSearch vs LRU, browser substring matching, no cache."""
+
+from repro.experiments import ablations
+from repro.experiments.common import format_table
+from benchmarks.conftest import run_once
+
+
+def test_ablation_baselines(benchmark, report):
+    rates = run_once(benchmark, ablations.baseline_hit_rates, users_per_class=30)
+    body = format_table(
+        [[name, f"{rate:.3f}"] for name, rate in sorted(rates.items(), key=lambda kv: -kv[1])],
+        ["system", "hit rate"],
+    )
+    body += (
+        "\nthe browser URL-substring technique only covers navigational"
+        "\nqueries whose exact text appears in a visited URL (Section 8);"
+        "\nthe LRU cache lacks the community warm start."
+    )
+    report("ablation_baselines", "Ablation: baseline hit rates", body)
+    assert rates["pocketsearch"] > rates["lru"] > rates["no_cache"]
+    assert rates["pocketsearch"] > rates["browser_substring"]

@@ -1,0 +1,24 @@
+"""Ablation: the personalized-ranking decay rate (Equations 1-2)."""
+
+from repro.experiments import ablations
+from repro.experiments.common import format_table
+from benchmarks.conftest import run_once
+
+
+def test_ablation_ranking(benchmark, report):
+    sweep = run_once(
+        benchmark,
+        ablations.ranking_lambda_sweep,
+        lambdas=(0.0, 0.05, 0.1, 0.3, 0.7),
+        users_per_class=10,
+    )
+    body = format_table(
+        [[f"{lam:.2f}", f"{acc:.3f}"] for lam, acc in sweep.items()],
+        ["decay lambda", "top-rank accuracy"],
+    )
+    body += (
+        "\nfraction of multi-result hits where the clicked result was"
+        "\nranked first at lookup time."
+    )
+    report("ablation_ranking", "Ablation: ranking decay sweep", body)
+    assert all(0 <= v <= 1 for v in sweep.values())

@@ -1,0 +1,28 @@
+"""Ablation: shared result storage and hash-table entry width."""
+
+from repro.experiments import ablations, cachedesign
+from repro.experiments.common import format_table
+
+
+def test_ablation_storage(benchmark, report):
+    savings = benchmark(cachedesign.shared_storage_savings)
+    widths = ablations.results_per_entry_hit_cost()
+    body = format_table(
+        [
+            ["cached pairs", savings["pairs"]],
+            ["unique queries", savings["unique_queries"]],
+            ["unique results", savings["unique_results"]],
+            ["flash, shared storage", f"{savings['shared_bytes'] / 1024:.0f} KB"],
+            ["flash, per-pair copies", f"{savings['unshared_bytes'] / 1024:.0f} KB"],
+            ["savings factor", f"{savings['savings_factor']:.2f}x"],
+        ],
+        ["metric", "value"],
+    )
+    body += "\nentry-width ablation (footprint vs lookup chain length):"
+    for width, data in widths.items():
+        body += (
+            f"\n  width {width}: {data['footprint_bytes'] / 1024:.0f} KB,"
+            f" {data['mean_chain_entries']:.2f} entries/lookup"
+        )
+    report("ablation_storage", "Ablation: storage design choices", body)
+    assert savings["savings_factor"] > 1.1

@@ -1,0 +1,24 @@
+"""Extension: the ads cloudlet coupled to the search path (Section 7)."""
+
+from repro.experiments import extensions
+from repro.experiments.common import format_table
+from benchmarks.conftest import run_once
+
+
+def test_ext_ads(benchmark, report):
+    result = run_once(benchmark, extensions.ads_coupling, users=24)
+    body = format_table(
+        [
+            ["queries replayed", f"{result['queries']:.0f}"],
+            ["search hit rate", f"{result['search_hit_rate']:.3f}"],
+            ["local ads served on search hits", f"{result['ads_served_given_hit']:.3f}"],
+            ["ad lookups suppressed (search missed)", f"{result['ads_suppressed_frac']:.3f}"],
+        ],
+        ["metric", "value"],
+    )
+    body += (
+        "\nSection 7's coupling rule: when the search query misses, the"
+        "\nradio wakes anyway, so the local ad cache is not consulted."
+    )
+    report("ext_ads", "Extension: PocketAds coupling", body)
+    assert result["ads_served_given_hit"] > 0.5

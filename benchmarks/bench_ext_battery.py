@@ -1,0 +1,30 @@
+"""Extension: energy results expressed as battery life."""
+
+from repro.experiments import extensions
+from repro.experiments.common import format_table
+
+
+def test_ext_battery(benchmark, report):
+    result = benchmark(extensions.battery_life)
+    body = format_table(
+        [
+            [
+                path,
+                f"{data['energy_per_query_j']:.2f} J",
+                f"{data['queries_per_charge']:,}",
+                f"{data['daily_share_pct']:.2f}%",
+            ]
+            for path, data in result.items()
+        ],
+        ["path", "energy/query", "queries/charge", "battery/day @40 queries"],
+    )
+    body += (
+        "\na 1500 mAh battery sustains ~23x more PocketSearch queries"
+        "\nthan 3G queries — Figure 15(b) in user-facing terms."
+    )
+    report("ext_battery", "Extension: battery-life impact", body)
+    ratio = (
+        result["pocketsearch"]["queries_per_charge"]
+        / result["3g"]["queries_per_charge"]
+    )
+    assert 20 <= ratio <= 27

@@ -1,0 +1,25 @@
+"""Figure 11: hash-table footprint vs results per entry."""
+
+from repro.experiments import cachedesign
+from repro.experiments.common import format_table
+
+
+def test_fig11_hashtable_footprint(benchmark, report):
+    rows = benchmark(cachedesign.figure11)
+    best = min(rows, key=lambda r: r["footprint_bytes"])
+    body = format_table(
+        [
+            [
+                r["results_per_entry"],
+                r["entries"],
+                r["entry_bytes"],
+                f"{r['footprint_bytes'] / 1024:.0f} KB",
+                "<== min" if r is best else "",
+            ]
+            for r in rows
+        ],
+        ["results/entry", "entries", "entry bytes", "footprint", ""],
+    )
+    body += "\npaper: the smallest footprint is at two results per entry."
+    report("fig11", "Figure 11: hash-table memory footprint", body)
+    assert best["results_per_entry"] == 2

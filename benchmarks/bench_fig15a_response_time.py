@@ -1,0 +1,26 @@
+"""Figure 15(a): per-query user response time across service paths."""
+
+from repro.experiments import performance
+from repro.experiments.common import format_table
+
+PAPER_SPEEDUPS = {"3g": 16, "edge": 25, "802.11g": 7}
+
+
+def test_fig15a_response_time(benchmark, report):
+    f15 = benchmark(performance.figure15)
+    rows = [["pocketsearch", f"{f15['pocketsearch']['mean_latency_s']:.3f} s", "1x", "1x"]]
+    for radio, paper in PAPER_SPEEDUPS.items():
+        rows.append(
+            [
+                radio,
+                f"{f15[radio]['mean_latency_s']:.3f} s",
+                f"{f15[radio]['latency_speedup']:.1f}x",
+                f"{paper}x",
+            ]
+        )
+    body = format_table(
+        rows, ["path", "response time", "PS speedup (measured)", "(paper)"]
+    )
+    report("fig15a", "Figure 15a: search user response time", body)
+    for radio, paper in PAPER_SPEEDUPS.items():
+        assert abs(f15[radio]["latency_speedup"] - paper) / paper < 0.15

@@ -1,0 +1,28 @@
+"""Figure 15(b): per-query energy across service paths."""
+
+from repro.experiments import performance
+from repro.experiments.common import format_table
+
+PAPER_RATIOS = {"3g": 23, "edge": 41, "802.11g": 11}
+
+
+def test_fig15b_energy(benchmark, report):
+    f15 = benchmark(performance.figure15)
+    rows = [["pocketsearch", f"{f15['pocketsearch']['mean_energy_j']:.2f} J", "1x", "1x"]]
+    for radio, paper in PAPER_RATIOS.items():
+        rows.append(
+            [
+                radio,
+                f"{f15[radio]['mean_energy_j']:.2f} J",
+                f"{f15[radio]['energy_ratio']:.1f}x",
+                f"{paper}x",
+            ]
+        )
+    body = format_table(
+        rows, ["path", "energy/query", "PS advantage (measured)", "(paper)"]
+    )
+    body += "\npaper: the energy gaps exceed the latency gaps."
+    report("fig15b", "Figure 15b: per-query energy", body)
+    for radio, paper in PAPER_RATIOS.items():
+        assert abs(f15[radio]["energy_ratio"] - paper) / paper < 0.15
+        assert f15[radio]["energy_ratio"] > f15[radio]["latency_speedup"]

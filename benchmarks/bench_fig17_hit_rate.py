@@ -1,0 +1,36 @@
+"""Figure 17: cache hit rate per user class and cache mode."""
+
+from repro.experiments import hitrate
+from repro.experiments.common import format_table
+from benchmarks.conftest import run_once
+
+PAPER = {
+    "full": {"overall": 0.65, "low": 0.60, "medium": 0.70, "high": 0.75, "extreme": 0.75},
+    "community": {"overall": 0.55},
+    "personalization": {"overall": 0.565},
+}
+
+
+def test_fig17_hit_rate(benchmark, report):
+    f17 = run_once(benchmark, hitrate.figure17, users_per_class=100)
+    rows = []
+    for mode, data in f17.items():
+        rows.append(
+            [mode]
+            + [f"{data[k]:.3f}" for k in ("overall", "low", "medium", "high", "extreme")]
+            + [f"{PAPER.get(mode, {}).get('overall', float('nan')):.3f}"]
+        )
+    body = format_table(
+        rows,
+        ["mode", "overall", "low", "medium", "high", "extreme", "paper overall"],
+    )
+    body += (
+        "\npaper shape: ~65% overall for the full cache, rising with class"
+        "\nvolume; community-only ~55%; personalization-only ~56.5%, always"
+        "\n>= community-only per class."
+    )
+    report("fig17", "Figure 17: average cache hit rate", body)
+    assert 0.60 <= f17["full"]["overall"] <= 0.78
+    assert f17["community"]["overall"] < f17["full"]["overall"]
+    assert f17["personalization"]["overall"] < f17["full"]["overall"]
+    assert f17["full"]["extreme"] > f17["full"]["low"]

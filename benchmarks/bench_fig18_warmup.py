@@ -1,0 +1,26 @@
+"""Figure 18: hit rate in week 1 and weeks 1-2 (warm start)."""
+
+from repro.experiments import hitrate
+from repro.experiments.common import format_table
+from benchmarks.conftest import run_once
+
+
+def test_fig18_warmup(benchmark, report):
+    f18 = run_once(benchmark, hitrate.figure18, users_per_class=100)
+    rows = []
+    for window in ("week1", "weeks1_2", "full_month"):
+        for mode, by_class in f18[window].items():
+            rows.append(
+                [window, mode]
+                + [f"{by_class[k]:.3f}" for k in ("low", "medium", "high", "extreme")]
+            )
+    body = format_table(rows, ["window", "mode", "low", "medium", "high", "extreme"])
+    body += (
+        "\npaper: during week 1 the community component provides the warm"
+        "\nstart (personalization is still cold, especially for low-volume"
+        "\nusers), while the full cache already performs at its month-long"
+        "\nlevel."
+    )
+    report("fig18", "Figure 18: first-week / two-week hit rates", body)
+    week1 = f18["week1"]
+    assert week1["community"]["low"] > week1["personalization"]["low"] - 0.03

@@ -1,0 +1,25 @@
+"""Figure 2: smartphone NVM capacity evolution."""
+
+from repro.experiments import scaling
+from repro.experiments.common import format_table
+
+
+def test_fig2_nvm_evolution(benchmark, report):
+    curves = benchmark(scaling.figure2)
+    years = [p.year for p in next(iter(curves.values()))]
+    rows = []
+    for year_idx, year in enumerate(years):
+        row = [year]
+        for scenario in sorted(curves):
+            row.append(f"{curves[scenario][year_idx].high_end_gb:.0f}")
+        rows.append(row)
+    body = format_table(rows, ["year"] + [f"{s} (GB)" for s in sorted(curves)])
+    milestones = scaling.figure2_milestones()
+    body += (
+        f"\npaper milestones: high-end 2018 = {milestones['high_end_2018_gb']:.0f} GB"
+        f" (paper: 1024), low-end 2018 = {milestones['low_end_2018_gb']:.0f} GB"
+        f" (paper: 16), low-end final = {milestones['low_end_final_gb']:.0f} GB"
+        f" (paper: 256)"
+    )
+    report("fig2", "Figure 2: NVM capacity evolution (high-end)", body)
+    assert milestones["high_end_2018_gb"] == 1024.0

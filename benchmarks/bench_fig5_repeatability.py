@@ -1,0 +1,24 @@
+"""Figure 5: per-user query repeatability within a month."""
+
+import numpy as np
+
+from repro.experiments import characterization
+from repro.experiments.common import format_table
+
+
+def test_fig5_repeatability(benchmark, report):
+    f5 = benchmark(characterization.figure5)
+    grid, cdf = f5["grid"], f5["cdf"]
+    points = [(x, cdf[np.searchsorted(grid, x)]) for x in (0.1, 0.2, 0.3, 0.5, 0.7)]
+    body = format_table(
+        [[f"{x:.1f}", f"{y:.3f}"] for x, y in points],
+        ["new-query prob <=", "fraction of users"],
+    )
+    body += (
+        f"\nmedian new-query probability: {f5['median_new_probability']:.3f}"
+        f"\nusers with <=30% new queries: {f5['users_at_most_30pct_new']:.3f}"
+        f" (paper: ~0.50)"
+        f"\nmean repeat rate: {f5['mean_repeat_rate']:.3f} (paper: 0.565)"
+    )
+    report("fig5", "Figure 5: new-query probability CDF", body)
+    assert 0.5 <= f5["mean_repeat_rate"] <= 0.68

@@ -1,0 +1,30 @@
+"""Figure 8: DRAM and flash overhead vs covered volume."""
+
+from repro.experiments import cachedesign
+from repro.experiments.common import format_table
+
+
+def test_fig8_memory_overhead(benchmark, report):
+    rows = benchmark(cachedesign.figure8)
+    body = format_table(
+        [
+            [
+                f"{r['coverage']:.2f}",
+                r["pairs"],
+                r["unique_results"],
+                f"{r['dram_bytes'] / 1024:.0f} KB",
+                f"{r['flash_bytes'] / 1024:.0f} KB",
+                f"{r['flash_allocated_bytes'] / 1024:.0f} KB",
+            ]
+            for r in rows
+        ],
+        ["coverage", "pairs", "results", "DRAM", "flash", "flash (allocated)"],
+    )
+    body += (
+        "\npaper operating point: ~55% coverage at ~200 KB DRAM / ~1 MB"
+        "\nflash — well under 1% of a smartphone's resources."
+    )
+    report("fig8", "Figure 8: cache memory overhead", body)
+    op = [r for r in rows if abs(r["coverage"] - 0.55) < 0.01][0]
+    assert op["dram_bytes"] < 300 * 1024
+    assert op["flash_bytes"] < 2 * 1024 * 1024

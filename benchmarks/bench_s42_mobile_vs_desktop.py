@@ -1,0 +1,27 @@
+"""Section 4.2: mobile vs desktop repeatability and concentration."""
+
+from repro.experiments import characterization
+from repro.experiments.common import format_table
+
+
+def test_s42_mobile_vs_desktop(benchmark, report):
+    contrast = benchmark(characterization.mobile_vs_desktop)
+    body = format_table(
+        [
+            [
+                "repeat rate",
+                f"{contrast['mobile_repeat_rate']:.3f}",
+                f"{contrast['desktop_repeat_rate']:.3f}",
+                "0.565 / 0.40",
+            ],
+            [
+                f"coverage at top {contrast['k60']} queries",
+                f"{contrast['mobile_coverage_at_k60']:.3f}",
+                f"{contrast['desktop_coverage_at_k60']:.3f}",
+                "0.60 / <0.20",
+            ],
+        ],
+        ["metric", "mobile", "desktop", "paper (mobile/desktop)"],
+    )
+    report("s42", "Section 4.2: mobile vs desktop", body)
+    assert contrast["mobile_repeat_rate"] > contrast["desktop_repeat_rate"]

@@ -1,0 +1,24 @@
+"""Section 6.2.2: daily cache updates vs a static monthly cache."""
+
+from repro.experiments import hitrate
+from repro.experiments.common import format_table
+from benchmarks.conftest import run_once
+
+
+def test_s622_daily_updates(benchmark, report):
+    result = run_once(benchmark, hitrate.daily_updates, users_per_class=25)
+    body = format_table(
+        [
+            ["static monthly cache", f"{result['static_hit_rate']:.3f}", "0.650"],
+            ["daily updates", f"{result['daily_update_hit_rate']:.3f}", "0.660"],
+            ["improvement", f"{result['improvement']:+.3f}", "+0.015"],
+        ],
+        ["configuration", "hit rate (measured)", "(paper)"],
+    )
+    body += (
+        "\npaper: daily updates buy only ~1.5 points because the popular"
+        "\nset barely changes within a month — the same stationarity holds"
+        "\nfor the synthetic community."
+    )
+    report("s622", "Section 6.2.2: daily cache updates", body)
+    assert result["improvement"] >= -0.02

@@ -1,0 +1,25 @@
+"""Table 1: NVM technology scaling trends."""
+
+from repro.experiments import scaling
+from repro.experiments.common import format_table
+
+
+def test_table1_scaling(benchmark, report):
+    rows = benchmark(scaling.table1)
+    body = format_table(
+        [
+            [
+                r["year"],
+                r["technology"],
+                r["tech_nm"],
+                r["scaling_factor"],
+                r["chip_stack"],
+                r["cell_layers"],
+                r["bits_per_cell"],
+            ]
+            for r in rows
+        ],
+        ["year", "technology", "tech(nm)", "scaling", "stack", "layers", "bits/cell"],
+    )
+    report("table1", "Table 1: technology scaling trends", body)
+    assert len(rows) == 9

@@ -1,0 +1,27 @@
+"""Table 2: items storable in the 25.6 GB cloudlet budget."""
+
+from repro.experiments import scaling
+from repro.experiments.common import format_table
+
+PAPER = {
+    "web_search": 270_000,
+    "mobile_ads": 5_500_000,
+    "yellow_business": 5_500_000,
+    "web_content": 17_500,
+    "mapping": 5_500_000,
+}
+
+
+def test_table2_item_capacity(benchmark, report):
+    rows = benchmark(scaling.table2)
+    body = format_table(
+        [
+            [name, f"{item_bytes // 1024} KB", f"{count:,}", f"{PAPER[name]:,}"]
+            for name, item_bytes, count in rows
+        ],
+        ["cloudlet", "item size", "items (measured)", "items (paper)"],
+    )
+    report("table2", "Table 2: items storable in 25.6 GB", body)
+    measured = {name: count for name, _, count in rows}
+    for name, expected in PAPER.items():
+        assert abs(measured[name] - expected) / expected < 0.05

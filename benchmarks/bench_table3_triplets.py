@@ -1,0 +1,15 @@
+"""Table 3: the top of the <query, result, volume> triplet ranking."""
+
+from repro.experiments import characterization
+from repro.experiments.common import format_table
+
+
+def test_table3_triplets(benchmark, report):
+    triplets = benchmark(characterization.table3, 10)
+    body = format_table(
+        [[t.query, t.url, t.volume] for t in triplets],
+        ["query", "search result", "volume"],
+    )
+    report("table3", "Table 3: top query-result pairs by volume", body)
+    volumes = [t.volume for t in triplets]
+    assert all(b <= a for a, b in zip(volumes, volumes[1:]))

@@ -1,0 +1,29 @@
+"""Table 4: PocketSearch response-time breakdown."""
+
+from repro.experiments import performance
+from repro.experiments.common import format_table
+
+PAPER_MS = {
+    "hash_table_lookup_s": 0.01,
+    "fetch_search_results_s": 10.0,
+    "browser_rendering_s": 361.0,
+    "miscellaneous_s": 7.0,
+    "total": 378.0,
+}
+
+
+def test_table4_breakdown(benchmark, report):
+    t4 = benchmark(performance.table4)
+    rows = [
+        [
+            part,
+            f"{data['mean_s'] * 1000:.2f} ms",
+            f"{data['share'] * 100:.1f}%",
+            f"{PAPER_MS.get(part, 0):.2f} ms",
+        ]
+        for part, data in t4.items()
+    ]
+    body = format_table(rows, ["operation", "measured", "share", "paper"])
+    report("table4", "Table 4: response-time breakdown (cache hit)", body)
+    assert abs(t4["total"]["mean_s"] - 0.378) < 0.02
+    assert t4["browser_rendering_s"]["share"] > 0.9

@@ -1,0 +1,26 @@
+"""Table 5: navigation user response time."""
+
+from repro.experiments import performance
+from repro.experiments.common import format_table
+
+PAPER = {"lightweight": (15.378, 21.048, 28.7), "heavyweight": (30.378, 36.048, 16.7)}
+
+
+def test_table5_navigation(benchmark, report):
+    t5 = benchmark(performance.table5)
+    rows = [
+        [
+            page,
+            f"{data['pocketsearch_s']:.2f} s",
+            f"{data['threeg_s']:.2f} s",
+            f"{data['speedup_pct']:.1f}%",
+            f"{PAPER[page][2]:.1f}%",
+        ]
+        for page, data in t5.items()
+    ]
+    body = format_table(
+        rows, ["page", "PocketSearch", "3G", "speedup (measured)", "(paper)"]
+    )
+    report("table5", "Table 5: navigation response time", body)
+    assert abs(t5["lightweight"]["speedup_pct"] - 28.7) < 4
+    assert abs(t5["heavyweight"]["speedup_pct"] - 16.7) < 3

@@ -1,0 +1,22 @@
+"""Table 6: user classes and their population shares."""
+
+from repro.experiments import hitrate
+from repro.experiments.common import format_table
+
+
+def test_table6_user_classes(benchmark, report):
+    t6 = benchmark(hitrate.table6)
+    rows = [
+        [
+            name,
+            f"[{data['volume_range'][0]}, {data['volume_range'][1]})",
+            f"{data['observed_share'] * 100:.1f}%",
+            f"{data['target_share'] * 100:.0f}%",
+        ]
+        for name, data in t6.items()
+    ]
+    body = format_table(
+        rows, ["class", "monthly volume", "share (measured)", "(paper)"]
+    )
+    report("table6", "Table 6: user classes", body)
+    assert abs(t6["low"]["observed_share"] - 0.55) < 0.08

@@ -1,0 +1,32 @@
+"""Benchmark harness plumbing.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+``report`` fixture prints the regenerated rows/series and also writes
+them to ``benchmarks/output/<name>.txt`` so results survive pytest's
+output capture.
+"""
+
+import os
+
+import pytest
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+@pytest.fixture
+def report():
+    """Emit a named report: print it and persist it to output/."""
+
+    def emit(name: str, title: str, body: str) -> None:
+        text = f"\n=== {title} ===\n{body}\n"
+        print(text)
+        os.makedirs(OUTPUT_DIR, exist_ok=True)
+        with open(os.path.join(OUTPUT_DIR, f"{name}.txt"), "w") as f:
+            f.write(text)
+
+    return emit
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Benchmark an expensive experiment with a single measured round."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

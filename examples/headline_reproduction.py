@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Reproduce the paper's headline result at reduced scale.
+
+"PocketSearch can serve, on average, 66% of the web search queries
+submitted by an individual user without having to use the slow 3G link,
+leading to 16x service access speedup."
+
+Builds the calibrated default log, replays one month of per-user query
+streams against caches built from the previous month (Section 6.2), and
+prints the Figure 17 decomposition plus the latency/energy advantage.
+
+Run: python examples/headline_reproduction.py   (takes ~1 minute)
+"""
+
+from repro.experiments import hitrate, performance
+
+
+def main() -> None:
+    print("== hit rates (Figure 17), 40 users per Table 6 class ==")
+    f17 = hitrate.figure17(users_per_class=40)
+    print(f"{'mode':18} {'overall':>8} {'low':>7} {'medium':>7} {'high':>7} {'extreme':>8}")
+    for mode, row in f17.items():
+        print(
+            f"{mode:18} {row['overall']:8.3f} {row['low']:7.3f} "
+            f"{row['medium']:7.3f} {row['high']:7.3f} {row['extreme']:8.3f}"
+        )
+    print(f"paper: full cache ~0.65 overall, rising with class volume\n")
+
+    print("== service speed and energy (Figure 15) ==")
+    f15 = performance.figure15()
+    ps = f15["pocketsearch"]
+    print(
+        f"pocketsearch: {ps['mean_latency_s'] * 1000:.0f} ms, "
+        f"{ps['mean_energy_j']:.2f} J per query"
+    )
+    for radio in ("3g", "edge", "802.11g"):
+        row = f15[radio]
+        print(
+            f"{radio:12}: {row['mean_latency_s']:.2f} s "
+            f"({row['latency_speedup']:.1f}x slower), "
+            f"{row['mean_energy_j']:.1f} J ({row['energy_ratio']:.1f}x more energy)"
+        )
+    print("paper: 16x/25x/7x latency, 23x/41x/11x energy")
+
+    full = f17["full"]["overall"]
+    speedup = f15["3g"]["latency_speedup"]
+    print(
+        f"\nheadline: {full:.0%} of an individual's queries served locally, "
+        f"{speedup:.0f}x faster than 3G"
+    )
+
+
+if __name__ == "__main__":
+    main()

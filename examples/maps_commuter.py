@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""PocketMaps: a commuter's month of map viewports (Table 2, Section 7).
+
+Prefetches the home-work corridor while charging, then serves a month of
+commute viewports from flash — side trips miss once, get batched over
+the radio, and hit afterwards.  Ends with the Table 2 coverage check:
+how much of the US the 25.6 GB cloudlet budget can blanket in tiles.
+
+Run: python examples/maps_commuter.py
+"""
+
+from repro.experiments.extensions import maps_commute
+from repro.pocketmaps.grid import (
+    TILE_BYTES,
+    area_km2_for_tiles,
+    states_coverable,
+    tiles_for_area_km2,
+)
+
+GB = 1024**3
+
+
+def main() -> None:
+    print("== one month of commuting with a 128 MB tile budget ==")
+    result = maps_commute(days=20, budget_mb=128)
+    for key, value in result.items():
+        print(f"   {key:24} {value:,.3f}")
+
+    print("\n== Table 2: what the 25.6 GB cloudlet budget covers ==")
+    budget = int(25.6 * GB)
+    tiles = budget // TILE_BYTES
+    print(f"   tiles storable:   {tiles:,} (paper: ~5.5 million)")
+    print(f"   ground coverage:  {area_km2_for_tiles(tiles):,.0f} km^2")
+    print(f"   whole states:     {', '.join(states_coverable(budget))}")
+    print(f"   (Washington state alone needs "
+          f"{tiles_for_area_km2(184_800):,} tiles)")
+
+
+if __name__ == "__main__":
+    main()

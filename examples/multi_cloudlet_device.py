@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""A device hosting several pocket cloudlets (Sections 3 and 7).
+
+Registers search, ads, and mapping cloudlets under the OS-level registry,
+sizes their budgets from the Table 2 arithmetic, then demonstrates the
+Section 7 mechanisms: index-memory budgeting, coordinated eviction of
+related items, and cross-cloudlet isolation.
+
+Run: python examples/multi_cloudlet_device.py
+"""
+
+from repro.core.cloudlet import Cloudlet
+from repro.core.registry import CloudletRegistry, IsolationError
+from repro.nvmscaling.capacity import CLOUDLET_ITEM_SIZES, items_storable
+
+GB = 1024**3
+MB = 1024**2
+
+
+class KeyValueCloudlet(Cloudlet):
+    """A simple in-memory cloudlet for demonstration."""
+
+    def __init__(self, name, budget, local_ms, radio_s):
+        super().__init__(name, budget)
+        self._store = {}
+        self._sizes = {}
+        self._costs = (local_ms / 1000, radio_s)
+
+    def lookup_local(self, key):
+        return self._store.get(key)
+
+    def store_local(self, key, value, nbytes):
+        self._store[key] = value
+        self._sizes[key] = nbytes
+
+    def evict(self, nbytes):
+        freed = 0
+        for key in list(self._store):
+            if freed >= nbytes:
+                break
+            freed += self._sizes.pop(key)
+            del self._store[key]
+        return freed
+
+    def local_cost(self, key):
+        return (self._costs[0], 0.4)
+
+    def remote_cost(self, key):
+        return (self._costs[1], 8.0)
+
+
+def main() -> None:
+    # A 2018-era low-end phone: 16 GB NVM, 10% for cloudlets (Section 2).
+    budget = int(16 * GB * 0.10)
+    print(f"cloudlet partition: {budget / GB:.1f} GB")
+    for name in ("web_search", "mobile_ads", "mapping"):
+        spec = CLOUDLET_ITEM_SIZES[name]
+        print(
+            f"  {name:14} -> {items_storable(spec.item_bytes, budget // 3):,} "
+            f"items of {spec.item_bytes // 1024} KB ({spec.item_description})"
+        )
+
+    registry = CloudletRegistry(
+        total_budget_bytes=budget, index_budget_bytes=64 * MB
+    )
+    search = KeyValueCloudlet("search", budget // 2, local_ms=380, radio_s=6.0)
+    ads = KeyValueCloudlet("ads", budget // 4, local_ms=50, radio_s=6.0)
+    maps = KeyValueCloudlet("maps", budget // 4, local_ms=120, radio_s=9.0)
+    registry.register(search, index_bytes=2 * MB)
+    registry.register(ads, index_bytes=1 * MB)
+    registry.register(maps, index_bytes=8 * MB)
+    print(f"registered: {registry.names}, free: {registry.free_bytes / GB:.2f} GB")
+
+    # Related content: one query touches both the search and ad caches.
+    search.record_access("pizza near me", "results page", 100_000)
+    ads.record_access("pizza near me", "pizza banner", 5_000)
+    registry.link_group(
+        "pizza near me",
+        [("search", "pizza near me", 100_000), ("ads", "pizza near me", 5_000)],
+    )
+    print("\nserving 'pizza near me':")
+    print(f"  search: hit={registry.cloudlet('search').serve('pizza near me').hit}")
+    print(f"  ads:    hit={registry.cloudlet('ads').serve('pizza near me').hit}")
+
+    # Coordinated eviction: evicting the query drops BOTH entries — an ad
+    # hit is worthless once the search query misses (Section 7).
+    event = registry.evict_group("pizza near me")
+    print(f"coordinated eviction freed {event.total_freed:,} bytes across "
+          f"{sorted(event.freed_bytes)}")
+    print(f"  search now: hit={registry.cloudlet('search').serve('pizza near me').hit}")
+
+    # Isolation: the maps cloudlet cannot read search data without a grant.
+    search.record_access("my bank", "bank results", 50_000)
+    try:
+        registry.read_across("maps", "search", "my bank")
+    except IsolationError as error:
+        print(f"\nisolation enforced: {error}")
+    registry.grant_access("maps", "search")
+    print(f"after grant: {registry.read_across('maps', 'search', 'my bank')!r}")
+
+
+if __name__ == "__main__":
+    main()

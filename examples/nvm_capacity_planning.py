@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""NVM capacity planning for future devices (Section 2).
+
+Projects smartphone NVM capacity out to 2026 under the Table 1 roadmap
+and, for each year, asks which pocket cloudlets a low-end device could
+host with 10% of its storage — reproducing the reasoning behind Table 2.
+
+Run: python examples/nvm_capacity_planning.py
+"""
+
+from repro.nvmscaling.capacity import CLOUDLET_ITEM_SIZES, items_storable
+from repro.nvmscaling.projection import ScalingScenario, project_capacity_series
+
+GB = 1024**3
+
+#: Items each cloudlet needs to be useful to a typical user (paper's
+#: per-service discussion: a state's map tiles, the user's ~1000 URLs...)
+USEFUL_THRESHOLDS = {
+    "web_search": 10_000,  # the popular query-result pairs + headroom
+    "web_content": 1_000,  # 90% of users visit < 1000 URLs
+    "mapping": 5_500_000,  # map tiles covering a whole US state
+    "yellow_business": 23_000_000,  # every US business (Section 7)
+}
+
+
+def main() -> None:
+    print(f"{'year':>5} {'high-end':>9} {'low-end':>8}  feasible cloudlets (10% budget)")
+    for projection in project_capacity_series(ScalingScenario.ALL_TECHNIQUES):
+        budget = projection.low_end_bytes * 0.10
+        feasible = []
+        for name, needed in USEFUL_THRESHOLDS.items():
+            fits = items_storable(
+                CLOUDLET_ITEM_SIZES[name].item_bytes, int(budget)
+            )
+            if fits >= needed:
+                feasible.append(name)
+        print(
+            f"{projection.year:>5} {projection.high_end_gb:>7.0f}GB "
+            f"{projection.low_end_gb:>6.1f}GB  {', '.join(feasible) or '-'}"
+        )
+    print(
+        "\nthe paper's observation: by the mid-2010s even low-end devices"
+        "\ncan host search and web-content cloudlets; mapping a whole state"
+        "\nand full yellow pages arrive with the ~256 GB generation."
+    )
+
+
+if __name__ == "__main__":
+    main()

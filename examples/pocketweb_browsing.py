@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""PocketWeb: the web-content cloudlet in action (intro, Section 3.2).
+
+A user's browsing day: staple pages served instantly from flash, a hot
+news page revalidated with a cheap conditional GET, cold pages fetched
+once and cached, and the overnight charge-time update that refreshes and
+prefetches for tomorrow.
+
+Run: python examples/pocketweb_browsing.py
+"""
+
+from repro.core.management import ChargeState
+from repro.core.selection import CommunityAccessModel
+from repro.pocketweb import PocketWebCloudlet
+from repro.pocketweb.pages import PageModel
+
+MB = 1024**2
+HOUR = 3600.0
+DAY = 86400.0
+
+
+def show(outcome):
+    print(
+        f"  {outcome.url:26} {outcome.path:13} "
+        f"{outcome.latency_s:6.2f} s  {outcome.energy_j:6.2f} J  "
+        f"radio {outcome.bytes_over_radio / 1024:6.0f} KB"
+    )
+
+
+def main() -> None:
+    web = PocketWebCloudlet(budget_bytes=64 * MB, page_model=PageModel())
+    staples = ["www.site1.com", "www.site2.com", "www.mail.example"]
+    news = "www.dailynews.example"
+
+    print("== day 1: everything is cold ==")
+    t = 8 * HOUR
+    for url in staples + [news]:
+        show(web.browse(url, t))
+        t += HOUR
+
+    print("== the rest of day 1: staples hit, news stays hot ==")
+    for hour in range(4):
+        for url in staples + [news]:
+            web.browse(url, t)
+            t += 0.5 * HOUR
+
+    print("== overnight: charging on WiFi, bulk refresh + prefetch ==")
+    hints = CommunityAccessModel()
+    for i, url in enumerate(["www.popular-a.example", "www.popular-b.example"]):
+        hints.record(url, 1000 - i)
+    counters = web.overnight_update(
+        DAY, ChargeState(charging=True, on_fast_link=True), community_hints=hints
+    )
+    print(f"  refreshed {counters['refreshed']} cached pages, "
+          f"prefetched {counters['prefetched']} community picks")
+
+    print("== day 2 morning ==")
+    t = DAY + 8 * HOUR
+    for url in staples + [news, "www.popular-a.example"]:
+        show(web.browse(url, t))
+        t += HOUR
+
+    print("== summary ==")
+    print(f"  visit hit rate: {web.hit_rate:.0%}")
+    print(f"  bytes over radio: {web.bytes_over_radio / MB:.1f} MB")
+    print(f"  store: {web.store.n_pages} pages, "
+          f"{web.store.bytes_stored / MB:.1f} MB")
+
+
+if __name__ == "__main__":
+    main()

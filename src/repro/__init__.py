@@ -1,0 +1,43 @@
+"""Reproduction of "Pocket Cloudlets" (ASPLOS 2011).
+
+Pocket cloudlets cache slices of cloud services in a mobile device's
+non-volatile memory so requests are answered locally instead of over a
+slow, power-hungry cellular radio.  This package implements the paper's
+full stack:
+
+* :mod:`repro.nvmscaling` — the Section 2 NVM capacity analysis;
+* :mod:`repro.logs` — the calibrated synthetic mobile search-log
+  substrate standing in for the paper's 200M m.bing.com queries;
+* :mod:`repro.storage`, :mod:`repro.radio`, :mod:`repro.sim` — the
+  simulated device: flash/DRAM/PCM, 3G/EDGE/WiFi, browser, energy;
+* :mod:`repro.core` — the generic pocket cloudlet architecture
+  (Sections 3 and 7);
+* :mod:`repro.pocketsearch` — the paper's showcase system (Sections
+  5-6), plus :mod:`repro.pocketads` and :mod:`repro.pocketweb` for the
+  sibling cloudlets the paper sketches;
+* :mod:`repro.baselines` and :mod:`repro.experiments` — comparators and
+  one runner per paper table/figure.
+
+Quick start::
+
+    from repro.logs.generator import generate_logs
+    from repro.pocketsearch.content import build_cache_content
+    from repro.pocketsearch.engine import PocketSearchEngine
+    from repro.sim.replay import CacheMode, make_cache
+
+    log = generate_logs()
+    cache = make_cache(build_cache_content(log.month(0)), CacheMode.FULL)
+    engine = PocketSearchEngine(cache)
+    engine.serve_query("site0", "www.site0.com")
+
+Or assemble a whole device hosting all five cloudlets::
+
+    from repro.device import PocketDevice
+
+    device = PocketDevice.build(year=2018, tier="low")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured comparison.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,16 @@
+"""Comparator systems.
+
+* :mod:`nocache` — every query over the radio (the pre-PocketSearch
+  status quo, the denominator of every speedup the paper reports);
+* :mod:`lru` — a plain LRU query cache with no community warm start and
+  no personalized ranking;
+* :mod:`browser_cache` — the URL-substring auto-suggest technique of
+  contemporary smartphone browsers (Section 8), which can only serve the
+  navigational queries whose text appears in a previously visited URL.
+"""
+
+from repro.baselines.nocache import NoCacheBaseline
+from repro.baselines.lru import LruQueryCache
+from repro.baselines.browser_cache import BrowserUrlCache
+
+__all__ = ["BrowserUrlCache", "LruQueryCache", "NoCacheBaseline"]

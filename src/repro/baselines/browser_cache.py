@@ -1,0 +1,62 @@
+"""The browser URL-substring baseline (Section 8).
+
+Contemporary smartphone browsers suggest previously visited sites by
+substring-matching the partial query against URLs in the browser history.
+This serves only the *navigational* queries whose text appears inside a
+visited URL — misspellings, shortcuts, and every non-navigational query
+still go to the radio.  The paper notes its own footnote 4: those are the
+queries "current browser cache substring matching techniques could also
+serve".
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class BrowserUrlCache:
+    """History-based URL substring matcher.
+
+    Args:
+        capacity: maximum number of remembered URLs (browser history cap).
+    """
+
+    def __init__(self, capacity: int = 1000) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._history: List[str] = []
+        self.hits = 0
+        self.misses = 0
+
+    def visit(self, url: str) -> None:
+        """Record a visited URL (FIFO beyond capacity)."""
+        normalized = url.lower()
+        if normalized in self._history:
+            return
+        self._history.append(normalized)
+        if len(self._history) > self.capacity:
+            self._history.pop(0)
+
+    def lookup(self, query: str) -> Optional[str]:
+        """Return a visited URL containing the query text, else None.
+
+        Matching mirrors the paper's navigational test: the query with
+        whitespace stripped must be a substring of the URL.
+        """
+        needle = query.strip().lower().replace(" ", "")
+        if needle:
+            for url in reversed(self._history):
+                if needle in url:
+                    self.hits += 1
+                    return url
+        self.misses += 1
+        return None
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._history)

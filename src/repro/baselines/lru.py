@@ -1,0 +1,60 @@
+"""A plain LRU query cache baseline.
+
+Caches (query -> results page) pairs with least-recently-used eviction
+under an entry budget.  No community warm start, no shared result
+storage, no personalized ranking — the generic client cache PocketSearch
+is implicitly compared against.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Optional
+
+
+class LruQueryCache:
+    """LRU map from query to an opaque cached value.
+
+    Args:
+        capacity: maximum number of cached queries.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def lookup(self, query: Hashable) -> Optional[object]:
+        """Return the cached value (refreshing recency), or None."""
+        if query in self._entries:
+            self._entries.move_to_end(query)
+            self.hits += 1
+            return self._entries[query]
+        self.misses += 1
+        return None
+
+    def insert(self, query: Hashable, value: object) -> None:
+        """Cache a value, evicting the LRU entry when full."""
+        if query in self._entries:
+            self._entries.move_to_end(query)
+            self._entries[query] = value
+            return
+        if len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        self._entries[query] = value
+
+    def __contains__(self, query: Hashable) -> bool:
+        return query in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

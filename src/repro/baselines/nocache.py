@@ -1,0 +1,60 @@
+"""The no-cache baseline: every query pays the full radio round trip."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.radio.energy import isolated_request_energy, isolated_request_latency
+from repro.radio.models import RadioProfile, THREE_G
+from repro.sim.browser import Browser, RADIO_SERP_BYTES, SERP_BYTES
+
+KB = 1024
+
+
+class NoCacheBaseline:
+    """Serves every query over one radio link.
+
+    Mirrors :class:`repro.pocketsearch.engine.PocketSearchEngine`'s cost
+    model with the cache removed, so comparisons isolate the cache's
+    contribution.
+    """
+
+    def __init__(
+        self,
+        radio: RadioProfile = THREE_G,
+        browser: Optional[Browser] = None,
+        base_power_w: float = 0.9,
+        query_bytes_up: int = 1 * KB,
+        serp_bytes_down: int = RADIO_SERP_BYTES,
+        server_time_s: float = 0.35,
+    ) -> None:
+        self.radio = radio
+        self.browser = browser or Browser()
+        self.base_power_w = base_power_w
+        self.query_bytes_up = query_bytes_up
+        self.serp_bytes_down = serp_bytes_down
+        self.server_time_s = server_time_s
+        self.queries = 0
+
+    def serve_query(self, query: str) -> tuple:
+        """(latency_s, energy_j) of serving ``query`` over the radio."""
+        self.queries += 1
+        radio_latency = isolated_request_latency(
+            self.radio, self.query_bytes_up, self.serp_bytes_down, self.server_time_s
+        )
+        radio_energy = isolated_request_energy(
+            self.radio, self.query_bytes_up, self.serp_bytes_down, self.server_time_s
+        )
+        render_s = self.browser.render(SERP_BYTES)
+        latency = radio_latency + render_s
+        energy = (
+            latency * self.base_power_w
+            + radio_energy
+            + self.browser.render_energy_j(render_s)
+        )
+        return latency, energy
+
+    @property
+    def hit_rate(self) -> float:
+        """Always zero: nothing is ever served locally."""
+        return 0.0

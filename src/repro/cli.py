@@ -1,0 +1,310 @@
+"""Command-line interface: regenerate any paper artifact.
+
+Usage::
+
+    python -m repro list                 # available artifacts
+    python -m repro table2               # print one artifact
+    python -m repro fig17 --users 40     # replay-based figures take --users
+    python -m repro all                  # everything (slow)
+
+Each command prints the same rows the corresponding benchmark emits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.experiments import (
+    ablations,
+    cachedesign,
+    characterization,
+    extensions,
+    hitrate,
+    performance,
+    scaling,
+)
+from repro.experiments.common import format_table
+
+
+def _print_table1() -> None:
+    rows = scaling.table1()
+    print(
+        format_table(
+            [list(r.values()) for r in rows],
+            list(rows[0].keys()),
+        )
+    )
+
+
+def _print_fig2() -> None:
+    for scenario, series in scaling.figure2().items():
+        points = ", ".join(f"{p.year}: {p.high_end_gb:.0f}GB" for p in series)
+        print(f"{scenario:28} {points}")
+
+
+def _print_table2() -> None:
+    print(
+        format_table(
+            [[n, b, f"{c:,}"] for n, b, c in scaling.table2()],
+            ["cloudlet", "item bytes", "items"],
+        )
+    )
+
+
+def _print_fig4() -> None:
+    f4 = characterization.figure4()
+    k60 = f4.pop("_k60")
+    rows = [
+        [name, d["distinct_queries"], d["queries_for_60pct"],
+         f"{d['query_coverage_at_k60']:.3f}"]
+        for name, d in f4.items()
+    ]
+    print(format_table(rows, ["subset", "queries", "q@60%", f"cov@{k60}"]))
+
+
+def _print_fig5() -> None:
+    f5 = characterization.figure5()
+    for key, value in f5.items():
+        if isinstance(value, float):
+            print(f"{key:30} {value:.3f}")
+
+
+def _print_table3() -> None:
+    print(
+        format_table(
+            [[t.query, t.url, t.volume] for t in characterization.table3(10)],
+            ["query", "result", "volume"],
+        )
+    )
+
+
+def _print_fig7() -> None:
+    print(
+        format_table(
+            [[k, f"{v:.3f}"] for k, v in cachedesign.figure7()],
+            ["pairs", "coverage"],
+        )
+    )
+
+
+def _print_fig8() -> None:
+    rows = cachedesign.figure8()
+    print(
+        format_table(
+            [
+                [f"{r['coverage']:.2f}", r["pairs"], r["dram_bytes"], r["flash_bytes"]]
+                for r in rows
+            ],
+            ["coverage", "pairs", "DRAM B", "flash B"],
+        )
+    )
+
+
+def _print_fig11() -> None:
+    rows = cachedesign.figure11()
+    print(
+        format_table(
+            [[r["results_per_entry"], r["entries"], r["footprint_bytes"]] for r in rows],
+            ["results/entry", "entries", "bytes"],
+        )
+    )
+
+
+def _print_fig12() -> None:
+    rows = cachedesign.figure12()
+    print(
+        format_table(
+            [
+                [r["n_files"], f"{r['mean_fetch2_s'] * 1000:.2f}",
+                 r["fragmentation_bytes"]]
+                for r in rows
+            ],
+            ["files", "fetch2 (ms)", "frag B"],
+        )
+    )
+
+
+def _print_fig15() -> None:
+    f15 = performance.figure15()
+    rows = []
+    for path, d in f15.items():
+        rows.append(
+            [
+                path,
+                f"{d['mean_latency_s']:.3f}",
+                f"{d.get('latency_speedup', 1):.1f}x",
+                f"{d['mean_energy_j']:.2f}",
+                f"{d.get('energy_ratio', 1):.1f}x",
+            ]
+        )
+    print(format_table(rows, ["path", "latency s", "speedup", "energy J", "ratio"]))
+
+
+def _print_table4() -> None:
+    t4 = performance.table4()
+    print(
+        format_table(
+            [
+                [part, f"{d['mean_s'] * 1000:.2f}", f"{d['share'] * 100:.1f}%"]
+                for part, d in t4.items()
+            ],
+            ["operation", "ms", "share"],
+        )
+    )
+
+
+def _print_table5() -> None:
+    t5 = performance.table5()
+    print(
+        format_table(
+            [
+                [p, f"{d['pocketsearch_s']:.2f}", f"{d['threeg_s']:.2f}",
+                 f"{d['speedup_pct']:.1f}%"]
+                for p, d in t5.items()
+            ],
+            ["page", "PocketSearch s", "3G s", "speedup"],
+        )
+    )
+
+
+def _print_fig16() -> None:
+    f16 = performance.figure16()
+    for path in ("pocketsearch", "radio"):
+        d = f16[path]
+        name = d.get("name", path)
+        print(
+            f"{name:14} total {d['total_s']:.1f}s  energy {d['energy_j']:.1f}J  "
+            f"mean power {d['mean_power_w'] * 1000:.0f}mW"
+        )
+
+
+def _print_table6() -> None:
+    t6 = hitrate.table6()
+    print(
+        format_table(
+            [
+                [c, str(d["volume_range"]), f"{d['observed_share']:.3f}",
+                 f"{d['target_share']:.2f}"]
+                for c, d in t6.items()
+            ],
+            ["class", "volume", "observed", "paper"],
+        )
+    )
+
+
+def _make_fig17(users: int) -> Callable[[], None]:
+    def run() -> None:
+        f17 = hitrate.figure17(users_per_class=users)
+        rows = [
+            [mode] + [f"{d[k]:.3f}" for k in ("overall", "low", "medium", "high", "extreme")]
+            for mode, d in f17.items()
+        ]
+        print(format_table(rows, ["mode", "overall", "low", "med", "high", "extreme"]))
+
+    return run
+
+
+def _make_fig18(users: int) -> Callable[[], None]:
+    def run() -> None:
+        f18 = hitrate.figure18(users_per_class=users)
+        for window, modes in f18.items():
+            for mode, by_class in modes.items():
+                values = " ".join(f"{v:.3f}" for v in by_class.values())
+                print(f"{window:12} {mode:16} {values}")
+
+    return run
+
+
+def _make_fig19(users: int) -> Callable[[], None]:
+    def run() -> None:
+        f19 = hitrate.figure19(users_per_class=users)
+        rows = [
+            [c, f"{s['navigational']:.3f}", f"{s['non_navigational']:.3f}"]
+            for c, s in f19.items()
+        ]
+        print(format_table(rows, ["class", "nav", "non-nav"]))
+
+    return run
+
+
+def _print_extensions() -> None:
+    print("PocketWeb:", extensions.pocketweb_replay(users=12))
+    print("Ads:", extensions.ads_coupling(users=12))
+    print("Maps:", extensions.maps_commute())
+    print("Suggest:", extensions.suggest_effort(users=8))
+    print("PCM boot:", extensions.pcm_boot())
+    print("Battery:", extensions.battery_life())
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate Pocket Cloudlets (ASPLOS'11) tables and figures.",
+    )
+    parser.add_argument("artifact", help="artifact name, 'list', or 'all'")
+    parser.add_argument(
+        "--users",
+        type=int,
+        default=40,
+        help="users per Table 6 class for replay figures (default 40)",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    commands: Dict[str, Callable[[], None]] = {
+        "table1": _print_table1,
+        "fig2": _print_fig2,
+        "table2": _print_table2,
+        "fig4": _print_fig4,
+        "fig5": _print_fig5,
+        "table3": _print_table3,
+        "fig7": _print_fig7,
+        "fig8": _print_fig8,
+        "fig11": _print_fig11,
+        "fig12": _print_fig12,
+        "fig15": _print_fig15,
+        "table4": _print_table4,
+        "table5": _print_table5,
+        "fig16": _print_fig16,
+        "table6": _print_table6,
+        "fig17": _make_fig17(args.users),
+        "fig18": _make_fig18(args.users),
+        "fig19": _make_fig19(args.users),
+        "mobile-vs-desktop": lambda: print(characterization.mobile_vs_desktop()),
+        "daily-updates": lambda: print(hitrate.daily_updates(users_per_class=10)),
+        "baselines": lambda: print(ablations.baseline_hit_rates(users_per_class=10)),
+        "extensions": _print_extensions,
+        "export": lambda: print(
+            "\n".join(
+                f"{name}: {path}"
+                for name, path in __import__(
+                    "repro.experiments.export", fromlist=["export_all"]
+                ).export_all("figures_csv").items()
+            )
+        ),
+    }
+    if args.artifact == "list":
+        for name in commands:
+            print(name)
+        return 0
+    if args.artifact == "all":
+        for name, command in commands.items():
+            print(f"\n=== {name} ===")
+            command()
+        return 0
+    command = commands.get(args.artifact)
+    if command is None:
+        print(
+            f"unknown artifact {args.artifact!r}; try 'list'", file=sys.stderr
+        )
+        return 2
+    command()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""The generic pocket cloudlet architecture (Sections 3 and 7).
+
+PocketSearch (:mod:`repro.pocketsearch`) is one instance of the template
+this package defines:
+
+* :mod:`cloudlet` — the cloudlet interface: local lookup, radio
+  fallback, access recording;
+* :mod:`selection` — the data-selection layer combining community and
+  personal access models (Section 3.1);
+* :mod:`management` — update policies: charge-time bulk refresh for
+  static data, real-time refresh for the small hot set (Section 3.2);
+* :mod:`registry` — the OS-level manager for multiple cloudlets sharing
+  one device: storage budgeting, coordinated eviction, and isolation
+  (Section 7).
+"""
+
+from repro.core.cloudlet import Cloudlet, CloudletStats, LookupOutcome
+from repro.core.selection import (
+    CommunityAccessModel,
+    DataSelector,
+    PersonalAccessModel,
+)
+from repro.core.management import (
+    ChargeState,
+    UpdatePolicy,
+    UpdateScheduler,
+)
+from repro.core.registry import (
+    CloudletRegistry,
+    EvictionEvent,
+    IsolationError,
+)
+
+__all__ = [
+    "ChargeState",
+    "Cloudlet",
+    "CloudletRegistry",
+    "CloudletStats",
+    "CommunityAccessModel",
+    "DataSelector",
+    "EvictionEvent",
+    "IsolationError",
+    "LookupOutcome",
+    "PersonalAccessModel",
+    "UpdatePolicy",
+    "UpdateScheduler",
+]

@@ -1,0 +1,111 @@
+"""The cloudlet interface.
+
+A pocket cloudlet replicates part of one cloud service on the device.
+Concrete cloudlets (search, ads, maps, web content, yellow pages) share
+the same service path: try the local store first, fall back to the radio,
+and record every access so both the personal and community models learn.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Generic, Hashable, Optional, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+@dataclass(frozen=True)
+class LookupOutcome(Generic[V]):
+    """Result of asking a cloudlet for an item."""
+
+    hit: bool
+    value: Optional[V]
+    latency_s: float
+    energy_j: float
+
+
+@dataclass
+class CloudletStats:
+    """Service counters every cloudlet maintains."""
+
+    lookups: int = 0
+    hits: int = 0
+    bytes_stored: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class Cloudlet(abc.ABC, Generic[K, V]):
+    """Base class for pocket cloudlets.
+
+    Subclasses implement the storage-specific pieces; the base class owns
+    the service-path bookkeeping shared by all cloudlets.
+
+    Args:
+        name: cloudlet name (unique within a registry).
+        storage_budget_bytes: flash budget granted by the registry.
+    """
+
+    def __init__(self, name: str, storage_budget_bytes: int) -> None:
+        if not name:
+            raise ValueError("cloudlet name must be non-empty")
+        if storage_budget_bytes <= 0:
+            raise ValueError("storage_budget_bytes must be positive")
+        self.name = name
+        self.storage_budget_bytes = storage_budget_bytes
+        self.stats = CloudletStats()
+
+    # -- abstract storage operations -------------------------------------------
+
+    @abc.abstractmethod
+    def lookup_local(self, key: K) -> Optional[V]:
+        """Return the locally cached value for ``key``, or None."""
+
+    @abc.abstractmethod
+    def store_local(self, key: K, value: V, nbytes: int) -> None:
+        """Cache ``value`` locally, accounting ``nbytes`` of storage."""
+
+    @abc.abstractmethod
+    def evict(self, nbytes: int) -> int:
+        """Release at least ``nbytes`` of storage; returns bytes freed."""
+
+    @abc.abstractmethod
+    def local_cost(self, key: K) -> tuple:
+        """(latency_s, energy_j) of serving ``key`` locally."""
+
+    @abc.abstractmethod
+    def remote_cost(self, key: K) -> tuple:
+        """(latency_s, energy_j) of serving ``key`` over the radio."""
+
+    # -- shared service path -----------------------------------------------------
+
+    def serve(self, key: K) -> LookupOutcome[V]:
+        """Serve one request: local first, radio fallback."""
+        self.stats.lookups += 1
+        value = self.lookup_local(key)
+        if value is not None:
+            self.stats.hits += 1
+            latency, energy = self.local_cost(key)
+            return LookupOutcome(True, value, latency, energy)
+        latency, energy = self.remote_cost(key)
+        return LookupOutcome(False, None, latency, energy)
+
+    def record_access(self, key: K, value: V, nbytes: int) -> None:
+        """Cache an item fetched over the radio (personalization path).
+
+        Evicts as needed to stay within the storage budget.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        overflow = self.stats.bytes_stored + nbytes - self.storage_budget_bytes
+        if overflow > 0:
+            freed = self.evict(overflow)
+            self.stats.bytes_stored -= freed
+            if self.stats.bytes_stored + nbytes > self.storage_budget_bytes:
+                return  # could not make room; skip caching
+        self.store_local(key, value, nbytes)
+        self.stats.bytes_stored += nbytes

@@ -1,0 +1,141 @@
+"""Data management: update policies (Section 3.2).
+
+Cached cloud data needs refreshing.  The paper distinguishes:
+
+* **periodic bulk updates** for relatively static data (search indexes,
+  map tiles), run only while the device charges on a fast link — free in
+  battery terms;
+* **real-time updates** over the radio for the small hot set of dynamic
+  data the user actually revisits (news pages, stock quotes) — affordable
+  only because that set is small.
+
+:class:`UpdateScheduler` decides, for each cached item, which policy it
+gets and when it may run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Hashable, List, Set
+
+
+class UpdatePolicy(Enum):
+    PERIODIC_CHARGING = "periodic-charging"
+    REALTIME = "realtime"
+
+
+@dataclass(frozen=True)
+class ChargeState:
+    """Device power/link conditions relevant to bulk updates."""
+
+    charging: bool
+    on_fast_link: bool  # WiFi or tethered
+
+    @property
+    def bulk_update_allowed(self) -> bool:
+        return self.charging and self.on_fast_link
+
+
+@dataclass(frozen=True)
+class UpdateDecision:
+    item: Hashable
+    policy: UpdatePolicy
+    due: bool
+
+
+class UpdateScheduler:
+    """Assigns update policies and schedules refreshes.
+
+    Items accessed more often than ``realtime_threshold`` times per day by
+    this user are treated as dynamic-hot and refreshed in real time; the
+    rest wait for charge-time bulk updates every ``bulk_period_s``.
+    """
+
+    def __init__(
+        self,
+        bulk_period_s: float = 24 * 3600,
+        realtime_threshold_per_day: float = 3.0,
+        realtime_budget_per_day: int = 50,
+    ) -> None:
+        if bulk_period_s <= 0:
+            raise ValueError("bulk_period_s must be positive")
+        if realtime_threshold_per_day < 0:
+            raise ValueError("realtime_threshold_per_day must be non-negative")
+        if realtime_budget_per_day < 0:
+            raise ValueError("realtime_budget_per_day must be non-negative")
+        self.bulk_period_s = bulk_period_s
+        self.realtime_threshold_per_day = realtime_threshold_per_day
+        self.realtime_budget_per_day = realtime_budget_per_day
+        self._daily_access_rate: Dict[Hashable, float] = {}
+        self._last_bulk_update: float = 0.0
+        self._realtime_updates_today: int = 0
+        self._today: int = 0
+
+    # -- access bookkeeping ------------------------------------------------------
+
+    def observe_daily_rate(self, item: Hashable, accesses_per_day: float) -> None:
+        """Record how often the user touches ``item``."""
+        if accesses_per_day < 0:
+            raise ValueError("accesses_per_day must be non-negative")
+        self._daily_access_rate[item] = accesses_per_day
+
+    def policy_for(self, item: Hashable) -> UpdatePolicy:
+        """Which policy an item gets, given its observed access rate."""
+        rate = self._daily_access_rate.get(item, 0.0)
+        if rate >= self.realtime_threshold_per_day:
+            return UpdatePolicy.REALTIME
+        return UpdatePolicy.PERIODIC_CHARGING
+
+    def hot_set(self) -> Set[Hashable]:
+        """Items on the real-time policy (should stay small)."""
+        return {
+            item
+            for item, rate in self._daily_access_rate.items()
+            if rate >= self.realtime_threshold_per_day
+        }
+
+    # -- scheduling ----------------------------------------------------------------
+
+    def bulk_update_due(self, now: float, charge: ChargeState) -> bool:
+        """Whether a charge-time bulk refresh should run now."""
+        if not charge.bulk_update_allowed:
+            return False
+        return now - self._last_bulk_update >= self.bulk_period_s
+
+    def run_bulk_update(self, now: float, charge: ChargeState) -> bool:
+        """Attempt a bulk refresh; returns whether it ran."""
+        if not self.bulk_update_due(now, charge):
+            return False
+        self._last_bulk_update = now
+        return True
+
+    def request_realtime_update(self, item: Hashable, now: float) -> bool:
+        """Attempt a radio refresh for one hot item.
+
+        Enforces the per-day budget that keeps real-time updates from
+        turning into the bulk-over-radio pattern the paper rules out.
+        """
+        day = int(now // (24 * 3600))
+        if day != self._today:
+            self._today = day
+            self._realtime_updates_today = 0
+        if self.policy_for(item) is not UpdatePolicy.REALTIME:
+            return False
+        if self._realtime_updates_today >= self.realtime_budget_per_day:
+            return False
+        self._realtime_updates_today += 1
+        return True
+
+    def decisions(self, now: float, charge: ChargeState) -> List[UpdateDecision]:
+        """A snapshot of per-item update decisions."""
+        bulk_due = self.bulk_update_due(now, charge)
+        out = []
+        for item in self._daily_access_rate:
+            policy = self.policy_for(item)
+            due = (
+                policy is UpdatePolicy.REALTIME
+                or (policy is UpdatePolicy.PERIODIC_CHARGING and bulk_due)
+            )
+            out.append(UpdateDecision(item=item, policy=policy, due=due))
+        return out

@@ -1,0 +1,207 @@
+"""The multi-cloudlet registry (Section 7).
+
+When several cloudlets (search, ads, maps, web content...) share one
+device, the operating system must:
+
+* **budget storage** — grant each cloudlet a slice of the cloudlet
+  partition and keep index memory in check;
+* **coordinate eviction** — related items should be evicted together:
+  if a query misses the search cache, a hit in the ad cache buys nothing
+  (the radio is waking up anyway), so the registry evicts grouped items
+  across cloudlets in one pass;
+* **isolate** — one cloudlet must not read another's (possibly
+  sensitive) cached data without an explicit grant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Set, Tuple
+
+from repro.core.cloudlet import Cloudlet
+
+
+class IsolationError(Exception):
+    """Raised when a cloudlet touches another's data without a grant."""
+
+
+@dataclass(frozen=True)
+class EvictionEvent:
+    """One coordinated eviction: which cloudlets dropped how much."""
+
+    group_key: Hashable
+    freed_bytes: Dict[str, int]
+
+    @property
+    def total_freed(self) -> int:
+        return sum(self.freed_bytes.values())
+
+
+class CloudletRegistry:
+    """OS-level manager for the device's cloudlets.
+
+    Args:
+        total_budget_bytes: the cloudlet storage partition (the paper
+            suggests ~10% of device NVM).
+        index_budget_bytes: total index (DRAM/PCM) budget across
+            cloudlets; the registry refuses registrations that would
+            starve user applications of memory.
+    """
+
+    def __init__(
+        self, total_budget_bytes: int, index_budget_bytes: int = 64 * 1024 * 1024
+    ) -> None:
+        if total_budget_bytes <= 0:
+            raise ValueError("total_budget_bytes must be positive")
+        if index_budget_bytes <= 0:
+            raise ValueError("index_budget_bytes must be positive")
+        self.total_budget_bytes = total_budget_bytes
+        self.index_budget_bytes = index_budget_bytes
+        self._cloudlets: Dict[str, Cloudlet] = {}
+        self._index_bytes: Dict[str, int] = {}
+        self._grants: Set[Tuple[str, str]] = set()  # (reader, owner)
+        self._groups: Dict[Hashable, List[Tuple[str, Hashable, int]]] = {}
+        self.evictions: List[EvictionEvent] = []
+
+    # -- registration ---------------------------------------------------------
+
+    def register(self, cloudlet: Cloudlet, index_bytes: int = 0) -> None:
+        """Admit a cloudlet if storage and index budgets allow.
+
+        Raises:
+            ValueError: on duplicate names or budget exhaustion.
+        """
+        if cloudlet.name in self._cloudlets:
+            raise ValueError(f"cloudlet {cloudlet.name!r} already registered")
+        if index_bytes < 0:
+            raise ValueError("index_bytes must be non-negative")
+        allocated = sum(
+            c.storage_budget_bytes for c in self._cloudlets.values()
+        )
+        if allocated + cloudlet.storage_budget_bytes > self.total_budget_bytes:
+            raise ValueError(
+                f"storage budget exhausted: {allocated} allocated, "
+                f"{cloudlet.storage_budget_bytes} requested, "
+                f"{self.total_budget_bytes} total"
+            )
+        index_allocated = sum(self._index_bytes.values())
+        if index_allocated + index_bytes > self.index_budget_bytes:
+            raise ValueError(
+                "index budget exhausted: user applications need the rest "
+                "of main memory"
+            )
+        self._cloudlets[cloudlet.name] = cloudlet
+        self._index_bytes[cloudlet.name] = index_bytes
+
+    def unregister(self, name: str) -> None:
+        self._require(name)
+        del self._cloudlets[name]
+        del self._index_bytes[name]
+        self._grants = {
+            (r, o) for (r, o) in self._grants if r != name and o != name
+        }
+
+    def cloudlet(self, name: str) -> Cloudlet:
+        return self._require(name)
+
+    @property
+    def names(self) -> List[str]:
+        return sorted(self._cloudlets)
+
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(c.storage_budget_bytes for c in self._cloudlets.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.total_budget_bytes - self.allocated_bytes
+
+    # -- isolation --------------------------------------------------------------
+
+    def grant_access(self, reader: str, owner: str) -> None:
+        """Allow ``reader`` to read ``owner``'s cached data."""
+        self._require(reader)
+        self._require(owner)
+        self._grants.add((reader, owner))
+
+    def revoke_access(self, reader: str, owner: str) -> None:
+        self._grants.discard((reader, owner))
+
+    def read_across(self, reader: str, owner: str, key: Hashable):
+        """Cross-cloudlet read, enforced by grants.
+
+        Raises:
+            IsolationError: without a prior :meth:`grant_access`.
+        """
+        self._require(reader)
+        target = self._require(owner)
+        if reader != owner and (reader, owner) not in self._grants:
+            raise IsolationError(
+                f"cloudlet {reader!r} may not access data of {owner!r}"
+            )
+        return target.lookup_local(key)
+
+    # -- coordinated eviction ------------------------------------------------------
+
+    def link_group(
+        self, group_key: Hashable, members: List[Tuple[str, Hashable, int]]
+    ) -> None:
+        """Declare that items across cloudlets belong together.
+
+        Args:
+            group_key: identity of the related-content group (e.g. a
+                query string shared by search and ad caches).
+            members: (cloudlet name, item key, item bytes) triples.
+        """
+        for name, _key, nbytes in members:
+            self._require(name)
+            if nbytes < 0:
+                raise ValueError("item bytes must be non-negative")
+        self._groups[group_key] = list(members)
+
+    def evict_group(self, group_key: Hashable) -> EvictionEvent:
+        """Evict every member of a group across its cloudlets.
+
+        Raises:
+            KeyError: for unknown groups.
+        """
+        members = self._groups.pop(group_key, None)
+        if members is None:
+            raise KeyError(f"unknown eviction group {group_key!r}")
+        freed: Dict[str, int] = {}
+        for name, _key, nbytes in members:
+            cloudlet = self._cloudlets.get(name)
+            if cloudlet is None:
+                continue
+            released = cloudlet.evict(nbytes)
+            cloudlet.stats.bytes_stored = max(
+                0, cloudlet.stats.bytes_stored - released
+            )
+            freed[name] = freed.get(name, 0) + released
+        event = EvictionEvent(group_key=group_key, freed_bytes=freed)
+        self.evictions.append(event)
+        return event
+
+    def reclaim(self, target_bytes: int) -> List[EvictionEvent]:
+        """Free at least ``target_bytes`` by evicting whole groups.
+
+        Groups are evicted in insertion order (oldest first) until the
+        target is met or no groups remain.
+        """
+        if target_bytes < 0:
+            raise ValueError("target_bytes must be non-negative")
+        events = []
+        freed = 0
+        for group_key in list(self._groups):
+            if freed >= target_bytes:
+                break
+            event = self.evict_group(group_key)
+            freed += event.total_freed
+            events.append(event)
+        return events
+
+    def _require(self, name: str) -> Cloudlet:
+        try:
+            return self._cloudlets[name]
+        except KeyError:
+            raise KeyError(f"no cloudlet named {name!r}") from None

@@ -1,0 +1,183 @@
+"""Data selection: community + personal access models (Section 3.1).
+
+What gets pushed to the device is chosen by combining:
+
+* a **community model** — item popularity across all users of the
+  service (mined server-side from logs);
+* a **personal model** — the individual user's own access history,
+  frequency- and recency-weighted.
+
+:class:`DataSelector` merges the two into the set of items to cache under
+a byte budget, mirroring how PocketSearch's community content plus the
+user's own pairs fill its cache.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Generic, Hashable, List, Tuple, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+
+
+class CommunityAccessModel(Generic[K]):
+    """Server-side item popularity: item -> access volume."""
+
+    def __init__(self) -> None:
+        self._volumes: Dict[K, int] = {}
+
+    def record(self, item: K, volume: int = 1) -> None:
+        if volume < 0:
+            raise ValueError("volume must be non-negative")
+        self._volumes[item] = self._volumes.get(item, 0) + volume
+
+    def volume(self, item: K) -> int:
+        return self._volumes.get(item, 0)
+
+    @property
+    def total_volume(self) -> int:
+        return sum(self._volumes.values())
+
+    def top_items(self, k: int) -> List[Tuple[K, int]]:
+        """The ``k`` most popular items with their volumes."""
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        ranked = sorted(self._volumes.items(), key=lambda kv: -kv[1])
+        return ranked[:k]
+
+    def normalized_volume(self, item: K) -> float:
+        total = self.total_volume
+        return self._volumes.get(item, 0) / total if total else 0.0
+
+
+class PersonalAccessModel(Generic[K]):
+    """On-device access history with exponential recency decay.
+
+    Each access adds 1 to the item's weight; all weights decay by
+    ``exp(-decay_rate * dt)`` between observations, so the score reflects
+    both frequency and freshness — the same principle as PocketSearch's
+    Equations (1)-(2).
+    """
+
+    def __init__(self, decay_rate: float = 1e-6) -> None:
+        if decay_rate < 0:
+            raise ValueError("decay_rate must be non-negative")
+        self.decay_rate = decay_rate
+        self._weights: Dict[K, float] = {}
+        self._last_update: float = 0.0
+
+    def record(self, item: K, timestamp: float) -> None:
+        """Record one access at ``timestamp`` (non-decreasing)."""
+        if timestamp < self._last_update:
+            raise ValueError(
+                f"timestamp {timestamp} precedes last update {self._last_update}"
+            )
+        self._decay_to(timestamp)
+        self._weights[item] = self._weights.get(item, 0.0) + 1.0
+
+    def _decay_to(self, timestamp: float) -> None:
+        dt = timestamp - self._last_update
+        if dt > 0 and self.decay_rate > 0:
+            factor = math.exp(-self.decay_rate * dt)
+            for item in self._weights:
+                self._weights[item] *= factor
+        self._last_update = timestamp
+
+    def weight(self, item: K) -> float:
+        return self._weights.get(item, 0.0)
+
+    def top_items(self, k: int) -> List[Tuple[K, float]]:
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        ranked = sorted(self._weights.items(), key=lambda kv: -kv[1])
+        return ranked[:k]
+
+    @property
+    def n_items(self) -> int:
+        return len(self._weights)
+
+
+@dataclass(frozen=True)
+class SelectedItem(Generic[K]):
+    item: K
+    score: float
+    source: str  # "community", "personal", or "both"
+
+
+class DataSelector(Generic[K]):
+    """Merge community and personal models under a storage budget.
+
+    Items are scored ``community_weight * normalized community volume +
+    personal_weight * normalized personal weight`` and taken greedily
+    until the byte budget is exhausted.
+    """
+
+    def __init__(
+        self,
+        community: CommunityAccessModel,
+        personal: PersonalAccessModel,
+        community_weight: float = 1.0,
+        personal_weight: float = 1.0,
+    ) -> None:
+        if community_weight < 0 or personal_weight < 0:
+            raise ValueError("weights must be non-negative")
+        if community_weight == 0 and personal_weight == 0:
+            raise ValueError("at least one weight must be positive")
+        self.community = community
+        self.personal = personal
+        self.community_weight = community_weight
+        self.personal_weight = personal_weight
+
+    def select(
+        self, budget_bytes: int, item_bytes: Dict[K, int]
+    ) -> List[SelectedItem]:
+        """Choose items to cache.
+
+        Args:
+            budget_bytes: storage budget.
+            item_bytes: footprint of each candidate item.
+
+        Returns:
+            Selected items, best-scored first.
+        """
+        if budget_bytes < 0:
+            raise ValueError("budget_bytes must be non-negative")
+        total_comm = self.community.total_volume
+        max_personal = max(
+            (w for _, w in self.personal.top_items(1)), default=0.0
+        )
+        candidates = set(item_bytes)
+        scored: List[SelectedItem] = []
+        for item in candidates:
+            comm = (
+                self.community.volume(item) / total_comm if total_comm else 0.0
+            )
+            pers = (
+                self.personal.weight(item) / max_personal
+                if max_personal
+                else 0.0
+            )
+            score = (
+                self.community_weight * comm + self.personal_weight * pers
+            )
+            if score <= 0:
+                continue
+            source = (
+                "both"
+                if comm > 0 and pers > 0
+                else ("community" if comm > 0 else "personal")
+            )
+            scored.append(SelectedItem(item=item, score=score, source=source))
+        scored.sort(key=lambda s: -s.score)
+        chosen: List[SelectedItem] = []
+        used = 0
+        for selected in scored:
+            nbytes = item_bytes[selected.item]
+            if nbytes < 0:
+                raise ValueError("item sizes must be non-negative")
+            if used + nbytes > budget_bytes:
+                continue
+            chosen.append(selected)
+            used += nbytes
+        return chosen

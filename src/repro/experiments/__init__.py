@@ -1,0 +1,34 @@
+"""Experiment runners: one per table and figure of the paper.
+
+Each function regenerates one evaluation artifact and returns structured
+data; the scripts in ``benchmarks/`` print the paper's rows/series from
+these, and integration tests assert the shapes.  Expensive inputs (the
+synthetic log, replay results) are memoized per process in
+:mod:`repro.experiments.common`.
+"""
+
+from repro.experiments import (
+    ablations,
+    cachedesign,
+    characterization,
+    common,
+    extensions,
+    export,
+    hitrate,
+    performance,
+    scale,
+    scaling,
+)
+
+__all__ = [
+    "ablations",
+    "cachedesign",
+    "characterization",
+    "common",
+    "extensions",
+    "export",
+    "hitrate",
+    "performance",
+    "scale",
+    "scaling",
+]

@@ -1,0 +1,154 @@
+"""Section 5 design-space experiments: Figures 7, 8, 11, and 12."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.experiments.common import default_content, default_log
+from repro.pocketsearch.cache import PocketSearchCache
+from repro.pocketsearch.content import (
+    ContentPolicy,
+    PAPER_OPERATING_POINT,
+    build_cache_content,
+    build_cache_content_from_model,
+    coverage_curve,
+)
+from repro.pocketsearch.database import ResultDatabase
+from repro.pocketsearch.hashtable import QueryHashTable, entry_bytes, hash64
+from repro.storage.filesystem import FlashFilesystem
+from repro.storage.flash import NandFlash
+
+
+def figure7(seed: int = 23, points: int = 24) -> List[Tuple[int, float]]:
+    """Figure 7: cumulative pair volume vs number of cached pairs."""
+    log = default_log(seed=seed).month(0)
+    n_pairs = len(np.unique(log.pair_ids))
+    ks = np.unique(
+        np.logspace(1, np.log10(max(n_pairs, 11)), points).astype(int)
+    )
+    return coverage_curve(log, ks.tolist())
+
+
+def figure8(
+    seed: int = 23,
+    coverages: Tuple[float, ...] = (0.30, 0.40, 0.45, 0.50, 0.55, 0.58, 0.60),
+) -> List[dict]:
+    """Figure 8: DRAM and flash footprint vs aggregate covered volume.
+
+    Builds a real hash table + database at each operating point and
+    measures the modelled footprints.
+    """
+    log = default_log(seed=seed).month(0)
+    rows = []
+    for coverage in coverages:
+        content = build_cache_content(
+            log, ContentPolicy(target_coverage=coverage)
+        )
+        cache = PocketSearchCache.from_content(
+            content,
+            database=ResultDatabase(FlashFilesystem(NandFlash())),
+        )
+        rows.append(
+            {
+                "coverage": content.coverage,
+                "pairs": content.n_pairs,
+                "unique_results": content.n_unique_results,
+                "dram_bytes": cache.hashtable.footprint_bytes,
+                "flash_bytes": cache.database.logical_bytes,
+                "flash_allocated_bytes": cache.database.allocated_bytes,
+            }
+        )
+    return rows
+
+
+def figure11(
+    seed: int = 23, slots: Tuple[int, ...] = (1, 2, 3, 4, 6, 8)
+) -> List[dict]:
+    """Figure 11: hash-table footprint vs results per entry.
+
+    Uses the server's long-horizon (model-level) cache content — the
+    design study the paper ran over its full multi-month logs, where a
+    third of cached queries link to two or more results.  Two results
+    per entry then minimizes the footprint: wider entries waste slots on
+    single-result queries, single-slot entries pay the per-entry
+    overhead once per result.
+    """
+    log = default_log(seed=seed)
+    content = build_cache_content_from_model(
+        log.community, PAPER_OPERATING_POINT
+    )
+    rows = []
+    for width in slots:
+        table = QueryHashTable(results_per_entry=width)
+        for entry in content.entries:
+            table.insert(entry.query, hash64(entry.url), entry.score)
+        rows.append(
+            {
+                "results_per_entry": width,
+                "entries": table.n_entries,
+                "entry_bytes": entry_bytes(width),
+                "footprint_bytes": table.footprint_bytes,
+            }
+        )
+    return rows
+
+
+def figure12(
+    seed: int = 23,
+    file_counts: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024),
+    probe_results: int = 40,
+) -> List[dict]:
+    """Figure 12: retrieval time for two results vs database file count.
+
+    For each file count, stores the full cache content and measures the
+    modelled time to retrieve two search results (averaged over a probe
+    sample), along with flash fragmentation — the other half of the
+    tradeoff that makes 32 files the paper's sweet spot.
+    """
+    content = default_content(seed=seed)
+    urls = []
+    seen = set()
+    for entry in content.entries:
+        if entry.url not in seen:
+            seen.add(entry.url)
+            urls.append(entry.url)
+    rows = []
+    for n_files in file_counts:
+        database = ResultDatabase(
+            FlashFilesystem(NandFlash()), n_files=n_files
+        )
+        for entry in content.entries:
+            database.add_result(entry.url, entry.record_bytes)
+        probes = urls[:: max(1, len(urls) // probe_results)][:probe_results]
+        times = []
+        for i in range(0, len(probes) - 1, 2):
+            t = 0.0
+            for url in probes[i : i + 2]:
+                t += database.fetch(hash64(url)).latency_s
+            times.append(t)
+        rows.append(
+            {
+                "n_files": n_files,
+                "mean_fetch2_s": float(np.mean(times)),
+                "std_fetch2_s": float(np.std(times)),
+                "fragmentation_bytes": database.fragmentation_bytes,
+                "allocated_bytes": database.allocated_bytes,
+            }
+        )
+    return rows
+
+
+def shared_storage_savings(seed: int = 23) -> dict:
+    """Section 5.2.1's motivation: store each result once, not per query."""
+    content = default_content(seed=seed)
+    return {
+        "pairs": content.n_pairs,
+        "unique_results": content.n_unique_results,
+        "unique_queries": content.n_unique_queries,
+        "shared_bytes": content.flash_bytes,
+        "unshared_bytes": content.flash_bytes_unshared,
+        "savings_factor": content.flash_bytes_unshared
+        / max(content.flash_bytes, 1),
+    }

@@ -1,0 +1,82 @@
+"""Section 4 experiments: Figures 4 and 5, Table 3, and the mobile vs
+desktop repeatability contrast (Section 4.2)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.logs import analysis
+from repro.logs.schema import Triplet
+from repro.experiments.common import default_log, desktop_log
+from repro.pocketsearch.content import triplets_from_log
+
+
+def figure4(seed: int = 23) -> Dict[str, dict]:
+    """Figure 4: query and result volume CDFs across subsets.
+
+    For each subset reports the item counts needed for fixed coverage
+    levels and the coverage at the paper-equivalent top counts.
+    """
+    log = default_log(seed=seed).month(0)
+    series = analysis.figure4_series(log)
+    out: Dict[str, dict] = {}
+    k60 = series["all"]["queries"].items_for_coverage(0.60)
+    for name, curves in series.items():
+        q, r = curves["queries"], curves["results"]
+        out[name] = {
+            "events": int(q.counts.sum()) if q.n_items else 0,
+            "distinct_queries": q.n_items,
+            "distinct_results": r.n_items,
+            "queries_for_60pct": q.items_for_coverage(0.60),
+            "results_for_60pct": r.items_for_coverage(0.60),
+            "query_coverage_at_k60": q.coverage_at(k60),
+            "result_coverage_at_k60": r.coverage_at(k60),
+        }
+    out["_k60"] = k60
+    return out
+
+
+def figure5(seed: int = 23) -> dict:
+    """Figure 5: CDF of per-user new-query probability over a month."""
+    log = default_log(seed=seed).month(0)
+    probs = analysis.user_new_pair_probability(log)
+    grid, cdf = analysis.new_pair_probability_cdf(probs)
+    values = np.asarray(sorted(probs.values()))
+    nav_probs = analysis.user_new_pair_probability(log.navigational_only(True))
+    non_probs = analysis.user_new_pair_probability(log.navigational_only(False))
+    return {
+        "grid": grid,
+        "cdf": cdf,
+        "median_new_probability": float(np.median(values)),
+        "users_at_most_30pct_new": float((values <= 0.30).mean()),
+        "mean_repeat_rate": float(1 - values.mean()),
+        "nav_median_new": float(
+            np.median(sorted(nav_probs.values()))
+        ) if nav_probs else float("nan"),
+        "non_nav_median_new": float(
+            np.median(sorted(non_probs.values()))
+        ) if non_probs else float("nan"),
+    }
+
+
+def table3(limit: int = 10, seed: int = 23) -> List[Triplet]:
+    """Table 3: the top of the triplet ranking."""
+    return triplets_from_log(default_log(seed=seed).month(0))[:limit]
+
+
+def mobile_vs_desktop(seed: int = 23) -> dict:
+    """Section 4.2: mobile vs desktop repeat rates and concentration."""
+    mobile = default_log(seed=seed).month(0)
+    desktop = desktop_log().month(0)
+    mobile_q = analysis.query_volume_cdf(mobile)
+    desktop_q = analysis.query_volume_cdf(desktop)
+    k60 = mobile_q.items_for_coverage(0.60)
+    return {
+        "mobile_repeat_rate": analysis.overall_repeat_rate(mobile),
+        "desktop_repeat_rate": analysis.overall_repeat_rate(desktop),
+        "mobile_coverage_at_k60": mobile_q.coverage_at(k60),
+        "desktop_coverage_at_k60": desktop_q.coverage_at(k60),
+        "k60": k60,
+    }

@@ -1,0 +1,194 @@
+"""CSV export of every figure's data series.
+
+``export_all(directory)`` writes one CSV per paper figure so the actual
+plots can be regenerated with any charting tool.  The CLI exposes it as
+``python -m repro export``.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Dict, List, Optional
+
+from repro.experiments import (
+    cachedesign,
+    characterization,
+    hitrate,
+    performance,
+)
+from repro.logs import analysis
+from repro.experiments.common import default_log
+from repro.sim.powertrace import sample_power
+
+
+def _write(directory: str, name: str, headers: List[str], rows) -> str:
+    path = os.path.join(directory, f"{name}.csv")
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return path
+
+
+def export_fig4(directory: str, seed: int = 23) -> str:
+    """Figure 4 CDF curves, downsampled to 200 points per subset."""
+    log = default_log(seed=seed).month(0)
+    series = analysis.figure4_series(log)
+    rows = []
+    for subset, curves in series.items():
+        cdf = curves["queries"]
+        n = cdf.n_items
+        if n == 0:
+            continue
+        step = max(1, n // 200)
+        for k in range(1, n + 1, step):
+            rows.append([subset, "queries", k, f"{cdf.coverage_at(k):.5f}"])
+        rcdf = curves["results"]
+        step = max(1, rcdf.n_items // 200)
+        for k in range(1, rcdf.n_items + 1, step):
+            rows.append([subset, "results", k, f"{rcdf.coverage_at(k):.5f}"])
+    return _write(
+        directory, "fig4_cdf", ["subset", "axis", "top_items", "coverage"], rows
+    )
+
+
+def export_fig5(directory: str, seed: int = 23) -> str:
+    f5 = characterization.figure5(seed=seed)
+    rows = [
+        [f"{x:.2f}", f"{y:.5f}"] for x, y in zip(f5["grid"], f5["cdf"])
+    ]
+    return _write(
+        directory, "fig5_cdf", ["new_query_probability", "user_fraction"], rows
+    )
+
+
+def export_fig7(directory: str, seed: int = 23) -> str:
+    rows = [[k, f"{v:.5f}"] for k, v in cachedesign.figure7(seed=seed)]
+    return _write(directory, "fig7_coverage", ["pairs", "coverage"], rows)
+
+
+def export_fig8(directory: str, seed: int = 23) -> str:
+    rows = [
+        [f"{r['coverage']:.3f}", r["pairs"], r["dram_bytes"], r["flash_bytes"]]
+        for r in cachedesign.figure8(seed=seed)
+    ]
+    return _write(
+        directory,
+        "fig8_footprint",
+        ["coverage", "pairs", "dram_bytes", "flash_bytes"],
+        rows,
+    )
+
+
+def export_fig11(directory: str, seed: int = 23) -> str:
+    rows = [
+        [r["results_per_entry"], r["entries"], r["footprint_bytes"]]
+        for r in cachedesign.figure11(seed=seed)
+    ]
+    return _write(
+        directory,
+        "fig11_hashtable",
+        ["results_per_entry", "entries", "footprint_bytes"],
+        rows,
+    )
+
+
+def export_fig12(directory: str, seed: int = 23) -> str:
+    rows = [
+        [
+            r["n_files"],
+            f"{r['mean_fetch2_s']:.6f}",
+            f"{r['std_fetch2_s']:.6f}",
+            r["fragmentation_bytes"],
+        ]
+        for r in cachedesign.figure12(seed=seed)
+    ]
+    return _write(
+        directory,
+        "fig12_files",
+        ["n_files", "mean_fetch2_s", "std_fetch2_s", "fragmentation_bytes"],
+        rows,
+    )
+
+
+def export_fig15(directory: str, seed: int = 23) -> str:
+    f15 = performance.figure15(seed=seed)
+    rows = [
+        [
+            path,
+            f"{d['mean_latency_s']:.6f}",
+            f"{d['mean_energy_j']:.6f}",
+            f"{d.get('latency_speedup', 1):.3f}",
+            f"{d.get('energy_ratio', 1):.3f}",
+        ]
+        for path, d in f15.items()
+    ]
+    return _write(
+        directory,
+        "fig15_bars",
+        ["path", "latency_s", "energy_j", "latency_speedup", "energy_ratio"],
+        rows,
+    )
+
+
+def export_fig16(directory: str, seed: int = 23, samples: int = 400) -> str:
+    f16 = performance.figure16(seed=seed)
+    segments = f16["radio"]["segments"]
+    powers = sample_power(segments, samples, base_power_w=0.9)
+    end = segments[-1].t_end
+    rows = [
+        [f"{(i + 0.5) / samples * end:.3f}", f"{p:.4f}"]
+        for i, p in enumerate(powers)
+    ]
+    return _write(directory, "fig16_trace", ["time_s", "device_power_w"], rows)
+
+
+def export_fig17(
+    directory: str, users_per_class: int = 40, seed: int = 23
+) -> str:
+    f17 = hitrate.figure17(users_per_class=users_per_class, seed=seed)
+    rows = []
+    for mode, data in f17.items():
+        for key, value in data.items():
+            rows.append([mode, key, f"{value:.5f}"])
+    return _write(directory, "fig17_hitrate", ["mode", "class", "hit_rate"], rows)
+
+
+def export_fig19(
+    directory: str, users_per_class: int = 40, seed: int = 23
+) -> str:
+    f19 = hitrate.figure19(users_per_class=users_per_class, seed=seed)
+    rows = [
+        [name, f"{split['navigational']:.5f}", f"{split['non_navigational']:.5f}"]
+        for name, split in f19.items()
+    ]
+    return _write(
+        directory, "fig19_nav", ["class", "navigational", "non_navigational"], rows
+    )
+
+
+#: Exporters run by :func:`export_all`, keyed by artifact name.
+EXPORTERS = {
+    "fig4": export_fig4,
+    "fig5": export_fig5,
+    "fig7": export_fig7,
+    "fig8": export_fig8,
+    "fig11": export_fig11,
+    "fig12": export_fig12,
+    "fig15": export_fig15,
+    "fig16": export_fig16,
+    "fig17": export_fig17,
+    "fig19": export_fig19,
+}
+
+
+def export_all(directory: str, only: Optional[List[str]] = None) -> Dict[str, str]:
+    """Write every figure's CSV into ``directory``; returns name -> path."""
+    os.makedirs(directory, exist_ok=True)
+    out = {}
+    for name, exporter in EXPORTERS.items():
+        if only is not None and name not in only:
+            continue
+        out[name] = exporter(directory)
+    return out

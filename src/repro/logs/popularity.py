@@ -1,0 +1,225 @@
+"""Community popularity model: the joint distribution over query/result pairs.
+
+Flattens a :class:`~repro.logs.vocabulary.Vocabulary` into numpy arrays of
+(query, result) pairs with sampling probabilities.  This is the "community
+access model" of Section 3.1: what the whole population searches for.
+Individual user streams are mixtures over this model (see
+:mod:`repro.logs.users`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.logs.schema import Triplet
+from repro.logs.vocabulary import ResultDef, Vocabulary
+
+
+class CommunityModel:
+    """Sampling-ready flattened pair distribution.
+
+    Attributes:
+        query_strings: query text per query id.
+        query_navigational: nav flag per query id.
+        result_urls: URL per result id.
+        result_records: full :class:`ResultDef` per result id.
+        pair_query: query id per pair id.
+        pair_result: result id per pair id.
+        pair_prob: sampling probability per pair id (sums to 1).
+    """
+
+    def __init__(self, vocabulary: Vocabulary) -> None:
+        self.vocabulary = vocabulary
+        query_strings: List[str] = []
+        query_nav: List[bool] = []
+        result_urls: List[str] = []
+        result_records: List[ResultDef] = []
+        pair_query: List[int] = []
+        pair_result: List[int] = []
+        pair_weight: List[float] = []
+        pair_topic: List[int] = []
+
+        url_to_id: dict = {}
+        for topic in vocabulary.topics:
+            result_ids = []
+            for result in topic.results:
+                rid = url_to_id.get(result.url)
+                if rid is None:
+                    rid = len(result_urls)
+                    url_to_id[result.url] = rid
+                    result_urls.append(result.url)
+                    result_records.append(result)
+                result_ids.append(rid)
+            for query in topic.queries:
+                qid = len(query_strings)
+                query_strings.append(query.text)
+                query_nav.append(query.navigational)
+                for rid, result in zip(result_ids, topic.results):
+                    pair_query.append(qid)
+                    pair_result.append(rid)
+                    pair_weight.append(topic.weight * query.share * result.share)
+                    pair_topic.append(topic.topic_id)
+
+        self.query_strings = query_strings
+        self.query_navigational = np.asarray(query_nav, dtype=bool)
+        self.result_urls = result_urls
+        self.result_records = result_records
+        self.pair_query = np.asarray(pair_query, dtype=np.int64)
+        self.pair_result = np.asarray(pair_result, dtype=np.int64)
+        self.pair_topic = np.asarray(pair_topic, dtype=np.int64)
+        weights = np.asarray(pair_weight, dtype=np.float64)
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("vocabulary produced zero total pair weight")
+        self.pair_prob = weights / total
+        #: pair ids sorted by descending probability (popularity rank order)
+        self.rank_order = np.argsort(self.pair_prob)[::-1]
+        self._cdf_cache: dict = {}
+        self._sibling_index: dict = {}
+        self._variant_index: dict = {}
+
+    # -- basic shape ----------------------------------------------------------
+
+    @property
+    def n_pairs(self) -> int:
+        return len(self.pair_prob)
+
+    @property
+    def n_queries(self) -> int:
+        return len(self.query_strings)
+
+    @property
+    def n_results(self) -> int:
+        return len(self.result_urls)
+
+    def pair_navigational(self) -> np.ndarray:
+        """Navigational flag per pair id (the flag of the pair's query)."""
+        return self.query_navigational[self.pair_query]
+
+    # -- sampling ---------------------------------------------------------------
+
+    def sample_pairs(
+        self,
+        n: int,
+        rng: np.random.Generator,
+        tilt: float = 1.0,
+    ) -> np.ndarray:
+        """Draw ``n`` pair ids from the community distribution.
+
+        Args:
+            n: number of draws.
+            rng: numpy random generator.
+            tilt: concentration exponent; probabilities are raised to
+                ``tilt`` and renormalized.  ``tilt > 1`` concentrates mass
+                on popular pairs (used for featurephone users, whose
+                limited browsers keep them on very popular sites);
+                ``tilt < 1`` flattens (desktop-like diversity).
+        """
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        if tilt <= 0:
+            raise ValueError(f"tilt must be positive, got {tilt}")
+        cdf = self._tilted_cdf(tilt)
+        draws = np.searchsorted(cdf, rng.random(n), side="right")
+        return np.minimum(draws, self.n_pairs - 1).astype(np.int64)
+
+    def _tilted_cdf(self, tilt: float) -> np.ndarray:
+        key = round(float(tilt), 6)
+        cached = self._cdf_cache.get(key)
+        if cached is not None:
+            return cached
+        if tilt == 1.0:
+            probs = self.pair_prob
+        else:
+            probs = self.pair_prob**tilt
+            probs = probs / probs.sum()
+        cdf = np.cumsum(probs)
+        self._cdf_cache[key] = cdf
+        return cdf
+
+    # -- ideal (distribution-level) statistics ------------------------------------
+
+    def cumulative_volume_by_pairs(self, k: int) -> float:
+        """Fraction of total volume covered by the ``k`` most popular pairs."""
+        if k <= 0:
+            return 0.0
+        k = min(k, self.n_pairs)
+        return float(self.pair_prob[self.rank_order[:k]].sum())
+
+    def top_pairs(self, k: int) -> np.ndarray:
+        """Pair ids of the ``k`` most popular pairs."""
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        return self.rank_order[: min(k, self.n_pairs)]
+
+    def expected_triplets(
+        self, total_volume: int, limit: Optional[int] = None
+    ) -> List[Triplet]:
+        """Triplet rows (Table 3) under the ideal distribution.
+
+        Args:
+            total_volume: total query volume to apportion.
+            limit: return only the top ``limit`` rows.
+        """
+        if total_volume < 0:
+            raise ValueError("total_volume must be non-negative")
+        order = self.rank_order if limit is None else self.rank_order[:limit]
+        return [
+            Triplet(
+                query=self.query_strings[self.pair_query[p]],
+                url=self.result_urls[self.pair_result[p]],
+                volume=int(round(self.pair_prob[p] * total_volume)),
+            )
+            for p in order
+        ]
+
+    def pair_siblings(self, pair_id: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Pairs reaching the same result within the same topic.
+
+        Returns (sibling pair ids, normalized probabilities), including
+        ``pair_id`` itself.  These are the alternative phrasings/
+        misspellings a user may type for the same staple destination.
+        """
+        key = (int(self.pair_topic[pair_id]), int(self.pair_result[pair_id]))
+        siblings = self._sibling_index.get(key)
+        if siblings is None:
+            mask = (self.pair_topic == self.pair_topic[pair_id]) & (
+                self.pair_result == self.pair_result[pair_id]
+            )
+            ids = np.flatnonzero(mask)
+            probs = self.pair_prob[ids]
+            probs = probs / probs.sum()
+            siblings = (ids, probs)
+            self._sibling_index[key] = siblings
+        return siblings
+
+    def pair_result_variants(self, pair_id: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Pairs with the same topic and query but different results.
+
+        Returns (variant pair ids, normalized probabilities), including
+        ``pair_id`` itself.  These are the alternative results a user may
+        click for the same staple query ("michael jackson" -> imdb on one
+        visit, azlyrics on another).
+        """
+        key = (int(self.pair_topic[pair_id]), int(self.pair_query[pair_id]))
+        variants = self._variant_index.get(key)
+        if variants is None:
+            mask = (self.pair_topic == self.pair_topic[pair_id]) & (
+                self.pair_query == self.pair_query[pair_id]
+            )
+            ids = np.flatnonzero(mask)
+            probs = self.pair_prob[ids]
+            probs = probs / probs.sum()
+            variants = (ids, probs)
+            self._variant_index[key] = variants
+        return variants
+
+    def describe_pair(self, pair_id: int) -> Tuple[str, str, float]:
+        """(query, url, probability) of one pair."""
+        return (
+            self.query_strings[self.pair_query[pair_id]],
+            self.result_urls[self.pair_result[pair_id]],
+            float(self.pair_prob[pair_id]),
+        )

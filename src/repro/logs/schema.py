@@ -1,0 +1,97 @@
+"""Record types shared across the search-log substrate.
+
+Mirrors the fields the paper says each log entry carries: "the raw query
+string that was submitted by the mobile user as well as the search result
+that was selected" (Section 4) — plus user and time, which the paper's
+per-user and per-month analyses imply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+#: Seconds in the paper's analysis month (30 days).
+MONTH_SECONDS = 30 * 24 * 3600
+WEEK_SECONDS = 7 * 24 * 3600
+
+
+class UserClass(Enum):
+    """User classes of Table 6, keyed by monthly query volume."""
+
+    LOW = "low"  # [20, 40)
+    MEDIUM = "medium"  # [40, 140)
+    HIGH = "high"  # [140, 460)
+    EXTREME = "extreme"  # [460, inf)
+
+
+#: Monthly query-volume ranges of Table 6 (upper bound exclusive).
+CLASS_VOLUME_RANGES = {
+    UserClass.LOW: (20, 40),
+    UserClass.MEDIUM: (40, 140),
+    UserClass.HIGH: (140, 460),
+    UserClass.EXTREME: (460, 2000),
+}
+
+#: Population mixture of Table 6.
+CLASS_POPULATION_SHARE = {
+    UserClass.LOW: 0.55,
+    UserClass.MEDIUM: 0.36,
+    UserClass.HIGH: 0.08,
+    UserClass.EXTREME: 0.01,
+}
+
+#: Users below this monthly volume are ignored, as in the paper.
+MIN_MONTHLY_VOLUME = 20
+
+
+def classify_user(monthly_volume: int) -> Optional[UserClass]:
+    """Classify a user by monthly query volume per Table 6.
+
+    Returns ``None`` for users below the paper's 20-queries/month floor.
+    """
+    if monthly_volume < MIN_MONTHLY_VOLUME:
+        return None
+    if monthly_volume < 40:
+        return UserClass.LOW
+    if monthly_volume < 140:
+        return UserClass.MEDIUM
+    if monthly_volume < 460:
+        return UserClass.HIGH
+    return UserClass.EXTREME
+
+
+@dataclass(frozen=True)
+class QueryEvent:
+    """One search-log entry: a query and the result clicked for it."""
+
+    user_id: int
+    timestamp: float
+    query: str
+    clicked_url: str
+    navigational: bool
+    device: str = "smartphone"  # or "featurephone" / "desktop"
+
+
+@dataclass(frozen=True)
+class Triplet:
+    """A <query, search result, volume> row of Table 3."""
+
+    query: str
+    url: str
+    volume: int
+
+    def __post_init__(self) -> None:
+        if self.volume < 0:
+            raise ValueError(f"volume must be non-negative, got {self.volume}")
+
+
+def is_navigational(query: str, url: str) -> bool:
+    """The paper's navigational test: query string is a substring of the URL.
+
+    Comparison is case-insensitive with whitespace stripped from the query
+    (i.e. "youtube" vs www.youtube.com is navigational).
+    """
+    needle = query.strip().lower().replace(" ", "")
+    return bool(needle) and needle in url.lower()

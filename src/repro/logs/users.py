@@ -1,0 +1,197 @@
+"""Per-user behaviour models and the Table 6 population mixture.
+
+A user's month of searching is modelled as a mixture of two regimes the
+paper's analysis exposes:
+
+* **routine** — revisiting a small set of personal *staples* (the paper:
+  "70% of web visits tend to be revisits to less than a couple of tens of
+  web pages for more than 50% of the users").  Staples are drawn once per
+  user from the community distribution with a concentration tilt (people's
+  staples are disproportionately the popular sites) and persist across
+  months.
+* **explore** — new information needs drawn from a flattened community
+  distribution, plus a slice of user-unique queries no shared cache could
+  ever know.
+
+The routine share, staple count, and volumes vary by user class (Table 6),
+which produces the paper's class gradients: heavier users repeat more and
+see higher hit rates from both cache components (Figure 17).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.logs.schema import (
+    CLASS_POPULATION_SHARE,
+    CLASS_VOLUME_RANGES,
+    UserClass,
+)
+
+
+@dataclass(frozen=True)
+class ClassBehavior:
+    """Behaviour parameters of one Table 6 user class."""
+
+    routine_prob_mean: float
+    routine_prob_conc: float  # Beta concentration; higher = tighter
+    staple_exponent: float  # staples ~ volume**exponent
+    explore_tilt: float
+    unique_tail_prob: float
+
+
+#: Per-class behaviour defaults, calibrated against Figures 5, 17-19.
+#: Low concentration values spread users widely, producing Figure 5's
+#: skew: a habitual majority (>=70% repeats) plus an explorer tail that
+#: pulls the mean repeat rate down to ~56.5%.
+DEFAULT_CLASS_BEHAVIOR: Dict[UserClass, ClassBehavior] = {
+    UserClass.LOW: ClassBehavior(
+        routine_prob_mean=0.73,
+        routine_prob_conc=3.0,
+        staple_exponent=0.45,
+        explore_tilt=0.80,
+        unique_tail_prob=0.33,
+    ),
+    UserClass.MEDIUM: ClassBehavior(
+        routine_prob_mean=0.75,
+        routine_prob_conc=3.2,
+        staple_exponent=0.44,
+        explore_tilt=0.72,
+        unique_tail_prob=0.36,
+    ),
+    UserClass.HIGH: ClassBehavior(
+        routine_prob_mean=0.78,
+        routine_prob_conc=3.6,
+        staple_exponent=0.42,
+        explore_tilt=0.66,
+        unique_tail_prob=0.33,
+    ),
+    UserClass.EXTREME: ClassBehavior(
+        routine_prob_mean=0.80,
+        routine_prob_conc=4.0,
+        staple_exponent=0.40,
+        explore_tilt=0.62,
+        unique_tail_prob=0.31,
+    ),
+}
+
+#: Concentration tilt applied when sampling a user's staple set.
+STAPLE_TILT = 1.15
+#: Zipf exponent of a user's preference over their own staples.
+STAPLE_PREFERENCE_S = 1.05
+#: Fraction of mobile users on featurephones (limited browsers).
+FEATUREPHONE_SHARE = 0.30
+#: Featurephone users draw from a more concentrated community model.
+FEATUREPHONE_EXTRA_TILT = 1.25
+
+
+@dataclass(frozen=True)
+class UserBehavior:
+    """Sampled behaviour of one synthetic user."""
+
+    user_id: int
+    user_class: UserClass
+    device: str
+    mean_monthly_volume: float
+    routine_prob: float
+    n_staples: int
+    explore_tilt: float
+    unique_tail_prob: float
+    staple_weights: np.ndarray = field(repr=False, default=None)
+
+    @property
+    def community_tilt(self) -> float:
+        """Extra concentration for limited-browser devices."""
+        return FEATUREPHONE_EXTRA_TILT if self.device == "featurephone" else 1.0
+
+
+@dataclass(frozen=True)
+class PopulationConfig:
+    """How to sample a user population."""
+
+    n_users: int = 2000
+    seed: int = 11
+    class_shares: Dict[UserClass, float] = None
+    featurephone_share: float = FEATUREPHONE_SHARE
+
+    def __post_init__(self) -> None:
+        if self.n_users <= 0:
+            raise ValueError("n_users must be positive")
+        if not 0 <= self.featurephone_share <= 1:
+            raise ValueError("featurephone_share must be in [0, 1]")
+
+    @property
+    def shares(self) -> Dict[UserClass, float]:
+        return self.class_shares or CLASS_POPULATION_SHARE
+
+
+class UserPopulation:
+    """A sampled population of :class:`UserBehavior` users."""
+
+    def __init__(self, users: List[UserBehavior], config: PopulationConfig) -> None:
+        self.users = users
+        self.config = config
+
+    @classmethod
+    def build(cls, config: PopulationConfig = PopulationConfig()) -> "UserPopulation":
+        rng = np.random.default_rng(config.seed)
+        classes = list(config.shares)
+        probs = np.asarray([config.shares[c] for c in classes], dtype=float)
+        probs = probs / probs.sum()
+        class_draws = rng.choice(len(classes), size=config.n_users, p=probs)
+        users = []
+        for uid in range(config.n_users):
+            user_class = classes[class_draws[uid]]
+            users.append(cls._sample_user(uid, user_class, config, rng))
+        return cls(users, config)
+
+    @staticmethod
+    def _sample_user(
+        uid: int,
+        user_class: UserClass,
+        config: PopulationConfig,
+        rng: np.random.Generator,
+    ) -> UserBehavior:
+        behavior = DEFAULT_CLASS_BEHAVIOR[user_class]
+        lo, hi = CLASS_VOLUME_RANGES[user_class]
+        # Log-uniform volume within the class band mimics the heavy-tailed
+        # volume distribution the class boundaries carve up.
+        volume = float(np.exp(rng.uniform(np.log(lo), np.log(hi))))
+        mean = behavior.routine_prob_mean
+        conc = behavior.routine_prob_conc
+        routine = float(rng.beta(mean * conc, (1 - mean) * conc))
+        n_staples = max(2, int(round(volume**behavior.staple_exponent)))
+        device = (
+            "featurephone"
+            if rng.random() < config.featurephone_share
+            else "smartphone"
+        )
+        ranks = np.arange(1, n_staples + 1, dtype=float)
+        weights = ranks**-STAPLE_PREFERENCE_S
+        weights /= weights.sum()
+        return UserBehavior(
+            user_id=uid,
+            user_class=user_class,
+            device=device,
+            mean_monthly_volume=volume,
+            routine_prob=routine,
+            n_staples=n_staples,
+            explore_tilt=behavior.explore_tilt,
+            unique_tail_prob=behavior.unique_tail_prob,
+            staple_weights=weights,
+        )
+
+    # -- views --------------------------------------------------------------
+
+    def by_class(self, user_class: UserClass) -> List[UserBehavior]:
+        return [u for u in self.users if u.user_class is user_class]
+
+    def class_mix(self) -> Dict[UserClass, float]:
+        """Observed population share per class."""
+        counts = {c: 0 for c in UserClass}
+        for user in self.users:
+            counts[user.user_class] += 1
+        return {c: counts[c] / len(self.users) for c in UserClass}

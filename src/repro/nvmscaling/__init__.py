@@ -1,0 +1,40 @@
+"""NVM technology scaling model (Section 2 of the paper).
+
+This subpackage encodes the paper's Table 1 scaling-trend projections,
+computes the smartphone NVM capacity evolution scenarios of Figure 2, and
+derives the per-cloudlet item-capacity numbers of Table 2.
+"""
+
+from repro.nvmscaling.trends import (
+    TECHNOLOGY_ROADMAP,
+    TrendPoint,
+    roadmap_years,
+    trend_for_year,
+)
+from repro.nvmscaling.projection import (
+    CapacityProjection,
+    ScalingScenario,
+    project_capacity,
+    project_capacity_series,
+)
+from repro.nvmscaling.capacity import (
+    CLOUDLET_ITEM_SIZES,
+    CloudletItemSpec,
+    items_storable,
+    table2_rows,
+)
+
+__all__ = [
+    "TECHNOLOGY_ROADMAP",
+    "TrendPoint",
+    "roadmap_years",
+    "trend_for_year",
+    "CapacityProjection",
+    "ScalingScenario",
+    "project_capacity",
+    "project_capacity_series",
+    "CLOUDLET_ITEM_SIZES",
+    "CloudletItemSpec",
+    "items_storable",
+    "table2_rows",
+]

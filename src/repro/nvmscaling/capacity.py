@@ -1,0 +1,72 @@
+"""Per-cloudlet item-capacity arithmetic (Table 2 of the paper).
+
+Table 2 asks: if a low-end smartphone dedicates 10% of its projected 256 GB
+NVM (25.6 GB) to caching services, how many items can each pocket cloudlet
+hold?  The answer depends only on the single-item footprint of the service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+KB = 1024
+MB = 1024**2
+GB = 1024**3
+
+#: Fraction of device NVM the paper dedicates to pocket cloudlets.
+CACHE_FRACTION = 0.10
+#: Low-end device NVM the paper assumes for Table 2 (256 GB).
+LOW_END_EVENTUAL_BYTES = 256 * GB
+#: The resulting cloudlet budget: 25.6 GB.
+TABLE2_BUDGET_BYTES = int(LOW_END_EVENTUAL_BYTES * CACHE_FRACTION)
+
+
+@dataclass(frozen=True)
+class CloudletItemSpec:
+    """A cloudlet service and the footprint of one cached item."""
+
+    name: str
+    item_bytes: int
+    item_description: str
+
+
+#: Table 2's rows: single-item sizes per cloudlet type.
+CLOUDLET_ITEM_SIZES: Dict[str, CloudletItemSpec] = {
+    "web_search": CloudletItemSpec("web_search", 100 * KB, "search result page"),
+    "mobile_ads": CloudletItemSpec("mobile_ads", 5 * KB, "ad banner"),
+    "yellow_business": CloudletItemSpec(
+        "yellow_business", 5 * KB, "map tile with business info"
+    ),
+    "web_content": CloudletItemSpec(
+        "web_content", int(1.5 * MB), "full web page (www.cnn.com)"
+    ),
+    "mapping": CloudletItemSpec("mapping", 5 * KB, "128x128 pixels map tile"),
+}
+
+
+def items_storable(item_bytes: int, budget_bytes: int = TABLE2_BUDGET_BYTES) -> int:
+    """How many fixed-size items fit in a storage budget.
+
+    Args:
+        item_bytes: footprint of one item; must be positive.
+        budget_bytes: available storage (defaults to Table 2's 25.6 GB).
+
+    Raises:
+        ValueError: if ``item_bytes`` is not positive.
+    """
+    if item_bytes <= 0:
+        raise ValueError(f"item_bytes must be positive, got {item_bytes}")
+    if budget_bytes < 0:
+        raise ValueError(f"budget_bytes must be non-negative, got {budget_bytes}")
+    return budget_bytes // item_bytes
+
+
+def table2_rows(
+    budget_bytes: int = TABLE2_BUDGET_BYTES,
+) -> List[Tuple[str, int, int]]:
+    """Regenerate Table 2: (cloudlet, single-item bytes, number of items)."""
+    return [
+        (spec.name, spec.item_bytes, items_storable(spec.item_bytes, budget_bytes))
+        for spec in CLOUDLET_ITEM_SIZES.values()
+    ]

@@ -1,0 +1,118 @@
+"""Smartphone NVM capacity projections (Figure 2 of the paper).
+
+Figure 2 starts from the NVM found in a 2010 high-end smartphone and applies
+different combinations of the Table 1 levers to project total NVM capacity
+in future devices.  The paper's takeaways, which these projections
+reproduce:
+
+* high-end phones may reach ~1 TB of NVM as early as 2018 (all levers);
+* low-end phones trail high-end by a fixed 64:1 ratio (512 MB vs 32 GB in
+  2010), reaching ~16 GB in 2018 and ~256 GB eventually.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List
+
+from repro.nvmscaling.trends import TECHNOLOGY_ROADMAP, TrendPoint, trend_for_year
+
+GB = 1024**3
+TB = 1024**4
+
+#: NVM storage of a 2010 high-end smartphone (the paper's starting point).
+HIGH_END_2010_BYTES = 32 * GB
+#: Low-end smartphones in 2010 shipped 512 MB — a 64:1 ratio to high end.
+LOW_END_RATIO = 64
+
+
+class ScalingScenario(Enum):
+    """Which capacity levers a projection scenario applies.
+
+    Figure 2 plots several evolution curves, from conservative (process
+    scaling only) to aggressive (scaling + chip stacking + cell layering +
+    bits per cell).
+    """
+
+    SCALING_ONLY = "scaling"
+    SCALING_STACKING = "scaling+stacking"
+    SCALING_STACKING_LAYERS = "scaling+stacking+layers"
+    ALL_TECHNIQUES = "all"
+
+    def multiplier(self, point: TrendPoint, baseline: TrendPoint) -> float:
+        """Capacity multiplier of ``point`` vs ``baseline`` under this scenario."""
+        m = point.scaling_factor / baseline.scaling_factor
+        if self in (
+            ScalingScenario.SCALING_STACKING,
+            ScalingScenario.SCALING_STACKING_LAYERS,
+            ScalingScenario.ALL_TECHNIQUES,
+        ):
+            m *= point.chip_stack / baseline.chip_stack
+        if self in (
+            ScalingScenario.SCALING_STACKING_LAYERS,
+            ScalingScenario.ALL_TECHNIQUES,
+        ):
+            m *= point.cell_layers / baseline.cell_layers
+        if self is ScalingScenario.ALL_TECHNIQUES:
+            m *= point.bits_per_cell / baseline.bits_per_cell
+        return m
+
+
+@dataclass(frozen=True)
+class CapacityProjection:
+    """Projected NVM capacity of a device class in a given year."""
+
+    year: int
+    scenario: ScalingScenario
+    high_end_bytes: float
+
+    @property
+    def low_end_bytes(self) -> float:
+        """Low-end capacity under the fixed 64:1 high/low ratio."""
+        return self.high_end_bytes / LOW_END_RATIO
+
+    @property
+    def high_end_gb(self) -> float:
+        return self.high_end_bytes / GB
+
+    @property
+    def low_end_gb(self) -> float:
+        return self.low_end_bytes / GB
+
+
+def project_capacity(
+    year: int, scenario: ScalingScenario = ScalingScenario.ALL_TECHNIQUES
+) -> CapacityProjection:
+    """Project high-end smartphone NVM capacity for ``year``.
+
+    Args:
+        year: target year, >= 2010.
+        scenario: which combination of capacity levers to apply.
+
+    Returns:
+        A :class:`CapacityProjection` anchored at 32 GB in 2010.
+    """
+    baseline = TECHNOLOGY_ROADMAP[0]
+    point = trend_for_year(year)
+    multiplier = scenario.multiplier(point, baseline)
+    return CapacityProjection(
+        year=year,
+        scenario=scenario,
+        high_end_bytes=HIGH_END_2010_BYTES * multiplier,
+    )
+
+
+def project_capacity_series(
+    scenario: ScalingScenario = ScalingScenario.ALL_TECHNIQUES,
+) -> List[CapacityProjection]:
+    """Project capacity for every roadmap year (one Figure 2 curve)."""
+    return [project_capacity(p.year, scenario) for p in TECHNOLOGY_ROADMAP]
+
+
+def figure2_series() -> Dict[str, List[CapacityProjection]]:
+    """All Figure 2 curves, keyed by scenario value."""
+    return {
+        scenario.value: project_capacity_series(scenario)
+        for scenario in ScalingScenario
+    }

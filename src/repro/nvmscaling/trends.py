@@ -1,0 +1,93 @@
+"""Technology scaling trend data (Table 1 of the paper).
+
+The paper projects NVM scaling over 2010-2026 in two-year steps.  Flash
+dominates until the 2016/2018 time frame, after which a resistive or
+magneto-resistive technology takes over.  Four levers drive per-package
+capacity:
+
+* ``scaling_factor`` — areal density relative to the 2010 32nm baseline;
+* ``chip_stack`` — number of independently fabricated dies per package;
+* ``cell_layers`` — monolithic cell-stacking layers per die;
+* ``bits_per_cell`` — logic levels per cell (MLC/TLC, shrinking again as
+  feature sizes drop and electron counts fall).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class TrendPoint:
+    """One column of Table 1: the state of NVM technology in a given year."""
+
+    year: int
+    technology: str  # "flash" or "other-nvm"
+    feature_nm: int
+    scaling_factor: int
+    chip_stack: int
+    cell_layers: int
+    bits_per_cell: int
+
+    @property
+    def capacity_multiplier(self) -> float:
+        """Total capacity multiplier vs. the 2010 single-die baseline.
+
+        The multiplier composes all four levers.  ``bits_per_cell`` is
+        normalized against the 2010 value of 2 bits/cell so the 2010
+        multiplier is exactly ``1.0`` for a single die and stack of 4.
+        """
+        return (
+            self.scaling_factor
+            * self.cell_layers
+            * (self.bits_per_cell / _BASELINE_BITS_PER_CELL)
+        )
+
+    @property
+    def package_multiplier(self) -> float:
+        """Capacity multiplier including chip stacking, vs. 2010 package."""
+        return self.capacity_multiplier * (self.chip_stack / _BASELINE_CHIP_STACK)
+
+
+_BASELINE_BITS_PER_CELL = 2
+_BASELINE_CHIP_STACK = 4
+
+#: Table 1 of the paper, verbatim.
+TECHNOLOGY_ROADMAP: List[TrendPoint] = [
+    TrendPoint(2010, "flash", 32, 1, 4, 1, 2),
+    TrendPoint(2012, "flash", 22, 2, 4, 1, 3),
+    TrendPoint(2014, "flash", 16, 4, 6, 1, 2),
+    TrendPoint(2016, "flash", 11, 8, 6, 2, 2),
+    TrendPoint(2018, "other-nvm", 11, 8, 8, 2, 2),
+    TrendPoint(2020, "other-nvm", 8, 16, 8, 4, 1),
+    TrendPoint(2022, "other-nvm", 5, 32, 12, 4, 1),
+    TrendPoint(2024, "other-nvm", 5, 32, 12, 8, 1),
+    TrendPoint(2026, "other-nvm", 5, 32, 16, 8, 1),
+]
+
+_BY_YEAR: Dict[int, TrendPoint] = {p.year: p for p in TECHNOLOGY_ROADMAP}
+
+
+def roadmap_years() -> List[int]:
+    """Return the projection years of Table 1, ascending."""
+    return [p.year for p in TECHNOLOGY_ROADMAP]
+
+
+def trend_for_year(year: int) -> TrendPoint:
+    """Return the roadmap point in force for ``year``.
+
+    Years between roadmap columns resolve to the most recent column at or
+    before ``year`` (technology transitions take effect on roadmap years).
+
+    Raises:
+        ValueError: if ``year`` precedes the first roadmap year (2010).
+    """
+    if year < TECHNOLOGY_ROADMAP[0].year:
+        raise ValueError(
+            f"no roadmap data before {TECHNOLOGY_ROADMAP[0].year}; got {year}"
+        )
+    if year in _BY_YEAR:
+        return _BY_YEAR[year]
+    candidates = [p for p in TECHNOLOGY_ROADMAP if p.year <= year]
+    return candidates[-1]

@@ -1,0 +1,18 @@
+"""PocketAds: the mobile-advertisement pocket cloudlet.
+
+The paper's PocketSearch prototype also caches mobile ads (Figure 1 shows
+local ads in the auto-suggest box; Table 2 budgets 5 KB per ad banner),
+and Section 7 uses the search/ads pair as its example of *related*
+cloudlets: an ad-cache hit is worthless when the search query itself
+misses, because the radio is waking up anyway — so their contents should
+be selected and evicted together.
+
+:class:`AdsCloudlet` keeps a query -> ranked ad banners index whose
+content is mined from the same log-derived popularity that drives the
+search cache, serves ads only on the search cache's hit path, and
+exposes the grouping hooks the registry needs for coordinated eviction.
+"""
+
+from repro.pocketads.cloudlet import AdBanner, AdServeOutcome, AdsCloudlet
+
+__all__ = ["AdBanner", "AdServeOutcome", "AdsCloudlet"]

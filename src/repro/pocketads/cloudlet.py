@@ -1,0 +1,172 @@
+"""The ads cloudlet implementation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.pocketsearch.cache import PocketSearchCache
+from repro.pocketsearch.content import CacheContent
+from repro.pocketsearch.hashtable import hash64
+from repro.storage.filesystem import FlashFilesystem
+from repro.storage.flash import NandFlash
+
+KB = 1024
+
+#: Table 2's ad banner footprint.
+AD_BANNER_BYTES = 5 * KB
+
+#: Banners shown per served query (one in the Figure 1 auto-suggest box).
+ADS_PER_QUERY = 1
+
+
+@dataclass(frozen=True)
+class AdBanner:
+    """One cached advertisement."""
+
+    ad_id: str
+    advertiser: str
+    banner_bytes: int = AD_BANNER_BYTES
+    bid_score: float = 1.0
+
+
+@dataclass(frozen=True)
+class AdServeOutcome:
+    """Result of asking the ads cloudlet for a query's banners."""
+
+    query: str
+    served: List[AdBanner]
+    hit: bool
+    latency_s: float
+    energy_j: float
+
+
+class AdsCloudlet:
+    """Query -> ad banners cache, coupled to the search cache.
+
+    Args:
+        search_cache: the PocketSearch cache this ads cache shadows.
+            Ads are only served when the query hits the search cache —
+            Section 7's point that an ad hit cannot mask a search miss.
+        budget_bytes: flash budget for banners.
+    """
+
+    def __init__(
+        self,
+        search_cache: PocketSearchCache,
+        budget_bytes: int = 2 * 1024 * 1024,
+        filesystem: Optional[FlashFilesystem] = None,
+    ) -> None:
+        if budget_bytes <= 0:
+            raise ValueError("budget_bytes must be positive")
+        self.search_cache = search_cache
+        self.budget_bytes = budget_bytes
+        self.filesystem = filesystem or FlashFilesystem(NandFlash())
+        self._ads_by_query: Dict[int, List[AdBanner]] = {}
+        self._banner_files: Dict[str, str] = {}
+        self._bytes_stored = 0
+        self.served = 0
+        self.suppressed = 0
+
+    # -- content ---------------------------------------------------------------
+
+    def load_from_content(self, content: CacheContent, ads_per_query: int = 1) -> int:
+        """Mine ad mappings from the search cache content.
+
+        Popular commercial queries attract advertisers; we attach
+        ``ads_per_query`` synthetic banners to each cached query, most
+        popular first, until the banner budget is exhausted.  Returns the
+        number of banners stored.
+        """
+        if ads_per_query <= 0:
+            raise ValueError("ads_per_query must be positive")
+        stored = 0
+        for entry in content.entries:
+            qhash = hash64(entry.query)
+            if qhash in self._ads_by_query:
+                continue
+            banners = []
+            for i in range(ads_per_query):
+                banner = AdBanner(
+                    ad_id=f"ad:{entry.query}:{i}",
+                    advertiser=f"advertiser-{(qhash + i) % 997}",
+                    bid_score=max(entry.score, 0.01),
+                )
+                if self._bytes_stored + banner.banner_bytes > self.budget_bytes:
+                    return stored
+                self._store_banner(banner)
+                banners.append(banner)
+                stored += 1
+            if banners:
+                self._ads_by_query[qhash] = banners
+        return stored
+
+    def _store_banner(self, banner: AdBanner) -> None:
+        file_name = f"ads:{banner.ad_id}"
+        self.filesystem.create(file_name, banner.banner_bytes)
+        self._banner_files[banner.ad_id] = file_name
+        self._bytes_stored += banner.banner_bytes
+
+    # -- service -----------------------------------------------------------------
+
+    def serve(self, query: str, search_hit: bool) -> AdServeOutcome:
+        """Serve banners for a query, gated on the search path.
+
+        When the search cache missed, the radio is waking up regardless,
+        so the local ad lookup is suppressed (fresh server ads arrive
+        with the server results page).
+        """
+        if not search_hit:
+            self.suppressed += 1
+            return AdServeOutcome(query, [], False, 0.0, 0.0)
+        banners = self._ads_by_query.get(hash64(query), [])
+        banners = sorted(banners, key=lambda b: -b.bid_score)[:ADS_PER_QUERY]
+        latency = 0.0
+        energy = 0.0
+        for banner in banners:
+            cost = self.filesystem.read(self._banner_files[banner.ad_id])
+            latency += cost.latency_s
+            energy += cost.energy_j
+        if banners:
+            self.served += 1
+        return AdServeOutcome(
+            query=query,
+            served=banners,
+            hit=bool(banners),
+            latency_s=latency,
+            energy_j=energy,
+        )
+
+    # -- coordinated eviction hooks ------------------------------------------------
+
+    def evict_query(self, query: str) -> int:
+        """Drop a query's banners; returns bytes freed.
+
+        Called by the registry when the related search entry is evicted
+        (Section 7's coordinated eviction).
+        """
+        banners = self._ads_by_query.pop(hash64(query), None)
+        if not banners:
+            return 0
+        freed = 0
+        for banner in banners:
+            file_name = self._banner_files.pop(banner.ad_id)
+            self.filesystem.delete(file_name)
+            freed += banner.banner_bytes
+        self._bytes_stored -= freed
+        return freed
+
+    def group_members(self, query: str):
+        """(cloudlet item key, bytes) for registry group linking."""
+        banners = self._ads_by_query.get(hash64(query), [])
+        return [(banner.ad_id, banner.banner_bytes) for banner in banners]
+
+    # -- stats -----------------------------------------------------------------------
+
+    @property
+    def bytes_stored(self) -> int:
+        return self._bytes_stored
+
+    @property
+    def n_queries_with_ads(self) -> int:
+        return len(self._ads_by_query)

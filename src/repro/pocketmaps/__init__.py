@@ -1,0 +1,36 @@
+"""PocketMaps: the mapping/navigation pocket cloudlet.
+
+The paper budgets mapping explicitly: a 5 KB tile covers 300x300 m of
+ground, so the 25.6 GB cloudlet partition of a future low-end phone holds
+~5.5 million tiles — "the area of a whole state in the United States"
+(Table 2, Section 7).  Map tiles are the paper's canonical *static* data:
+refreshed only by charge-time bulk updates, never over the radio.
+
+* :mod:`grid` — tile-grid geometry: tile ids, regions, viewport math,
+  and the Table 2 coverage arithmetic;
+* :mod:`cloudlet` — the tile cache: region-packed storage on flash
+  (tiles are batched into region files to avoid per-tile page waste),
+  viewport service with radio fallback, and charge-time region prefetch
+  driven by the user's movement history.
+"""
+
+from repro.pocketmaps.grid import (
+    TILE_BYTES,
+    TILE_METERS,
+    Region,
+    TileId,
+    tiles_for_area_km2,
+    area_km2_for_tiles,
+)
+from repro.pocketmaps.cloudlet import MapCloudlet, ViewportOutcome
+
+__all__ = [
+    "MapCloudlet",
+    "Region",
+    "TILE_BYTES",
+    "TILE_METERS",
+    "TileId",
+    "ViewportOutcome",
+    "area_km2_for_tiles",
+    "tiles_for_area_km2",
+]

@@ -1,0 +1,206 @@
+"""The map-tile cloudlet.
+
+Tiles are the paper's canonical static cloudlet data: bulk-loaded while
+charging, never refreshed over the radio (the roads don't move between
+charges).  Storage packs tiles into *region files* of 16x16 tiles
+(~1.25 MB) — the same fragmentation logic as PocketSearch's 32-file
+database: a 5 KB tile alone would waste most of a flash page, and
+viewport fetches touch spatially contiguous tiles anyway.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.pocketmaps.grid import TILE_BYTES, Region, TileId
+from repro.radio.energy import isolated_request_energy, isolated_request_latency
+from repro.radio.models import RadioProfile, THREE_G
+from repro.storage.filesystem import FlashFilesystem
+from repro.storage.flash import NandFlash
+
+#: Tiles per side of one packed region file.
+REGION_TILES = 16
+#: Request overhead of a tile batch download.
+BATCH_REQUEST_BYTES = 512
+
+
+@dataclass(frozen=True)
+class ViewportOutcome:
+    """Serving one viewport: how many tiles hit, and the cost."""
+
+    tiles_needed: int
+    tiles_hit: int
+    latency_s: float
+    energy_j: float
+    bytes_over_radio: int
+
+    @property
+    def hit(self) -> bool:
+        """A viewport 'hits' when no radio fetch was needed."""
+        return self.tiles_hit == self.tiles_needed
+
+    @property
+    def hit_fraction(self) -> float:
+        if self.tiles_needed == 0:
+            return 1.0
+        return self.tiles_hit / self.tiles_needed
+
+
+class MapCloudlet:
+    """Tile cache with region-packed flash storage.
+
+    Args:
+        budget_bytes: flash budget for tiles.
+        radio: fallback link for missing tiles.
+        base_power_w: device base power during interaction.
+    """
+
+    def __init__(
+        self,
+        budget_bytes: int,
+        radio: RadioProfile = THREE_G,
+        base_power_w: float = 0.9,
+        filesystem: Optional[FlashFilesystem] = None,
+    ) -> None:
+        if budget_bytes <= 0:
+            raise ValueError("budget_bytes must be positive")
+        self.budget_bytes = budget_bytes
+        self.radio = radio
+        self.base_power_w = base_power_w
+        self.filesystem = filesystem or FlashFilesystem(NandFlash())
+        self._tiles: Set[TileId] = set()
+        self._region_files: Dict[Tuple[int, int], int] = {}  # key -> tile count
+        self.viewports_served = 0
+        self.outcomes: List[ViewportOutcome] = []
+
+    # -- storage -------------------------------------------------------------
+
+    @staticmethod
+    def _region_key(tile: TileId) -> Tuple[int, int]:
+        return (
+            int(math.floor(tile.x / REGION_TILES)),
+            int(math.floor(tile.y / REGION_TILES)),
+        )
+
+    def _region_file(self, key: Tuple[int, int]) -> str:
+        return f"maps:{key[0]}:{key[1]}"
+
+    @property
+    def bytes_stored(self) -> int:
+        return len(self._tiles) * TILE_BYTES
+
+    @property
+    def n_tiles(self) -> int:
+        return len(self._tiles)
+
+    def has_tile(self, tile: TileId) -> bool:
+        return tile in self._tiles
+
+    def store_tiles(self, tiles) -> int:
+        """Add tiles up to the budget; returns tiles actually stored.
+
+        Tiles are appended to their region files, so storage stays packed
+        regardless of arrival order.
+        """
+        stored = 0
+        for tile in tiles:
+            if tile in self._tiles:
+                continue
+            if self.bytes_stored + TILE_BYTES > self.budget_bytes:
+                break
+            key = self._region_key(tile)
+            name = self._region_file(key)
+            if key not in self._region_files:
+                self.filesystem.create(name)
+                self._region_files[key] = 0
+            self.filesystem.append(name, TILE_BYTES)
+            self._region_files[key] += 1
+            self._tiles.add(tile)
+            stored += 1
+        return stored
+
+    def prefetch_region(self, region: Region) -> int:
+        """Charge-time bulk load of a region (the static-data path)."""
+        return self.store_tiles(region.tiles())
+
+    def evict_region(self, region: Region) -> int:
+        """Drop every cached tile in a region; returns tiles freed."""
+        freed = 0
+        for tile in region.tiles():
+            if tile in self._tiles:
+                self._tiles.discard(tile)
+                key = self._region_key(tile)
+                self._region_files[key] -= 1
+                freed += 1
+                if self._region_files[key] == 0:
+                    self.filesystem.delete(self._region_file(key))
+                    del self._region_files[key]
+        return freed
+
+    # -- service ---------------------------------------------------------------
+
+    def serve_viewport(self, viewport: Region) -> ViewportOutcome:
+        """Render one screenful of map.
+
+        Cached tiles are read from their region files; missing tiles are
+        fetched in one batched radio request (one wake-up, not one per
+        tile) and cached for next time.
+        """
+        needed = list(viewport.tiles())
+        hits = [t for t in needed if t in self._tiles]
+        misses = [t for t in needed if t not in self._tiles]
+
+        latency = 0.0
+        energy = 0.0
+        touched_regions = {self._region_key(t) for t in hits}
+        for key in touched_regions:
+            cost = self.filesystem.read(
+                self._region_file(key),
+                0,
+                min(self._region_files[key] * TILE_BYTES, len(hits) * TILE_BYTES),
+            )
+            latency += cost.latency_s
+            energy += cost.energy_j
+
+        radio_bytes = 0
+        if misses:
+            radio_bytes = len(misses) * TILE_BYTES
+            radio_latency = isolated_request_latency(
+                self.radio, BATCH_REQUEST_BYTES, radio_bytes, 0.15
+            )
+            radio_energy = isolated_request_energy(
+                self.radio, BATCH_REQUEST_BYTES, radio_bytes, 0.15
+            )
+            latency += radio_latency
+            energy += radio_energy
+            self.store_tiles(misses)
+
+        energy += latency * self.base_power_w
+        outcome = ViewportOutcome(
+            tiles_needed=len(needed),
+            tiles_hit=len(hits),
+            latency_s=latency,
+            energy_j=energy,
+            bytes_over_radio=radio_bytes,
+        )
+        self.viewports_served += 1
+        self.outcomes.append(outcome)
+        return outcome
+
+    # -- stats ---------------------------------------------------------------------
+
+    @property
+    def viewport_hit_rate(self) -> float:
+        """Fraction of served viewports needing no radio at all."""
+        if not self.outcomes:
+            return 0.0
+        return sum(1 for o in self.outcomes if o.hit) / len(self.outcomes)
+
+    @property
+    def tile_hit_rate(self) -> float:
+        total = sum(o.tiles_needed for o in self.outcomes)
+        if not total:
+            return 0.0
+        return sum(o.tiles_hit for o in self.outcomes) / total

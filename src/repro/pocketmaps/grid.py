@@ -1,0 +1,110 @@
+"""Tile-grid geometry and the Table 2 coverage arithmetic."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List
+
+KB = 1024
+
+#: Table 2: one 128x128-pixel map tile is ~5 KB...
+TILE_BYTES = 5 * KB
+#: ...and covers 300x300 meters of ground.
+TILE_METERS = 300.0
+
+#: Rough land areas of example US states, km^2 (for coverage demos).
+STATE_AREAS_KM2 = {
+    "rhode island": 3_100,
+    "washington": 184_800,
+    "california": 423_970,
+    "texas": 695_700,
+}
+
+
+@dataclass(frozen=True, order=True)
+class TileId:
+    """Integer grid coordinates of one tile."""
+
+    x: int
+    y: int
+
+    @classmethod
+    def for_position(cls, x_m: float, y_m: float) -> "TileId":
+        """The tile containing a ground position in meters."""
+        return cls(int(math.floor(x_m / TILE_METERS)), int(math.floor(y_m / TILE_METERS)))
+
+    @property
+    def origin_m(self) -> tuple:
+        return (self.x * TILE_METERS, self.y * TILE_METERS)
+
+
+@dataclass(frozen=True)
+class Region:
+    """An axis-aligned ground region in meters."""
+
+    x_m: float
+    y_m: float
+    width_m: float
+    height_m: float
+
+    def __post_init__(self) -> None:
+        if self.width_m <= 0 or self.height_m <= 0:
+            raise ValueError("region dimensions must be positive")
+
+    def tiles(self) -> Iterator[TileId]:
+        """All tiles intersecting the region, row-major."""
+        x0 = int(math.floor(self.x_m / TILE_METERS))
+        y0 = int(math.floor(self.y_m / TILE_METERS))
+        x1 = int(math.ceil((self.x_m + self.width_m) / TILE_METERS))
+        y1 = int(math.ceil((self.y_m + self.height_m) / TILE_METERS))
+        for y in range(y0, y1):
+            for x in range(x0, x1):
+                yield TileId(x, y)
+
+    @property
+    def tile_count(self) -> int:
+        x0 = int(math.floor(self.x_m / TILE_METERS))
+        y0 = int(math.floor(self.y_m / TILE_METERS))
+        x1 = int(math.ceil((self.x_m + self.width_m) / TILE_METERS))
+        y1 = int(math.ceil((self.y_m + self.height_m) / TILE_METERS))
+        return (x1 - x0) * (y1 - y0)
+
+    @property
+    def storage_bytes(self) -> int:
+        return self.tile_count * TILE_BYTES
+
+    @classmethod
+    def viewport(cls, center_x_m: float, center_y_m: float, span_m: float = 1200.0) -> "Region":
+        """The square region a phone screen shows around a position."""
+        if span_m <= 0:
+            raise ValueError("span_m must be positive")
+        half = span_m / 2
+        return cls(center_x_m - half, center_y_m - half, span_m, span_m)
+
+
+def tiles_for_area_km2(area_km2: float) -> int:
+    """Tiles needed to cover an area (Table 2's arithmetic)."""
+    if area_km2 < 0:
+        raise ValueError(f"area_km2 must be non-negative, got {area_km2}")
+    tile_km2 = (TILE_METERS / 1000.0) ** 2
+    return int(math.ceil(area_km2 / tile_km2))
+
+
+def area_km2_for_tiles(n_tiles: int) -> float:
+    """Ground area a tile budget covers."""
+    if n_tiles < 0:
+        raise ValueError(f"n_tiles must be non-negative, got {n_tiles}")
+    tile_km2 = (TILE_METERS / 1000.0) ** 2
+    return n_tiles * tile_km2
+
+
+def states_coverable(budget_bytes: int) -> List[str]:
+    """Which example states a tile budget covers entirely."""
+    if budget_bytes < 0:
+        raise ValueError("budget_bytes must be non-negative")
+    n_tiles = budget_bytes // TILE_BYTES
+    coverable_km2 = area_km2_for_tiles(n_tiles)
+    return [
+        state for state, area in STATE_AREAS_KM2.items() if area <= coverable_km2
+    ]

@@ -1,0 +1,349 @@
+"""Cache content generation (Section 5.1).
+
+From the mobile search logs, extract <query, search result, volume>
+triplets sorted by volume (Table 3), then walk down the list adding pairs
+until either a memory threshold (flash or DRAM bytes) or the cache
+saturation threshold (normalized pair volume below ``Vth``) is reached.
+Each selected pair gets a ranking score: its volume normalized across all
+results clicked for the same query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.logs.generator import SearchLog
+from repro.logs.schema import Triplet
+
+#: Bytes one cached search result occupies in the flash database, on
+#: average, when no explicit record size is known (the paper: ~500 B).
+DEFAULT_RECORD_BYTES = 500
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One selected (query, result) pair with its ranking score."""
+
+    query: str
+    url: str
+    volume: int
+    score: float
+    navigational: bool
+    record_bytes: int = DEFAULT_RECORD_BYTES
+
+    def __post_init__(self) -> None:
+        if self.volume < 0:
+            raise ValueError("volume must be non-negative")
+        if not 0 <= self.score <= 1.0000001:
+            raise ValueError(f"score must be in [0, 1], got {self.score}")
+
+
+@dataclass(frozen=True)
+class ContentPolicy:
+    """Which threshold stops the selection walk (Section 5.1).
+
+    Exactly one of the thresholds may be set; when several are given, the
+    walk stops at the first one reached — mirroring the paper, where the
+    saturation threshold is in practice reached long before memory limits.
+
+    Attributes:
+        saturation_volume: stop when a pair's normalized volume drops
+            below this fraction of total volume (``Vth``).
+        max_flash_bytes: stop before exceeding this flash budget.
+        max_dram_bytes: stop before exceeding this DRAM (hash table) budget.
+        max_pairs: hard cap on the number of pairs (for sweeps).
+        target_coverage: stop once cumulative volume coverage reaches this
+            fraction (convenience used by the paper's "55% of cumulative
+            volume" operating point).
+    """
+
+    saturation_volume: Optional[float] = None
+    max_flash_bytes: Optional[int] = None
+    max_dram_bytes: Optional[int] = None
+    max_pairs: Optional[int] = None
+    target_coverage: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if all(
+            v is None
+            for v in (
+                self.saturation_volume,
+                self.max_flash_bytes,
+                self.max_dram_bytes,
+                self.max_pairs,
+                self.target_coverage,
+            )
+        ):
+            raise ValueError("at least one threshold must be set")
+        if self.saturation_volume is not None and self.saturation_volume <= 0:
+            raise ValueError("saturation_volume must be positive")
+        if self.target_coverage is not None and not 0 < self.target_coverage <= 1:
+            raise ValueError("target_coverage must be in (0, 1]")
+
+
+#: The paper's operating point: pairs covering ~55% of cumulative volume.
+PAPER_OPERATING_POINT = ContentPolicy(target_coverage=0.55)
+
+#: Approximate DRAM hash-table bytes per cached pair (used for the DRAM
+#: threshold during the selection walk; the exact figure comes from
+#: :class:`repro.pocketsearch.hashtable.QueryHashTable`).
+APPROX_DRAM_BYTES_PER_PAIR = 40
+
+
+@dataclass
+class CacheContent:
+    """The outcome of cache content generation."""
+
+    entries: List[CacheEntry]
+    total_log_volume: int
+    covered_volume: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.covered_volume = sum(e.volume for e in self.entries)
+
+    @property
+    def n_pairs(self) -> int:
+        return len(self.entries)
+
+    @property
+    def n_unique_queries(self) -> int:
+        return len({e.query for e in self.entries})
+
+    @property
+    def n_unique_results(self) -> int:
+        return len({e.url for e in self.entries})
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of log volume the cached pairs account for."""
+        if self.total_log_volume == 0:
+            return 0.0
+        return self.covered_volume / self.total_log_volume
+
+    @property
+    def flash_bytes(self) -> int:
+        """Flash footprint with shared result storage (each URL once)."""
+        seen: Dict[str, int] = {}
+        for e in self.entries:
+            seen.setdefault(e.url, e.record_bytes)
+        return sum(seen.values())
+
+    @property
+    def flash_bytes_unshared(self) -> int:
+        """Flash footprint if every pair stored its own result page
+        (the design the paper rejects; ~8x larger in their data)."""
+        return sum(e.record_bytes for e in self.entries)
+
+    @property
+    def approx_dram_bytes(self) -> int:
+        return self.n_pairs * APPROX_DRAM_BYTES_PER_PAIR
+
+
+def triplets_from_log(log: SearchLog) -> List[Triplet]:
+    """Extract Table 3: (query, result, volume) sorted by volume desc."""
+    if log.n_events == 0:
+        return []
+    pair_ids, volumes, first_idx = _pair_stats(log)
+    return [
+        Triplet(
+            query=log.query_string(int(log.query_keys[idx])),
+            url=log.result_url(int(log.result_keys[idx])),
+            volume=int(volume),
+        )
+        for idx, volume in zip(first_idx.tolist(), volumes.tolist())
+    ]
+
+
+def _pair_stats(log: SearchLog) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(pair_ids desc by volume, volumes, first event index per pair)."""
+    pair_ids, first_idx, counts = np.unique(
+        log.pair_ids, return_index=True, return_counts=True
+    )
+    order = np.argsort(counts)[::-1]
+    return pair_ids[order], counts[order], first_idx[order]
+
+
+def build_cache_content(
+    log: SearchLog,
+    policy: ContentPolicy = PAPER_OPERATING_POINT,
+) -> CacheContent:
+    """Run the Section 5.1 selection walk over a log.
+
+    Ranking scores are computed per query: each pair's volume divided by
+    the total volume of all *selected-universe* results for that query
+    (the paper normalizes across the results that correspond to the
+    query).
+
+    Args:
+        log: the (typically one-month) search log to mine.
+        policy: the stopping rule.
+
+    Returns:
+        A :class:`CacheContent` with entries in descending volume order.
+    """
+    if log.n_events == 0:
+        return CacheContent(entries=[], total_log_volume=0)
+
+    pair_ids, volumes, first_idx = _pair_stats(log)
+    total_volume = int(volumes.sum())
+
+    # Per-query total volume for ranking-score normalization.
+    qkeys = log.query_keys[first_idx]
+    rkeys = log.result_keys[first_idx]
+    nav = log.navigational[first_idx]
+    query_totals: Dict[int, int] = {}
+    for q, v in zip(qkeys.tolist(), volumes.tolist()):
+        query_totals[q] = query_totals.get(q, 0) + v
+
+    entries: List[CacheEntry] = []
+    covered = 0
+    flash_bytes = 0
+    seen_urls: Dict[str, bool] = {}
+    for i in range(len(pair_ids)):
+        volume = int(volumes[i])
+        normalized = volume / total_volume
+        if (
+            policy.saturation_volume is not None
+            and normalized < policy.saturation_volume
+        ):
+            break
+        if policy.max_pairs is not None and len(entries) >= policy.max_pairs:
+            break
+        if (
+            policy.target_coverage is not None
+            and covered / total_volume >= policy.target_coverage
+        ):
+            break
+        url = log.result_url(int(rkeys[i]))
+        record_bytes = _record_bytes(log, int(rkeys[i]))
+        added_flash = 0 if url in seen_urls else record_bytes
+        if (
+            policy.max_flash_bytes is not None
+            and flash_bytes + added_flash > policy.max_flash_bytes
+        ):
+            break
+        if (
+            policy.max_dram_bytes is not None
+            and (len(entries) + 1) * APPROX_DRAM_BYTES_PER_PAIR
+            > policy.max_dram_bytes
+        ):
+            break
+        query = log.query_string(int(qkeys[i]))
+        entries.append(
+            CacheEntry(
+                query=query,
+                url=url,
+                volume=volume,
+                score=volume / query_totals[int(qkeys[i])],
+                navigational=bool(nav[i]),
+                record_bytes=record_bytes,
+            )
+        )
+        covered += volume
+        flash_bytes += added_flash
+        seen_urls[url] = True
+
+    return CacheContent(entries=entries, total_log_volume=total_volume)
+
+
+def _record_bytes(log: SearchLog, result_key: int) -> int:
+    """Stored size of a result: from the vocabulary when known."""
+    community = log.community
+    if result_key < community.n_results:
+        return community.result_records[result_key].record_bytes
+    return DEFAULT_RECORD_BYTES
+
+
+def build_cache_content_from_model(
+    community,
+    policy: ContentPolicy = PAPER_OPERATING_POINT,
+    total_volume: int = 10_000_000,
+) -> CacheContent:
+    """Selection walk over the *ideal* community distribution.
+
+    The server aggregates many months of logs, so its triplet table
+    approaches the underlying popularity model; design-space studies
+    (e.g. the Figure 11 hash-table sweep) use this long-horizon view
+    rather than a single sampled month.
+
+    Args:
+        community: a :class:`repro.logs.popularity.CommunityModel`.
+        policy: stopping rule (same semantics as :func:`build_cache_content`).
+        total_volume: nominal volume to apportion into triplet counts.
+    """
+    order = community.rank_order
+    probs = community.pair_prob
+    query_totals: Dict[int, float] = {}
+    for pair in order:
+        q = int(community.pair_query[pair])
+        query_totals[q] = query_totals.get(q, 0.0) + float(probs[pair])
+
+    entries: List[CacheEntry] = []
+    covered = 0.0
+    flash_bytes = 0
+    seen_urls: Dict[str, bool] = {}
+    for pair in order:
+        pair = int(pair)
+        normalized = float(probs[pair])
+        if (
+            policy.saturation_volume is not None
+            and normalized < policy.saturation_volume
+        ):
+            break
+        if policy.max_pairs is not None and len(entries) >= policy.max_pairs:
+            break
+        if (
+            policy.target_coverage is not None
+            and covered >= policy.target_coverage
+        ):
+            break
+        q = int(community.pair_query[pair])
+        r = int(community.pair_result[pair])
+        url = community.result_urls[r]
+        record_bytes = community.result_records[r].record_bytes
+        added_flash = 0 if url in seen_urls else record_bytes
+        if (
+            policy.max_flash_bytes is not None
+            and flash_bytes + added_flash > policy.max_flash_bytes
+        ):
+            break
+        if (
+            policy.max_dram_bytes is not None
+            and (len(entries) + 1) * APPROX_DRAM_BYTES_PER_PAIR
+            > policy.max_dram_bytes
+        ):
+            break
+        entries.append(
+            CacheEntry(
+                query=community.query_strings[q],
+                url=url,
+                volume=int(round(normalized * total_volume)),
+                score=min(normalized / query_totals[q], 1.0),
+                navigational=bool(community.query_navigational[q]),
+                record_bytes=record_bytes,
+            )
+        )
+        covered += normalized
+        flash_bytes += added_flash
+        seen_urls[url] = True
+    return CacheContent(entries=entries, total_log_volume=total_volume)
+
+
+def coverage_curve(
+    log: SearchLog, pair_counts: List[int]
+) -> List[Tuple[int, float]]:
+    """Figure 7: cumulative volume coverage at each cache size."""
+    if log.n_events == 0:
+        return [(k, 0.0) for k in pair_counts]
+    _, volumes, _ = _pair_stats(log)
+    cum = np.cumsum(volumes) / volumes.sum()
+    out = []
+    for k in pair_counts:
+        if k <= 0:
+            out.append((k, 0.0))
+        else:
+            out.append((k, float(cum[min(k, len(cum)) - 1])))
+    return out

@@ -1,0 +1,36 @@
+"""PocketWeb: the web-content pocket cloudlet the paper sketches.
+
+The paper's introduction and Section 3.2 describe a second cloudlet next
+to PocketSearch: cache the actual web pages users revisit ("web content
+that might be of interest to the user could be automatically downloaded
+to the user's phone overnight"), refreshing only the small hot set of
+dynamic pages over the radio.  The supporting statistic from their log
+analysis: 70% of web visits are revisits to fewer than a couple tens of
+pages for more than half of the users — exactly the staple behaviour the
+log substrate models.
+
+This package builds that cloudlet on the generic architecture:
+
+* :mod:`pages` — a synthetic page model (size, change rate) derived
+  deterministically from URLs;
+* :mod:`store` — a page store on the flash filesystem with versioning
+  and LRU eviction under a byte budget;
+* :mod:`cloudlet` — the PocketWeb service path: fresh hits render
+  locally, stale hits revalidate with a cheap conditional GET, misses
+  download the full page; overnight prefetch fills the store from the
+  combined personal + community models (Section 3.1) and the
+  :class:`~repro.core.management.UpdateScheduler` keeps hot pages fresh.
+"""
+
+from repro.pocketweb.pages import PageModel, PageProfile
+from repro.pocketweb.store import PageStore, StoredPage
+from repro.pocketweb.cloudlet import BrowseOutcome, PocketWebCloudlet
+
+__all__ = [
+    "BrowseOutcome",
+    "PageModel",
+    "PageProfile",
+    "PageStore",
+    "PocketWebCloudlet",
+    "StoredPage",
+]

@@ -1,0 +1,241 @@
+"""The PocketWeb service path, prefetch, and freshness management.
+
+Browsing a URL at time ``t`` takes one of three paths:
+
+* **fresh hit** — the cached copy matches the live version: read from
+  flash and render; no radio (the instant experience the paper's intro
+  promises);
+* **stale hit** — the page changed since caching: a conditional GET over
+  the radio revalidates and transfers only the delta (modelled as a
+  fraction of the page), far cheaper than a cold load because the radio
+  payload is small;
+* **miss** — full radio download, then the page is cached
+  (personalization path).
+
+Overnight, while charging on WiFi, :meth:`PocketWebCloudlet.overnight_update`
+prefetches the pages the combined personal + community models select
+(Section 3.1) and refreshes every cached page — free in battery terms.
+During the day the :class:`~repro.core.management.UpdateScheduler`
+budgets real-time refreshes for the small hot set of dynamic staples
+(Section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.management import ChargeState, UpdateScheduler
+from repro.core.selection import CommunityAccessModel, DataSelector, PersonalAccessModel
+from repro.pocketweb.pages import PageModel, PageProfile
+from repro.pocketweb.store import PageStore
+from repro.radio.energy import isolated_request_energy, isolated_request_latency
+from repro.radio.models import RadioProfile, THREE_G
+from repro.sim.browser import Browser
+
+KB = 1024
+
+#: Fraction of a page transferred by a conditional GET on a stale hit.
+REVALIDATION_FRACTION = 0.25
+#: Request header bytes for a conditional GET.
+CONDITIONAL_GET_BYTES = 1 * KB
+
+
+@dataclass(frozen=True)
+class BrowseOutcome:
+    """One page visit's result and cost."""
+
+    url: str
+    path: str  # "fresh-hit", "stale-hit", "stale-served", or "miss"
+    latency_s: float
+    energy_j: float
+    bytes_over_radio: int
+
+    @property
+    def hit(self) -> bool:
+        return self.path != "miss"
+
+
+class PocketWebCloudlet:
+    """The web-content cloudlet.
+
+    Args:
+        budget_bytes: flash budget for cached pages.
+        page_model: URL -> page property mapping.
+        radio: fallback radio profile.
+        base_power_w: device base power during interaction.
+        scheduler: update scheduler (defaults tuned for page refreshes).
+    """
+
+    def __init__(
+        self,
+        budget_bytes: int,
+        page_model: Optional[PageModel] = None,
+        radio: RadioProfile = THREE_G,
+        base_power_w: float = 0.9,
+        browser: Optional[Browser] = None,
+        scheduler: Optional[UpdateScheduler] = None,
+    ) -> None:
+        self.store = PageStore(budget_bytes)
+        self.page_model = page_model or PageModel()
+        self.radio = radio
+        self.base_power_w = base_power_w
+        self.browser = browser or Browser()
+        self.scheduler = scheduler or UpdateScheduler(
+            realtime_threshold_per_day=3.0, realtime_budget_per_day=30
+        )
+        self.personal = PersonalAccessModel(decay_rate=1.0 / (14 * 86400))
+        self.community = CommunityAccessModel()
+        self.outcomes: list = []
+        self._visit_counts: Dict[str, int] = {}
+        self._first_visit_t: Dict[str, float] = {}
+
+    # -- browsing ----------------------------------------------------------------
+
+    def browse(self, url: str, t_seconds: float) -> BrowseOutcome:
+        """Visit ``url`` at simulated time ``t_seconds``."""
+        profile = self.page_model.profile(url)
+        live_version = profile.version_at(t_seconds)
+        self._observe(url, t_seconds)
+
+        cached_version = self.store.cached_version(url)
+        if cached_version is None:
+            outcome = self._miss(profile, live_version)
+        elif cached_version >= live_version:
+            outcome = self._fresh_hit(profile)
+        elif self.scheduler.request_realtime_update(url, t_seconds):
+            # Hot page: revalidate over the radio, then serve locally.
+            outcome = self._stale_hit(profile, live_version)
+        else:
+            # Cold stale page: not worth a radio refresh mid-day; serve
+            # the cached copy (the paper accepts bounded staleness for
+            # non-hot content rather than burning radio energy).
+            outcome = self._fresh_hit(profile, path="stale-served")
+        self.outcomes.append(outcome)
+        return outcome
+
+    def _fresh_hit(self, profile: PageProfile, path: str = "fresh-hit") -> BrowseOutcome:
+        read = self.store.read(profile.url)
+        render_s = self.browser.render(profile.page_bytes)
+        latency = read.latency_s + render_s
+        energy = (
+            latency * self.base_power_w
+            + read.energy_j
+            + self.browser.render_energy_j(render_s)
+        )
+        return BrowseOutcome(profile.url, path, latency, energy, 0)
+
+    def _stale_hit(self, profile: PageProfile, live_version: int) -> BrowseOutcome:
+        delta_bytes = int(profile.page_bytes * REVALIDATION_FRACTION)
+        radio_latency = isolated_request_latency(
+            self.radio, CONDITIONAL_GET_BYTES, delta_bytes, 0.1
+        )
+        radio_energy = isolated_request_energy(
+            self.radio, CONDITIONAL_GET_BYTES, delta_bytes, 0.1
+        )
+        self.store.touch(profile.url, live_version)
+        read = self.store.read(profile.url)
+        render_s = self.browser.render(profile.page_bytes)
+        latency = radio_latency + read.latency_s + render_s
+        energy = (
+            latency * self.base_power_w
+            + radio_energy
+            + read.energy_j
+            + self.browser.render_energy_j(render_s)
+        )
+        return BrowseOutcome(
+            profile.url, "stale-hit", latency, energy, delta_bytes
+        )
+
+    def _miss(self, profile: PageProfile, live_version: int) -> BrowseOutcome:
+        radio_latency = isolated_request_latency(
+            self.radio, CONDITIONAL_GET_BYTES, profile.page_bytes, 0.2
+        )
+        radio_energy = isolated_request_energy(
+            self.radio, CONDITIONAL_GET_BYTES, profile.page_bytes, 0.2
+        )
+        render_s = self.browser.render(profile.page_bytes)
+        latency = radio_latency + render_s
+        energy = (
+            latency * self.base_power_w
+            + radio_energy
+            + self.browser.render_energy_j(render_s)
+        )
+        if profile.page_bytes <= self.store.budget_bytes:
+            self.store.put(profile.url, profile.page_bytes, live_version)
+        return BrowseOutcome(
+            profile.url, "miss", latency, energy, profile.page_bytes
+        )
+
+    def _observe(self, url: str, t_seconds: float) -> None:
+        self.personal.record(url, t_seconds)
+        self.community.record(url)
+        self._visit_counts[url] = self._visit_counts.get(url, 0) + 1
+        first = self._first_visit_t.setdefault(url, t_seconds)
+        span_days = max((t_seconds - first) / 86400.0, 1.0)
+        self.scheduler.observe_daily_rate(url, self._visit_counts[url] / span_days)
+
+    # -- overnight maintenance ------------------------------------------------------
+
+    def overnight_update(
+        self,
+        t_seconds: float,
+        charge: ChargeState,
+        community_hints: Optional[CommunityAccessModel] = None,
+    ) -> Dict[str, int]:
+        """Charge-time bulk update: refresh cached pages and prefetch.
+
+        Refreshes every stale cached page and prefetches the top pages
+        selected by the combined personal + community models into the
+        remaining budget.  Only runs when the device is charging on a
+        fast link (Section 3.2); returns counters.
+
+        Args:
+            t_seconds: current simulated time.
+            charge: device charge/link state.
+            community_hints: optional server-provided popularity model
+                (e.g. what other users read); defaults to the locally
+                observed one.
+        """
+        if not self.scheduler.run_bulk_update(t_seconds, charge):
+            return {"refreshed": 0, "prefetched": 0}
+        refreshed = 0
+        for url in self.store.cached_urls():
+            profile = self.page_model.profile(url)
+            live = profile.version_at(t_seconds)
+            if (self.store.cached_version(url) or 0) < live:
+                self.store.put(url, profile.page_bytes, live)
+                refreshed += 1
+
+        community = community_hints or self.community
+        selector = DataSelector(community, self.personal)
+        candidates = {
+            url
+            for url, _ in community.top_items(200)
+        } | {url for url, _ in self.personal.top_items(50)}
+        item_bytes = {
+            url: self.page_model.profile(url).page_bytes for url in candidates
+        }
+        free = self.store.budget_bytes - self.store.bytes_stored
+        prefetched = 0
+        for selected in selector.select(free, item_bytes):
+            if selected.item in self.store:
+                continue
+            profile = self.page_model.profile(selected.item)
+            self.store.put(
+                profile.url, profile.page_bytes, profile.version_at(t_seconds)
+            )
+            prefetched += 1
+        return {"refreshed": refreshed, "prefetched": prefetched}
+
+    # -- stats -----------------------------------------------------------------------
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return sum(1 for o in self.outcomes if o.hit) / len(self.outcomes)
+
+    @property
+    def bytes_over_radio(self) -> int:
+        return sum(o.bytes_over_radio for o in self.outcomes)

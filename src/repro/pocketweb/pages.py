@@ -1,0 +1,81 @@
+"""Synthetic web-page properties.
+
+Every URL maps deterministically (by hash) to a page profile: its
+transfer size and how often its content changes.  The distribution
+follows the paper's discussion:
+
+* most pages are effectively static between visits (search results,
+  reference pages, site front doors whose *route* is stable);
+* a small fraction (news, stocks) changes many times per day — these are
+  the pages that need real-time refresh rather than charge-time bulk
+  updates (Section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pocketsearch.hashtable import hash64
+
+KB = 1024
+MB = 1024**2
+
+#: Fraction of URLs that are highly dynamic (news/stocks-like).
+DYNAMIC_URL_FRACTION = 0.12
+#: Content changes per day for dynamic pages.
+DYNAMIC_CHANGES_PER_DAY = 24.0
+#: Content changes per day for ordinary pages (roughly weekly).
+STATIC_CHANGES_PER_DAY = 1.0 / 7.0
+
+
+@dataclass(frozen=True)
+class PageProfile:
+    """Immutable properties of one web page."""
+
+    url: str
+    page_bytes: int
+    changes_per_day: float
+
+    @property
+    def is_dynamic(self) -> bool:
+        return self.changes_per_day >= 1.0
+
+    def version_at(self, t_seconds: float) -> int:
+        """The content version live at time ``t`` (monotone counter)."""
+        if t_seconds < 0:
+            raise ValueError(f"t_seconds must be non-negative, got {t_seconds}")
+        return int(t_seconds / 86400.0 * self.changes_per_day)
+
+
+class PageModel:
+    """Deterministic URL -> :class:`PageProfile` mapping.
+
+    Args:
+        mean_page_bytes: average transfer size (the paper's Table 2 uses
+            1.5 MB for a desktop-class page; mobile pages of the era were
+            smaller, so the default is 300 KB).
+        dynamic_fraction: share of URLs that are highly dynamic.
+    """
+
+    def __init__(
+        self,
+        mean_page_bytes: int = 300 * KB,
+        dynamic_fraction: float = DYNAMIC_URL_FRACTION,
+    ) -> None:
+        if mean_page_bytes <= 0:
+            raise ValueError("mean_page_bytes must be positive")
+        if not 0 <= dynamic_fraction <= 1:
+            raise ValueError("dynamic_fraction must be in [0, 1]")
+        self.mean_page_bytes = mean_page_bytes
+        self.dynamic_fraction = dynamic_fraction
+
+    def profile(self, url: str) -> PageProfile:
+        """The (stable) profile of ``url``."""
+        h = hash64(url)
+        # Size: 0.25x to 4x the mean, skewed small, derived from hash bits.
+        size_factor = 0.25 + ((h >> 8) % 1000) / 1000.0 * 3.75
+        size_weight = 1.0 - 0.5 * (((h >> 20) % 100) / 100.0)
+        page_bytes = max(20 * KB, int(self.mean_page_bytes * size_factor * size_weight))
+        dynamic = ((h % 10_000) / 10_000.0) < self.dynamic_fraction
+        changes = DYNAMIC_CHANGES_PER_DAY if dynamic else STATIC_CHANGES_PER_DAY
+        return PageProfile(url=url, page_bytes=page_bytes, changes_per_day=changes)

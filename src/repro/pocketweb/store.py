@@ -1,0 +1,125 @@
+"""The on-flash page store with versioning and LRU eviction."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.storage.device import AccessResult
+from repro.storage.filesystem import FlashFilesystem
+from repro.storage.flash import NandFlash
+
+
+@dataclass
+class StoredPage:
+    """One cached page: content version plus flash location."""
+
+    url: str
+    page_bytes: int
+    version: int
+    file_name: str
+
+
+class PageStore:
+    """URL -> page content cache on flash, LRU-evicted under a budget.
+
+    Unlike the PocketSearch result database (thousands of ~500 B records
+    packed into 32 files), pages are hundreds of kilobytes, so each page
+    gets its own file: page-granular eviction matters more than
+    fragmentation here.
+
+    Args:
+        filesystem: flash filesystem hosting the pages (a private one is
+            created when omitted).
+        budget_bytes: maximum page bytes cached.
+    """
+
+    def __init__(
+        self,
+        budget_bytes: int,
+        filesystem: Optional[FlashFilesystem] = None,
+    ) -> None:
+        if budget_bytes <= 0:
+            raise ValueError(f"budget_bytes must be positive, got {budget_bytes}")
+        self.budget_bytes = budget_bytes
+        self.filesystem = filesystem or FlashFilesystem(NandFlash())
+        self._pages: "OrderedDict[str, StoredPage]" = OrderedDict()
+        self._bytes_stored = 0
+        self.evictions = 0
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def bytes_stored(self) -> int:
+        return self._bytes_stored
+
+    @property
+    def n_pages(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, url: str) -> bool:
+        return url in self._pages
+
+    def cached_version(self, url: str) -> Optional[int]:
+        page = self._pages.get(url)
+        return page.version if page else None
+
+    def cached_urls(self):
+        return list(self._pages)
+
+    # -- mutation ---------------------------------------------------------------
+
+    def put(self, url: str, page_bytes: int, version: int) -> AccessResult:
+        """Cache (or refresh) a page, evicting LRU pages to make room.
+
+        Returns the modelled flash write cost.
+
+        Raises:
+            ValueError: if the page alone exceeds the whole budget.
+        """
+        if page_bytes <= 0:
+            raise ValueError(f"page_bytes must be positive, got {page_bytes}")
+        if page_bytes > self.budget_bytes:
+            raise ValueError(
+                f"page of {page_bytes} bytes exceeds budget {self.budget_bytes}"
+            )
+        existing = self._pages.get(url)
+        if existing is not None:
+            self._drop(url)
+        while self._bytes_stored + page_bytes > self.budget_bytes:
+            lru_url = next(iter(self._pages))
+            self._drop(lru_url)
+            self.evictions += 1
+        file_name = f"pw:{url}"
+        cost = self.filesystem.create(file_name, page_bytes)
+        self._pages[url] = StoredPage(
+            url=url, page_bytes=page_bytes, version=version, file_name=file_name
+        )
+        self._bytes_stored += page_bytes
+        return cost
+
+    def read(self, url: str) -> AccessResult:
+        """Read a cached page (refreshing LRU recency).
+
+        Raises:
+            KeyError: if the page is not cached.
+        """
+        page = self._pages.get(url)
+        if page is None:
+            raise KeyError(f"page not cached: {url!r}")
+        self._pages.move_to_end(url)
+        return self.filesystem.read(page.file_name)
+
+    def touch(self, url: str, version: int) -> None:
+        """Record a successful revalidation (version bump, no rewrite)."""
+        page = self._pages.get(url)
+        if page is None:
+            raise KeyError(f"page not cached: {url!r}")
+        page.version = version
+        self._pages.move_to_end(url)
+
+    def _drop(self, url: str) -> None:
+        page = self._pages.pop(url)
+        self.filesystem.delete(page.file_name)
+        self._bytes_stored -= page.page_bytes

@@ -1,0 +1,34 @@
+"""PocketYellow: the yellow-pages (local business) pocket cloudlet.
+
+Table 2 budgets this service at 5 KB per item — "map tile with business
+info" — and Section 7 sizes the full product: "storing information about
+23 million businesses across the United States ... corresponds to
+approximately 100 GB".  Like mapping, business data is static: bulk
+updates while charging, no radio refreshes.
+
+* :mod:`directory` — a synthetic business directory laid out on the
+  PocketMaps tile grid, with density varying by area (downtown vs
+  rural) and deterministic per-tile content;
+* :mod:`cloudlet` — the cached directory: business-info tiles packed on
+  flash, category search over a radius served locally when the covering
+  tiles are cached, radio fallback otherwise.
+"""
+
+from repro.pocketyellow.directory import (
+    Business,
+    BusinessDirectory,
+    CATEGORIES,
+    US_BUSINESS_COUNT,
+    national_directory_bytes,
+)
+from repro.pocketyellow.cloudlet import SearchOutcome, YellowPagesCloudlet
+
+__all__ = [
+    "Business",
+    "BusinessDirectory",
+    "CATEGORIES",
+    "SearchOutcome",
+    "US_BUSINESS_COUNT",
+    "YellowPagesCloudlet",
+    "national_directory_bytes",
+]

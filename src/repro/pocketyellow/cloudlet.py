@@ -1,0 +1,174 @@
+"""The yellow-pages cloudlet: cached business-info tiles."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+from repro.pocketmaps.grid import Region, TileId
+from repro.pocketyellow.directory import (
+    BUSINESS_TILE_BYTES,
+    Business,
+    BusinessDirectory,
+)
+from repro.radio.energy import isolated_request_energy, isolated_request_latency
+from repro.radio.models import RadioProfile, THREE_G
+from repro.storage.filesystem import FlashFilesystem
+from repro.storage.flash import NandFlash
+
+KB = 1024
+#: Business-info tiles packed per flash file (same fragmentation logic
+#: as PocketMaps region files).
+PACK_TILES = 64
+
+
+@dataclass(frozen=True)
+class SearchOutcome:
+    """One local-business search."""
+
+    category: str
+    businesses: List[Business]
+    tiles_needed: int
+    tiles_hit: int
+    latency_s: float
+    energy_j: float
+    bytes_over_radio: int
+
+    @property
+    def hit(self) -> bool:
+        return self.tiles_hit == self.tiles_needed
+
+
+class YellowPagesCloudlet:
+    """Cached business directory with radius search.
+
+    Args:
+        budget_bytes: flash budget for business-info tiles.
+        directory: the underlying (synthetic) national directory.
+        radio: fallback link.
+    """
+
+    def __init__(
+        self,
+        budget_bytes: int,
+        directory: Optional[BusinessDirectory] = None,
+        radio: RadioProfile = THREE_G,
+        base_power_w: float = 0.9,
+        filesystem: Optional[FlashFilesystem] = None,
+    ) -> None:
+        if budget_bytes <= 0:
+            raise ValueError("budget_bytes must be positive")
+        self.budget_bytes = budget_bytes
+        self.directory = directory or BusinessDirectory()
+        self.radio = radio
+        self.base_power_w = base_power_w
+        self.filesystem = filesystem or FlashFilesystem(NandFlash())
+        self._tiles: Set[TileId] = set()
+        self._pack_counts: dict = {}
+        self.outcomes: List[SearchOutcome] = []
+
+    # -- storage ------------------------------------------------------------
+
+    @property
+    def bytes_stored(self) -> int:
+        return len(self._tiles) * BUSINESS_TILE_BYTES
+
+    def has_tile(self, tile: TileId) -> bool:
+        return tile in self._tiles
+
+    @staticmethod
+    def _pack_key(tile: TileId) -> tuple:
+        return (tile.x // 8, tile.y // 8)
+
+    def _pack_file(self, key: tuple) -> str:
+        return f"yp:{key[0]}:{key[1]}"
+
+    def prefetch_region(self, region: Region) -> int:
+        """Charge-time bulk load of a metro area's business tiles.
+
+        Empty tiles (no businesses) are skipped — rural coverage is
+        nearly free, which is why a metro prefetch goes so far.
+        """
+        stored = 0
+        for tile in region.tiles():
+            if tile in self._tiles:
+                continue
+            if self.directory.tile_bytes(tile) == 0:
+                continue
+            if self.bytes_stored + BUSINESS_TILE_BYTES > self.budget_bytes:
+                break
+            key = self._pack_key(tile)
+            name = self._pack_file(key)
+            if key not in self._pack_counts:
+                self.filesystem.create(name)
+                self._pack_counts[key] = 0
+            self.filesystem.append(name, BUSINESS_TILE_BYTES)
+            self._pack_counts[key] += 1
+            self._tiles.add(tile)
+            stored += 1
+        return stored
+
+    # -- service ----------------------------------------------------------------
+
+    def search(
+        self, category: str, center_x_m: float, center_y_m: float, radius_m: float = 1500.0
+    ) -> SearchOutcome:
+        """Find businesses of a category within a radius.
+
+        Served locally when every covering business tile is cached; a
+        single batched radio request fetches (and caches) the missing
+        tiles otherwise.
+        """
+        if radius_m <= 0:
+            raise ValueError("radius_m must be positive")
+        area = Region(
+            center_x_m - radius_m, center_y_m - radius_m, 2 * radius_m, 2 * radius_m
+        )
+        needed = [
+            t for t in area.tiles() if self.directory.tile_bytes(t) > 0
+        ]
+        hits = [t for t in needed if t in self._tiles]
+        misses = [t for t in needed if t not in self._tiles]
+
+        latency = 0.0
+        energy = 0.0
+        for key in {self._pack_key(t) for t in hits}:
+            cost = self.filesystem.read(
+                self._pack_file(key), 0, self._pack_counts[key] * BUSINESS_TILE_BYTES
+            )
+            latency += cost.latency_s
+            energy += cost.energy_j
+
+        radio_bytes = 0
+        if misses:
+            radio_bytes = len(misses) * BUSINESS_TILE_BYTES
+            latency += isolated_request_latency(self.radio, 512, radio_bytes, 0.15)
+            energy += isolated_request_energy(self.radio, 512, radio_bytes, 0.15)
+            self.prefetch_region(area)
+
+        businesses = [
+            b
+            for t in needed
+            for b in self.directory.businesses_at(t)
+            if b.category == category
+        ]
+        energy += latency * self.base_power_w
+        outcome = SearchOutcome(
+            category=category,
+            businesses=businesses,
+            tiles_needed=len(needed),
+            tiles_hit=len(hits),
+            latency_s=latency,
+            energy_j=energy,
+            bytes_over_radio=radio_bytes,
+        )
+        self.outcomes.append(outcome)
+        return outcome
+
+    # -- stats --------------------------------------------------------------------
+
+    @property
+    def search_hit_rate(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return sum(1 for o in self.outcomes if o.hit) / len(self.outcomes)

@@ -1,0 +1,99 @@
+"""A synthetic local-business directory on the map tile grid."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.pocketmaps.grid import TILE_BYTES, TileId
+from repro.pocketsearch.hashtable import hash64
+
+#: Section 7: businesses across the United States.
+US_BUSINESS_COUNT = 23_000_000
+#: Table 2: one business-info tile is ~5 KB.
+BUSINESS_TILE_BYTES = TILE_BYTES
+
+CATEGORIES = (
+    "restaurant",
+    "coffee",
+    "pharmacy",
+    "gas station",
+    "grocery",
+    "bank",
+    "salon",
+    "hardware",
+)
+
+
+@dataclass(frozen=True)
+class Business:
+    """One directory entry."""
+
+    business_id: int
+    name: str
+    category: str
+    tile: TileId
+
+
+def national_directory_bytes(
+    businesses: int = US_BUSINESS_COUNT, bytes_per_item: int = BUSINESS_TILE_BYTES
+) -> int:
+    """Section 7's arithmetic: the full US directory's footprint.
+
+    23 million businesses at ~5 KB each is ~110 GB — the paper rounds to
+    "approximately 100 GB", putting a national yellow-pages cloudlet
+    beyond near-term low-end budgets but within the 256 GB generation.
+    """
+    if businesses < 0 or bytes_per_item < 0:
+        raise ValueError("counts must be non-negative")
+    return businesses * bytes_per_item
+
+
+class BusinessDirectory:
+    """Deterministic tile -> businesses mapping.
+
+    Business density follows a downtown gradient: tiles near the origin
+    of each 64-tile "city" cell are dense, the periphery sparse — so a
+    metro-area cache holds most of what a user searches for.
+
+    Args:
+        mean_density: average businesses per tile across the map.
+    """
+
+    def __init__(self, mean_density: float = 2.0) -> None:
+        if mean_density <= 0:
+            raise ValueError("mean_density must be positive")
+        self.mean_density = mean_density
+
+    def density_at(self, tile: TileId) -> int:
+        """Businesses on one tile (deterministic in the tile id)."""
+        cell_x, cell_y = tile.x % 64, tile.y % 64
+        # Distance from the cell's "downtown" corner drives density.
+        distance = (cell_x**2 + cell_y**2) ** 0.5
+        downtown_boost = max(0.0, 1.0 - distance / 32.0)
+        h = hash64(f"density:{tile.x}:{tile.y}")
+        jitter = (h % 1000) / 1000.0
+        value = self.mean_density * (0.25 + 3.0 * downtown_boost) * (0.5 + jitter)
+        return int(value)
+
+    def businesses_at(self, tile: TileId) -> List[Business]:
+        """The businesses on one tile."""
+        out = []
+        for i in range(self.density_at(tile)):
+            h = hash64(f"biz:{tile.x}:{tile.y}:{i}")
+            category = CATEGORIES[h % len(CATEGORIES)]
+            out.append(
+                Business(
+                    business_id=h,
+                    name=f"{category.title()} #{h % 10_000}",
+                    category=category,
+                    tile=tile,
+                )
+            )
+        return out
+
+    def tile_bytes(self, tile: TileId) -> int:
+        """Stored size of one tile's business info (0 if empty)."""
+        if self.density_at(tile) == 0:
+            return 0
+        return BUSINESS_TILE_BYTES

@@ -1,0 +1,49 @@
+"""Radio-link substrate: latency and energy models for 3G, EDGE, 802.11g.
+
+The paper's motivation (Section 1) and evaluation (Section 6.1) rest on
+two radio properties: a 1.5-2 s wake-up from standby that is independent of
+link throughput, and a power draw that dominates the device's budget while
+the radio is awake.  This subpackage models radios as power-state machines
+(sleep / ramp / active / tail) whose requests produce both a latency and a
+piecewise-constant power timeline, so experiments can reproduce both the
+per-query bars of Figure 15 and the power trace of Figure 16.
+"""
+
+from repro.radio.conditions import ConditionSampler, LinkConditions
+from repro.radio.states import PowerSegment, RadioState, RadioLink
+from repro.radio.models import (
+    RadioProfile,
+    THREE_G,
+    EDGE,
+    WIFI_80211G,
+    make_link,
+    standard_links,
+)
+from repro.radio.energy import (
+    average_power,
+    isolated_request_energy,
+    isolated_request_latency,
+    segments_duration,
+    segments_energy,
+    timeline_by_state,
+)
+
+__all__ = [
+    "ConditionSampler",
+    "EDGE",
+    "LinkConditions",
+    "PowerSegment",
+    "RadioLink",
+    "RadioProfile",
+    "RadioState",
+    "THREE_G",
+    "WIFI_80211G",
+    "average_power",
+    "isolated_request_energy",
+    "isolated_request_latency",
+    "make_link",
+    "segments_duration",
+    "segments_energy",
+    "standard_links",
+    "timeline_by_state",
+]

@@ -1,0 +1,84 @@
+"""Energy accounting helpers over radio power timelines."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.radio.states import PowerSegment, RadioState
+from repro.radio.models import RadioProfile
+
+
+def segments_energy(segments: Iterable[PowerSegment]) -> float:
+    """Total energy (J) of a power timeline."""
+    return sum(s.energy_j for s in segments)
+
+
+def segments_duration(segments: Iterable[PowerSegment]) -> float:
+    """Total covered duration (s) of a power timeline."""
+    return sum(s.duration_s for s in segments)
+
+
+def average_power(segments: List[PowerSegment]) -> float:
+    """Duration-weighted mean power (W) of a non-empty timeline."""
+    total = segments_duration(segments)
+    if total <= 0:
+        raise ValueError("cannot average an empty timeline")
+    return segments_energy(segments) / total
+
+
+def isolated_request_energy(
+    profile: RadioProfile,
+    bytes_up: int,
+    bytes_down: int,
+    server_s: float = 0.0,
+    include_tail: bool = True,
+) -> float:
+    """Radio energy of one cold request (wake + transfer [+ full tail]).
+
+    This is the per-query radio energy of Figure 15b, where each query is
+    measured in isolation and the radio pays the full wake-up and tail.
+    """
+    if bytes_up < 0 or bytes_down < 0:
+        raise ValueError("transfer sizes must be non-negative")
+    transfer_s = (
+        profile.request_rtt_s()
+        + bytes_up / profile.uplink_bps
+        + server_s
+        + bytes_down / profile.downlink_bps
+    )
+    energy = (
+        profile.wakeup_s * profile.ramp_power_w
+        + transfer_s * profile.active_power_w
+    )
+    if include_tail:
+        energy += profile.tail_s * profile.tail_power_w
+    return energy
+
+
+def isolated_request_latency(
+    profile: RadioProfile,
+    bytes_up: int,
+    bytes_down: int,
+    server_s: float = 0.0,
+) -> float:
+    """User-visible latency of one cold request (wake + transfer)."""
+    if bytes_up < 0 or bytes_down < 0:
+        raise ValueError("transfer sizes must be non-negative")
+    return (
+        profile.wakeup_s
+        + profile.request_rtt_s()
+        + bytes_up / profile.uplink_bps
+        + server_s
+        + bytes_down / profile.downlink_bps
+    )
+
+
+def timeline_by_state(segments: Iterable[PowerSegment]) -> dict:
+    """Aggregate a timeline's duration and energy per radio state."""
+    summary = {
+        state: {"duration_s": 0.0, "energy_j": 0.0} for state in RadioState
+    }
+    for segment in segments:
+        summary[segment.state]["duration_s"] += segment.duration_s
+        summary[segment.state]["energy_j"] += segment.energy_j
+    return summary

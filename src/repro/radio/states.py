@@ -1,0 +1,201 @@
+"""Radio power-state machine.
+
+A radio link is in one of four states: SLEEP (standby), RAMP (waking up,
+1.5-2 s for cellular regardless of throughput), ACTIVE (transferring), and
+TAIL (post-transfer high-power lingering typical of 3G radio resource
+control).  Requests produce a latency and extend a piecewise-constant
+power timeline from which experiments integrate energy (Figure 16's trace,
+Figure 15b's per-query bars).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.radio.models import RadioProfile
+
+
+class RadioState(Enum):
+    SLEEP = "sleep"
+    RAMP = "ramp"
+    ACTIVE = "active"
+    TAIL = "tail"
+
+
+@dataclass(frozen=True)
+class PowerSegment:
+    """A constant-power interval of the radio timeline."""
+
+    t_start: float
+    duration_s: float
+    power_w: float
+    state: RadioState
+
+    @property
+    def t_end(self) -> float:
+        return self.t_start + self.duration_s
+
+    @property
+    def energy_j(self) -> float:
+        return self.duration_s * self.power_w
+
+
+@dataclass(frozen=True)
+class RequestResult:
+    """Outcome of one radio request."""
+
+    latency_s: float
+    woke: bool
+    t_start: float
+    t_end: float
+
+
+class RadioLink:
+    """One radio link instance with power-state bookkeeping.
+
+    The link starts asleep at time 0.  Callers issue requests at
+    monotonically non-decreasing times; each request wakes the radio if it
+    is not already within a previous request's tail, transfers, and
+    schedules a new tail.  :meth:`drain` returns the completed power
+    timeline (including truncated tails and sleep gaps) up to a given time.
+    """
+
+    def __init__(self, profile: "RadioProfile") -> None:
+        self.profile = profile
+        self._segments: List[PowerSegment] = []
+        self._busy_until = 0.0  # end of the last request's ACTIVE period
+        self._tail_until = 0.0  # end of the last request's scheduled tail
+        self._timeline_cursor = 0.0  # time up to which segments are emitted
+        self.total_requests = 0
+        self.total_wakeups = 0
+        self.total_bytes_up = 0
+        self.total_bytes_down = 0
+
+    # -- state inspection ---------------------------------------------------
+
+    def state_at(self, t: float) -> RadioState:
+        """The radio's state at time ``t`` (for t >= last request start)."""
+        if t < self._busy_until:
+            return RadioState.ACTIVE
+        if t < self._tail_until:
+            return RadioState.TAIL
+        return RadioState.SLEEP
+
+    def is_awake(self, t: float) -> bool:
+        return self.state_at(t) is not RadioState.SLEEP
+
+    # -- request path ---------------------------------------------------------
+
+    def request(
+        self,
+        now: float,
+        bytes_up: int,
+        bytes_down: int,
+        server_s: float = 0.0,
+    ) -> RequestResult:
+        """Issue a request at time ``now`` and return its latency.
+
+        Args:
+            now: submission time; must not precede the end of the previous
+                request's active period.
+            bytes_up: request payload size.
+            bytes_down: response payload size.
+            server_s: server-side processing time added between send and
+                receive.
+
+        Raises:
+            ValueError: on negative sizes or a request submitted while a
+                previous transfer is still active.
+        """
+        if bytes_up < 0 or bytes_down < 0:
+            raise ValueError("transfer sizes must be non-negative")
+        if server_s < 0:
+            raise ValueError(f"server_s must be non-negative, got {server_s}")
+        if now < self._busy_until:
+            raise ValueError(
+                f"request at t={now} overlaps previous transfer ending "
+                f"at t={self._busy_until}"
+            )
+
+        self._emit_idle_segments(now)
+
+        profile = self.profile
+        woke = not self.is_awake(now)
+        t = now
+        if woke:
+            self._emit(t, profile.wakeup_s, profile.ramp_power_w, RadioState.RAMP)
+            t += profile.wakeup_s
+            self.total_wakeups += 1
+
+        transfer_s = (
+            profile.request_rtt_s()
+            + bytes_up / profile.uplink_bps
+            + server_s
+            + bytes_down / profile.downlink_bps
+        )
+        self._emit(t, transfer_s, profile.active_power_w, RadioState.ACTIVE)
+        t += transfer_s
+
+        self._busy_until = t
+        self._tail_until = t + profile.tail_s
+        self.total_requests += 1
+        self.total_bytes_up += bytes_up
+        self.total_bytes_down += bytes_down
+        return RequestResult(
+            latency_s=t - now, woke=woke, t_start=now, t_end=t
+        )
+
+    def drain(self, until: float) -> List[PowerSegment]:
+        """Close the timeline at ``until`` and return all segments so far.
+
+        Emits any outstanding (possibly truncated) tail and trailing sleep
+        up to ``until``, then returns and clears the accumulated segments.
+        """
+        if until < self._timeline_cursor:
+            raise ValueError(
+                f"until={until} precedes timeline cursor {self._timeline_cursor}"
+            )
+        self._emit_idle_segments(until)
+        segments, self._segments = self._segments, []
+        return segments
+
+    # -- internals ---------------------------------------------------------------
+
+    def _emit_idle_segments(self, now: float) -> None:
+        """Emit tail/sleep segments covering [cursor, now)."""
+        cursor = self._timeline_cursor
+        if now <= cursor:
+            return
+        tail_end = min(self._tail_until, now)
+        if cursor < tail_end and cursor >= self._busy_until:
+            self._emit(
+                cursor, tail_end - cursor, self.profile.tail_power_w, RadioState.TAIL
+            )
+            cursor = tail_end
+        elif cursor < self._busy_until:
+            # Cursor inside an already-emitted active period: skip forward.
+            cursor = min(self._busy_until, now)
+            tail_end = min(self._tail_until, now)
+            if cursor < tail_end:
+                self._emit(
+                    cursor,
+                    tail_end - cursor,
+                    self.profile.tail_power_w,
+                    RadioState.TAIL,
+                )
+                cursor = tail_end
+        if cursor < now:
+            self._emit(
+                cursor, now - cursor, self.profile.sleep_power_w, RadioState.SLEEP
+            )
+            cursor = now
+        self._timeline_cursor = now
+
+    def _emit(self, t: float, duration: float, power: float, state: RadioState) -> None:
+        if duration <= 0:
+            return
+        self._segments.append(PowerSegment(t, duration, power, state))
+        self._timeline_cursor = max(self._timeline_cursor, t + duration)

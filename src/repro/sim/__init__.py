@@ -1,0 +1,24 @@
+"""Device simulation substrate.
+
+Composes the storage and radio substrates into a mobile device with a
+browser-rendering model and energy accounting, plus the metrics and
+trace-replay harnesses the evaluation benchmarks are built on.
+"""
+
+from repro.sim.battery import Battery
+from repro.sim.clock import SimClock
+from repro.sim.browser import Browser, RenderModel
+from repro.sim.device import DeviceConfig, MobileDevice
+from repro.sim.metrics import MetricsCollector, QueryOutcome, ServiceSource
+
+__all__ = [
+    "Battery",
+    "Browser",
+    "DeviceConfig",
+    "MetricsCollector",
+    "MobileDevice",
+    "QueryOutcome",
+    "RenderModel",
+    "ServiceSource",
+    "SimClock",
+]

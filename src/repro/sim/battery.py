@@ -1,0 +1,68 @@
+"""Battery model: turning per-query joules into battery-life impact.
+
+The paper motivates pocket cloudlets with battery lifetime ("the more
+time the radio link is active, the lower the battery lifetime of the
+mobile device becomes").  This model converts the per-query energy of
+the service paths into the quantity a user feels: how much of a charge a
+day of searching consumes, and how many queries one charge sustains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The Xperia X1a-era battery: 1500 mAh at a nominal 3.7 V.
+DEFAULT_CAPACITY_J = 1.5 * 3.7 * 3600  # amp-hours x volts x seconds
+
+
+@dataclass
+class Battery:
+    """A simple energy-reservoir battery.
+
+    Attributes:
+        capacity_j: full-charge energy.
+        charge_j: remaining energy.
+    """
+
+    capacity_j: float = DEFAULT_CAPACITY_J
+
+    def __post_init__(self) -> None:
+        if self.capacity_j <= 0:
+            raise ValueError(f"capacity_j must be positive, got {self.capacity_j}")
+        self.charge_j = self.capacity_j
+
+    @property
+    def level(self) -> float:
+        """Remaining charge fraction in [0, 1]."""
+        return self.charge_j / self.capacity_j
+
+    def drain(self, energy_j: float) -> bool:
+        """Consume energy; returns False when the battery is exhausted.
+
+        An exhausted battery clamps to zero (the device dies; it does not
+        go negative).
+        """
+        if energy_j < 0:
+            raise ValueError(f"energy_j must be non-negative, got {energy_j}")
+        if energy_j > self.charge_j:
+            self.charge_j = 0.0
+            return False
+        self.charge_j -= energy_j
+        return True
+
+    def recharge(self) -> None:
+        self.charge_j = self.capacity_j
+
+    def queries_per_charge(self, energy_per_query_j: float) -> int:
+        """Queries a full charge sustains at a given per-query energy."""
+        if energy_per_query_j <= 0:
+            raise ValueError("energy_per_query_j must be positive")
+        return int(self.capacity_j // energy_per_query_j)
+
+    def daily_budget_share(
+        self, energy_per_query_j: float, queries_per_day: float
+    ) -> float:
+        """Fraction of one charge a day's query volume consumes."""
+        if queries_per_day < 0:
+            raise ValueError("queries_per_day must be non-negative")
+        return energy_per_query_j * queries_per_day / self.capacity_j

@@ -1,0 +1,72 @@
+"""Browser rendering-latency model.
+
+Table 4 of the paper shows that with PocketSearch the dominant cost of
+serving a query is the embedded browser rendering the results page: 361 ms
+of a 378 ms total (96.7%).  Rendering cost is modelled as a fixed engine
+start-up/layout cost plus a per-byte parse/paint cost, fitted so a typical
+mobile search-result page renders in ~361 ms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KB = 1024
+
+#: Size of the local search-result page PocketSearch renders (two results
+#: plus markup).
+SERP_BYTES = 24 * KB
+
+#: Size of a full server search-result page fetched over a radio link —
+#: larger than the local page because it carries images and ads, but of
+#: comparable rendered DOM complexity.
+RADIO_SERP_BYTES = 64 * KB
+
+
+@dataclass(frozen=True)
+class RenderModel:
+    """Parameters of the rendering cost model.
+
+    ``render_s = base_s + page_bytes / parse_bandwidth_bps``
+    """
+
+    base_s: float = 0.120
+    parse_bandwidth_bps: float = 102_000.0
+
+    def __post_init__(self) -> None:
+        if self.base_s < 0:
+            raise ValueError(f"base_s must be non-negative, got {self.base_s}")
+        if self.parse_bandwidth_bps <= 0:
+            raise ValueError("parse_bandwidth_bps must be positive")
+
+    def render_seconds(self, page_bytes: int) -> float:
+        if page_bytes < 0:
+            raise ValueError(f"page_bytes must be non-negative, got {page_bytes}")
+        return self.base_s + page_bytes / self.parse_bandwidth_bps
+
+
+class Browser:
+    """An embedded browser object with render-time and power accounting."""
+
+    def __init__(
+        self, model: RenderModel = RenderModel(), render_power_w: float = 0.35
+    ) -> None:
+        if render_power_w < 0:
+            raise ValueError("render_power_w must be non-negative")
+        self.model = model
+        self.render_power_w = render_power_w
+        self.pages_rendered = 0
+        self.total_render_s = 0.0
+
+    def render(self, page_bytes: int = SERP_BYTES) -> float:
+        """Render a page; returns elapsed seconds and logs stats."""
+        elapsed = self.model.render_seconds(page_bytes)
+        self.pages_rendered += 1
+        self.total_render_s += elapsed
+        return elapsed
+
+    def render_energy_j(self, render_s: float) -> float:
+        """Incremental CPU/GPU energy of rendering for ``render_s``."""
+        if render_s < 0:
+            raise ValueError(f"render_s must be non-negative, got {render_s}")
+        return render_s * self.render_power_w

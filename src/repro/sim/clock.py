@@ -1,0 +1,35 @@
+"""Simulation clock: monotonically advancing simulated seconds."""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """A simple forward-only simulated clock.
+
+    Time is a float number of seconds since simulation start.  Components
+    advance it as they model latency; tests can also jump it forward to
+    model think-time between user actions.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"start must be non-negative, got {start}")
+        self._now = start
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Advance by ``dt`` seconds and return the new time."""
+        if dt < 0:
+            raise ValueError(f"cannot advance by negative dt {dt}")
+        self._now += dt
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Advance to absolute time ``t`` (must not move backwards)."""
+        if t < self._now:
+            raise ValueError(f"cannot move clock backwards: {t} < {self._now}")
+        self._now = t
+        return self._now

@@ -1,0 +1,160 @@
+"""The simulated mobile device.
+
+Integrates the memory hierarchy, flash filesystem, radio links, browser,
+and an interaction-power model into one object that services (whether a
+query is served locally or over a radio is decided by the cloudlet layered
+on top, e.g. :class:`repro.pocketsearch.engine.PocketSearchEngine`).
+
+Energy accounting follows the paper's measurement setup (Figure 16): while
+the user is being served, the device draws a *base* power (screen + SoC,
+~900 mW on the Xperia X1a), and the radio adds its own state-dependent
+power on top — which is why a cache hit at ~900 mW for 0.4 s beats a 3G
+query at ~1500 mW for several seconds by more in energy than in time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.radio.models import RadioProfile, THREE_G, EDGE, WIFI_80211G
+from repro.radio.states import RadioLink, RequestResult
+from repro.sim.browser import Browser, RADIO_SERP_BYTES, SERP_BYTES
+from repro.sim.clock import SimClock
+from repro.storage.filesystem import FlashFilesystem
+from repro.storage.flash import NandFlash
+from repro.storage.hierarchy import MemoryHierarchy
+
+KB = 1024
+
+
+@dataclass(frozen=True)
+class DeviceConfig:
+    """Tunable device parameters."""
+
+    base_power_w: float = 0.9
+    default_radio: str = THREE_G.name
+    query_bytes_up: int = 1 * KB
+    serp_bytes_down: int = RADIO_SERP_BYTES
+    server_time_s: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.base_power_w < 0:
+            raise ValueError("base_power_w must be non-negative")
+        if self.query_bytes_up < 0 or self.serp_bytes_down < 0:
+            raise ValueError("transfer sizes must be non-negative")
+
+
+@dataclass(frozen=True)
+class RadioServiceResult:
+    """Latency/energy of one radio-served request, including base power."""
+
+    latency_s: float
+    energy_j: float
+    radio: str
+    woke: bool
+
+
+class MobileDevice:
+    """A smartphone with storage, radios, a browser, and energy accounting."""
+
+    def __init__(
+        self,
+        config: DeviceConfig = DeviceConfig(),
+        hierarchy: Optional[MemoryHierarchy] = None,
+        browser: Optional[Browser] = None,
+        radios: Optional[Dict[str, RadioLink]] = None,
+        clock: Optional[SimClock] = None,
+    ) -> None:
+        self.config = config
+        self.hierarchy = hierarchy or MemoryHierarchy()
+        self.browser = browser or Browser()
+        self.clock = clock or SimClock()
+        if radios is None:
+            radios = {
+                p.name: RadioLink(p) for p in (THREE_G, EDGE, WIFI_80211G)
+            }
+        self.radios = radios
+        flash = self.hierarchy.data_tier.device
+        if not isinstance(flash, NandFlash):
+            raise TypeError("hierarchy data tier must be NandFlash")
+        self.filesystem = FlashFilesystem(flash)
+        self.total_energy_j = 0.0
+
+    # -- energy accounting ---------------------------------------------------
+
+    def account_interaction(self, duration_s: float, extra_j: float = 0.0) -> float:
+        """Charge base power for ``duration_s`` plus component energy.
+
+        Returns the total energy charged.
+        """
+        if duration_s < 0:
+            raise ValueError("duration_s must be non-negative")
+        if extra_j < 0:
+            raise ValueError("extra_j must be non-negative")
+        energy = duration_s * self.config.base_power_w + extra_j
+        self.total_energy_j += energy
+        return energy
+
+    # -- radio path ----------------------------------------------------------
+
+    def radio_link(self, name: Optional[str] = None) -> RadioLink:
+        name = name or self.config.default_radio
+        try:
+            return self.radios[name]
+        except KeyError:
+            raise KeyError(
+                f"device has no radio {name!r}; available: {sorted(self.radios)}"
+            ) from None
+
+    def radio_request(
+        self,
+        radio: Optional[str] = None,
+        bytes_up: Optional[int] = None,
+        bytes_down: Optional[int] = None,
+        server_s: Optional[float] = None,
+        advance_clock: bool = True,
+    ) -> RadioServiceResult:
+        """Issue one request over a radio and account its energy.
+
+        The returned energy covers base device power for the request
+        duration plus the radio's wake+active energy.  (Tail energy is
+        accrued on the link's timeline and can be drained separately for
+        trace experiments; for per-query accounting use
+        :func:`repro.radio.energy.isolated_request_energy`.)
+        """
+        link = self.radio_link(radio)
+        result: RequestResult = link.request(
+            now=self.clock.now,
+            bytes_up=self.config.query_bytes_up if bytes_up is None else bytes_up,
+            bytes_down=(
+                self.config.serp_bytes_down if bytes_down is None else bytes_down
+            ),
+            server_s=self.config.server_time_s if server_s is None else server_s,
+        )
+        profile: RadioProfile = link.profile
+        radio_energy = 0.0
+        if result.woke:
+            radio_energy += profile.wakeup_s * profile.ramp_power_w
+        active_s = result.latency_s - (profile.wakeup_s if result.woke else 0.0)
+        radio_energy += active_s * profile.active_power_w
+        energy = self.account_interaction(result.latency_s, radio_energy)
+        if advance_clock:
+            self.clock.advance(result.latency_s)
+        return RadioServiceResult(
+            latency_s=result.latency_s,
+            energy_j=energy,
+            radio=link.profile.name,
+            woke=result.woke,
+        )
+
+    # -- browser path ------------------------------------------------------------
+
+    def render_page(self, page_bytes: int = SERP_BYTES) -> tuple:
+        """Render a page; returns (latency_s, energy_j) and advances clock."""
+        render_s = self.browser.render(page_bytes)
+        energy = self.account_interaction(
+            render_s, self.browser.render_energy_j(render_s)
+        )
+        self.clock.advance(render_s)
+        return render_s, energy

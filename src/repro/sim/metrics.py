@@ -1,0 +1,127 @@
+"""Latency / energy / hit-rate metric aggregation for replay experiments."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+
+class ServiceSource(Enum):
+    """How a query was ultimately served."""
+
+    CACHE = "cache"
+    RADIO_3G = "3g"
+    RADIO_EDGE = "edge"
+    RADIO_WIFI = "802.11g"
+
+    @property
+    def is_local(self) -> bool:
+        return self is ServiceSource.CACHE
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """The measured outcome of serving one query."""
+
+    query: str
+    hit: bool
+    source: ServiceSource
+    latency_s: float
+    energy_j: float
+    timestamp: float = 0.0
+    navigational: Optional[bool] = None
+
+
+@dataclass
+class MetricsCollector:
+    """Accumulates :class:`QueryOutcome` records and computes aggregates."""
+
+    outcomes: List[QueryOutcome] = field(default_factory=list)
+
+    def record(self, outcome: QueryOutcome) -> None:
+        self.outcomes.append(outcome)
+
+    def extend(self, outcomes: List[QueryOutcome]) -> None:
+        self.outcomes.extend(outcomes)
+
+    # -- aggregates ---------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def hits(self) -> int:
+        return sum(1 for o in self.outcomes if o.hit)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of queries served from the cache (0 when empty)."""
+        if not self.outcomes:
+            return 0.0
+        return self.hits / len(self.outcomes)
+
+    @property
+    def mean_latency_s(self) -> float:
+        self._require_data()
+        return sum(o.latency_s for o in self.outcomes) / len(self.outcomes)
+
+    @property
+    def mean_energy_j(self) -> float:
+        self._require_data()
+        return sum(o.energy_j for o in self.outcomes) / len(self.outcomes)
+
+    @property
+    def total_energy_j(self) -> float:
+        return sum(o.energy_j for o in self.outcomes)
+
+    @property
+    def total_latency_s(self) -> float:
+        return sum(o.latency_s for o in self.outcomes)
+
+    def latency_percentile(self, q: float) -> float:
+        """Latency percentile ``q`` in [0, 100] (nearest-rank)."""
+        self._require_data()
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        ordered = sorted(o.latency_s for o in self.outcomes)
+        rank = max(0, math.ceil(q / 100 * len(ordered)) - 1)
+        return ordered[rank]
+
+    def hit_rate_by(self, predicate) -> float:
+        """Hit rate restricted to outcomes matching ``predicate``."""
+        subset = [o for o in self.outcomes if predicate(o)]
+        if not subset:
+            return 0.0
+        return sum(1 for o in subset if o.hit) / len(subset)
+
+    def hit_breakdown_navigational(self) -> Dict[str, float]:
+        """Of all cache hits, the fraction that were navigational queries.
+
+        Outcomes without a navigational flag are excluded.  Reproduces the
+        split of Figure 19.
+        """
+        hits = [
+            o for o in self.outcomes if o.hit and o.navigational is not None
+        ]
+        if not hits:
+            return {"navigational": 0.0, "non_navigational": 0.0}
+        nav = sum(1 for o in hits if o.navigational)
+        return {
+            "navigational": nav / len(hits),
+            "non_navigational": 1 - nav / len(hits),
+        }
+
+    def window(self, t_start: float, t_end: float) -> "MetricsCollector":
+        """Sub-collector of outcomes with timestamp in [t_start, t_end)."""
+        sub = MetricsCollector()
+        sub.extend(
+            [o for o in self.outcomes if t_start <= o.timestamp < t_end]
+        )
+        return sub
+
+    def _require_data(self) -> None:
+        if not self.outcomes:
+            raise ValueError("no outcomes recorded")

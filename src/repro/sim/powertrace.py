@@ -1,0 +1,86 @@
+"""ASCII rendering of radio power timelines (Figure 16's trace).
+
+Turns a list of :class:`~repro.radio.states.PowerSegment` into a
+fixed-width text chart — enough to *see* the paper's Figure 16: the long
+high-power plateau of the radio run versus the short low bumps of
+PocketSearch.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.radio.states import PowerSegment
+
+#: Glyph per chart row, bottom to top.
+_FILL = "#"
+_EMPTY = " "
+
+
+def sample_power(
+    segments: Sequence[PowerSegment],
+    n_samples: int,
+    base_power_w: float = 0.0,
+    t_end: Optional[float] = None,
+) -> List[float]:
+    """Sample total power (radio + base) at ``n_samples`` even points."""
+    if n_samples <= 0:
+        raise ValueError(f"n_samples must be positive, got {n_samples}")
+    if not segments:
+        return [base_power_w] * n_samples
+    end = t_end if t_end is not None else segments[-1].t_end
+    if end <= 0:
+        raise ValueError("timeline must cover positive time")
+    samples = []
+    idx = 0
+    for i in range(n_samples):
+        t = (i + 0.5) / n_samples * end
+        while idx < len(segments) and segments[idx].t_end <= t:
+            idx += 1
+        if idx < len(segments) and segments[idx].t_start <= t:
+            samples.append(segments[idx].power_w + base_power_w)
+        else:
+            samples.append(base_power_w)
+    return samples
+
+
+def render_trace(
+    segments: Sequence[PowerSegment],
+    width: int = 72,
+    height: int = 8,
+    base_power_w: float = 0.0,
+    max_power_w: Optional[float] = None,
+    title: str = "",
+) -> str:
+    """Render a power timeline as an ASCII chart.
+
+    Args:
+        segments: the radio timeline (from ``RadioLink.drain``).
+        width: chart columns (time samples).
+        height: chart rows (power resolution).
+        base_power_w: constant device power added to every sample.
+        max_power_w: y-axis ceiling (auto from the data when omitted).
+        title: optional chart caption.
+
+    Returns:
+        A multi-line string; the left gutter labels power in watts.
+    """
+    if width <= 0 or height <= 0:
+        raise ValueError("width and height must be positive")
+    samples = sample_power(segments, width, base_power_w)
+    ceiling = max_power_w if max_power_w is not None else max(samples) or 1.0
+    if ceiling <= 0:
+        raise ValueError("max_power_w must be positive")
+    rows = []
+    for level in range(height, 0, -1):
+        threshold = ceiling * (level - 0.5) / height
+        row = "".join(_FILL if s >= threshold else _EMPTY for s in samples)
+        label = f"{ceiling * level / height:5.2f}W"
+        rows.append(f"{label} |{row}|")
+    duration = segments[-1].t_end if segments else 0.0
+    axis = f"{'':6} +{'-' * width}+"
+    time_line = f"{'':6}  0s{'':{max(width - 10, 1)}}{duration:.0f}s"
+    out = [axis, *rows, axis, time_line]
+    if title:
+        out.insert(0, title)
+    return "\n".join(out)

@@ -1,0 +1,300 @@
+"""Query-stream replay harness (Section 6.2).
+
+Reproduces the paper's hit-rate methodology:
+
+1. build the community cache content from one month of logs;
+2. randomly select N users per Table 6 class based on their *replay*
+   month volume;
+3. replay each user's next-month query stream against a fresh
+   PocketSearch cache (each user has their own phone), in one of three
+   modes: full, community-only (personalization off), or
+   personalization-only (community content empty);
+4. aggregate hit rates per class, per week, and by navigational split.
+
+Optionally applies daily server updates during the replay (Section
+6.2.2), refreshing the community component from a trailing log window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.logs.generator import SearchLog
+from repro.logs.schema import MONTH_SECONDS, UserClass, classify_user
+from repro.pocketsearch.cache import PocketSearchCache
+from repro.pocketsearch.content import (
+    CacheContent,
+    ContentPolicy,
+    PAPER_OPERATING_POINT,
+    build_cache_content,
+)
+from repro.pocketsearch.database import ResultDatabase
+from repro.pocketsearch.engine import PocketSearchEngine
+from repro.pocketsearch.manager import CacheUpdateServer
+from repro.sim.metrics import MetricsCollector
+from repro.storage.filesystem import FlashFilesystem
+from repro.storage.flash import NandFlash
+
+DAY_SECONDS = 24 * 3600
+
+
+class CacheMode:
+    """The three Figure 17 cache configurations."""
+
+    FULL = "full"
+    COMMUNITY_ONLY = "community"
+    PERSONALIZATION_ONLY = "personalization"
+
+    ALL = (FULL, COMMUNITY_ONLY, PERSONALIZATION_ONLY)
+
+
+@dataclass(frozen=True)
+class ReplayConfig:
+    """Replay experiment parameters."""
+
+    build_month: int = 0
+    replay_month: int = 1
+    users_per_class: int = 100
+    policy: ContentPolicy = PAPER_OPERATING_POINT
+    seed: int = 97
+    daily_updates: bool = False
+
+    def __post_init__(self) -> None:
+        if self.users_per_class <= 0:
+            raise ValueError("users_per_class must be positive")
+        if self.build_month == self.replay_month:
+            raise ValueError("build and replay months must differ")
+
+
+@dataclass
+class UserReplayResult:
+    """Outcome of one user's month-long replay."""
+
+    user_id: int
+    user_class: UserClass
+    metrics: MetricsCollector
+
+
+@dataclass
+class ReplayResult:
+    """All user replays of one mode."""
+
+    mode: str
+    users: List[UserReplayResult] = field(default_factory=list)
+
+    def hit_rate_by_class(self) -> Dict[UserClass, float]:
+        """Mean per-user hit rate for each class (the Figure 17 bars)."""
+        rates: Dict[UserClass, List[float]] = {c: [] for c in UserClass}
+        for user in self.users:
+            rates[user.user_class].append(user.metrics.hit_rate)
+        return {
+            c: float(np.mean(v)) if v else float("nan")
+            for c, v in rates.items()
+        }
+
+    def overall_hit_rate(self) -> float:
+        """Mean per-user hit rate across all replayed users."""
+        if not self.users:
+            return 0.0
+        return float(np.mean([u.metrics.hit_rate for u in self.users]))
+
+    def hit_rate_by_class_windowed(
+        self, t_start: float, t_end: float
+    ) -> Dict[UserClass, float]:
+        """Figure 18: per-class hit rate restricted to a time window."""
+        rates: Dict[UserClass, List[float]] = {c: [] for c in UserClass}
+        for user in self.users:
+            window = user.metrics.window(t_start, t_end)
+            if window.count:
+                rates[user.user_class].append(window.hit_rate)
+        return {
+            c: float(np.mean(v)) if v else float("nan")
+            for c, v in rates.items()
+        }
+
+    def navigational_breakdown(self) -> Dict[UserClass, Dict[str, float]]:
+        """Figure 19: cache-hit split into nav / non-nav per class."""
+        out: Dict[UserClass, Dict[str, float]] = {}
+        for user_class in UserClass:
+            merged = MetricsCollector()
+            for user in self.users:
+                if user.user_class is user_class:
+                    merged.extend(user.metrics.outcomes)
+            out[user_class] = merged.hit_breakdown_navigational()
+        return out
+
+
+def select_replay_users(
+    log: SearchLog,
+    month: int,
+    users_per_class: int,
+    seed: int = 97,
+) -> Dict[UserClass, List[int]]:
+    """Randomly pick ``users_per_class`` users per Table 6 class.
+
+    Classification uses the user's volume in the replay month, and users
+    below the 20-queries/month floor are excluded, as in the paper.
+    """
+    rng = np.random.default_rng(seed)
+    volumes = log.user_monthly_volumes(month=month)
+    buckets: Dict[UserClass, List[int]] = {c: [] for c in UserClass}
+    for uid, volume in volumes.items():
+        user_class = classify_user(volume)
+        if user_class is not None:
+            buckets[user_class].append(uid)
+    selected = {}
+    for user_class, uids in buckets.items():
+        uids = sorted(uids)
+        if len(uids) > users_per_class:
+            chosen = rng.choice(len(uids), size=users_per_class, replace=False)
+            uids = [uids[i] for i in sorted(chosen.tolist())]
+        selected[user_class] = uids
+    return selected
+
+
+def make_cache(
+    content: Optional[CacheContent],
+    mode: str,
+    results_per_entry: int = 2,
+) -> PocketSearchCache:
+    """A fresh per-user cache in the given mode."""
+    from repro.pocketsearch.hashtable import QueryHashTable
+
+    database = ResultDatabase(FlashFilesystem(NandFlash()))
+    cache = PocketSearchCache(
+        hashtable=QueryHashTable(results_per_entry=results_per_entry),
+        database=database,
+        personalization_enabled=(mode != CacheMode.COMMUNITY_ONLY),
+    )
+    if mode != CacheMode.PERSONALIZATION_ONLY and content is not None:
+        cache.load_community(content)
+    return cache
+
+
+def replay_user(
+    engine: PocketSearchEngine,
+    log: SearchLog,
+    user_id: int,
+    t_start: float,
+    t_end: float,
+) -> MetricsCollector:
+    """Replay one user's events in [t_start, t_end) through an engine."""
+    stream = log.for_user(user_id).window(t_start, t_end)
+    metrics = MetricsCollector()
+    for i in range(stream.n_events):
+        qkey = int(stream.query_keys[i])
+        rkey = int(stream.result_keys[i])
+        result = engine.serve_query(
+            query=stream.query_string(qkey),
+            clicked_url=stream.result_url(rkey),
+            record_bytes=_record_bytes(stream, rkey),
+            navigational=bool(stream.navigational[i]),
+            timestamp=float(stream.timestamps[i]),
+        )
+        metrics.record(result.outcome)
+    return metrics
+
+
+def _record_bytes(log: SearchLog, result_key: int) -> int:
+    community = log.community
+    if result_key < community.n_results:
+        return community.result_records[result_key].record_bytes
+    return 500
+
+
+def run_replay(
+    log: SearchLog,
+    config: ReplayConfig = ReplayConfig(),
+    modes: Iterable[str] = CacheMode.ALL,
+    selected_users: Optional[Dict[UserClass, List[int]]] = None,
+) -> Dict[str, ReplayResult]:
+    """The full Section 6.2 experiment.
+
+    Args:
+        log: a log spanning at least the build and replay months.
+        config: experiment parameters.
+        modes: which cache modes to run.
+        selected_users: pre-selected users (else sampled per Table 6).
+
+    Returns:
+        mode -> :class:`ReplayResult`.
+    """
+    build_log = log.month(config.build_month)
+    content = build_cache_content(build_log, config.policy)
+    if selected_users is None:
+        selected_users = select_replay_users(
+            log, config.replay_month, config.users_per_class, config.seed
+        )
+    t_start = config.replay_month * MONTH_SECONDS
+    t_end = t_start + MONTH_SECONDS
+
+    daily_contents: List[CacheContent] = []
+    if config.daily_updates:
+        daily_contents = _daily_contents(log, config)
+
+    results: Dict[str, ReplayResult] = {}
+    for mode in modes:
+        result = ReplayResult(mode=mode)
+        for user_class, uids in selected_users.items():
+            for uid in uids:
+                cache = make_cache(content, mode)
+                engine = PocketSearchEngine(cache)
+                if config.daily_updates and mode != CacheMode.PERSONALIZATION_ONLY:
+                    metrics = _replay_user_with_updates(
+                        engine, log, uid, t_start, t_end, daily_contents
+                    )
+                else:
+                    metrics = replay_user(engine, log, uid, t_start, t_end)
+                result.users.append(
+                    UserReplayResult(
+                        user_id=uid, user_class=user_class, metrics=metrics
+                    )
+                )
+        results[mode] = result
+    return results
+
+
+def _daily_contents(log: SearchLog, config: ReplayConfig) -> List[CacheContent]:
+    """Pre-mine the popular set once per replay day (trailing 30 days)."""
+    t_replay = config.replay_month * MONTH_SECONDS
+    contents = []
+    for day in range(30):
+        t_end = t_replay + day * DAY_SECONDS
+        window = log.window(t_end - MONTH_SECONDS, t_end)
+        contents.append(build_cache_content(window, config.policy))
+    return contents
+
+
+def _replay_user_with_updates(
+    engine: PocketSearchEngine,
+    log: SearchLog,
+    user_id: int,
+    t_start: float,
+    t_end: float,
+    daily_contents: List[CacheContent],
+) -> MetricsCollector:
+    """Replay with a nightly community refresh (Section 6.2.2)."""
+    server = CacheUpdateServer()
+    stream = log.for_user(user_id).window(t_start, t_end)
+    metrics = MetricsCollector()
+    day = 0
+    for i in range(stream.n_events):
+        t = float(stream.timestamps[i])
+        event_day = min(int((t - t_start) // DAY_SECONDS), len(daily_contents) - 1)
+        while day <= event_day:
+            server.refresh_with_content(engine.cache, daily_contents[day])
+            day += 1
+        qkey = int(stream.query_keys[i])
+        rkey = int(stream.result_keys[i])
+        result = engine.serve_query(
+            query=stream.query_string(qkey),
+            clicked_url=stream.result_url(rkey),
+            record_bytes=_record_bytes(stream, rkey),
+            navigational=bool(stream.navigational[i]),
+            timestamp=t,
+        )
+        metrics.record(result.outcome)
+    return metrics

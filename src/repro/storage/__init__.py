@@ -1,0 +1,31 @@
+"""Memory-hierarchy substrate (Section 3.3 of the paper).
+
+Pocket cloudlets store bulk service data in NAND flash, keep indexes in
+DRAM, and (as technologies mature) may interpose a PCM tier between the
+two.  This subpackage models those devices at the granularity the paper's
+experiments need: access latency, energy, capacity, block-granular flash
+allocation, and fragmentation accounting.
+"""
+
+from repro.storage.flash import FlashGeometry, FlashStats, NandFlash
+from repro.storage.dram import Dram
+from repro.storage.pcm import Pcm
+from repro.storage.device import MemoryDevice, AccessResult
+from repro.storage.filesystem import FlashFile, FlashFilesystem, FilesystemError
+from repro.storage.hierarchy import MemoryHierarchy, Tier, TierName
+
+__all__ = [
+    "AccessResult",
+    "Dram",
+    "FilesystemError",
+    "FlashFile",
+    "FlashFilesystem",
+    "FlashGeometry",
+    "FlashStats",
+    "MemoryDevice",
+    "MemoryHierarchy",
+    "NandFlash",
+    "Pcm",
+    "Tier",
+    "TierName",
+]

@@ -1,0 +1,29 @@
+"""DRAM tier model.
+
+DRAM holds the pocket cloudlet indexes (the PocketSearch query hash table
+lives here).  It is volatile: after a power cycle indexes must be reloaded
+from flash, which is the motivation for the PCM tier (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from repro.storage.device import MemoryDevice
+
+MB = 1024**2
+
+
+class Dram(MemoryDevice):
+    """DRAM with ~50ns access latency and multi-GB/s bandwidth."""
+
+    def __init__(self, capacity_bytes: int = 512 * MB) -> None:
+        super().__init__(
+            name="dram",
+            capacity_bytes=capacity_bytes,
+            read_latency_s=50e-9,
+            write_latency_s=50e-9,
+            read_bandwidth_bps=3.2e9,
+            write_bandwidth_bps=3.2e9,
+            access_energy_j=2e-9,
+            energy_per_byte_j=50e-12,
+            volatile=True,
+        )

@@ -1,0 +1,117 @@
+"""Three-tier memory hierarchy (Figure 3, Section 3.3).
+
+The paper's architecture stores bulk cloud-service data in NAND flash and
+data indexes in DRAM, and anticipates a PCM middle tier that keeps indexes
+non-volatile and instantly available at boot.  :class:`MemoryHierarchy`
+composes the device models, tracks per-tier allocations, and models the
+boot-time index-load cost that motivates the PCM tier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Optional
+
+from repro.storage.device import AccessResult, MemoryDevice
+from repro.storage.dram import Dram
+from repro.storage.flash import NandFlash
+from repro.storage.pcm import Pcm
+
+
+class TierName(Enum):
+    DRAM = "dram"
+    PCM = "pcm"
+    FLASH = "flash"
+
+
+@dataclass
+class Tier:
+    """One level of the hierarchy: a device plus allocation bookkeeping."""
+
+    name: TierName
+    device: MemoryDevice
+    allocated_bytes: int = 0
+
+    @property
+    def free_bytes(self) -> int:
+        return self.device.capacity_bytes - self.allocated_bytes
+
+    def allocate(self, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        if nbytes > self.free_bytes:
+            raise MemoryError(
+                f"tier {self.name.value}: cannot allocate {nbytes} bytes, "
+                f"{self.free_bytes} free"
+            )
+        self.allocated_bytes += nbytes
+
+    def release(self, nbytes: int) -> None:
+        if nbytes < 0 or nbytes > self.allocated_bytes:
+            raise ValueError(
+                f"tier {self.name.value}: cannot release {nbytes} bytes, "
+                f"{self.allocated_bytes} allocated"
+            )
+        self.allocated_bytes -= nbytes
+
+
+class MemoryHierarchy:
+    """DRAM (+ optional PCM) + NAND flash hierarchy.
+
+    Args:
+        dram: volatile index tier.
+        flash: bulk data tier.
+        pcm: optional intermediate non-volatile index tier.
+    """
+
+    def __init__(
+        self,
+        dram: Optional[Dram] = None,
+        flash: Optional[NandFlash] = None,
+        pcm: Optional[Pcm] = None,
+    ) -> None:
+        self.tiers: Dict[TierName, Tier] = {}
+        self.tiers[TierName.DRAM] = Tier(TierName.DRAM, dram or Dram())
+        self.tiers[TierName.FLASH] = Tier(TierName.FLASH, flash or NandFlash())
+        if pcm is not None:
+            self.tiers[TierName.PCM] = Tier(TierName.PCM, pcm)
+
+    @property
+    def has_pcm(self) -> bool:
+        return TierName.PCM in self.tiers
+
+    def tier(self, name: TierName) -> Tier:
+        try:
+            return self.tiers[name]
+        except KeyError:
+            raise KeyError(f"hierarchy has no {name.value} tier") from None
+
+    @property
+    def index_tier(self) -> Tier:
+        """Where cloudlet indexes live: PCM when present, else DRAM."""
+        return self.tiers.get(TierName.PCM, self.tiers[TierName.DRAM])
+
+    @property
+    def data_tier(self) -> Tier:
+        return self.tiers[TierName.FLASH]
+
+    def boot_index_load(self, index_bytes: int) -> AccessResult:
+        """Model making an index of ``index_bytes`` available after boot.
+
+        Without PCM the index must be streamed from flash into DRAM (the
+        cost the paper calls "extremely time consuming" for GB-scale
+        indexes).  With PCM the index is already resident, so only the
+        first PCM access is paid.
+        """
+        if index_bytes < 0:
+            raise ValueError(f"index_bytes must be non-negative, got {index_bytes}")
+        if self.has_pcm:
+            return self.tiers[TierName.PCM].device.read(0)
+        flash_cost = self.tiers[TierName.FLASH].device.read(index_bytes)
+        dram_cost = self.tiers[TierName.DRAM].device.write(index_bytes)
+        return AccessResult(
+            latency_s=flash_cost.latency_s + dram_cost.latency_s,
+            energy_j=flash_cost.energy_j + dram_cost.energy_j,
+            bytes_moved=index_bytes,
+        )

@@ -1,0 +1,29 @@
+"""PCM (phase-change memory) intermediate tier model.
+
+Section 3.3 suggests PCM as a middle tier between DRAM and NAND: slower
+than DRAM, much faster than NAND, and non-volatile — so data indexes stored
+in PCM survive power cycles and are instantly available at boot.
+"""
+
+from __future__ import annotations
+
+from repro.storage.device import MemoryDevice
+
+GB = 1024**3
+
+
+class Pcm(MemoryDevice):
+    """PCM: sub-microsecond reads, slower asymmetric writes, non-volatile."""
+
+    def __init__(self, capacity_bytes: int = 4 * GB) -> None:
+        super().__init__(
+            name="pcm",
+            capacity_bytes=capacity_bytes,
+            read_latency_s=300e-9,
+            write_latency_s=1e-6,
+            read_bandwidth_bps=800e6,
+            write_bandwidth_bps=200e6,
+            access_energy_j=10e-9,
+            energy_per_byte_j=200e-12,
+            volatile=False,
+        )

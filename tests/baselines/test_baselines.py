@@ -1,0 +1,110 @@
+"""Tests for the comparator systems."""
+
+import pytest
+
+from repro.baselines.browser_cache import BrowserUrlCache
+from repro.baselines.lru import LruQueryCache
+from repro.baselines.nocache import NoCacheBaseline
+from repro.radio.models import EDGE, THREE_G
+
+
+class TestNoCache:
+    def test_every_query_pays_radio(self):
+        baseline = NoCacheBaseline()
+        latency, energy = baseline.serve_query("anything")
+        assert latency > 3.0
+        assert energy > 5.0
+        assert baseline.hit_rate == 0.0
+
+    def test_edge_slower(self):
+        edge = NoCacheBaseline(radio=EDGE)
+        threeg = NoCacheBaseline(radio=THREE_G)
+        assert edge.serve_query("q")[0] > threeg.serve_query("q")[0]
+
+    def test_counts_queries(self):
+        baseline = NoCacheBaseline()
+        baseline.serve_query("a")
+        baseline.serve_query("b")
+        assert baseline.queries == 2
+
+
+class TestLru:
+    def test_hit_after_insert(self):
+        lru = LruQueryCache(capacity=2)
+        lru.insert("a", 1)
+        assert lru.lookup("a") == 1
+        assert lru.hit_rate == 1.0
+
+    def test_eviction_order(self):
+        lru = LruQueryCache(capacity=2)
+        lru.insert("a", 1)
+        lru.insert("b", 2)
+        lru.lookup("a")  # refresh a
+        lru.insert("c", 3)  # evicts b
+        assert "a" in lru
+        assert "b" not in lru
+        assert lru.evictions == 1
+
+    def test_reinsert_updates_value(self):
+        lru = LruQueryCache(capacity=2)
+        lru.insert("a", 1)
+        lru.insert("a", 2)
+        assert lru.lookup("a") == 2
+        assert len(lru) == 1
+
+    def test_capacity_respected(self):
+        lru = LruQueryCache(capacity=3)
+        for i in range(10):
+            lru.insert(f"q{i}", i)
+        assert len(lru) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LruQueryCache(capacity=0)
+
+
+class TestBrowserUrlCache:
+    def test_navigational_match(self):
+        cache = BrowserUrlCache()
+        cache.visit("www.youtube.com")
+        assert cache.lookup("youtube") == "www.youtube.com"
+
+    def test_misspelling_misses(self):
+        """The technique only serves true substring matches — the gap
+        PocketSearch closes (Section 8)."""
+        cache = BrowserUrlCache()
+        cache.visit("www.youtube.com")
+        assert cache.lookup("yotube") is None
+
+    def test_non_navigational_misses(self):
+        cache = BrowserUrlCache()
+        cache.visit("www.imdb.com/name/nm0001391")
+        assert cache.lookup("michael jackson") is None
+
+    def test_spaces_stripped(self):
+        cache = BrowserUrlCache()
+        cache.visit("www.bankofamerica.com")
+        assert cache.lookup("bank of america") == "www.bankofamerica.com"
+
+    def test_capacity_fifo(self):
+        cache = BrowserUrlCache(capacity=2)
+        cache.visit("www.a.com")
+        cache.visit("www.b.com")
+        cache.visit("www.c.com")
+        assert len(cache) == 2
+        assert cache.lookup("a") is None  # wait: 'a' matches www... careful
+
+    def test_duplicate_visits_not_duplicated(self):
+        cache = BrowserUrlCache()
+        cache.visit("www.a.com")
+        cache.visit("www.a.com")
+        assert len(cache) == 1
+
+    def test_empty_query(self):
+        cache = BrowserUrlCache()
+        cache.visit("www.a.com")
+        assert cache.lookup("   ") is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BrowserUrlCache(capacity=0)

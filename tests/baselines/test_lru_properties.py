@@ -1,0 +1,40 @@
+"""Property-based tests: the LRU cache against a reference model."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.lru import LruQueryCache
+
+ops = st.lists(
+    st.tuples(st.sampled_from(["lookup", "insert"]), st.integers(0, 12)),
+    max_size=80,
+)
+
+
+@given(ops=ops, capacity=st.integers(min_value=1, max_value=6))
+@settings(max_examples=80, deadline=None)
+def test_lru_matches_reference(ops, capacity):
+    cache = LruQueryCache(capacity=capacity)
+    reference: "OrderedDict[int, int]" = OrderedDict()
+    for op, key in ops:
+        if op == "lookup":
+            got = cache.lookup(key)
+            if key in reference:
+                reference.move_to_end(key)
+                assert got == reference[key]
+            else:
+                assert got is None
+        else:
+            cache.insert(key, key * 10)
+            if key in reference:
+                reference.move_to_end(key)
+                reference[key] = key * 10
+            else:
+                if len(reference) >= capacity:
+                    reference.popitem(last=False)
+                reference[key] = key * 10
+        assert len(cache) == len(reference)
+        assert len(cache) <= capacity
+    for key in reference:
+        assert key in cache

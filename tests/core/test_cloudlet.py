@@ -1,0 +1,81 @@
+"""Tests for the generic cloudlet interface."""
+
+import pytest
+
+from repro.core.cloudlet import Cloudlet
+
+
+class DictCloudlet(Cloudlet):
+    """Minimal concrete cloudlet over a dict, for interface testing."""
+
+    def __init__(self, name="test", budget=1000):
+        super().__init__(name, budget)
+        self.store = {}
+        self.sizes = {}
+
+    def lookup_local(self, key):
+        return self.store.get(key)
+
+    def store_local(self, key, value, nbytes):
+        self.store[key] = value
+        self.sizes[key] = nbytes
+
+    def evict(self, nbytes):
+        freed = 0
+        for key in list(self.store):
+            if freed >= nbytes:
+                break
+            freed += self.sizes.pop(key)
+            del self.store[key]
+        return freed
+
+    def local_cost(self, key):
+        return (0.01, 0.001)
+
+    def remote_cost(self, key):
+        return (5.0, 10.0)
+
+
+class TestServicePath:
+    def test_hit(self):
+        cloudlet = DictCloudlet()
+        cloudlet.record_access("k", "v", 10)
+        outcome = cloudlet.serve("k")
+        assert outcome.hit
+        assert outcome.value == "v"
+        assert outcome.latency_s == 0.01
+
+    def test_miss(self):
+        cloudlet = DictCloudlet()
+        outcome = cloudlet.serve("k")
+        assert not outcome.hit
+        assert outcome.latency_s == 5.0
+
+    def test_stats(self):
+        cloudlet = DictCloudlet()
+        cloudlet.record_access("k", "v", 10)
+        cloudlet.serve("k")
+        cloudlet.serve("missing")
+        assert cloudlet.stats.hit_rate == 0.5
+        assert cloudlet.stats.bytes_stored == 10
+
+
+class TestBudget:
+    def test_eviction_on_overflow(self):
+        cloudlet = DictCloudlet(budget=100)
+        cloudlet.record_access("a", 1, 60)
+        cloudlet.record_access("b", 2, 60)  # must evict a
+        assert cloudlet.stats.bytes_stored <= 100
+
+    def test_item_larger_than_budget_skipped(self):
+        cloudlet = DictCloudlet(budget=100)
+        cloudlet.record_access("huge", 1, 500)
+        assert "huge" not in cloudlet.store
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DictCloudlet(name="")
+        with pytest.raises(ValueError):
+            DictCloudlet(budget=0)
+        with pytest.raises(ValueError):
+            DictCloudlet().record_access("k", "v", -1)

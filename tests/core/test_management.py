@@ -1,0 +1,99 @@
+"""Tests for update policies (Section 3.2)."""
+
+import pytest
+
+from repro.core.management import ChargeState, UpdatePolicy, UpdateScheduler
+
+DAY = 24 * 3600
+
+
+class TestPolicyAssignment:
+    def test_hot_items_realtime(self):
+        scheduler = UpdateScheduler(realtime_threshold_per_day=3)
+        scheduler.observe_daily_rate("stocks", 10)
+        scheduler.observe_daily_rate("maps", 0.1)
+        assert scheduler.policy_for("stocks") is UpdatePolicy.REALTIME
+        assert scheduler.policy_for("maps") is UpdatePolicy.PERIODIC_CHARGING
+
+    def test_unknown_item_defaults_to_periodic(self):
+        scheduler = UpdateScheduler()
+        assert scheduler.policy_for("never seen") is UpdatePolicy.PERIODIC_CHARGING
+
+    def test_hot_set(self):
+        scheduler = UpdateScheduler(realtime_threshold_per_day=3)
+        scheduler.observe_daily_rate("a", 5)
+        scheduler.observe_daily_rate("b", 1)
+        assert scheduler.hot_set() == {"a"}
+
+
+class TestBulkUpdates:
+    def test_requires_charging_and_fast_link(self):
+        scheduler = UpdateScheduler(bulk_period_s=DAY)
+        assert not scheduler.bulk_update_due(
+            2 * DAY, ChargeState(charging=True, on_fast_link=False)
+        )
+        assert not scheduler.bulk_update_due(
+            2 * DAY, ChargeState(charging=False, on_fast_link=True)
+        )
+        assert scheduler.bulk_update_due(
+            2 * DAY, ChargeState(charging=True, on_fast_link=True)
+        )
+
+    def test_period_enforced(self):
+        scheduler = UpdateScheduler(bulk_period_s=DAY)
+        charge = ChargeState(charging=True, on_fast_link=True)
+        assert scheduler.run_bulk_update(DAY, charge)
+        assert not scheduler.run_bulk_update(DAY + 3600, charge)
+        assert scheduler.run_bulk_update(2 * DAY + 1, charge)
+
+
+class TestRealtimeUpdates:
+    def test_budget_enforced(self):
+        scheduler = UpdateScheduler(
+            realtime_threshold_per_day=1, realtime_budget_per_day=2
+        )
+        scheduler.observe_daily_rate("hot", 5)
+        assert scheduler.request_realtime_update("hot", 100.0)
+        assert scheduler.request_realtime_update("hot", 200.0)
+        assert not scheduler.request_realtime_update("hot", 300.0)
+
+    def test_budget_resets_daily(self):
+        scheduler = UpdateScheduler(
+            realtime_threshold_per_day=1, realtime_budget_per_day=1
+        )
+        scheduler.observe_daily_rate("hot", 5)
+        assert scheduler.request_realtime_update("hot", 0.0)
+        assert not scheduler.request_realtime_update("hot", 1.0)
+        assert scheduler.request_realtime_update("hot", DAY + 1.0)
+
+    def test_cold_items_refused(self):
+        scheduler = UpdateScheduler(realtime_threshold_per_day=3)
+        scheduler.observe_daily_rate("cold", 0.5)
+        assert not scheduler.request_realtime_update("cold", 0.0)
+
+
+class TestDecisions:
+    def test_snapshot(self):
+        scheduler = UpdateScheduler(
+            bulk_period_s=DAY, realtime_threshold_per_day=3
+        )
+        scheduler.observe_daily_rate("hot", 5)
+        scheduler.observe_daily_rate("cold", 0.1)
+        decisions = {
+            d.item: d
+            for d in scheduler.decisions(
+                2 * DAY, ChargeState(charging=True, on_fast_link=True)
+            )
+        }
+        assert decisions["hot"].policy is UpdatePolicy.REALTIME
+        assert decisions["hot"].due
+        assert decisions["cold"].due  # bulk window is open
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UpdateScheduler(bulk_period_s=0)
+        with pytest.raises(ValueError):
+            UpdateScheduler(realtime_threshold_per_day=-1)
+        scheduler = UpdateScheduler()
+        with pytest.raises(ValueError):
+            scheduler.observe_daily_rate("x", -1)

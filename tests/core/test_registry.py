@@ -1,0 +1,111 @@
+"""Tests for the multi-cloudlet registry (Section 7)."""
+
+import pytest
+
+from repro.core.registry import CloudletRegistry, IsolationError
+from tests.core.test_cloudlet import DictCloudlet
+
+
+@pytest.fixture
+def registry():
+    reg = CloudletRegistry(total_budget_bytes=10_000, index_budget_bytes=1000)
+    reg.register(DictCloudlet("search", 4000), index_bytes=400)
+    reg.register(DictCloudlet("ads", 2000), index_bytes=200)
+    return reg
+
+
+class TestRegistration:
+    def test_names(self, registry):
+        assert registry.names == ["ads", "search"]
+
+    def test_duplicate_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.register(DictCloudlet("search", 100))
+
+    def test_storage_budget_enforced(self, registry):
+        with pytest.raises(ValueError):
+            registry.register(DictCloudlet("maps", 5000))
+
+    def test_index_budget_enforced(self, registry):
+        """Indexes compete with user apps for main memory (Section 7)."""
+        with pytest.raises(ValueError):
+            registry.register(DictCloudlet("maps", 100), index_bytes=500)
+
+    def test_unregister(self, registry):
+        registry.unregister("ads")
+        assert registry.names == ["search"]
+        registry.register(DictCloudlet("maps", 5000))  # budget freed
+
+    def test_free_bytes(self, registry):
+        assert registry.free_bytes == 10_000 - 6000
+
+    def test_unknown_lookup(self, registry):
+        with pytest.raises(KeyError):
+            registry.cloudlet("nope")
+
+
+class TestIsolation:
+    def test_cross_read_denied_by_default(self, registry):
+        registry.cloudlet("search").record_access("secret", "v", 10)
+        with pytest.raises(IsolationError):
+            registry.read_across("ads", "search", "secret")
+
+    def test_cross_read_with_grant(self, registry):
+        registry.cloudlet("search").record_access("k", "v", 10)
+        registry.grant_access("ads", "search")
+        assert registry.read_across("ads", "search", "k") == "v"
+
+    def test_revoke(self, registry):
+        registry.grant_access("ads", "search")
+        registry.revoke_access("ads", "search")
+        with pytest.raises(IsolationError):
+            registry.read_across("ads", "search", "k")
+
+    def test_self_read_always_allowed(self, registry):
+        registry.cloudlet("search").record_access("k", "v", 10)
+        assert registry.read_across("search", "search", "k") == "v"
+
+    def test_unregister_revokes_grants(self, registry):
+        registry.grant_access("ads", "search")
+        registry.unregister("ads")
+        registry.register(DictCloudlet("ads", 2000))
+        with pytest.raises(IsolationError):
+            registry.read_across("ads", "search", "k")
+
+
+class TestCoordinatedEviction:
+    def test_group_evicted_across_cloudlets(self, registry):
+        """Related items (query in search + ad caches) evict together."""
+        search = registry.cloudlet("search")
+        ads = registry.cloudlet("ads")
+        search.record_access("q", "serp", 100)
+        ads.record_access("q", "banner", 50)
+        registry.link_group("q", [("search", "q", 100), ("ads", "q", 50)])
+        event = registry.evict_group("q")
+        assert event.total_freed == 150
+        assert search.lookup_local("q") is None
+        assert ads.lookup_local("q") is None
+
+    def test_unknown_group(self, registry):
+        with pytest.raises(KeyError):
+            registry.evict_group("nope")
+
+    def test_reclaim_until_target(self, registry):
+        search = registry.cloudlet("search")
+        for i in range(4):
+            key = f"q{i}"
+            search.record_access(key, "v", 100)
+            registry.link_group(key, [("search", key, 100)])
+        events = registry.reclaim(250)
+        assert sum(e.total_freed for e in events) >= 250
+        assert len(events) == 3
+
+    def test_reclaim_validation(self, registry):
+        with pytest.raises(ValueError):
+            registry.reclaim(-1)
+
+    def test_link_group_validation(self, registry):
+        with pytest.raises(KeyError):
+            registry.link_group("g", [("nope", "k", 10)])
+        with pytest.raises(ValueError):
+            registry.link_group("g", [("search", "k", -1)])

@@ -1,0 +1,117 @@
+"""Tests for the data-selection layer (Section 3.1)."""
+
+import pytest
+
+from repro.core.selection import (
+    CommunityAccessModel,
+    DataSelector,
+    PersonalAccessModel,
+)
+
+
+class TestCommunityModel:
+    def test_volumes_accumulate(self):
+        model = CommunityAccessModel()
+        model.record("a", 5)
+        model.record("a", 3)
+        assert model.volume("a") == 8
+        assert model.total_volume == 8
+
+    def test_top_items(self):
+        model = CommunityAccessModel()
+        model.record("a", 1)
+        model.record("b", 10)
+        assert model.top_items(1) == [("b", 10)]
+
+    def test_normalized(self):
+        model = CommunityAccessModel()
+        model.record("a", 3)
+        model.record("b", 1)
+        assert model.normalized_volume("a") == pytest.approx(0.75)
+
+    def test_validation(self):
+        model = CommunityAccessModel()
+        with pytest.raises(ValueError):
+            model.record("a", -1)
+        with pytest.raises(ValueError):
+            model.top_items(-1)
+
+
+class TestPersonalModel:
+    def test_frequency_weighting(self):
+        model = PersonalAccessModel(decay_rate=0.0)
+        model.record("a", 0)
+        model.record("a", 1)
+        model.record("b", 2)
+        assert model.weight("a") == 2.0
+        assert model.top_items(1)[0][0] == "a"
+
+    def test_recency_decay(self):
+        model = PersonalAccessModel(decay_rate=0.1)
+        model.record("old", 0.0)
+        model.record("new", 100.0)
+        assert model.weight("new") > model.weight("old")
+
+    def test_time_must_advance(self):
+        model = PersonalAccessModel()
+        model.record("a", 10.0)
+        with pytest.raises(ValueError):
+            model.record("b", 5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PersonalAccessModel(decay_rate=-1)
+
+
+class TestSelector:
+    def _models(self):
+        community = CommunityAccessModel()
+        community.record("popular", 100)
+        community.record("niche", 1)
+        personal = PersonalAccessModel(decay_rate=0.0)
+        personal.record("mine", 0)
+        personal.record("mine", 1)
+        return community, personal
+
+    def test_merges_both_sources(self):
+        community, personal = self._models()
+        selector = DataSelector(community, personal)
+        chosen = selector.select(
+            budget_bytes=1000,
+            item_bytes={"popular": 10, "niche": 10, "mine": 10},
+        )
+        names = {s.item for s in chosen}
+        assert "popular" in names and "mine" in names
+
+    def test_budget_respected(self):
+        community, personal = self._models()
+        selector = DataSelector(community, personal)
+        chosen = selector.select(
+            budget_bytes=15,
+            item_bytes={"popular": 10, "niche": 10, "mine": 10},
+        )
+        assert sum(10 for _ in chosen) <= 15
+
+    def test_sources_labelled(self):
+        community, personal = self._models()
+        personal.record("popular", 2)
+        selector = DataSelector(community, personal)
+        chosen = selector.select(
+            budget_bytes=1000, item_bytes={"popular": 1, "mine": 1}
+        )
+        by_name = {s.item: s.source for s in chosen}
+        assert by_name["popular"] == "both"
+        assert by_name["mine"] == "personal"
+
+    def test_zero_score_items_skipped(self):
+        community, personal = self._models()
+        selector = DataSelector(community, personal)
+        chosen = selector.select(budget_bytes=100, item_bytes={"unknown": 1})
+        assert chosen == []
+
+    def test_weight_validation(self):
+        community, personal = self._models()
+        with pytest.raises(ValueError):
+            DataSelector(community, personal, community_weight=-1)
+        with pytest.raises(ValueError):
+            DataSelector(community, personal, 0, 0)

@@ -1,0 +1,43 @@
+"""Property-based tests on the data selector."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.selection import (
+    CommunityAccessModel,
+    DataSelector,
+    PersonalAccessModel,
+)
+
+items = st.dictionaries(
+    st.integers(0, 30),
+    st.tuples(
+        st.integers(min_value=0, max_value=100),  # community volume
+        st.integers(min_value=0, max_value=10),  # personal accesses
+        st.integers(min_value=1, max_value=50),  # bytes
+    ),
+    max_size=20,
+)
+
+
+@given(items=items, budget=st.integers(min_value=0, max_value=300))
+@settings(max_examples=80, deadline=None)
+def test_selection_invariants(items, budget):
+    community = CommunityAccessModel()
+    personal = PersonalAccessModel(decay_rate=0.0)
+    item_bytes = {}
+    t = 0.0
+    for key, (volume, accesses, nbytes) in items.items():
+        if volume:
+            community.record(key, volume)
+        for _ in range(accesses):
+            personal.record(key, t)
+            t += 1.0
+        item_bytes[key] = nbytes
+    selector = DataSelector(community, personal)
+    chosen = selector.select(budget, item_bytes)
+    # Budget respected; no duplicates; scores descending; all scored > 0.
+    assert sum(item_bytes[s.item] for s in chosen) <= budget
+    assert len({s.item for s in chosen}) == len(chosen)
+    scores = [s.score for s in chosen]
+    assert all(b <= a + 1e-12 for a, b in zip(scores, scores[1:]))
+    assert all(s.score > 0 for s in chosen)

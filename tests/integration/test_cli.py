@@ -1,0 +1,46 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out and "fig17" in out
+
+    def test_unknown_artifact(self, capsys):
+        assert main(["nonsense"]) == 2
+        assert "unknown artifact" in capsys.readouterr().err
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "flash" in capsys.readouterr().out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        assert "web_search" in capsys.readouterr().out
+
+    def test_fig2(self, capsys):
+        assert main(["fig2"]) == 0
+        assert "2018" in capsys.readouterr().out
+
+    def test_fig15(self, capsys):
+        assert main(["fig15"]) == 0
+        out = capsys.readouterr().out
+        assert "pocketsearch" in out and "edge" in out
+
+    def test_table4(self, capsys):
+        assert main(["table4"]) == 0
+        assert "browser_rendering_s" in capsys.readouterr().out
+
+    def test_fig5_uses_default_log(self, capsys):
+        assert main(["fig5"]) == 0
+        assert "mean_repeat_rate" in capsys.readouterr().out
+
+    def test_fig17_small(self, capsys):
+        assert main(["fig17", "--users", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "full" in out and "community" in out

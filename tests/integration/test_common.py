@@ -1,0 +1,37 @@
+"""Tests for experiment-support utilities."""
+
+import pytest
+
+from repro.experiments.common import (
+    default_content,
+    default_log,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table([["a", 1], ["longer", 22]], ["col", "n"])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_empty_rows(self):
+        text = format_table([], ["a", "b"])
+        assert "a" in text and "b" in text
+
+    def test_values_stringified(self):
+        text = format_table([[1.5, None]], ["x", "y"])
+        assert "1.5" in text and "None" in text
+
+
+class TestMemoization:
+    def test_default_log_cached(self):
+        assert default_log() is default_log()
+
+    def test_default_content_cached(self):
+        assert default_content() is default_content()
+
+    def test_content_covers_operating_point(self):
+        content = default_content()
+        assert content.coverage == pytest.approx(0.55, abs=0.02)

@@ -1,0 +1,100 @@
+"""Integration tests for the extension systems (PocketWeb, PocketAds,
+PCM boot, battery)."""
+
+import pytest
+
+from repro.experiments import extensions
+
+
+class TestPocketWebReplay:
+    def test_revisit_behaviour_yields_hits(self):
+        result = extensions.pocketweb_replay(users=8)
+        assert result["visits"] > 100
+        # The paper's premise: most visits are revisits -> most hit.
+        assert result["mean_hit_rate"] > 0.55
+        assert result["radio_bytes_saved_frac"] > 0.5
+        assert result["energy_ratio_vs_3g"] > 1.0
+
+
+class TestAdsCoupling:
+    def test_ads_follow_search_hits(self):
+        result = extensions.ads_coupling(users=8)
+        assert result["queries"] > 100
+        assert 0.5 <= result["ads_served_given_hit"] <= 1.0
+        assert result["ads_suppressed_frac"] == pytest.approx(
+            1 - result["search_hit_rate"], abs=1e-9
+        )
+
+
+class TestPcmBoot:
+    def test_pcm_removes_boot_penalty(self):
+        rows = extensions.pcm_boot()
+        for row in rows:
+            assert row["with_pcm_s"] < 1e-3
+            assert row["dram_only_s"] > row["with_pcm_s"]
+        # DRAM-only boot cost grows linearly with the index.
+        small, big = rows[0], rows[-1]
+        growth = big["dram_only_s"] / small["dram_only_s"]
+        size_growth = big["index_mb"] / small["index_mb"]
+        assert growth == pytest.approx(size_growth, rel=0.2)
+
+
+class TestMapsCommute:
+    def test_corridor_prefetch_dominates(self):
+        result = extensions.maps_commute(days=8)
+        assert result["viewport_hit_rate"] > 0.7
+        assert result["tile_hit_rate"] > 0.8
+        assert result["radio_bytes_saved_frac"] > 0.7
+
+    def test_store_within_budget(self):
+        result = extensions.maps_commute(days=5, budget_mb=32)
+        assert result["store_mb"] <= 32.0
+
+
+class TestSuggestEffort:
+    def test_suggestions_save_keystrokes(self):
+        result = extensions.suggest_effort(users=4)
+        assert result["hit_queries_tested"] > 50
+        assert result["topped_before_full_query"] > 0.6
+        assert 0 < result["mean_keystrokes_saved_frac"] < 1
+
+
+class TestYellowPagesDay:
+    def test_metro_prefetch_serves_most_searches(self):
+        result = extensions.yellow_pages_day(searches=40)
+        assert result["search_hit_rate"] > 0.6
+        assert result["mean_results"] > 0
+        assert result["store_mb"] <= 32.0
+
+
+class TestLatencyVariability:
+    def test_paper_band_and_determinism(self):
+        result = extensions.latency_variability(n_requests=400)
+        threeg = result["3g"]
+        assert 3.0 <= threeg["p10"] <= 10.0
+        assert threeg["p99"] > threeg["p50"] > threeg["p10"]
+        assert result["pocketsearch"]["spread"] == 0.0
+
+
+class TestServerLoadRelief:
+    def test_two_thirds_eliminated(self):
+        result = extensions.server_load_relief()
+        assert 0.6 <= result["load_eliminated_frac"] <= 0.85
+        assert result["server_queries"] < result["queries"]
+        assert result["peak_hour_after"] < result["peak_hour_before"]
+
+
+class TestBatteryLife:
+    def test_queries_per_charge_ordering(self):
+        result = extensions.battery_life()
+        assert (
+            result["pocketsearch"]["queries_per_charge"]
+            > result["802.11g"]["queries_per_charge"]
+            > result["3g"]["queries_per_charge"]
+            > result["edge"]["queries_per_charge"]
+        )
+
+    def test_daily_share_small_for_pocketsearch(self):
+        result = extensions.battery_life(queries_per_day=40)
+        assert result["pocketsearch"]["daily_share_pct"] < 0.5
+        assert result["3g"]["daily_share_pct"] > 1.0

@@ -1,0 +1,96 @@
+"""Acceptance tests: the synthetic log reproduces the paper's Section 4
+statistics at the default seed and scale (DESIGN.md section 5).
+
+These run on the full default-scale log (built once per session), so they
+live here rather than with the fast unit tests.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import default_log, desktop_log
+from repro.logs import analysis
+
+
+@pytest.fixture(scope="module")
+def month0():
+    return default_log().month(0)
+
+
+class TestCommunityConcentration:
+    def test_small_head_covers_60pct(self, month0):
+        """Paper: 6000 of ~200k distinct queries (~3%) carry 60% of
+        volume.  We accept 2-6% at our scale."""
+        cdf = analysis.query_volume_cdf(month0)
+        k60 = cdf.items_for_coverage(0.60)
+        fraction = k60 / cdf.n_items
+        assert 0.02 <= fraction <= 0.06
+
+    def test_results_reach_60pct_with_fewer_items(self, month0):
+        """Paper: 4000 results vs 6000 queries for 60% coverage."""
+        q = analysis.query_volume_cdf(month0)
+        r = analysis.result_volume_cdf(month0)
+        assert r.items_for_coverage(0.60) < q.items_for_coverage(0.60)
+
+    def test_navigational_far_more_concentrated(self, month0):
+        """Paper: 5000 nav queries -> 90% of nav volume; the same count
+        of non-nav queries -> well under half."""
+        k = analysis.query_volume_cdf(month0).items_for_coverage(0.60)
+        nav = analysis.query_volume_cdf(month0.navigational_only(True))
+        non = analysis.query_volume_cdf(month0.navigational_only(False))
+        assert nav.coverage_at(k) >= 0.85
+        assert non.coverage_at(k) <= 0.65
+        assert nav.coverage_at(k) - non.coverage_at(k) >= 0.30
+
+    def test_featurephone_more_concentrated_than_smartphone(self, month0):
+        k = analysis.query_volume_cdf(month0).items_for_coverage(0.60)
+        feature = analysis.query_volume_cdf(month0.for_device("featurephone"))
+        smart = analysis.query_volume_cdf(month0.for_device("smartphone"))
+        assert feature.coverage_at(k) > smart.coverage_at(k) + 0.05
+
+
+class TestRepeatability:
+    def test_mean_repeat_rate_near_paper(self, month0):
+        """Paper: mobile users repeat 56.5% of queries."""
+        rate = analysis.overall_repeat_rate(month0)
+        assert 0.50 <= rate <= 0.68
+
+    def test_substantial_habitual_user_share(self, month0):
+        """Paper: ~50% of users have new-query probability <= 0.30.
+        Our generator lands a 20-45% share (documented deviation)."""
+        probs = analysis.user_new_pair_probability(month0)
+        values = np.asarray(list(probs.values()))
+        assert 0.15 <= (values <= 0.30).mean() <= 0.55
+
+    def test_median_user_mostly_repeats(self, month0):
+        probs = analysis.user_new_pair_probability(month0)
+        median_new = float(np.median(list(probs.values())))
+        assert median_new <= 0.50
+
+
+class TestMobileVsDesktop:
+    def test_desktop_repeats_less(self, month0):
+        """Paper: desktop ~40% vs mobile ~56.5%."""
+        desktop = desktop_log().month(0)
+        mobile_rate = analysis.overall_repeat_rate(month0)
+        desktop_rate = analysis.overall_repeat_rate(desktop)
+        assert 0.30 <= desktop_rate <= 0.48
+        assert mobile_rate - desktop_rate >= 0.10
+
+    def test_desktop_less_concentrated(self, month0):
+        """Paper: the mobile 60% head covers <20% of desktop volume."""
+        desktop = desktop_log().month(0)
+        k = analysis.query_volume_cdf(month0).items_for_coverage(0.60)
+        desktop_cov = analysis.query_volume_cdf(desktop).coverage_at(k)
+        assert desktop_cov <= 0.40
+
+
+class TestTable6Mix:
+    def test_class_mix(self, month0):
+        mix = analysis.observed_class_mix(default_log(), month=1)
+        from repro.logs.schema import UserClass
+
+        assert mix[UserClass.LOW] == pytest.approx(0.55, abs=0.08)
+        assert mix[UserClass.MEDIUM] == pytest.approx(0.36, abs=0.08)
+        assert mix[UserClass.HIGH] == pytest.approx(0.08, abs=0.04)
+        assert mix[UserClass.EXTREME] == pytest.approx(0.01, abs=0.02)

@@ -1,0 +1,22 @@
+"""Tests for the diurnal traffic profile."""
+
+import numpy as np
+
+from repro.logs.generator import DIURNAL_WEIGHTS
+
+
+class TestDiurnalProfile:
+    def test_24_hours(self):
+        assert len(DIURNAL_WEIGHTS) == 24
+
+    def test_night_quieter_than_evening(self, small_log):
+        hours = (small_log.timestamps % 86400 // 3600).astype(int)
+        counts = np.bincount(hours, minlength=24)
+        night = counts[2:5].sum()
+        evening = counts[19:22].sum()
+        assert evening > 3 * night
+
+    def test_peak_in_daytime_or_evening(self, small_log):
+        hours = (small_log.timestamps % 86400 // 3600).astype(int)
+        counts = np.bincount(hours, minlength=24)
+        assert 11 <= int(counts.argmax()) <= 22

@@ -1,0 +1,124 @@
+"""Tests for the log generator."""
+
+import numpy as np
+import pytest
+
+from repro.logs.generator import GeneratorConfig, generate_logs
+from repro.logs.schema import MONTH_SECONDS
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(months=0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(monthly_volume_jitter=-1)
+
+
+class TestLogStructure:
+    def test_columns_aligned(self, small_log):
+        n = small_log.n_events
+        assert len(small_log.timestamps) == n
+        assert len(small_log.pair_ids) == n
+        assert len(small_log.query_keys) == n
+        assert len(small_log.result_keys) == n
+        assert len(small_log.navigational) == n
+        assert len(small_log.device_codes) == n
+
+    def test_len_protocol(self, small_log):
+        assert len(small_log) == small_log.n_events
+
+    def test_timestamps_cover_both_months(self, small_log):
+        assert small_log.month(0).n_events > 0
+        assert small_log.month(1).n_events > 0
+        assert small_log.timestamps.max() < 2 * MONTH_SECONDS
+
+    def test_every_user_appears(self, small_log, small_population):
+        logged = set(np.unique(small_log.user_ids).tolist())
+        expected = {u.user_id for u in small_population.users}
+        assert logged == expected
+
+    def test_community_keys_resolve(self, small_log):
+        cm = small_log.community
+        mask = small_log.query_keys < cm.n_queries
+        sample = small_log.query_keys[mask][:20]
+        for qkey in sample.tolist():
+            assert small_log.query_string(qkey) == cm.query_strings[qkey]
+
+    def test_unique_keys_resolve(self, small_log):
+        cm = small_log.community
+        mask = small_log.query_keys >= cm.n_queries
+        if mask.any():
+            qkey = int(small_log.query_keys[mask][0])
+            rkey = int(small_log.result_keys[mask][0])
+            assert "personal" in small_log.query_string(qkey)
+            assert "personal" in small_log.result_url(rkey)
+
+    def test_unique_pairs_never_repeat(self, small_log):
+        cm = small_log.community
+        unique_ids = small_log.pair_ids[small_log.pair_ids >= cm.n_pairs]
+        assert len(unique_ids) == len(np.unique(unique_ids))
+
+    def test_nav_flags_match_community(self, small_log):
+        cm = small_log.community
+        mask = small_log.pair_ids < cm.n_pairs
+        qkeys = small_log.query_keys[mask]
+        expected = cm.query_navigational[qkeys]
+        assert np.array_equal(small_log.navigational[mask], expected)
+
+    def test_deterministic(self, small_community, small_population):
+        config = GeneratorConfig(months=1, seed=77)
+        a = generate_logs(small_community, small_population, config)
+        b = generate_logs(small_community, small_population, config)
+        assert np.array_equal(a.pair_ids, b.pair_ids)
+        assert np.array_equal(a.timestamps, b.timestamps)
+
+
+class TestViews:
+    def test_for_user(self, small_log):
+        uid = int(small_log.user_ids[0])
+        view = small_log.for_user(uid)
+        assert view.n_events > 0
+        assert (view.user_ids == uid).all()
+
+    def test_window(self, small_log):
+        view = small_log.window(0, MONTH_SECONDS / 2)
+        assert (view.timestamps < MONTH_SECONDS / 2).all()
+
+    def test_device_views_partition(self, small_log):
+        smart = small_log.for_device("smartphone").n_events
+        feature = small_log.for_device("featurephone").n_events
+        assert smart + feature == small_log.n_events
+
+    def test_navigational_views_partition(self, small_log):
+        nav = small_log.navigational_only(True).n_events
+        non = small_log.navigational_only(False).n_events
+        assert nav + non == small_log.n_events
+
+    def test_monthly_volumes(self, small_log):
+        volumes = small_log.user_monthly_volumes(0)
+        assert sum(volumes.values()) == small_log.month(0).n_events
+
+
+class TestEvents:
+    def test_event_materialization(self, small_log):
+        events = []
+        for i, event in enumerate(small_log.events()):
+            events.append(event)
+            if i >= 9:
+                break
+        assert len(events) == 10
+        for event in events:
+            assert event.query
+            assert event.clicked_url
+            assert event.device in ("smartphone", "featurephone", "desktop")
+
+
+class TestDesktopMode:
+    def test_desktop_events_flagged(self, small_community, small_population):
+        log = generate_logs(
+            small_community,
+            small_population,
+            GeneratorConfig(months=1, seed=5, desktop=True),
+        )
+        assert (log.device_codes == 2).all()

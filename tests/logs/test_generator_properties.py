@@ -1,0 +1,42 @@
+"""Property-based tests on the log generator."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.logs.generator import GeneratorConfig, generate_logs
+from repro.logs.popularity import CommunityModel
+from repro.logs.schema import MONTH_SECONDS
+from repro.logs.users import PopulationConfig, UserPopulation
+from repro.logs.vocabulary import Vocabulary, VocabularyConfig
+
+
+@st.composite
+def tiny_worlds(draw):
+    nav = draw(st.integers(min_value=20, max_value=80))
+    non_nav = draw(st.integers(min_value=20, max_value=80))
+    users = draw(st.integers(min_value=5, max_value=25))
+    months = draw(st.integers(min_value=1, max_value=3))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return nav, non_nav, users, months, seed
+
+
+@given(world=tiny_worlds())
+@settings(max_examples=20, deadline=None)
+def test_generated_logs_are_well_formed(world):
+    nav, non_nav, users, months, seed = world
+    community = CommunityModel(
+        Vocabulary.build(VocabularyConfig(n_nav_topics=nav, n_non_nav_topics=non_nav))
+    )
+    population = UserPopulation.build(PopulationConfig(n_users=users, seed=seed))
+    log = generate_logs(
+        community, population, GeneratorConfig(months=months, seed=seed)
+    )
+    # Timestamps within range, columns aligned, keys resolvable.
+    assert log.n_events > 0
+    assert (log.timestamps >= 0).all()
+    assert (log.timestamps < months * MONTH_SECONDS).all()
+    assert len(log.query_keys) == len(log.result_keys) == log.n_events
+    for i in range(0, log.n_events, max(1, log.n_events // 17)):
+        assert log.query_string(int(log.query_keys[i]))
+        assert log.result_url(int(log.result_keys[i]))
+    # Month views partition the events.
+    assert sum(log.month(m).n_events for m in range(months)) == log.n_events

@@ -1,0 +1,58 @@
+"""Tests for search-log record types and classification rules."""
+
+import pytest
+
+from repro.logs.schema import (
+    CLASS_POPULATION_SHARE,
+    Triplet,
+    UserClass,
+    classify_user,
+    is_navigational,
+)
+
+
+class TestClassification:
+    def test_table6_boundaries(self):
+        assert classify_user(19) is None
+        assert classify_user(20) is UserClass.LOW
+        assert classify_user(39) is UserClass.LOW
+        assert classify_user(40) is UserClass.MEDIUM
+        assert classify_user(139) is UserClass.MEDIUM
+        assert classify_user(140) is UserClass.HIGH
+        assert classify_user(459) is UserClass.HIGH
+        assert classify_user(460) is UserClass.EXTREME
+        assert classify_user(10_000) is UserClass.EXTREME
+
+    def test_population_shares_sum_to_one(self):
+        assert sum(CLASS_POPULATION_SHARE.values()) == pytest.approx(1.0)
+
+    def test_table6_shares(self):
+        assert CLASS_POPULATION_SHARE[UserClass.LOW] == 0.55
+        assert CLASS_POPULATION_SHARE[UserClass.MEDIUM] == 0.36
+        assert CLASS_POPULATION_SHARE[UserClass.HIGH] == 0.08
+        assert CLASS_POPULATION_SHARE[UserClass.EXTREME] == 0.01
+
+
+class TestNavigational:
+    def test_paper_example(self):
+        """'youtube' vs www.youtube.com is navigational."""
+        assert is_navigational("youtube", "www.youtube.com")
+
+    def test_misspelling_is_not(self):
+        assert not is_navigational("yotube", "www.youtube.com")
+
+    def test_spaces_stripped(self):
+        assert is_navigational("you tube", "www.youtube.com")
+
+    def test_case_insensitive(self):
+        assert is_navigational("YouTube", "www.youtube.com")
+
+    def test_empty_query(self):
+        assert not is_navigational("", "www.youtube.com")
+        assert not is_navigational("   ", "www.youtube.com")
+
+
+class TestTriplet:
+    def test_negative_volume_rejected(self):
+        with pytest.raises(ValueError):
+            Triplet("q", "u", -1)

@@ -1,0 +1,88 @@
+"""Tests for the user population model."""
+
+import numpy as np
+import pytest
+
+from repro.logs.schema import CLASS_VOLUME_RANGES, UserClass
+from repro.logs.users import (
+    DEFAULT_CLASS_BEHAVIOR,
+    PopulationConfig,
+    UserPopulation,
+)
+
+
+class TestPopulation:
+    def test_class_mix_matches_table6(self):
+        population = UserPopulation.build(PopulationConfig(n_users=5000, seed=1))
+        mix = population.class_mix()
+        assert mix[UserClass.LOW] == pytest.approx(0.55, abs=0.03)
+        assert mix[UserClass.MEDIUM] == pytest.approx(0.36, abs=0.03)
+        assert mix[UserClass.HIGH] == pytest.approx(0.08, abs=0.02)
+        assert mix[UserClass.EXTREME] == pytest.approx(0.01, abs=0.01)
+
+    def test_volumes_within_class_band(self, small_population):
+        for user in small_population.users:
+            lo, hi = CLASS_VOLUME_RANGES[user.user_class]
+            assert lo <= user.mean_monthly_volume <= hi
+
+    def test_routine_prob_in_unit_interval(self, small_population):
+        for user in small_population.users:
+            assert 0 <= user.routine_prob <= 1
+
+    def test_staple_weights_normalized(self, small_population):
+        for user in small_population.users:
+            assert user.staple_weights.sum() == pytest.approx(1.0)
+            assert len(user.staple_weights) == user.n_staples
+
+    def test_staples_grow_with_volume(self):
+        population = UserPopulation.build(PopulationConfig(n_users=3000, seed=5))
+        low = [u.n_staples for u in population.by_class(UserClass.LOW)]
+        extreme = [u.n_staples for u in population.by_class(UserClass.EXTREME)]
+        assert np.mean(extreme) > np.mean(low)
+
+    def test_staples_stay_small(self, small_population):
+        """The paper: revisits concentrate on a couple tens of pages."""
+        for user in small_population.users:
+            assert 2 <= user.n_staples <= 50
+
+    def test_featurephone_share(self):
+        population = UserPopulation.build(
+            PopulationConfig(n_users=4000, seed=2, featurephone_share=0.3)
+        )
+        share = sum(
+            1 for u in population.users if u.device == "featurephone"
+        ) / len(population.users)
+        assert share == pytest.approx(0.3, abs=0.03)
+
+    def test_featurephone_tilt(self, small_population):
+        for user in small_population.users:
+            if user.device == "featurephone":
+                assert user.community_tilt > 1.0
+            else:
+                assert user.community_tilt == 1.0
+
+    def test_deterministic(self):
+        config = PopulationConfig(n_users=50, seed=9)
+        a = UserPopulation.build(config)
+        b = UserPopulation.build(config)
+        assert [u.routine_prob for u in a.users] == [
+            u.routine_prob for u in b.users
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PopulationConfig(n_users=0)
+        with pytest.raises(ValueError):
+            PopulationConfig(featurephone_share=1.5)
+
+
+class TestClassBehavior:
+    def test_routine_increases_with_class(self):
+        means = [
+            DEFAULT_CLASS_BEHAVIOR[c].routine_prob_mean
+            for c in (UserClass.LOW, UserClass.MEDIUM, UserClass.HIGH, UserClass.EXTREME)
+        ]
+        assert all(b >= a for a, b in zip(means, means[1:]))
+
+    def test_all_classes_defined(self):
+        assert set(DEFAULT_CLASS_BEHAVIOR) == set(UserClass)

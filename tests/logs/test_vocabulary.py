@@ -1,0 +1,101 @@
+"""Tests for the synthetic query/result universe."""
+
+import pytest
+
+from repro.logs.schema import is_navigational
+from repro.logs.vocabulary import Vocabulary, VocabularyConfig
+
+
+class TestConfigValidation:
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            VocabularyConfig(n_nav_topics=0)
+
+    def test_rejects_bad_shares(self):
+        with pytest.raises(ValueError):
+            VocabularyConfig(nav_volume_share=0.0)
+        with pytest.raises(ValueError):
+            VocabularyConfig(canonical_query_share=1.5)
+
+
+class TestStructure:
+    def test_topic_counts(self, small_vocabulary):
+        config = small_vocabulary.config
+        nav = [t for t in small_vocabulary.topics if t.navigational]
+        non = [t for t in small_vocabulary.topics if not t.navigational]
+        assert len(nav) == config.n_nav_topics
+        assert len(non) == config.n_non_nav_topics
+
+    def test_weights_sum_to_one(self, small_vocabulary):
+        total = sum(t.weight for t in small_vocabulary.topics)
+        assert total == pytest.approx(1.0)
+
+    def test_query_shares_sum_to_one(self, small_vocabulary):
+        for topic in small_vocabulary.topics[:50]:
+            assert sum(q.share for q in topic.queries) == pytest.approx(1.0)
+
+    def test_result_shares_sum_to_one(self, small_vocabulary):
+        for topic in small_vocabulary.topics[:50]:
+            assert sum(r.share for r in topic.results) == pytest.approx(1.0)
+
+    def test_nav_canonical_is_navigational(self, small_vocabulary):
+        for topic in small_vocabulary.topics:
+            if topic.navigational:
+                canonical = topic.queries[0]
+                assert canonical.navigational
+                assert is_navigational(canonical.text, topic.results[0].url)
+
+    def test_aliases_are_not_navigational(self, small_vocabulary):
+        for topic in small_vocabulary.topics:
+            if topic.navigational:
+                for alias in topic.queries[1:]:
+                    assert not alias.navigational
+
+    def test_record_bytes_about_500(self, small_vocabulary):
+        """The paper: ~500 bytes per stored search result."""
+        sizes = [
+            r.record_bytes
+            for t in small_vocabulary.topics
+            for r in t.results
+        ]
+        mean = sum(sizes) / len(sizes)
+        assert 400 <= mean <= 700
+
+    def test_more_queries_than_results_overall(self, small_vocabulary):
+        """Aliases make queries outnumber distinct results."""
+        assert small_vocabulary.n_queries > small_vocabulary.n_results
+
+    def test_popular_topics_have_more_aliases(self, small_vocabulary):
+        nav = [t for t in small_vocabulary.topics if t.navigational]
+        top = nav[: len(nav) // 10]
+        tail = nav[-len(nav) // 2 :]
+        top_mean = sum(len(t.queries) for t in top) / len(top)
+        tail_mean = sum(len(t.queries) for t in tail) / len(tail)
+        assert top_mean > tail_mean
+
+    def test_deterministic_given_seed(self):
+        config = VocabularyConfig(n_nav_topics=50, n_non_nav_topics=50, seed=3)
+        a = Vocabulary.build(config)
+        b = Vocabulary.build(config)
+        assert [t.queries[0].text for t in a.topics] == [
+            t.queries[0].text for t in b.topics
+        ]
+        assert [len(t.queries) for t in a.topics] == [
+            len(t.queries) for t in b.topics
+        ]
+
+    def test_shared_results_reference_nav_sites(self, small_vocabulary):
+        """Some non-nav topics point at popular nav site URLs."""
+        nav_urls = {
+            t.results[0].url
+            for t in small_vocabulary.topics
+            if t.navigational
+        }
+        shared = [
+            r.url
+            for t in small_vocabulary.topics
+            if not t.navigational
+            for r in t.results
+            if r.url in nav_urls
+        ]
+        assert len(shared) > 0

@@ -1,0 +1,76 @@
+"""Tests for the Table 2 item-capacity arithmetic."""
+
+import pytest
+
+from repro.nvmscaling.capacity import (
+    CLOUDLET_ITEM_SIZES,
+    TABLE2_BUDGET_BYTES,
+    items_storable,
+    table2_rows,
+)
+
+GB = 1024**3
+
+
+class TestBudget:
+    def test_budget_is_25_6_gb(self):
+        assert TABLE2_BUDGET_BYTES == pytest.approx(25.6 * GB)
+
+
+class TestItemsStorable:
+    def test_paper_web_search_row(self):
+        """~270,000 search result pages fit in the budget."""
+        n = items_storable(CLOUDLET_ITEM_SIZES["web_search"].item_bytes)
+        assert 260_000 <= n <= 280_000
+
+    def test_paper_map_tiles_row(self):
+        """~5.5 million 5 KB map tiles fit."""
+        n = items_storable(CLOUDLET_ITEM_SIZES["mapping"].item_bytes)
+        assert 5_200_000 <= n <= 5_600_000
+
+    def test_paper_web_content_row(self):
+        """~17,500 full web pages fit."""
+        n = items_storable(CLOUDLET_ITEM_SIZES["web_content"].item_bytes)
+        assert 17_000 <= n <= 18_000
+
+    def test_web_content_exceeds_user_needs(self):
+        """90% of users visit < 1000 URLs; 17x fewer than storable pages."""
+        n = items_storable(CLOUDLET_ITEM_SIZES["web_content"].item_bytes)
+        assert n > 17 * 1000
+
+    def test_zero_budget(self):
+        assert items_storable(1024, 0) == 0
+
+    def test_item_larger_than_budget(self):
+        assert items_storable(100, 99) == 0
+
+    def test_invalid_item_size(self):
+        with pytest.raises(ValueError):
+            items_storable(0)
+        with pytest.raises(ValueError):
+            items_storable(-5)
+
+    def test_negative_budget(self):
+        with pytest.raises(ValueError):
+            items_storable(100, -1)
+
+
+class TestTable2:
+    def test_has_all_five_cloudlets(self):
+        rows = table2_rows()
+        assert {r[0] for r in rows} == {
+            "web_search",
+            "mobile_ads",
+            "yellow_business",
+            "web_content",
+            "mapping",
+        }
+
+    def test_rows_consistent_with_items_storable(self):
+        for name, item_bytes, count in table2_rows():
+            assert count == items_storable(item_bytes)
+
+    def test_ads_and_tiles_share_item_size(self):
+        rows = {r[0]: r for r in table2_rows()}
+        assert rows["mobile_ads"][1] == rows["mapping"][1]
+        assert rows["mobile_ads"][2] == rows["mapping"][2]

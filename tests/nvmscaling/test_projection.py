@@ -1,0 +1,83 @@
+"""Tests for the Figure 2 capacity projections."""
+
+import pytest
+
+from repro.nvmscaling.projection import (
+    GB,
+    TB,
+    HIGH_END_2010_BYTES,
+    LOW_END_RATIO,
+    CapacityProjection,
+    ScalingScenario,
+    figure2_series,
+    project_capacity,
+    project_capacity_series,
+)
+
+
+class TestProjection:
+    def test_2010_baseline_is_32gb(self):
+        p = project_capacity(2010)
+        assert p.high_end_bytes == HIGH_END_2010_BYTES == 32 * GB
+
+    def test_paper_headline_1tb_by_2018(self):
+        """The paper: high-end phones may reach 1 TB as early as 2018."""
+        p = project_capacity(2018, ScalingScenario.ALL_TECHNIQUES)
+        assert p.high_end_bytes == pytest.approx(1 * TB)
+
+    def test_paper_low_end_16gb_in_2018(self):
+        p = project_capacity(2018)
+        assert p.low_end_gb == pytest.approx(16.0)
+
+    def test_paper_low_end_reaches_256gb(self):
+        series = project_capacity_series(ScalingScenario.ALL_TECHNIQUES)
+        assert series[-1].low_end_gb == pytest.approx(256.0)
+
+    def test_low_end_ratio_is_64(self):
+        p = project_capacity(2020)
+        assert p.high_end_bytes / p.low_end_bytes == LOW_END_RATIO
+
+    def test_scenarios_are_ordered(self):
+        """Stacking and layering only add capacity on top of scaling."""
+        year = 2022
+        scaling = project_capacity(year, ScalingScenario.SCALING_ONLY)
+        stacking = project_capacity(year, ScalingScenario.SCALING_STACKING)
+        layers = project_capacity(year, ScalingScenario.SCALING_STACKING_LAYERS)
+        assert (
+            scaling.high_end_bytes
+            <= stacking.high_end_bytes
+            <= layers.high_end_bytes
+        )
+
+    def test_bits_per_cell_decline_reduces_late_projections(self):
+        """Post-2020 the bits-per-cell lever works *against* capacity
+        (SLC fallback), so ALL_TECHNIQUES trails the layers-only curve."""
+        year = 2022
+        layers = project_capacity(year, ScalingScenario.SCALING_STACKING_LAYERS)
+        everything = project_capacity(year, ScalingScenario.ALL_TECHNIQUES)
+        assert everything.high_end_bytes < layers.high_end_bytes
+
+    def test_scaling_only_matches_factor(self):
+        p = project_capacity(2014, ScalingScenario.SCALING_ONLY)
+        assert p.high_end_bytes == HIGH_END_2010_BYTES * 4
+
+    def test_series_has_all_roadmap_years(self):
+        series = project_capacity_series()
+        assert [p.year for p in series] == [
+            2010, 2012, 2014, 2016, 2018, 2020, 2022, 2024, 2026,
+        ]
+
+    def test_figure2_has_all_scenarios(self):
+        curves = figure2_series()
+        assert set(curves) == {s.value for s in ScalingScenario}
+
+    def test_all_projections_monotone_per_scenario(self):
+        for scenario in ScalingScenario:
+            series = project_capacity_series(scenario)
+            values = [p.high_end_bytes for p in series]
+            assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_gb_properties(self):
+        p = CapacityProjection(2018, ScalingScenario.ALL_TECHNIQUES, 1 * TB)
+        assert p.high_end_gb == 1024.0
+        assert p.low_end_gb == 16.0

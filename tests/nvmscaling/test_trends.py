@@ -1,0 +1,89 @@
+"""Tests for the Table 1 technology roadmap."""
+
+import pytest
+
+from repro.nvmscaling.trends import (
+    TECHNOLOGY_ROADMAP,
+    TrendPoint,
+    roadmap_years,
+    trend_for_year,
+)
+
+
+class TestRoadmapData:
+    def test_covers_2010_through_2026(self):
+        assert roadmap_years()[0] == 2010
+        assert roadmap_years()[-1] == 2026
+
+    def test_two_year_steps(self):
+        years = roadmap_years()
+        assert all(b - a == 2 for a, b in zip(years, years[1:]))
+
+    def test_flash_dominates_until_2016(self):
+        for point in TECHNOLOGY_ROADMAP:
+            if point.year <= 2016:
+                assert point.technology == "flash"
+
+    def test_other_nvm_from_2018(self):
+        for point in TECHNOLOGY_ROADMAP:
+            if point.year >= 2018:
+                assert point.technology == "other-nvm"
+
+    def test_feature_size_never_increases(self):
+        sizes = [p.feature_nm for p in TECHNOLOGY_ROADMAP]
+        assert all(b <= a for a, b in zip(sizes, sizes[1:]))
+
+    def test_feature_size_stops_at_5nm(self):
+        assert TECHNOLOGY_ROADMAP[-1].feature_nm == 5
+
+    def test_scaling_factor_monotone(self):
+        factors = [p.scaling_factor for p in TECHNOLOGY_ROADMAP]
+        assert all(b >= a for a, b in zip(factors, factors[1:]))
+
+    def test_paper_2010_baseline(self):
+        base = TECHNOLOGY_ROADMAP[0]
+        assert base.feature_nm == 32
+        assert base.chip_stack == 4
+        assert base.cell_layers == 1
+        assert base.bits_per_cell == 2
+
+    def test_bits_per_cell_peaks_then_declines(self):
+        bits = [p.bits_per_cell for p in TECHNOLOGY_ROADMAP]
+        assert max(bits) == 3  # the 2012 TLC peak
+        assert bits[-1] == 1  # SLC at tiny feature sizes
+
+    def test_scaling_stall_at_transition(self):
+        """2016 -> 2018: the flash-to-new-NVM transition stalls scaling."""
+        p2016 = trend_for_year(2016)
+        p2018 = trend_for_year(2018)
+        assert p2016.scaling_factor == p2018.scaling_factor
+
+
+class TestTrendForYear:
+    def test_exact_year(self):
+        assert trend_for_year(2014).feature_nm == 16
+
+    def test_between_years_uses_prior_column(self):
+        assert trend_for_year(2015).year == 2014
+
+    def test_beyond_roadmap_uses_last_column(self):
+        assert trend_for_year(2030).year == 2026
+
+    def test_before_2010_raises(self):
+        with pytest.raises(ValueError):
+            trend_for_year(2008)
+
+
+class TestMultipliers:
+    def test_baseline_capacity_multiplier_is_one(self):
+        assert TECHNOLOGY_ROADMAP[0].capacity_multiplier == 1.0
+
+    def test_package_multiplier_includes_stack(self):
+        p = TrendPoint(2020, "other-nvm", 8, 16, 8, 4, 1)
+        assert p.package_multiplier == pytest.approx(
+            p.capacity_multiplier * 2.0
+        )
+
+    def test_multiplier_grows_over_time(self):
+        mults = [p.package_multiplier for p in TECHNOLOGY_ROADMAP]
+        assert all(b >= a for a, b in zip(mults, mults[1:]))

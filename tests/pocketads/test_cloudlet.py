@@ -1,0 +1,95 @@
+"""Tests for the ads cloudlet."""
+
+import pytest
+
+from repro.pocketads import AdsCloudlet
+from repro.pocketsearch.cache import PocketSearchCache
+from repro.pocketsearch.content import CacheContent, CacheEntry
+
+KB = 1024
+
+
+def make_content(n=5):
+    return CacheContent(
+        entries=[
+            CacheEntry(f"query{i}", f"www.site{i}.com", 100 - i, 0.5, False)
+            for i in range(n)
+        ],
+        total_log_volume=1000,
+    )
+
+
+def make_ads(n=5, budget_kb=100):
+    cache = PocketSearchCache()
+    content = make_content(n)
+    cache.load_community(content)
+    ads = AdsCloudlet(cache, budget_bytes=budget_kb * KB)
+    ads.load_from_content(content)
+    return ads
+
+
+class TestContentLoading:
+    def test_ads_attached_to_cached_queries(self):
+        ads = make_ads(5)
+        assert ads.n_queries_with_ads == 5
+        assert ads.bytes_stored == 5 * 5 * KB
+
+    def test_budget_respected(self):
+        ads = make_ads(n=50, budget_kb=30)  # room for 6 banners
+        assert ads.bytes_stored <= 30 * KB
+        assert ads.n_queries_with_ads <= 6
+
+    def test_idempotent_load(self):
+        ads = make_ads(3)
+        before = ads.bytes_stored
+        ads.load_from_content(make_content(3))
+        assert ads.bytes_stored == before
+
+    def test_validation(self):
+        cache = PocketSearchCache()
+        with pytest.raises(ValueError):
+            AdsCloudlet(cache, budget_bytes=0)
+        ads = AdsCloudlet(cache)
+        with pytest.raises(ValueError):
+            ads.load_from_content(make_content(1), ads_per_query=0)
+
+
+class TestServing:
+    def test_ad_served_on_search_hit(self):
+        ads = make_ads()
+        outcome = ads.serve("query0", search_hit=True)
+        assert outcome.hit
+        assert len(outcome.served) == 1
+        assert outcome.latency_s > 0
+
+    def test_suppressed_on_search_miss(self):
+        """Section 7: no point hitting the ad cache when search missed."""
+        ads = make_ads()
+        outcome = ads.serve("query0", search_hit=False)
+        assert not outcome.hit
+        assert outcome.served == []
+        assert outcome.latency_s == 0.0
+        assert ads.suppressed == 1
+
+    def test_unknown_query_serves_nothing(self):
+        ads = make_ads()
+        outcome = ads.serve("never seen", search_hit=True)
+        assert not outcome.hit
+
+
+class TestCoordinatedEviction:
+    def test_evict_query_frees_bytes(self):
+        ads = make_ads()
+        freed = ads.evict_query("query0")
+        assert freed == 5 * KB
+        assert not ads.serve("query0", search_hit=True).hit
+
+    def test_evict_unknown_is_zero(self):
+        ads = make_ads()
+        assert ads.evict_query("never seen") == 0
+
+    def test_group_members(self):
+        ads = make_ads()
+        members = ads.group_members("query1")
+        assert len(members) == 1
+        assert members[0][1] == 5 * KB

@@ -1,0 +1,100 @@
+"""Tests for the map-tile cloudlet."""
+
+import pytest
+
+from repro.pocketmaps.cloudlet import MapCloudlet
+from repro.pocketmaps.grid import TILE_BYTES, Region, TileId
+
+MB = 1024**2
+
+
+def make_maps(budget_mb=8):
+    return MapCloudlet(budget_bytes=budget_mb * MB)
+
+
+class TestStorage:
+    def test_store_and_query(self):
+        maps = make_maps()
+        stored = maps.store_tiles([TileId(0, 0), TileId(1, 0)])
+        assert stored == 2
+        assert maps.has_tile(TileId(0, 0))
+        assert maps.bytes_stored == 2 * TILE_BYTES
+
+    def test_duplicate_tiles_skipped(self):
+        maps = make_maps()
+        maps.store_tiles([TileId(0, 0)])
+        assert maps.store_tiles([TileId(0, 0)]) == 0
+
+    def test_budget_enforced(self):
+        maps = MapCloudlet(budget_bytes=10 * TILE_BYTES)
+        stored = maps.store_tiles(Region(0, 0, 3000, 3000).tiles())
+        assert stored == 10
+        assert maps.bytes_stored <= 10 * TILE_BYTES
+
+    def test_region_packing_avoids_fragmentation(self):
+        """Tiles pack into region files instead of one file each, so
+        flash waste stays below one page per region, not per tile."""
+        maps = make_maps()
+        maps.prefetch_region(Region(0, 0, 4800, 4800))  # 256 tiles, 1 region
+        assert len(maps.filesystem.list_files()) == 1
+        waste = maps.filesystem.fragmentation_bytes
+        assert waste < maps.filesystem.flash.geometry.page_bytes
+
+    def test_evict_region(self):
+        maps = make_maps()
+        region = Region(0, 0, 1500, 1500)
+        maps.prefetch_region(region)
+        freed = maps.evict_region(region)
+        assert freed == region.tile_count
+        assert maps.n_tiles == 0
+        assert maps.filesystem.list_files() == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MapCloudlet(budget_bytes=0)
+
+
+class TestViewportService:
+    def test_prefetched_viewport_hits(self):
+        maps = make_maps()
+        maps.prefetch_region(Region(0, 0, 6000, 6000))
+        outcome = maps.serve_viewport(Region.viewport(3000, 3000))
+        assert outcome.hit
+        assert outcome.bytes_over_radio == 0
+        assert outcome.latency_s < 1.0  # flash, not radio
+
+    def test_cold_viewport_uses_radio_once(self):
+        maps = make_maps()
+        outcome = maps.serve_viewport(Region.viewport(3000, 3000))
+        assert not outcome.hit
+        assert outcome.bytes_over_radio == outcome.tiles_needed * TILE_BYTES
+        assert outcome.latency_s > 2.0  # one radio wake for the batch
+
+    def test_viewport_learns(self):
+        maps = make_maps()
+        view = Region.viewport(3000, 3000)
+        maps.serve_viewport(view)
+        second = maps.serve_viewport(view)
+        assert second.hit
+
+    def test_partial_hit(self):
+        maps = make_maps()
+        maps.prefetch_region(Region(0, 0, 3000, 3000))
+        outcome = maps.serve_viewport(Region.viewport(2900, 2900, span_m=1200))
+        assert 0 < outcome.tiles_hit < outcome.tiles_needed
+        assert 0 < outcome.hit_fraction < 1
+
+    def test_hit_rates(self):
+        maps = make_maps()
+        maps.prefetch_region(Region(0, 0, 6000, 6000))
+        maps.serve_viewport(Region.viewport(3000, 3000))  # hit
+        maps.serve_viewport(Region.viewport(50_000, 50_000))  # miss
+        assert maps.viewport_hit_rate == pytest.approx(0.5)
+        assert 0 < maps.tile_hit_rate < 1
+
+    def test_batched_fetch_cheaper_than_per_tile(self):
+        """One radio wake for the whole viewport, not one per tile."""
+        maps = make_maps()
+        outcome = maps.serve_viewport(Region.viewport(0, 0))
+        per_tile_floor = outcome.tiles_needed * maps.radio.wakeup_s
+        assert outcome.latency_s < per_tile_floor

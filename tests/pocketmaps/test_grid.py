@@ -1,0 +1,90 @@
+"""Tests for tile-grid geometry and Table 2 arithmetic."""
+
+import pytest
+
+from repro.pocketmaps.grid import (
+    STATE_AREAS_KM2,
+    TILE_BYTES,
+    TILE_METERS,
+    Region,
+    TileId,
+    area_km2_for_tiles,
+    states_coverable,
+    tiles_for_area_km2,
+)
+
+GB = 1024**3
+
+
+class TestTileId:
+    def test_for_position(self):
+        assert TileId.for_position(0, 0) == TileId(0, 0)
+        assert TileId.for_position(299.9, 299.9) == TileId(0, 0)
+        assert TileId.for_position(300.0, 0) == TileId(1, 0)
+        assert TileId.for_position(-1.0, -1.0) == TileId(-1, -1)
+
+    def test_origin(self):
+        assert TileId(2, 3).origin_m == (600.0, 900.0)
+
+
+class TestRegion:
+    def test_tile_count_matches_iteration(self):
+        region = Region(0, 0, 1000, 700)
+        assert region.tile_count == len(list(region.tiles()))
+
+    def test_exact_tile_region(self):
+        region = Region(0, 0, 3 * TILE_METERS, 2 * TILE_METERS)
+        assert region.tile_count == 6
+
+    def test_partial_tiles_rounded_up(self):
+        region = Region(10, 10, TILE_METERS, TILE_METERS)  # straddles
+        assert region.tile_count == 4
+
+    def test_storage_bytes(self):
+        region = Region(0, 0, TILE_METERS, TILE_METERS)
+        assert region.storage_bytes == TILE_BYTES
+
+    def test_viewport(self):
+        view = Region.viewport(1000, 1000, span_m=600)
+        assert view.width_m == 600
+        assert TileId.for_position(1000, 1000) in set(view.tiles())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Region(0, 0, 0, 100)
+        with pytest.raises(ValueError):
+            Region.viewport(0, 0, span_m=0)
+
+
+class TestTable2Arithmetic:
+    def test_paper_5_5m_tiles_cover_a_state(self):
+        """Table 2 / Section 7: 5.5 million tiles at 300x300 m cover the
+        area of a whole US state."""
+        coverage = area_km2_for_tiles(5_500_000)
+        assert coverage >= STATE_AREAS_KM2["california"]
+        assert coverage == pytest.approx(495_000, rel=0.01)
+
+    def test_tiles_for_area_roundtrip(self):
+        n = tiles_for_area_km2(1000.0)
+        assert area_km2_for_tiles(n) >= 1000.0
+        assert area_km2_for_tiles(n - 1) < 1000.0
+
+    def test_25_6gb_budget_covers_states(self):
+        budget = int(25.6 * GB)
+        covered = states_coverable(budget)
+        assert "california" in covered
+        assert "washington" in covered
+
+    def test_small_budget_covers_small_state_only(self):
+        budget = 1 * GB  # ~210k tiles -> ~19k km^2
+        covered = states_coverable(budget)
+        assert "rhode island" in covered
+        assert "texas" not in covered
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tiles_for_area_km2(-1)
+        with pytest.raises(ValueError):
+            area_km2_for_tiles(-1)
+        with pytest.raises(ValueError):
+            states_coverable(-1)

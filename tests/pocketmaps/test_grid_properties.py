@@ -1,0 +1,44 @@
+"""Property-based tests on tile geometry."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.pocketmaps.grid import TILE_METERS, Region, TileId
+
+coords = st.floats(min_value=-50_000, max_value=50_000)
+spans = st.floats(min_value=1.0, max_value=5_000.0)
+
+
+@given(x=coords, y=coords, w=spans, h=spans)
+@settings(max_examples=80, deadline=None)
+def test_region_tiles_cover_region_corners(x, y, w, h):
+    """Every corner and the centre of a region lie on one of its tiles."""
+    region = Region(x, y, w, h)
+    tiles = set(region.tiles())
+    for px, py in [
+        (x, y),
+        (x + w * 0.999, y),
+        (x, y + h * 0.999),
+        (x + w * 0.999, y + h * 0.999),
+        (x + w / 2, y + h / 2),
+    ]:
+        assert TileId.for_position(px, py) in tiles
+
+
+@given(x=coords, y=coords, w=spans, h=spans)
+@settings(max_examples=80, deadline=None)
+def test_tile_count_bounds(x, y, w, h):
+    """Tile count is within one row/column of the area-derived bound."""
+    region = Region(x, y, w, h)
+    n = region.tile_count
+    min_tiles = max(1, int(w // TILE_METERS) * int(h // TILE_METERS))
+    max_tiles = (int(w // TILE_METERS) + 2) * (int(h // TILE_METERS) + 2)
+    assert min_tiles <= n <= max_tiles
+
+
+@given(x=coords, y=coords)
+@settings(max_examples=60, deadline=None)
+def test_position_tile_contains_position(x, y):
+    tile = TileId.for_position(x, y)
+    ox, oy = tile.origin_m
+    assert ox <= x < ox + TILE_METERS
+    assert oy <= y < oy + TILE_METERS

@@ -1,0 +1,114 @@
+"""Tests for the flash result database (Figure 13)."""
+
+import pytest
+
+from repro.pocketsearch.database import (
+    DEFAULT_N_FILES,
+    HEADER_ENTRY_BYTES,
+    ResultDatabase,
+)
+from repro.pocketsearch.hashtable import hash64
+from repro.storage.filesystem import FlashFilesystem
+from repro.storage.flash import NandFlash
+
+
+@pytest.fixture
+def database():
+    return ResultDatabase(FlashFilesystem(NandFlash()), n_files=8)
+
+
+class TestConstruction:
+    def test_creates_files(self, database):
+        assert len(database.filesystem.list_files()) == 8
+
+    def test_default_is_32_files(self):
+        db = ResultDatabase(FlashFilesystem(NandFlash()))
+        assert db.n_files == DEFAULT_N_FILES == 32
+
+    def test_invalid_file_count(self):
+        with pytest.raises(ValueError):
+            ResultDatabase(FlashFilesystem(NandFlash()), n_files=0)
+
+
+class TestAddResult:
+    def test_add_and_lookup(self, database):
+        stored = database.add_result("www.youtube.com", 500)
+        assert database.contains(stored.result_hash)
+        assert database.lookup(stored.result_hash) is stored
+        assert stored.result_hash == hash64("www.youtube.com")
+
+    def test_idempotent_per_url(self, database):
+        a = database.add_result("www.x.com", 500)
+        b = database.add_result("www.x.com", 500)
+        assert a is b
+        assert database.n_results == 1
+
+    def test_file_chosen_by_hash(self, database):
+        stored = database.add_result("www.x.com", 500)
+        assert stored.file_index == stored.result_hash % 8
+
+    def test_logical_bytes_include_header(self, database):
+        database.add_result("www.x.com", 500)
+        assert database.logical_bytes == 500 + HEADER_ENTRY_BYTES
+
+    def test_invalid_record_size(self, database):
+        with pytest.raises(ValueError):
+            database.add_result("www.x.com", 0)
+
+
+class TestFetch:
+    def test_fetch_returns_cost(self, database):
+        stored = database.add_result("www.x.com", 500)
+        fetch = database.fetch(stored.result_hash)
+        assert fetch.stored is stored
+        assert fetch.latency_s > 0
+        assert fetch.energy_j > 0
+
+    def test_fetch_missing_raises(self, database):
+        with pytest.raises(KeyError):
+            database.fetch(12345)
+
+    def test_fetch_slower_with_more_entries_per_file(self):
+        """Header parse time grows with results per file (Figure 12's
+        left side)."""
+        few_files = ResultDatabase(FlashFilesystem(NandFlash()), n_files=1)
+        many_files = ResultDatabase(FlashFilesystem(NandFlash()), n_files=64)
+        for i in range(256):
+            few_files.add_result(f"www.site{i}.com", 500)
+            many_files.add_result(f"www.site{i}.com", 500)
+        target = hash64("www.site0.com")
+        assert (
+            few_files.fetch(target).latency_s
+            > many_files.fetch(target).latency_s
+        )
+
+    def test_huge_file_count_pays_directory_scan(self):
+        """Beyond the sweet spot, directory scanning dominates (the right
+        side of the Figure 12 U-curve)."""
+        mid = ResultDatabase(FlashFilesystem(NandFlash()), n_files=64)
+        huge = ResultDatabase(FlashFilesystem(NandFlash()), n_files=4096)
+        for i in range(64):
+            mid.add_result(f"www.site{i}.com", 500)
+            huge.add_result(f"www.site{i}.com", 500)
+        target = hash64("www.site0.com")
+        assert huge.fetch(target).latency_s > mid.fetch(target).latency_s
+
+
+class TestFragmentation:
+    def test_more_files_fragment_more(self):
+        small = ResultDatabase(FlashFilesystem(NandFlash()), n_files=2)
+        large = ResultDatabase(FlashFilesystem(NandFlash()), n_files=256)
+        for i in range(300):
+            small.add_result(f"www.site{i}.com", 500)
+            large.add_result(f"www.site{i}.com", 500)
+        assert large.fragmentation_bytes > small.fragmentation_bytes
+
+    def test_fragmentation_non_negative(self, database):
+        database.add_result("www.x.com", 500)
+        assert database.fragmentation_bytes >= 0
+
+    def test_file_stats(self, database):
+        database.add_result("www.x.com", 500)
+        stats = database.file_stats()
+        assert len(stats) == 8
+        assert sum(s["entries"] for s in stats) == 1

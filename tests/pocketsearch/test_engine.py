@@ -1,0 +1,98 @@
+"""Tests for the PocketSearch service path (Table 4, Figure 15)."""
+
+import pytest
+
+from repro.pocketsearch.cache import PocketSearchCache
+from repro.pocketsearch.content import CacheContent, CacheEntry
+from repro.pocketsearch.engine import PocketSearchEngine
+from repro.radio.models import EDGE, THREE_G
+from repro.sim.metrics import ServiceSource
+
+
+def engine_with(entries):
+    cache = PocketSearchCache()
+    cache.load_community(CacheContent(entries=entries, total_log_volume=100))
+    return PocketSearchEngine(cache)
+
+
+@pytest.fixture
+def engine():
+    return engine_with(
+        [
+            CacheEntry("youtube", "www.youtube.com", 10, 0.9, True),
+            CacheEntry("news", "www.cnn.com", 5, 0.8, False),
+        ]
+    )
+
+
+class TestHitPath:
+    def test_hit_served_from_cache(self, engine):
+        result = engine.serve_query("youtube", "www.youtube.com", navigational=True)
+        assert result.outcome.hit
+        assert result.outcome.source is ServiceSource.CACHE
+
+    def test_hit_under_400ms(self, engine):
+        """Paper: cached queries answered within ~400 ms."""
+        result = engine.serve_query("youtube", "www.youtube.com")
+        assert result.outcome.latency_s < 0.4
+
+    def test_breakdown_dominated_by_rendering(self, engine):
+        """Table 4: rendering is ~97% of a hit's response time."""
+        result = engine.measure_hit("youtube")
+        share = (
+            result.breakdown["browser_rendering_s"] / result.outcome.latency_s
+        )
+        assert share > 0.9
+
+    def test_lookup_is_microseconds(self, engine):
+        result = engine.measure_hit("youtube")
+        assert result.breakdown["hash_table_lookup_s"] == pytest.approx(10e-6)
+
+    def test_measure_hit_does_not_perturb_state(self, engine):
+        before = engine.cache.hashtable.slots_for("youtube")
+        engine.measure_hit("youtube")
+        assert engine.cache.hashtable.slots_for("youtube") == before
+
+    def test_measure_hit_unknown_raises(self, engine):
+        with pytest.raises(KeyError):
+            engine.measure_hit("not cached")
+
+
+class TestMissPath:
+    def test_miss_uses_radio(self, engine):
+        result = engine.serve_query("obscure", "www.obscure.org")
+        assert not result.outcome.hit
+        assert result.outcome.source is ServiceSource.RADIO_3G
+        assert result.outcome.latency_s > 3.0
+
+    def test_miss_penalty_is_10us(self, engine):
+        """The failed lookup adds only ~10 us to the radio path."""
+        result = engine.serve_query("obscure2", "www.obscure2.org")
+        assert result.breakdown["hash_table_lookup_s"] == pytest.approx(10e-6)
+
+    def test_miss_learns_for_next_time(self, engine):
+        engine.serve_query("obscure3", "www.obscure3.org")
+        repeat = engine.serve_query("obscure3", "www.obscure3.org")
+        assert repeat.outcome.hit
+
+    def test_edge_slower_than_3g(self):
+        slow = engine_with([])
+        slow.radio = EDGE
+        fast = engine_with([])
+        miss_edge = slow.serve_query("q", "www.x.com")
+        miss_3g = fast.serve_query("q", "www.x.com")
+        assert miss_edge.outcome.latency_s > miss_3g.outcome.latency_s
+        assert miss_edge.outcome.source is ServiceSource.RADIO_EDGE
+
+
+class TestEnergy:
+    def test_hit_energy_far_below_miss(self, engine):
+        hit = engine.serve_query("youtube", "www.youtube.com")
+        miss = engine.serve_query("fresh", "www.fresh.org")
+        assert miss.outcome.energy_j > 10 * hit.outcome.energy_j
+
+    def test_radio_only_cost_matches_miss(self, engine):
+        latency, energy = engine.radio_only_cost(THREE_G)
+        miss = engine.serve_query("another", "www.another.org")
+        assert miss.outcome.latency_s == pytest.approx(latency, rel=0.01)
+        assert miss.outcome.energy_j == pytest.approx(energy, rel=0.01)

@@ -1,0 +1,100 @@
+"""Tests for the cache update protocol (Section 5.4)."""
+
+import pytest
+
+from repro.pocketsearch.cache import PocketSearchCache
+from repro.pocketsearch.content import CacheContent, CacheEntry, ContentPolicy
+from repro.pocketsearch.hashtable import hash64
+from repro.pocketsearch.manager import CacheUpdateServer
+
+
+def content(entries):
+    return CacheContent(entries=entries, total_log_volume=1000)
+
+
+def entry(query, url, volume=10, score=0.5):
+    return CacheEntry(
+        query=query, url=url, volume=volume, score=score, navigational=False
+    )
+
+
+@pytest.fixture
+def cache():
+    c = PocketSearchCache()
+    c.load_community(
+        content(
+            [
+                entry("youtube", "www.youtube.com", score=0.9),
+                entry("oldnews", "www.oldnews.com", score=0.5),
+            ]
+        )
+    )
+    return c
+
+
+class TestRefresh:
+    def test_unaccessed_pairs_dropped_unless_still_popular(self, cache):
+        """Community pairs the user never touched are pruned, then only
+        re-added if the fresh popular set still contains them."""
+        server = CacheUpdateServer()
+        fresh = content([entry("youtube", "www.youtube.com", score=0.8)])
+        patch = server.refresh_with_content(cache, fresh)
+        assert cache.lookup("youtube").hit
+        assert not cache.lookup("oldnews").hit
+        assert patch.pairs_removed == 2
+
+    def test_accessed_pairs_retained(self, cache):
+        cache.record_click("oldnews", "www.oldnews.com")
+        server = CacheUpdateServer()
+        fresh = content([entry("youtube", "www.youtube.com")])
+        server.refresh_with_content(cache, fresh)
+        assert cache.lookup("oldnews").hit
+
+    def test_low_score_accessed_pairs_dropped(self, cache):
+        cache.record_click("oldnews", "www.oldnews.com")
+        # Decay the pair's score below the retention threshold.
+        cache.hashtable.set_score("oldnews", hash64("www.oldnews.com"), 0.01)
+        server = CacheUpdateServer(retention_min_score=0.05)
+        server.refresh_with_content(cache, content([]))
+        assert not cache.lookup("oldnews").hit
+
+    def test_conflict_keeps_max_score(self, cache):
+        cache.record_click("youtube", "www.youtube.com")  # score 0.9 + 1
+        server = CacheUpdateServer()
+        fresh = content([entry("youtube", "www.youtube.com", score=0.3)])
+        server.refresh_with_content(cache, fresh)
+        scores = dict(cache.lookup("youtube").results)
+        assert scores[hash64("www.youtube.com")] == pytest.approx(1.9)
+
+    def test_patch_accounting(self, cache):
+        server = CacheUpdateServer()
+        fresh = content(
+            [
+                entry("youtube", "www.youtube.com"),
+                entry("brand new", "www.brandnew.com"),
+            ]
+        )
+        patch = server.refresh_with_content(cache, fresh)
+        assert patch.results_added == 1  # only the brand-new URL
+        assert patch.bytes_uploaded > 0
+        assert patch.bytes_downloaded > 0
+        assert sum(patch.patch_files.values()) > 0
+
+    def test_update_exchange_small(self, cache):
+        """The paper: the update exchange is well under ~1.5 MB."""
+        server = CacheUpdateServer()
+        fresh = content([entry(f"q{i}", f"www.s{i}.com") for i in range(500)])
+        patch = server.refresh_with_content(cache, fresh)
+        assert patch.bytes_uploaded + patch.bytes_downloaded < 1.5 * 1024 * 1024
+
+    def test_refresh_from_log(self, small_log):
+        """End-to-end: refresh mines a real log window."""
+        cache = PocketSearchCache()
+        server = CacheUpdateServer(policy=ContentPolicy(max_pairs=50))
+        patch = server.refresh(cache, small_log.month(0))
+        assert patch.pairs_added == 50
+        assert cache.hashtable.n_pairs == 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CacheUpdateServer(retention_min_score=-1)

@@ -1,0 +1,116 @@
+"""Tests for the hash-table wire format (Figure 14's exchange)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pocketsearch.hashtable import QueryHashTable
+
+
+def loaded_table(width=2):
+    table = QueryHashTable(results_per_entry=width)
+    table.insert("youtube", 111, 0.9, accessed=True)
+    table.insert("youtube", 222, 0.4)
+    table.insert("michael jackson", 1, 0.5)
+    table.insert("michael jackson", 2, 0.3)
+    table.insert("michael jackson", 3, 0.2)  # chains
+    return table
+
+
+class TestRoundTrip:
+    @staticmethod
+    def assert_slots_equal(a, b):
+        """Compare slot lists; scores travel as f32 on the wire."""
+        assert len(a) == len(b)
+        for left, right in zip(a, b):
+            assert left[0] == right[0]
+            assert left[1] == pytest.approx(right[1], rel=1e-6)
+            if len(left) > 2:
+                assert left[2] == right[2]
+
+    def test_lookup_preserved(self):
+        table = loaded_table()
+        restored = QueryHashTable.deserialize(table.serialize())
+        self.assert_slots_equal(
+            restored.lookup("youtube"), table.lookup("youtube")
+        )
+        self.assert_slots_equal(
+            restored.lookup("michael jackson"), table.lookup("michael jackson")
+        )
+
+    def test_flags_preserved(self):
+        table = loaded_table()
+        restored = QueryHashTable.deserialize(table.serialize())
+        self.assert_slots_equal(
+            restored.slots_for("youtube"), table.slots_for("youtube")
+        )
+
+    def test_width_preserved(self):
+        table = loaded_table(width=3)
+        restored = QueryHashTable.deserialize(table.serialize())
+        assert restored.results_per_entry == 3
+
+    def test_empty_table(self):
+        restored = QueryHashTable.deserialize(QueryHashTable().serialize())
+        assert restored.n_entries == 0
+
+    def test_blob_size_tracks_contents(self):
+        small = loaded_table().serialize()
+        big_table = loaded_table()
+        for i in range(100):
+            big_table.insert(f"q{i}", i, 0.5)
+        assert len(big_table.serialize()) > len(small)
+
+    def test_wire_smaller_than_modelled_footprint(self):
+        """The wire format carries no bucket overhead, so the exchange is
+        cheaper than the in-memory footprint."""
+        table = loaded_table()
+        assert len(table.serialize()) < table.footprint_bytes
+
+
+class TestMalformedBlobs:
+    def test_bad_magic(self):
+        with pytest.raises(ValueError):
+            QueryHashTable.deserialize(b"XXXX" + b"\x00" * 16)
+
+    def test_truncated_header(self):
+        with pytest.raises(ValueError):
+            QueryHashTable.deserialize(b"PS")
+
+    def test_truncated_body(self):
+        blob = loaded_table().serialize()
+        with pytest.raises(ValueError):
+            QueryHashTable.deserialize(blob[:-4])
+
+    def test_trailing_garbage(self):
+        blob = loaded_table().serialize()
+        with pytest.raises(ValueError):
+            QueryHashTable.deserialize(blob + b"!!")
+
+
+queries = st.text(alphabet="abcde ", min_size=1, max_size=6)
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            queries,
+            st.integers(0, 20),
+            st.floats(min_value=0, max_value=4, allow_nan=False, width=32),
+            st.booleans(),
+        ),
+        max_size=40,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_property(ops):
+    table = QueryHashTable()
+    seen = set()
+    for query, result, score, accessed in ops:
+        table.insert(query, result, score, accessed=accessed)
+        seen.add(query)
+    restored = QueryHashTable.deserialize(table.serialize())
+    assert restored.n_pairs == table.n_pairs
+    for query in seen:
+        TestRoundTrip.assert_slots_equal(
+            restored.slots_for(query), table.slots_for(query)
+        )

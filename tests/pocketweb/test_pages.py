@@ -1,0 +1,51 @@
+"""Tests for the synthetic page model."""
+
+import pytest
+
+from repro.pocketweb.pages import PageModel, PageProfile
+
+KB = 1024
+
+
+class TestPageModel:
+    def test_deterministic(self):
+        model = PageModel()
+        a = model.profile("www.cnn.com")
+        b = model.profile("www.cnn.com")
+        assert a == b
+
+    def test_sizes_reasonable(self):
+        model = PageModel(mean_page_bytes=300 * KB)
+        sizes = [model.profile(f"www.s{i}.com").page_bytes for i in range(500)]
+        assert all(20 * KB <= s <= 1300 * KB for s in sizes)
+        mean = sum(sizes) / len(sizes)
+        assert 150 * KB <= mean <= 600 * KB
+
+    def test_dynamic_fraction(self):
+        model = PageModel(dynamic_fraction=0.12)
+        dynamic = sum(
+            1 for i in range(2000) if model.profile(f"www.s{i}.com").is_dynamic
+        )
+        assert 0.08 <= dynamic / 2000 <= 0.16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PageModel(mean_page_bytes=0)
+        with pytest.raises(ValueError):
+            PageModel(dynamic_fraction=1.5)
+
+
+class TestVersions:
+    def test_version_monotone(self):
+        profile = PageProfile("u", 1000, changes_per_day=24.0)
+        versions = [profile.version_at(t * 3600.0) for t in range(48)]
+        assert all(b >= a for a, b in zip(versions, versions[1:]))
+        assert versions[-1] > versions[0]
+
+    def test_static_page_rarely_changes(self):
+        profile = PageProfile("u", 1000, changes_per_day=1 / 7)
+        assert profile.version_at(0) == profile.version_at(3 * 86400.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            PageProfile("u", 1000, 1.0).version_at(-1)

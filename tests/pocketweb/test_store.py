@@ -1,0 +1,84 @@
+"""Tests for the page store."""
+
+import pytest
+
+from repro.pocketweb.store import PageStore
+
+MB = 1024**2
+
+
+class TestPut:
+    def test_put_and_contains(self):
+        store = PageStore(budget_bytes=10 * MB)
+        store.put("www.a.com", 1 * MB, version=3)
+        assert "www.a.com" in store
+        assert store.cached_version("www.a.com") == 3
+        assert store.bytes_stored == 1 * MB
+
+    def test_refresh_replaces(self):
+        store = PageStore(budget_bytes=10 * MB)
+        store.put("www.a.com", 1 * MB, version=1)
+        store.put("www.a.com", 2 * MB, version=2)
+        assert store.n_pages == 1
+        assert store.bytes_stored == 2 * MB
+        assert store.cached_version("www.a.com") == 2
+
+    def test_lru_eviction(self):
+        store = PageStore(budget_bytes=3 * MB)
+        store.put("a", 1 * MB, 0)
+        store.put("b", 1 * MB, 0)
+        store.put("c", 1 * MB, 0)
+        store.read("a")  # refresh recency
+        store.put("d", 1 * MB, 0)  # evicts b
+        assert "a" in store and "b" not in store
+        assert store.evictions == 1
+
+    def test_page_larger_than_budget_rejected(self):
+        store = PageStore(budget_bytes=1 * MB)
+        with pytest.raises(ValueError):
+            store.put("huge", 2 * MB, 0)
+
+    def test_budget_never_exceeded(self):
+        store = PageStore(budget_bytes=5 * MB)
+        for i in range(20):
+            store.put(f"p{i}", 1 * MB, 0)
+        assert store.bytes_stored <= 5 * MB
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PageStore(budget_bytes=0)
+        store = PageStore(budget_bytes=MB)
+        with pytest.raises(ValueError):
+            store.put("a", 0, 0)
+
+
+class TestRead:
+    def test_read_costs_flash(self):
+        store = PageStore(budget_bytes=10 * MB)
+        store.put("a", 1 * MB, 0)
+        cost = store.read("a")
+        assert cost.latency_s > 0
+
+    def test_read_missing(self):
+        store = PageStore(budget_bytes=MB)
+        with pytest.raises(KeyError):
+            store.read("nope")
+
+    def test_touch_bumps_version(self):
+        store = PageStore(budget_bytes=MB)
+        store.put("a", 1024, 1)
+        store.touch("a", 5)
+        assert store.cached_version("a") == 5
+
+    def test_touch_missing(self):
+        store = PageStore(budget_bytes=MB)
+        with pytest.raises(KeyError):
+            store.touch("nope", 1)
+
+    def test_eviction_frees_flash(self):
+        store = PageStore(budget_bytes=2 * MB)
+        store.put("a", 1 * MB, 0)
+        used = store.filesystem.pages_used
+        store.put("b", 1 * MB, 0)
+        store.put("c", 1 * MB, 0)  # evicts a
+        assert store.filesystem.pages_used <= 2 * used

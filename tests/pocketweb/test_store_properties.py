@@ -1,0 +1,36 @@
+"""Property-based tests on the page store."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.pocketweb.store import PageStore
+
+MB = 1024**2
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["put", "read"]),
+        st.integers(0, 9),
+        st.integers(min_value=64 * 1024, max_value=2 * MB),
+    ),
+    max_size=40,
+)
+
+
+@given(ops=ops, budget_mb=st.integers(min_value=2, max_value=16))
+@settings(max_examples=60, deadline=None)
+def test_budget_and_flash_invariants(ops, budget_mb):
+    """The store never exceeds its budget, and its accounting matches
+    the flash filesystem's view of live files."""
+    store = PageStore(budget_bytes=budget_mb * MB)
+    live = {}
+    for op, idx, size in ops:
+        url = f"www.p{idx}.com"
+        if op == "put" and size <= store.budget_bytes:
+            store.put(url, size, version=0)
+            live[url] = size
+        elif op == "read" and url in store:
+            store.read(url)
+        # Invariants after every operation:
+        assert store.bytes_stored <= store.budget_bytes
+        assert store.n_pages <= len(live)
+        assert store.filesystem.logical_bytes == store.bytes_stored

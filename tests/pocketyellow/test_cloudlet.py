@@ -1,0 +1,81 @@
+"""Tests for the yellow-pages cloudlet."""
+
+import pytest
+
+from repro.pocketmaps.grid import Region
+from repro.pocketyellow.cloudlet import YellowPagesCloudlet
+from repro.pocketyellow.directory import BUSINESS_TILE_BYTES
+
+MB = 1024**2
+
+
+def make_yp(budget_mb=16):
+    return YellowPagesCloudlet(budget_bytes=budget_mb * MB)
+
+
+class TestPrefetch:
+    def test_prefetch_skips_empty_tiles(self):
+        yp = make_yp()
+        region = Region(0, 0, 6000, 6000)
+        stored = yp.prefetch_region(region)
+        non_empty = sum(
+            1 for t in region.tiles() if yp.directory.tile_bytes(t) > 0
+        )
+        assert stored == non_empty
+        assert yp.bytes_stored == stored * BUSINESS_TILE_BYTES
+
+    def test_budget_enforced(self):
+        yp = YellowPagesCloudlet(budget_bytes=5 * BUSINESS_TILE_BYTES)
+        yp.prefetch_region(Region(0, 0, 10_000, 10_000))
+        assert yp.bytes_stored <= 5 * BUSINESS_TILE_BYTES
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            YellowPagesCloudlet(budget_bytes=0)
+
+
+class TestSearch:
+    def test_prefetched_search_is_local(self):
+        yp = make_yp()
+        yp.prefetch_region(Region(0, 0, 8000, 8000))
+        outcome = yp.search("restaurant", 2000, 2000)
+        assert outcome.hit
+        assert outcome.bytes_over_radio == 0
+        assert outcome.latency_s < 1.0
+
+    def test_cold_search_uses_radio_and_learns(self):
+        yp = make_yp()
+        first = yp.search("coffee", 2000, 2000)
+        assert not first.hit
+        assert first.latency_s > 2.0
+        second = yp.search("coffee", 2000, 2000)
+        assert second.hit
+
+    def test_results_filtered_by_category(self):
+        yp = make_yp()
+        yp.prefetch_region(Region(0, 0, 8000, 8000))
+        outcome = yp.search("restaurant", 1000, 1000, radius_m=3000)
+        assert all(b.category == "restaurant" for b in outcome.businesses)
+        assert outcome.businesses  # downtown has restaurants
+
+    def test_results_same_hit_or_miss(self):
+        """The radio path returns the same businesses, just slower."""
+        cold = make_yp()
+        miss = cold.search("bank", 1500, 1500)
+        warm = make_yp()
+        warm.prefetch_region(Region(0, 0, 4000, 4000))
+        hit = warm.search("bank", 1500, 1500)
+        assert {b.business_id for b in miss.businesses} == {
+            b.business_id for b in hit.businesses
+        }
+
+    def test_hit_rate(self):
+        yp = make_yp()
+        yp.prefetch_region(Region(0, 0, 8000, 8000))
+        yp.search("coffee", 2000, 2000)  # hit
+        yp.search("coffee", 90_000, 90_000)  # miss (if any tiles there)
+        assert 0 <= yp.search_hit_rate <= 1
+
+    def test_radius_validation(self):
+        with pytest.raises(ValueError):
+            make_yp().search("coffee", 0, 0, radius_m=0)

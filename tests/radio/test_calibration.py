@@ -1,0 +1,76 @@
+"""Radio calibration against the paper's Figure 15 ratios.
+
+The profiles are fitted so the simulated device reproduces the paper's
+speedups and energy gaps; these tests pin the fit.
+"""
+
+import pytest
+
+from repro.radio.energy import isolated_request_energy, isolated_request_latency
+from repro.radio.models import EDGE, THREE_G, WIFI_80211G
+from repro.sim.browser import RADIO_SERP_BYTES, RenderModel, SERP_BYTES
+
+KB = 1024
+BASE_POWER_W = 0.9
+RENDER_POWER_W = 0.35
+SERVER_S = 0.35
+QUERY_UP = 1 * KB
+
+RENDER_S = RenderModel().render_seconds(SERP_BYTES)
+PS_LATENCY_S = RENDER_S + 0.0066 + 0.007 + 10e-6  # render + fetch + misc + lookup
+PS_ENERGY_J = PS_LATENCY_S * BASE_POWER_W + RENDER_S * RENDER_POWER_W
+
+
+def radio_latency(profile):
+    return (
+        isolated_request_latency(profile, QUERY_UP, RADIO_SERP_BYTES, SERVER_S)
+        + RENDER_S
+    )
+
+
+def radio_energy(profile):
+    latency = radio_latency(profile)
+    return (
+        isolated_request_energy(profile, QUERY_UP, RADIO_SERP_BYTES, SERVER_S)
+        + latency * BASE_POWER_W
+        + RENDER_S * RENDER_POWER_W
+    )
+
+
+class TestPaperRatios:
+    def test_pocketsearch_under_400ms(self):
+        """Paper: two thirds of queries answered within ~400 ms."""
+        assert PS_LATENCY_S < 0.4
+
+    def test_3g_speedup_about_16x(self):
+        assert radio_latency(THREE_G) / PS_LATENCY_S == pytest.approx(16, rel=0.10)
+
+    def test_edge_speedup_about_25x(self):
+        assert radio_latency(EDGE) / PS_LATENCY_S == pytest.approx(25, rel=0.10)
+
+    def test_wifi_speedup_about_7x(self):
+        assert radio_latency(WIFI_80211G) / PS_LATENCY_S == pytest.approx(7, rel=0.10)
+
+    def test_3g_energy_about_23x(self):
+        assert radio_energy(THREE_G) / PS_ENERGY_J == pytest.approx(23, rel=0.12)
+
+    def test_edge_energy_about_41x(self):
+        assert radio_energy(EDGE) / PS_ENERGY_J == pytest.approx(41, rel=0.12)
+
+    def test_wifi_energy_about_11x(self):
+        assert radio_energy(WIFI_80211G) / PS_ENERGY_J == pytest.approx(11, rel=0.12)
+
+    def test_energy_gaps_exceed_latency_gaps(self):
+        """The paper's observation: energy ratios beat latency ratios."""
+        for profile in (THREE_G, EDGE, WIFI_80211G):
+            latency_ratio = radio_latency(profile) / PS_LATENCY_S
+            energy_ratio = radio_energy(profile) / PS_ENERGY_J
+            assert energy_ratio > latency_ratio
+
+    def test_wifi_cold_query_just_over_2s(self):
+        """Paper: 802.11g response time slightly higher than 2 seconds."""
+        assert 2.0 < radio_latency(WIFI_80211G) < 3.0
+
+    def test_3g_in_paper_band(self):
+        """Paper: 3 to 10 seconds for a 3G search."""
+        assert 3.0 < radio_latency(THREE_G) < 10.0

@@ -1,0 +1,66 @@
+"""Tests for radio condition variability."""
+
+import pytest
+
+from repro.radio.conditions import ConditionSampler, LinkConditions
+from repro.radio.energy import isolated_request_latency
+from repro.radio.models import THREE_G
+
+KB = 1024
+
+
+class TestLinkConditions:
+    def test_nominal_is_identity(self):
+        assert LinkConditions(1.0).apply(THREE_G) == THREE_G
+
+    def test_degradation_slows_requests(self):
+        weak = LinkConditions(0.5).apply(THREE_G)
+        nominal = isolated_request_latency(THREE_G, KB, 64 * KB, 0.35)
+        degraded = isolated_request_latency(weak, KB, 64 * KB, 0.35)
+        assert degraded > nominal
+
+    def test_half_quality_roughly_doubles_transfer_terms(self):
+        """The paper: weak signal doubles or triples the response time."""
+        weak = LinkConditions(0.5).apply(THREE_G)
+        assert weak.rtt_s == pytest.approx(2 * THREE_G.rtt_s)
+        assert weak.downlink_bps == pytest.approx(THREE_G.downlink_bps / 2)
+
+    def test_wakeup_unaffected(self):
+        """The ramp time is throughput-independent (Section 1)."""
+        weak = LinkConditions(0.3).apply(THREE_G)
+        assert weak.wakeup_s == THREE_G.wakeup_s
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkConditions(0.0)
+        with pytest.raises(ValueError):
+            LinkConditions(1.5)
+
+
+class TestSampler:
+    def test_samples_in_range(self):
+        sampler = ConditionSampler(seed=1)
+        for conditions in sampler.sample_many(200):
+            assert sampler.floor <= conditions.quality <= 1.0
+
+    def test_mean_near_target(self):
+        import numpy as np
+
+        sampler = ConditionSampler(mean_quality=0.75, seed=2)
+        qualities = [c.quality for c in sampler.sample_many(2000)]
+        assert np.mean(qualities) == pytest.approx(0.75, abs=0.05)
+
+    def test_deterministic_per_seed(self):
+        a = [c.quality for c in ConditionSampler(seed=5).sample_many(10)]
+        b = [c.quality for c in ConditionSampler(seed=5).sample_many(10)]
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConditionSampler(mean_quality=0)
+        with pytest.raises(ValueError):
+            ConditionSampler(concentration=0)
+        with pytest.raises(ValueError):
+            ConditionSampler(floor=0)
+        with pytest.raises(ValueError):
+            ConditionSampler().sample_many(-1)

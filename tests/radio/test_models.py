@@ -1,0 +1,49 @@
+"""Tests for the radio profiles."""
+
+import pytest
+
+from repro.radio.models import (
+    EDGE,
+    THREE_G,
+    WIFI_80211G,
+    RadioProfile,
+    make_link,
+    standard_links,
+)
+
+
+class TestProfiles:
+    def test_cellular_wakeup_1_5_to_2s(self):
+        """The paper: radios need 1.5-2 s to leave standby."""
+        for profile in (THREE_G, EDGE):
+            assert 1.5 <= profile.wakeup_s <= 2.0
+
+    def test_wakeup_independent_of_throughput(self):
+        """EDGE and 3G differ in goodput but not (materially) in wakeup."""
+        assert EDGE.wakeup_s == THREE_G.wakeup_s
+        assert THREE_G.downlink_bps > 2 * EDGE.downlink_bps
+
+    def test_wifi_fastest_link(self):
+        assert WIFI_80211G.downlink_bps > THREE_G.downlink_bps > EDGE.downlink_bps
+
+    def test_request_rtt_composition(self):
+        assert THREE_G.request_rtt_s() == pytest.approx(
+            THREE_G.handshake_rtts * THREE_G.rtt_s
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RadioProfile("x", -1, 0.1, 2, 1e6, 1e6, 0, 0.5, 0.5, 0.5, 1)
+        with pytest.raises(ValueError):
+            RadioProfile("x", 1, 0.1, 0, 1e6, 1e6, 0, 0.5, 0.5, 0.5, 1)
+        with pytest.raises(ValueError):
+            RadioProfile("x", 1, 0.1, 2, 0, 1e6, 0, 0.5, 0.5, 0.5, 1)
+
+    def test_standard_links(self):
+        links = standard_links()
+        assert set(links) == {"3g", "edge", "802.11g"}
+        assert links["3g"].profile is THREE_G
+
+    def test_make_link_starts_asleep(self):
+        link = make_link(THREE_G)
+        assert not link.is_awake(0.0)

@@ -1,0 +1,65 @@
+"""Property-based tests on the radio power-state machine."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.radio.models import EDGE, THREE_G, WIFI_80211G
+from repro.radio.states import RadioLink
+
+KB = 1024
+
+profiles = st.sampled_from([THREE_G, EDGE, WIFI_80211G])
+gaps = st.lists(st.floats(min_value=0.0, max_value=30.0), min_size=1, max_size=12)
+sizes = st.tuples(
+    st.integers(min_value=0, max_value=64 * KB),
+    st.integers(min_value=0, max_value=256 * KB),
+)
+
+
+@given(profile=profiles, gaps=gaps, size=sizes)
+@settings(max_examples=60, deadline=None)
+def test_timeline_is_contiguous_and_complete(profile, gaps, size):
+    """Draining after any request pattern yields a gap-free timeline
+    covering exactly [0, drain point]."""
+    link = RadioLink(profile)
+    now = 0.0
+    for gap in gaps:
+        now += gap
+        result = link.request(now, size[0], size[1], 0.1)
+        now = result.t_end
+    end = now + 60.0
+    segments = link.drain(end)
+    assert abs(segments[0].t_start - 0.0) < 1e-9
+    assert abs(segments[-1].t_end - end) < 1e-6
+    for a, b in zip(segments, segments[1:]):
+        assert abs(a.t_end - b.t_start) < 1e-9
+
+
+@given(profile=profiles, gaps=gaps, size=sizes)
+@settings(max_examples=60, deadline=None)
+def test_energy_bounded_by_power_envelope(profile, gaps, size):
+    """Total timeline energy lies between sleep-only and max-power."""
+    link = RadioLink(profile)
+    now = 0.0
+    for gap in gaps:
+        now += gap
+        result = link.request(now, size[0], size[1], 0.1)
+        now = result.t_end
+    end = now + 10.0
+    segments = link.drain(end)
+    energy = sum(s.energy_j for s in segments)
+    max_power = max(
+        profile.ramp_power_w, profile.active_power_w, profile.tail_power_w
+    )
+    assert profile.sleep_power_w * end * 0.99 <= energy <= max_power * end + 1e-9
+
+
+@given(profile=profiles, size=sizes)
+@settings(max_examples=40, deadline=None)
+def test_warm_request_never_slower(profile, size):
+    """A request inside the tail is never slower than a cold one."""
+    cold = RadioLink(profile)
+    cold_result = cold.request(0.0, size[0], size[1], 0.1)
+    warm = RadioLink(profile)
+    first = warm.request(0.0, size[0], size[1], 0.1)
+    warm_result = warm.request(first.t_end + profile.tail_s / 2, size[0], size[1], 0.1)
+    assert warm_result.latency_s <= cold_result.latency_s + 1e-9

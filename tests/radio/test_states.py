@@ -1,0 +1,128 @@
+"""Tests for the radio power-state machine."""
+
+import pytest
+
+from repro.radio.models import THREE_G, WIFI_80211G
+from repro.radio.states import RadioLink, RadioState
+
+KB = 1024
+
+
+class TestRequestPath:
+    def test_cold_request_pays_wakeup(self):
+        link = RadioLink(THREE_G)
+        result = link.request(0.0, KB, 10 * KB, 0.1)
+        assert result.woke
+        assert result.latency_s > THREE_G.wakeup_s
+
+    def test_request_within_tail_skips_wakeup(self):
+        link = RadioLink(THREE_G)
+        first = link.request(0.0, KB, KB, 0.0)
+        second = link.request(first.t_end + 0.5, KB, KB, 0.0)
+        assert not second.woke
+        assert second.latency_s == pytest.approx(
+            first.latency_s - THREE_G.wakeup_s
+        )
+
+    def test_request_after_tail_wakes_again(self):
+        link = RadioLink(THREE_G)
+        first = link.request(0.0, KB, KB, 0.0)
+        later = first.t_end + THREE_G.tail_s + 10.0
+        second = link.request(later, KB, KB, 0.0)
+        assert second.woke
+        assert link.total_wakeups == 2
+
+    def test_latency_composition(self):
+        link = RadioLink(THREE_G)
+        result = link.request(0.0, 2 * KB, 50 * KB, 0.3)
+        expected = (
+            THREE_G.wakeup_s
+            + THREE_G.request_rtt_s()
+            + 2 * KB / THREE_G.uplink_bps
+            + 0.3
+            + 50 * KB / THREE_G.downlink_bps
+        )
+        assert result.latency_s == pytest.approx(expected)
+
+    def test_overlapping_request_rejected(self):
+        link = RadioLink(THREE_G)
+        result = link.request(0.0, KB, KB, 0.0)
+        with pytest.raises(ValueError):
+            link.request(result.t_end - 0.01, KB, KB, 0.0)
+
+    def test_invalid_sizes_rejected(self):
+        link = RadioLink(THREE_G)
+        with pytest.raises(ValueError):
+            link.request(0.0, -1, KB, 0.0)
+        with pytest.raises(ValueError):
+            link.request(0.0, KB, KB, -0.5)
+
+    def test_byte_counters(self):
+        link = RadioLink(THREE_G)
+        link.request(0.0, 100, 200, 0.0)
+        assert link.total_bytes_up == 100
+        assert link.total_bytes_down == 200
+
+
+class TestStateInspection:
+    def test_states_over_time(self):
+        link = RadioLink(THREE_G)
+        result = link.request(0.0, KB, KB, 0.0)
+        assert link.state_at(result.t_end - 0.01) is RadioState.ACTIVE
+        assert link.state_at(result.t_end + 0.1) is RadioState.TAIL
+        assert (
+            link.state_at(result.t_end + THREE_G.tail_s + 1) is RadioState.SLEEP
+        )
+
+    def test_is_awake(self):
+        link = RadioLink(THREE_G)
+        result = link.request(0.0, KB, KB, 0.0)
+        assert link.is_awake(result.t_end + 0.1)
+        assert not link.is_awake(result.t_end + THREE_G.tail_s + 1)
+
+
+class TestTimeline:
+    def test_drain_covers_whole_interval(self):
+        link = RadioLink(THREE_G)
+        link.request(1.0, KB, KB, 0.0)
+        segments = link.drain(30.0)
+        assert segments[0].t_start == pytest.approx(0.0)
+        assert segments[-1].t_end == pytest.approx(30.0)
+        # Segments are contiguous.
+        for a, b in zip(segments, segments[1:]):
+            assert a.t_end == pytest.approx(b.t_start)
+
+    def test_timeline_has_all_states(self):
+        link = RadioLink(THREE_G)
+        link.request(1.0, KB, KB, 0.0)
+        segments = link.drain(30.0)
+        states = {s.state for s in segments}
+        assert states == {
+            RadioState.SLEEP,
+            RadioState.RAMP,
+            RadioState.ACTIVE,
+            RadioState.TAIL,
+        }
+
+    def test_truncated_tail_on_back_to_back(self):
+        """A second request during the tail truncates the emitted tail."""
+        link = RadioLink(THREE_G)
+        first = link.request(0.0, KB, KB, 0.0)
+        gap = 1.0
+        link.request(first.t_end + gap, KB, KB, 0.0)
+        segments = link.drain(60.0)
+        tails = [s for s in segments if s.state is RadioState.TAIL]
+        assert tails[0].duration_s == pytest.approx(gap)
+
+    def test_drain_backwards_rejected(self):
+        link = RadioLink(THREE_G)
+        link.request(0.0, KB, KB, 0.0)
+        link.drain(20.0)
+        with pytest.raises(ValueError):
+            link.drain(10.0)
+
+    def test_energy_positive(self):
+        link = RadioLink(WIFI_80211G)
+        link.request(0.0, KB, 100 * KB, 0.2)
+        segments = link.drain(10.0)
+        assert sum(s.energy_j for s in segments) > 0

@@ -1,0 +1,53 @@
+"""Tests for the battery model."""
+
+import pytest
+
+from repro.sim.battery import DEFAULT_CAPACITY_J, Battery
+
+
+class TestBattery:
+    def test_default_capacity(self):
+        assert DEFAULT_CAPACITY_J == pytest.approx(1.5 * 3.7 * 3600)
+
+    def test_drain_and_level(self):
+        battery = Battery(capacity_j=100.0)
+        assert battery.drain(30.0)
+        assert battery.level == pytest.approx(0.7)
+
+    def test_exhaustion_clamps(self):
+        battery = Battery(capacity_j=10.0)
+        assert not battery.drain(20.0)
+        assert battery.charge_j == 0.0
+
+    def test_recharge(self):
+        battery = Battery(capacity_j=50.0)
+        battery.drain(40.0)
+        battery.recharge()
+        assert battery.level == 1.0
+
+    def test_queries_per_charge(self):
+        battery = Battery(capacity_j=100.0)
+        assert battery.queries_per_charge(2.5) == 40
+
+    def test_daily_budget_share(self):
+        battery = Battery(capacity_j=100.0)
+        assert battery.daily_budget_share(1.0, 10) == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Battery(capacity_j=0)
+        battery = Battery()
+        with pytest.raises(ValueError):
+            battery.drain(-1)
+        with pytest.raises(ValueError):
+            battery.queries_per_charge(0)
+        with pytest.raises(ValueError):
+            battery.daily_budget_share(1.0, -1)
+
+    def test_paper_scale_comparison(self):
+        """PocketSearch sustains ~23x more queries per charge than 3G —
+        the energy ratio expressed in user terms."""
+        battery = Battery()
+        ps = battery.queries_per_charge(0.47)
+        threeg = battery.queries_per_charge(10.9)
+        assert ps / threeg == pytest.approx(23, rel=0.05)

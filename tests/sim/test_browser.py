@@ -1,0 +1,50 @@
+"""Tests for the browser rendering model."""
+
+import pytest
+
+from repro.sim.browser import Browser, RenderModel, SERP_BYTES
+
+
+class TestRenderModel:
+    def test_table4_render_fit(self):
+        """The local results page renders in ~361 ms (Table 4)."""
+        assert RenderModel().render_seconds(SERP_BYTES) == pytest.approx(
+            0.361, abs=0.005
+        )
+
+    def test_render_scales_with_bytes(self):
+        model = RenderModel()
+        assert model.render_seconds(100_000) > model.render_seconds(1_000)
+
+    def test_zero_bytes_costs_base(self):
+        model = RenderModel(base_s=0.1)
+        assert model.render_seconds(0) == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RenderModel(base_s=-1)
+        with pytest.raises(ValueError):
+            RenderModel(parse_bandwidth_bps=0)
+        with pytest.raises(ValueError):
+            RenderModel().render_seconds(-1)
+
+
+class TestBrowser:
+    def test_render_tracks_stats(self):
+        browser = Browser()
+        browser.render(SERP_BYTES)
+        browser.render(SERP_BYTES)
+        assert browser.pages_rendered == 2
+        assert browser.total_render_s == pytest.approx(2 * 0.361, abs=0.01)
+
+    def test_render_energy(self):
+        browser = Browser(render_power_w=0.5)
+        assert browser.render_energy_j(2.0) == pytest.approx(1.0)
+
+    def test_negative_render_energy_rejected(self):
+        with pytest.raises(ValueError):
+            Browser().render_energy_j(-1)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            Browser(render_power_w=-0.1)

@@ -1,0 +1,41 @@
+"""Tests for the simulation clock."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+
+
+def test_starts_at_zero():
+    assert SimClock().now == 0.0
+
+
+def test_custom_start():
+    assert SimClock(5.0).now == 5.0
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ValueError):
+        SimClock(-1.0)
+
+
+def test_advance():
+    clock = SimClock()
+    assert clock.advance(2.5) == 2.5
+    assert clock.now == 2.5
+
+
+def test_advance_negative_rejected():
+    with pytest.raises(ValueError):
+        SimClock().advance(-0.1)
+
+
+def test_advance_to():
+    clock = SimClock(1.0)
+    clock.advance_to(4.0)
+    assert clock.now == 4.0
+
+
+def test_advance_to_backwards_rejected():
+    clock = SimClock(5.0)
+    with pytest.raises(ValueError):
+        clock.advance_to(4.0)

@@ -1,0 +1,66 @@
+"""Tests for the simulated mobile device."""
+
+import pytest
+
+from repro.sim.device import DeviceConfig, MobileDevice
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = DeviceConfig()
+        assert config.base_power_w == 0.9
+        assert config.default_radio == "3g"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceConfig(base_power_w=-1)
+        with pytest.raises(ValueError):
+            DeviceConfig(query_bytes_up=-1)
+
+
+class TestEnergyAccounting:
+    def test_interaction_energy(self):
+        device = MobileDevice()
+        energy = device.account_interaction(2.0, extra_j=0.5)
+        assert energy == pytest.approx(2.0 * 0.9 + 0.5)
+        assert device.total_energy_j == pytest.approx(energy)
+
+    def test_negative_rejected(self):
+        device = MobileDevice()
+        with pytest.raises(ValueError):
+            device.account_interaction(-1.0)
+        with pytest.raises(ValueError):
+            device.account_interaction(1.0, extra_j=-0.1)
+
+
+class TestRadioPath:
+    def test_request_advances_clock(self):
+        device = MobileDevice()
+        result = device.radio_request()
+        assert device.clock.now == pytest.approx(result.latency_s)
+
+    def test_request_charges_energy(self):
+        device = MobileDevice()
+        result = device.radio_request()
+        assert result.energy_j > result.latency_s * 0.9  # radio on top of base
+
+    def test_unknown_radio_rejected(self):
+        device = MobileDevice()
+        with pytest.raises(KeyError):
+            device.radio_request(radio="5g")
+
+    def test_back_to_back_requests_faster(self):
+        device = MobileDevice()
+        first = device.radio_request()
+        second = device.radio_request()
+        assert first.woke
+        assert not second.woke
+        assert second.latency_s < first.latency_s
+
+
+class TestBrowserPath:
+    def test_render_advances_clock_and_charges(self):
+        device = MobileDevice()
+        latency, energy = device.render_page()
+        assert device.clock.now == pytest.approx(latency)
+        assert energy > 0

@@ -1,0 +1,69 @@
+"""Tests for the ASCII power-trace renderer."""
+
+import pytest
+
+from repro.radio.models import THREE_G
+from repro.radio.states import PowerSegment, RadioLink, RadioState
+from repro.sim.powertrace import render_trace, sample_power
+
+
+def timeline():
+    link = RadioLink(THREE_G)
+    result = link.request(1.0, 1024, 64 * 1024, 0.3)
+    return link.drain(result.t_end + 10.0)
+
+
+class TestSampling:
+    def test_sample_count(self):
+        samples = sample_power(timeline(), 40)
+        assert len(samples) == 40
+
+    def test_base_power_added(self):
+        plain = sample_power(timeline(), 20)
+        raised = sample_power(timeline(), 20, base_power_w=0.9)
+        assert all(b == pytest.approx(a + 0.9) for a, b in zip(plain, raised))
+
+    def test_empty_timeline(self):
+        assert sample_power([], 5, base_power_w=0.5) == [0.5] * 5
+
+    def test_peak_visible(self):
+        samples = sample_power(timeline(), 200)
+        assert max(samples) == pytest.approx(THREE_G.active_power_w, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sample_power(timeline(), 0)
+
+
+class TestRendering:
+    def test_dimensions(self):
+        chart = render_trace(timeline(), width=50, height=6)
+        lines = chart.splitlines()
+        assert len(lines) == 6 + 3  # rows + two axes + time labels
+        for line in lines[1:7]:
+            assert len(line) == 50 + 9  # gutter + bars + borders
+
+    def test_activity_shows_as_fill(self):
+        chart = render_trace(timeline(), width=60, height=6)
+        assert "#" in chart
+
+    def test_title(self):
+        chart = render_trace(timeline(), title="3G burst")
+        assert chart.splitlines()[0] == "3G burst"
+
+    def test_higher_power_fills_higher_rows(self):
+        segments = [
+            PowerSegment(0.0, 5.0, 0.2, RadioState.TAIL),
+            PowerSegment(5.0, 5.0, 1.0, RadioState.ACTIVE),
+        ]
+        chart = render_trace(segments, width=10, height=4)
+        lines = chart.splitlines()
+        top_row = lines[1]
+        bottom_row = lines[4]
+        assert top_row.count("#") < bottom_row.count("#")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_trace(timeline(), width=0)
+        with pytest.raises(ValueError):
+            render_trace(timeline(), max_power_w=0)

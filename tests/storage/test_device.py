@@ -1,0 +1,84 @@
+"""Tests for the MemoryDevice latency/energy model."""
+
+import pytest
+
+from repro.storage.device import MemoryDevice
+
+
+def make_device(**overrides):
+    params = dict(
+        name="test",
+        capacity_bytes=1024,
+        read_latency_s=1e-6,
+        write_latency_s=2e-6,
+        read_bandwidth_bps=1e6,
+        write_bandwidth_bps=5e5,
+        access_energy_j=1e-9,
+        energy_per_byte_j=1e-12,
+    )
+    params.update(overrides)
+    return MemoryDevice(**params)
+
+
+class TestConstruction:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            make_device(capacity_bytes=0)
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            make_device(read_bandwidth_bps=0)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            make_device(read_latency_s=-1)
+
+
+class TestAccessModel:
+    def test_read_latency_formula(self):
+        device = make_device()
+        result = device.read(1000)
+        assert result.latency_s == pytest.approx(1e-6 + 1000 / 1e6)
+
+    def test_write_latency_formula(self):
+        device = make_device()
+        result = device.write(1000)
+        assert result.latency_s == pytest.approx(2e-6 + 1000 / 5e5)
+
+    def test_energy_formula(self):
+        device = make_device()
+        result = device.read(500)
+        assert result.energy_j == pytest.approx(1e-9 + 500e-12)
+
+    def test_zero_byte_access_costs_fixed_latency(self):
+        device = make_device()
+        assert device.read(0).latency_s == pytest.approx(1e-6)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            make_device().read(-1)
+
+    def test_larger_reads_take_longer(self):
+        device = make_device()
+        assert device.read(10_000).latency_s > device.read(10).latency_s
+
+
+class TestStats:
+    def test_counters_accumulate(self):
+        device = make_device()
+        device.read(100)
+        device.read(200)
+        device.write(50)
+        assert device.total_reads == 2
+        assert device.total_writes == 1
+        assert device.total_bytes_read == 300
+        assert device.total_bytes_written == 50
+        assert device.total_time_s > 0
+        assert device.total_energy_j > 0
+
+    def test_reset(self):
+        device = make_device()
+        device.read(100)
+        device.reset_stats()
+        assert device.total_reads == 0
+        assert device.total_time_s == 0.0

@@ -1,0 +1,124 @@
+"""Tests for the flash filesystem layer."""
+
+import pytest
+
+from repro.storage.filesystem import FilesystemError, FlashFilesystem
+from repro.storage.flash import FlashGeometry, NandFlash
+
+PAGE = 4096
+
+
+@pytest.fixture
+def fs():
+    flash = NandFlash(FlashGeometry(page_bytes=PAGE, pages_per_block=8, total_blocks=16))
+    return FlashFilesystem(flash)
+
+
+class TestNamespace:
+    def test_create_and_exists(self, fs):
+        fs.create("a.txt", 100)
+        assert fs.exists("a.txt")
+        assert not fs.exists("b.txt")
+
+    def test_duplicate_create_rejected(self, fs):
+        fs.create("a", 0)
+        with pytest.raises(FilesystemError):
+            fs.create("a", 0)
+
+    def test_list_files_sorted(self, fs):
+        fs.create("b")
+        fs.create("a")
+        assert fs.list_files() == ["a", "b"]
+
+    def test_missing_file_errors(self, fs):
+        with pytest.raises(FilesystemError):
+            fs.read("nope")
+        with pytest.raises(FilesystemError):
+            fs.delete("nope")
+
+    def test_stat(self, fs):
+        fs.create("a", 100)
+        st = fs.stat("a")
+        assert st.size_bytes == 100
+        assert st.pages_allocated == 1
+        assert st.allocated_bytes == PAGE
+
+
+class TestAllocation:
+    def test_page_rounding(self, fs):
+        fs.create("tiny", 1)
+        assert fs.file_allocated_bytes("tiny") == PAGE
+        assert fs.fragmentation_bytes == PAGE - 1
+
+    def test_append_grows_pages(self, fs):
+        fs.create("f", 100)
+        fs.append("f", PAGE)
+        assert fs.file_size("f") == 100 + PAGE
+        assert fs.stat("f").pages_allocated == 2
+
+    def test_delete_releases_pages(self, fs):
+        fs.create("f", 3 * PAGE)
+        used = fs.pages_used
+        fs.delete("f")
+        assert fs.pages_used == used - 3
+
+    def test_device_full(self, fs):
+        total = fs.flash.geometry.total_pages * PAGE
+        fs.create("big", total)
+        with pytest.raises(FilesystemError):
+            fs.create("more", 1)
+
+    def test_truncate(self, fs):
+        fs.create("f", 3 * PAGE)
+        fs.truncate("f", 10)
+        assert fs.file_size("f") == 10
+        assert fs.stat("f").pages_allocated == 1
+
+    def test_truncate_cannot_grow(self, fs):
+        fs.create("f", 10)
+        with pytest.raises(FilesystemError):
+            fs.truncate("f", 100)
+
+
+class TestReadCosts:
+    def test_read_includes_open_overhead(self, fs):
+        fs.create("f", 100)
+        cost = fs.read("f", 0, 100)
+        assert cost.latency_s >= fs.open_overhead_s
+
+    def test_read_touches_covering_pages_only(self, fs):
+        fs.create("f", 10 * PAGE)
+        small = fs.read("f", 0, 10)
+        spanning = fs.read("f", PAGE - 5, 10)  # crosses a page boundary
+        big = fs.read("f", 0, 5 * PAGE)
+        assert small.latency_s < big.latency_s
+        assert spanning.latency_s > small.latency_s
+
+    def test_read_out_of_bounds(self, fs):
+        fs.create("f", 100)
+        with pytest.raises(FilesystemError):
+            fs.read("f", 50, 100)
+
+    def test_read_to_end_default(self, fs):
+        fs.create("f", 100)
+        cost = fs.read("f", 40)
+        assert cost.bytes_moved >= 0  # cost modelled, no error
+
+    def test_zero_length_read(self, fs):
+        fs.create("f", 100)
+        cost = fs.read("f", 0, 0)
+        assert cost.latency_s == pytest.approx(fs.open_overhead_s)
+
+
+class TestAccounting:
+    def test_logical_vs_allocated(self, fs):
+        fs.create("a", 100)
+        fs.create("b", PAGE + 1)
+        assert fs.logical_bytes == 100 + PAGE + 1
+        assert fs.bytes_used == 3 * PAGE
+        assert fs.fragmentation_bytes == 3 * PAGE - (100 + PAGE + 1)
+
+    def test_free_bytes(self, fs):
+        before = fs.free_bytes
+        fs.create("a", PAGE)
+        assert fs.free_bytes == before - PAGE

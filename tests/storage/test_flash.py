@@ -1,0 +1,88 @@
+"""Tests for the NAND flash model."""
+
+import pytest
+
+from repro.storage.flash import FlashGeometry, NandFlash
+
+
+class TestGeometry:
+    def test_capacity(self):
+        g = FlashGeometry(page_bytes=4096, pages_per_block=64, total_blocks=128)
+        assert g.block_bytes == 4096 * 64
+        assert g.total_pages == 64 * 128
+        assert g.capacity_bytes == 4096 * 64 * 128
+
+    def test_pages_for_rounds_up(self):
+        g = FlashGeometry(page_bytes=4096)
+        assert g.pages_for(0) == 0
+        assert g.pages_for(1) == 1
+        assert g.pages_for(4096) == 1
+        assert g.pages_for(4097) == 2
+
+    def test_paper_small_file_amplification(self):
+        """A 500-byte search result stored alone occupies a whole
+        allocation unit: ~4x/8x/16x its size for 2/4/8 KB units
+        (Section 5.2.2)."""
+        for unit in (2048, 4096, 8192):
+            g = FlashGeometry(page_bytes=unit)
+            occupied = g.pages_for(500) * g.page_bytes
+            assert occupied == unit
+            assert occupied / 500 == pytest.approx(unit / 500)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            FlashGeometry(page_bytes=0)
+        with pytest.raises(ValueError):
+            FlashGeometry(total_blocks=-1)
+
+    def test_pages_for_negative(self):
+        with pytest.raises(ValueError):
+            FlashGeometry().pages_for(-1)
+
+
+class TestNandOperations:
+    def test_page_read_cost(self):
+        flash = NandFlash(read_page_s=25e-6)
+        one = flash.read_pages(1)
+        assert one.latency_s >= 25e-6
+
+    def test_read_scales_with_pages(self):
+        flash = NandFlash()
+        t1 = flash.read_pages(1).latency_s
+        t10 = flash.read_pages(10).latency_s
+        assert t10 == pytest.approx(10 * t1, rel=0.01)
+
+    def test_program_slower_than_read(self):
+        flash = NandFlash()
+        assert flash.program_pages(1).latency_s > flash.read_pages(1).latency_s
+
+    def test_erase_slowest(self):
+        flash = NandFlash()
+        assert (
+            flash.erase_blocks(1).latency_s
+            > flash.program_pages(1).latency_s
+            > flash.read_pages(1).latency_s
+        )
+
+    def test_stats_tracked(self):
+        flash = NandFlash()
+        flash.read_pages(3)
+        flash.program_pages(2)
+        flash.erase_blocks(1)
+        assert flash.stats.page_reads == 3
+        assert flash.stats.page_programs == 2
+        assert flash.stats.block_erases == 1
+
+    def test_negative_counts_rejected(self):
+        flash = NandFlash()
+        with pytest.raises(ValueError):
+            flash.read_pages(-1)
+        with pytest.raises(ValueError):
+            flash.erase_blocks(-2)
+
+    def test_flash_read_energy_far_below_radio(self):
+        """Serving from flash must be orders of magnitude cheaper than
+        the ~5-10 J radio round trip (the premise of the paper)."""
+        flash = NandFlash()
+        result = flash.read_pages(10)  # a generous SERP fetch
+        assert result.energy_j < 0.01

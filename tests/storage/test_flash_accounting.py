@@ -1,0 +1,59 @@
+"""Deeper accounting tests for flash and the filesystem."""
+
+import pytest
+
+from repro.storage.filesystem import FlashFilesystem
+from repro.storage.flash import FlashGeometry, NandFlash
+
+PAGE = 4096
+
+
+class TestAppendProgramAccounting:
+    def test_page_aligned_append_programs_only_new_pages(self):
+        flash = NandFlash(FlashGeometry(page_bytes=PAGE))
+        fs = FlashFilesystem(flash)
+        fs.create("f", PAGE)  # exactly one full page
+        before = flash.stats.page_programs
+        fs.append("f", PAGE)  # no partial tail to rewrite
+        assert flash.stats.page_programs - before == 1
+
+    def test_partial_tail_rewritten_on_append(self):
+        flash = NandFlash(FlashGeometry(page_bytes=PAGE))
+        fs = FlashFilesystem(flash)
+        fs.create("f", 100)  # partial page
+        before = flash.stats.page_programs
+        fs.append("f", 50)  # stays in the same page: 1 rewrite
+        assert flash.stats.page_programs - before == 1
+
+    def test_append_spanning_boundary(self):
+        flash = NandFlash(FlashGeometry(page_bytes=PAGE))
+        fs = FlashFilesystem(flash)
+        fs.create("f", PAGE - 10)
+        before = flash.stats.page_programs
+        fs.append("f", 100)  # rewrites tail + programs one new page
+        assert flash.stats.page_programs - before == 2
+
+    def test_zero_append_is_free_of_programs(self):
+        flash = NandFlash(FlashGeometry(page_bytes=PAGE))
+        fs = FlashFilesystem(flash)
+        fs.create("f", PAGE)
+        before = flash.stats.page_programs
+        fs.append("f", 0)
+        assert flash.stats.page_programs == before
+
+
+class TestEraseAccounting:
+    def test_erase_counts_and_costs(self):
+        flash = NandFlash()
+        result = flash.erase_blocks(3)
+        assert flash.stats.block_erases == 3
+        assert result.latency_s == pytest.approx(3 * flash.erase_block_s)
+        assert result.energy_j == pytest.approx(3 * flash.erase_block_energy_j)
+
+
+class TestEnergyOrdering:
+    def test_program_costs_more_energy_than_read(self):
+        flash = NandFlash()
+        read = flash.read_pages(4)
+        program = flash.program_pages(4)
+        assert program.energy_j > read.energy_j

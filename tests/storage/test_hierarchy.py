@@ -1,0 +1,90 @@
+"""Tests for the DRAM/PCM/NAND hierarchy."""
+
+import pytest
+
+from repro.storage.dram import Dram
+from repro.storage.flash import NandFlash
+from repro.storage.hierarchy import MemoryHierarchy, TierName
+from repro.storage.pcm import Pcm
+
+MB = 1024**2
+
+
+class TestTiers:
+    def test_default_two_tier(self):
+        h = MemoryHierarchy()
+        assert not h.has_pcm
+        assert h.index_tier.name is TierName.DRAM
+        assert h.data_tier.name is TierName.FLASH
+
+    def test_three_tier_with_pcm(self):
+        h = MemoryHierarchy(pcm=Pcm())
+        assert h.has_pcm
+        assert h.index_tier.name is TierName.PCM
+
+    def test_missing_tier_raises(self):
+        h = MemoryHierarchy()
+        with pytest.raises(KeyError):
+            h.tier(TierName.PCM)
+
+    def test_latency_ordering(self):
+        """DRAM < PCM < NAND for small reads — the premise of Figure 3."""
+        dram, pcm, flash = Dram(), Pcm(), NandFlash()
+        n = 64
+        assert (
+            dram.read(n).latency_s
+            < pcm.read(n).latency_s
+            < flash.read_pages(1).latency_s
+        )
+
+    def test_pcm_nonvolatile_dram_not(self):
+        assert Dram().volatile
+        assert not Pcm().volatile
+        assert not NandFlash().volatile
+
+
+class TestAllocation:
+    def test_allocate_and_release(self):
+        h = MemoryHierarchy()
+        tier = h.tier(TierName.DRAM)
+        free = tier.free_bytes
+        tier.allocate(10 * MB)
+        assert tier.free_bytes == free - 10 * MB
+        tier.release(10 * MB)
+        assert tier.free_bytes == free
+
+    def test_over_allocate(self):
+        h = MemoryHierarchy()
+        tier = h.tier(TierName.DRAM)
+        with pytest.raises(MemoryError):
+            tier.allocate(tier.device.capacity_bytes + 1)
+
+    def test_over_release(self):
+        h = MemoryHierarchy()
+        with pytest.raises(ValueError):
+            h.tier(TierName.DRAM).release(1)
+
+    def test_negative_allocate(self):
+        h = MemoryHierarchy()
+        with pytest.raises(ValueError):
+            h.tier(TierName.DRAM).allocate(-1)
+
+
+class TestBootIndexLoad:
+    def test_pcm_makes_boot_instant(self):
+        """Section 3.3: with PCM, indexes are available at boot without
+        streaming gigabytes from flash."""
+        index_bytes = 512 * MB
+        without = MemoryHierarchy().boot_index_load(index_bytes)
+        with_pcm = MemoryHierarchy(pcm=Pcm()).boot_index_load(index_bytes)
+        assert with_pcm.latency_s < without.latency_s / 1000
+
+    def test_boot_load_scales_with_index(self):
+        h = MemoryHierarchy()
+        small = h.boot_index_load(1 * MB)
+        big = h.boot_index_load(100 * MB)
+        assert big.latency_s > small.latency_s
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy().boot_index_load(-1)

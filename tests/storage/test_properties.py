@@ -1,0 +1,84 @@
+"""Property-based tests (hypothesis) on the storage substrate."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.filesystem import FlashFilesystem
+from repro.storage.flash import FlashGeometry, NandFlash
+
+PAGE = 4096
+
+
+def fresh_fs():
+    return FlashFilesystem(
+        NandFlash(FlashGeometry(page_bytes=PAGE, pages_per_block=8, total_blocks=64))
+    )
+
+
+@given(sizes=st.lists(st.integers(min_value=0, max_value=3 * PAGE), max_size=20))
+@settings(max_examples=50, deadline=None)
+def test_fragmentation_never_negative(sizes):
+    """Allocated bytes always cover logical bytes."""
+    fs = fresh_fs()
+    for i, size in enumerate(sizes):
+        fs.create(f"f{i}", size)
+    assert fs.fragmentation_bytes >= 0
+    assert fs.bytes_used == fs.logical_bytes + fs.fragmentation_bytes
+
+
+@given(
+    initial=st.integers(min_value=0, max_value=2 * PAGE),
+    appends=st.lists(st.integers(min_value=0, max_value=PAGE), max_size=10),
+)
+@settings(max_examples=50, deadline=None)
+def test_append_accumulates_sizes(initial, appends):
+    fs = fresh_fs()
+    fs.create("f", initial)
+    for n in appends:
+        fs.append("f", n)
+    assert fs.file_size("f") == initial + sum(appends)
+    # Allocation is exactly the page-rounded logical size.
+    expected_pages = -(-fs.file_size("f") // PAGE) if fs.file_size("f") else 0
+    assert fs.stat("f").pages_allocated == expected_pages
+
+
+@given(
+    size=st.integers(min_value=1, max_value=8 * PAGE),
+    offset=st.integers(min_value=0, max_value=8 * PAGE - 1),
+    length=st.integers(min_value=0, max_value=8 * PAGE),
+)
+@settings(max_examples=80, deadline=None)
+def test_read_latency_monotone_in_span(size, offset, length):
+    """Any valid read costs at least the open overhead, and reading more
+    bytes from the same offset never gets cheaper."""
+    fs = fresh_fs()
+    fs.create("f", size)
+    if offset + length > size:
+        return  # out of bounds; covered by unit tests
+    cost = fs.read("f", offset, length)
+    assert cost.latency_s >= fs.open_overhead_s
+    if length >= 1:
+        shorter = fs.read("f", offset, max(length // 2, 0))
+        assert cost.latency_s >= shorter.latency_s
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["create", "delete"]), st.integers(0, 9)),
+        max_size=30,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_create_delete_conserves_pages(ops):
+    """pages_used always equals the sum of live files' allocations."""
+    fs = fresh_fs()
+    live = {}
+    for op, idx in ops:
+        name = f"f{idx}"
+        if op == "create" and name not in live:
+            fs.create(name, (idx + 1) * 1000)
+            live[name] = True
+        elif op == "delete" and name in live:
+            fs.delete(name)
+            del live[name]
+    expected = sum(fs.stat(n).pages_allocated for n in live)
+    assert fs.pages_used == expected
