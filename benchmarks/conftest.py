@@ -4,13 +4,53 @@ Every benchmark regenerates one of the paper's tables or figures.  The
 ``report`` fixture prints the regenerated rows/series and also writes
 them to ``benchmarks/output/<name>.txt`` so results survive pytest's
 output capture.
+
+Passing ``--manifest-out DIR`` additionally writes one run-manifest JSON
+per benchmark (name, wall time, git SHA, peak RSS — see
+:mod:`repro.obs.manifest`) into ``DIR``; ``benchmarks/emit_bench_json.py``
+aggregates a directory of manifests into a single ``BENCH_<date>.json``
+for the perf trajectory.
 """
 
 import os
+import re
 
 import pytest
 
+from repro.obs.manifest import ManifestRecorder
+
 OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--manifest-out",
+        action="store",
+        default=None,
+        metavar="DIR",
+        help="write one run-manifest JSON per benchmark into DIR",
+    )
+
+
+def _manifest_filename(nodeid: str) -> str:
+    return re.sub(r"[^\w.-]+", "_", nodeid) + ".json"
+
+
+@pytest.fixture(autouse=True)
+def bench_manifest(request):
+    """Record a per-bench manifest when --manifest-out is given."""
+    out_dir = request.config.getoption("--manifest-out")
+    if not out_dir:
+        yield None
+        return
+    recorder = ManifestRecorder(
+        request.node.name, config={"nodeid": request.node.nodeid}
+    )
+    with recorder:
+        yield recorder
+    recorder.manifest.write(
+        os.path.join(out_dir, _manifest_filename(request.node.nodeid))
+    )
 
 
 @pytest.fixture

@@ -1,0 +1,91 @@
+"""Aggregate per-bench run manifests into one trajectory record.
+
+Workflow::
+
+    PYTHONPATH=src python -m pytest benchmarks -q --manifest-out benchmarks/manifests
+    PYTHONPATH=src python benchmarks/emit_bench_json.py \
+        --manifests benchmarks/manifests --out BENCH_$(date +%F).json
+
+The output is a single JSON document: run-level provenance (git SHA,
+date, totals) plus the individual bench manifests sorted by name, so
+successive commits' files diff cleanly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.obs.manifest import RunManifest, git_sha  # noqa: E402
+
+DEFAULT_MANIFEST_DIR = os.path.join(os.path.dirname(__file__), "manifests")
+
+
+def aggregate(manifest_dir: str) -> dict:
+    """Combine every ``*.json`` manifest in ``manifest_dir``."""
+    paths = sorted(glob.glob(os.path.join(manifest_dir, "*.json")))
+    benches = []
+    for path in paths:
+        try:
+            benches.append(RunManifest.read(path).to_dict())
+        except (ValueError, KeyError, TypeError) as exc:
+            print(f"skipping {path}: {exc}", file=sys.stderr)
+    benches.sort(key=lambda b: b["name"])
+    return {
+        "schema_version": 1,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "git_sha": git_sha(),
+        "n_benches": len(benches),
+        "total_wall_time_s": sum(b.get("wall_time_s") or 0.0 for b in benches),
+        "max_peak_rss_bytes": max(
+            (b.get("peak_rss_bytes") or 0 for b in benches), default=0
+        ),
+        "benches": benches,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Aggregate bench manifests into one BENCH_<date>.json."
+    )
+    parser.add_argument(
+        "--manifests",
+        default=DEFAULT_MANIFEST_DIR,
+        metavar="DIR",
+        help="directory of per-bench manifest JSONs (from --manifest-out)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="output path (default: BENCH_<YYYY-MM-DD>.json in the cwd)",
+    )
+    args = parser.parse_args(argv)
+    if not os.path.isdir(args.manifests):
+        print(f"no manifest directory at {args.manifests}", file=sys.stderr)
+        return 2
+    combined = aggregate(args.manifests)
+    if combined["n_benches"] == 0:
+        print(f"no manifests found under {args.manifests}", file=sys.stderr)
+        return 2
+    out = args.out or f"BENCH_{time.strftime('%Y-%m-%d')}.json"
+    with open(out, "w") as fh:
+        json.dump(combined, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(
+        f"wrote {out}: {combined['n_benches']} benches, "
+        f"{combined['total_wall_time_s']:.2f}s total"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

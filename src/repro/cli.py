@@ -7,6 +7,14 @@ Usage::
     python -m repro fig17 --users 40     # replay-based figures take --users
     python -m repro all                  # everything (slow)
 
+Observability wrappers run any artifact with the span tracer on::
+
+    python -m repro trace fig17 --users 5      # writes trace.jsonl
+    python -m repro profile fig17 --users 5    # prints span-time breakdown
+
+Any invocation can also record a run manifest (seed/config/git
+SHA/wall-time/peak-RSS JSON) with ``--manifest-out PATH``.
+
 Each command prints the same rows the corresponding benchmark emits.
 """
 
@@ -14,7 +22,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from repro.experiments import (
     ablations,
@@ -26,6 +34,11 @@ from repro.experiments import (
     scaling,
 )
 from repro.experiments.common import format_table
+from repro.obs import trace as obs_trace
+from repro.obs.manifest import ManifestRecorder
+
+#: Wrapper subcommands that run an artifact under the tracer.
+OBS_MODES = ("trace", "profile")
 
 
 def _print_table1() -> None:
@@ -238,9 +251,10 @@ def _print_extensions() -> None:
     print("Battery:", extensions.battery_life())
 
 
-def build_parser() -> argparse.ArgumentParser:
+def build_parser(mode: Optional[str] = None) -> argparse.ArgumentParser:
+    prog = "repro" if mode is None else f"repro {mode}"
     parser = argparse.ArgumentParser(
-        prog="repro",
+        prog=prog,
         description="Regenerate Pocket Cloudlets (ASPLOS'11) tables and figures.",
     )
     parser.add_argument("artifact", help="artifact name, 'list', or 'all'")
@@ -250,11 +264,63 @@ def build_parser() -> argparse.ArgumentParser:
         default=40,
         help="users per Table 6 class for replay figures (default 40)",
     )
+    parser.add_argument(
+        "--manifest-out",
+        metavar="PATH",
+        default=None,
+        help="write a run-manifest JSON (config, git SHA, wall time, peak RSS)",
+    )
+    if mode == "trace":
+        parser.add_argument(
+            "--trace-out",
+            metavar="PATH",
+            default="trace.jsonl",
+            help="trace destination, JSON Lines (default: trace.jsonl)",
+        )
+    if mode in OBS_MODES:
+        parser.add_argument(
+            "--trace-capacity",
+            type=int,
+            default=obs_trace.DEFAULT_CAPACITY,
+            help="ring-buffer size; older spans are evicted beyond this",
+        )
+    if mode == "profile":
+        parser.add_argument(
+            "--top",
+            type=int,
+            default=20,
+            help="rows to show in the span-time breakdown (default 20)",
+        )
     return parser
 
 
+def _profile_table(records, top: int) -> str:
+    """Aggregate trace records into the span-time breakdown table."""
+    rows = obs_trace.span_breakdown(records)
+    total_self = sum(r["self_s"] for r in rows) or 1.0
+    body = [
+        [
+            r["name"],
+            r["count"],
+            f"{r['total_s']:.4f}",
+            f"{r['self_s']:.4f}",
+            f"{r['mean_ms']:.4f}",
+            f"{r['self_s'] / total_self * 100:.1f}%",
+        ]
+        for r in rows[:top]
+    ]
+    return format_table(
+        body, ["span", "count", "total s", "self s", "mean ms", "self %"]
+    )
+
+
 def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    mode: Optional[str] = None
+    if argv and argv[0] in OBS_MODES:
+        mode = argv[0]
+        argv = argv[1:]
+    args = build_parser(mode).parse_args(argv)
     commands: Dict[str, Callable[[], None]] = {
         "table1": _print_table1,
         "fig2": _print_fig2,
@@ -292,18 +358,63 @@ def main(argv=None) -> int:
             print(name)
         return 0
     if args.artifact == "all":
-        for name, command in commands.items():
-            print(f"\n=== {name} ===")
-            command()
-        return 0
-    command = commands.get(args.artifact)
-    if command is None:
-        print(
-            f"unknown artifact {args.artifact!r}; try 'list'", file=sys.stderr
-        )
-        return 2
-    command()
+        def runner() -> None:
+            _run_all(commands)
+    else:
+        command = commands.get(args.artifact)
+        if command is None:
+            print(
+                f"unknown artifact {args.artifact!r}; try 'list'",
+                file=sys.stderr,
+            )
+            return 2
+        runner = command
+
+    tracer = None
+    if mode in OBS_MODES:
+        if args.trace_capacity <= 0:
+            print(
+                f"repro {mode}: --trace-capacity must be positive, "
+                f"got {args.trace_capacity}",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.experiments.common import clear_replay_cache
+
+        clear_replay_cache()  # memoized replays would record no spans
+        tracer = obs_trace.enable(capacity=args.trace_capacity)
+    recorder = ManifestRecorder(
+        args.artifact, config={"users": args.users, "mode": mode or "run"}
+    )
+    try:
+        with recorder:
+            runner()
+    finally:
+        if tracer is not None:
+            obs_trace.disable()
+
+    if mode == "trace":
+        written = tracer.export_jsonl(args.trace_out)
+        if tracer.dropped:
+            print(
+                f"warning: ring buffer evicted {tracer.dropped} records; "
+                "raise --trace-capacity for a complete trace",
+                file=sys.stderr,
+            )
+        print(f"wrote {written} trace records to {args.trace_out}")
+    elif mode == "profile":
+        print(f"\n=== span-time breakdown: {args.artifact} ===")
+        print(_profile_table(tracer.records(), args.top))
+    if args.manifest_out:
+        recorder.manifest.write(args.manifest_out)
+        print(f"wrote run manifest to {args.manifest_out}")
     return 0
+
+
+def _run_all(commands: Dict[str, Callable[[], None]]) -> None:
+    for name, command in commands.items():
+        print(f"\n=== {name} ===")
+        command()
 
 
 if __name__ == "__main__":

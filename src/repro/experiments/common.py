@@ -44,6 +44,16 @@ def default_content(seed: int = DEFAULT_SEED) -> CacheContent:
 _replay_cache: Dict[int, Dict[str, ReplayResult]] = {}
 
 
+def clear_replay_cache() -> None:
+    """Drop memoized replays so the next call actually re-runs.
+
+    Needed when a caller wants side effects of the replay itself — e.g.
+    ``repro trace`` / ``repro profile`` must re-execute the serve path to
+    record spans; a memoized result would yield an empty trace.
+    """
+    _replay_cache.clear()
+
+
 def default_replay(
     users_per_class: int = 100, seed: int = DEFAULT_SEED
 ) -> Dict[str, ReplayResult]:

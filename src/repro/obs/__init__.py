@@ -1,0 +1,49 @@
+"""Observability for the simulation stack: tracing, metrics, manifests.
+
+Three zero-dependency layers, all default-off (or allocation-free) so the
+replay hot paths pay nothing unless a caller opts in:
+
+* :mod:`repro.obs.trace` — context-manager span tracer with a
+  ring-buffered recorder and JSONL export.  The module-level tracer is a
+  no-op singleton until :func:`repro.obs.trace.enable` installs a real
+  recorder.
+* :mod:`repro.obs.registry` — named counters, gauges, and
+  bounded-memory streaming histograms (reservoir + P² quantiles), so
+  million-query replays can compute percentiles without retaining every
+  outcome object.
+* :mod:`repro.obs.manifest` — machine-readable run manifests (seed,
+  config, git SHA, wall time, peak RSS) for experiments and benchmarks.
+"""
+
+from repro.obs.manifest import RunManifest, collect_manifest
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    P2Quantile,
+    StreamingHistogram,
+    get_registry,
+)
+from repro.obs.trace import (
+    Tracer,
+    disable,
+    enable,
+    get_tracer,
+    set_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "P2Quantile",
+    "RunManifest",
+    "StreamingHistogram",
+    "Tracer",
+    "collect_manifest",
+    "disable",
+    "enable",
+    "get_registry",
+    "get_tracer",
+    "set_tracer",
+]

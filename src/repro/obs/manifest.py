@@ -1,0 +1,188 @@
+"""Machine-readable run manifests for experiments and benchmarks.
+
+Every measured run should leave behind a small JSON record of *what ran
+and under which conditions*: the artifact/bench name, its configuration,
+the RNG seed, the git commit, wall time, and peak RSS.  Manifests make
+runs comparable across commits — the perf-trajectory tooling
+(``benchmarks/emit_bench_json.py``) aggregates them.
+
+Usage::
+
+    from repro.obs.manifest import ManifestRecorder
+
+    with ManifestRecorder("fig17", config={"users": 5}, seed=23) as rec:
+        run_experiment()
+    rec.manifest.write("manifests/fig17.json")
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "ManifestRecorder",
+    "RunManifest",
+    "collect_manifest",
+    "git_sha",
+    "peak_rss_bytes",
+]
+
+#: Manifest schema version; bump on incompatible field changes.
+SCHEMA_VERSION = 1
+
+
+def git_sha(cwd: Optional[str] = None) -> Optional[str]:
+    """The current git commit SHA, or ``None`` outside a repository."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd or os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip() or None
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """Peak resident set size of this process, in bytes.
+
+    Uses :mod:`resource` where available (POSIX); returns ``None``
+    elsewhere.  Linux reports ``ru_maxrss`` in KiB, macOS in bytes.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return None
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS units
+        return int(rss)
+    return int(rss) * 1024
+
+
+@dataclass
+class RunManifest:
+    """One run's provenance and resource record.
+
+    Attributes:
+        name: artifact or benchmark identifier.
+        config: run parameters (users, months, policy knobs, ...).
+        seed: primary RNG seed, when the run has one.
+        git_sha: commit the code ran at (``None`` outside a checkout).
+        started_at: ISO-8601 UTC start timestamp.
+        wall_time_s: elapsed wall-clock seconds.
+        peak_rss_bytes: process peak RSS after the run.
+        python: interpreter version string.
+        platform: OS/machine identifier.
+        metrics: optional registry snapshot or result summary.
+        schema_version: manifest schema revision.
+    """
+
+    name: str
+    config: Dict[str, Any] = field(default_factory=dict)
+    seed: Optional[int] = None
+    git_sha: Optional[str] = None
+    started_at: str = ""
+    wall_time_s: float = 0.0
+    peak_rss_bytes: Optional[int] = None
+    python: str = ""
+    platform: str = ""
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def write(self, path: str) -> str:
+        """Write the manifest as JSON, creating parent dirs; returns path."""
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        with open(path, "w") as fh:
+            fh.write(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "RunManifest":
+        known = set(cls.__dataclass_fields__)
+        return cls(**{k: v for k, v in raw.items() if k in known})
+
+    @classmethod
+    def read(cls, path: str) -> "RunManifest":
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))
+
+
+def collect_manifest(
+    name: str,
+    config: Optional[Dict[str, Any]] = None,
+    seed: Optional[int] = None,
+    wall_time_s: float = 0.0,
+    metrics: Optional[Dict[str, Any]] = None,
+) -> RunManifest:
+    """Build a manifest from the current process state."""
+    return RunManifest(
+        name=name,
+        config=dict(config or {}),
+        seed=seed,
+        git_sha=git_sha(),
+        started_at=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        wall_time_s=wall_time_s,
+        peak_rss_bytes=peak_rss_bytes(),
+        python=platform.python_version(),
+        platform=f"{platform.system()}-{platform.machine()}",
+        metrics=dict(metrics or {}),
+    )
+
+
+class ManifestRecorder:
+    """Context manager that times a run and assembles its manifest.
+
+    The manifest is available as :attr:`manifest` after the block exits
+    (including on error, with an ``"error"`` key in ``metrics``).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        config: Optional[Dict[str, Any]] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.name = name
+        self.config = dict(config or {})
+        self.seed = seed
+        self.metrics: Dict[str, Any] = {}
+        self.manifest: Optional[RunManifest] = None
+        self._t0 = 0.0
+
+    def add_metric(self, key: str, value: Any) -> None:
+        self.metrics[key] = value
+
+    def __enter__(self) -> "ManifestRecorder":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.metrics["error"] = exc_type.__name__
+        self.manifest = collect_manifest(
+            self.name,
+            config=self.config,
+            seed=self.seed,
+            wall_time_s=time.perf_counter() - self._t0,
+            metrics=self.metrics,
+        )
+        return False

@@ -1,0 +1,347 @@
+"""Named counters, gauges, and bounded-memory streaming histograms.
+
+The registry gives experiment and replay code a place to accumulate
+aggregates without retaining per-event objects:
+
+* :class:`Counter` — monotonically increasing count.
+* :class:`Gauge` — last-set value.
+* :class:`StreamingHistogram` — count/sum/min/max plus a fixed-size
+  uniform reservoir (Vitter's algorithm R), answering arbitrary
+  percentile queries in O(reservoir) memory.  q=0 and q=100 are exact
+  (tracked min/max); interior quantiles are estimates whose error
+  shrinks with reservoir size.
+* :class:`P2Quantile` — the P² single-quantile estimator (Jain &
+  Chlamtac 1985): five markers, O(1) memory, no samples retained.
+
+All structures are deterministic: the reservoir uses a seeded PRNG so a
+replay produces identical percentile estimates run to run.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "P2Quantile",
+    "StreamingHistogram",
+    "get_registry",
+]
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter increment must be non-negative, got {n}")
+        self.value += n
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A named last-value-wins measurement."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"type": "gauge", "value": self.value}
+
+
+class P2Quantile:
+    """Streaming estimate of a single quantile via the P² algorithm.
+
+    Keeps five markers whose heights converge on the ``p``-quantile of
+    the stream without storing observations.  Exact until five samples
+    have arrived.
+
+    Args:
+        p: target quantile in (0, 1), e.g. 0.95.
+    """
+
+    def __init__(self, p: float) -> None:
+        if not 0.0 < p < 1.0:
+            raise ValueError(f"p must be in (0, 1), got {p}")
+        self.p = p
+        self._heights: List[float] = []
+        self._positions = [0, 1, 2, 3, 4]
+        self._desired = [0.0, 0.0, 0.0, 0.0, 0.0]
+        self._increments = [0.0, p / 2, p, (1 + p) / 2, 1.0]
+        self.count = 0
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        heights = self._heights
+        if len(heights) < 5:
+            heights.append(x)
+            heights.sort()
+            if len(heights) == 5:
+                self._positions = [0, 1, 2, 3, 4]
+                self._desired = [
+                    0.0,
+                    1 + 2 * self.p,
+                    1 + 4 * self.p,
+                    3 + 2 * self.p,
+                    4.0,
+                ]
+            return
+
+        # Find the cell containing x and bump marker positions.
+        if x < heights[0]:
+            heights[0] = x
+            k = 0
+        elif x >= heights[4]:
+            heights[4] = x
+            k = 3
+        else:
+            k = 0
+            for i in range(1, 4):
+                if x < heights[i]:
+                    k = i - 1
+                    break
+            else:
+                k = 3
+        for i in range(k + 1, 5):
+            self._positions[i] += 1
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+
+        # Adjust the three interior markers toward their desired positions.
+        for i in range(1, 4):
+            d = self._desired[i] - self._positions[i]
+            pos, prev_pos, next_pos = (
+                self._positions[i],
+                self._positions[i - 1],
+                self._positions[i + 1],
+            )
+            if (d >= 1 and next_pos - pos > 1) or (d <= -1 and prev_pos - pos < -1):
+                step = 1 if d >= 1 else -1
+                candidate = self._parabolic(i, step)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:
+                    heights[i] = self._linear(i, step)
+                self._positions[i] += step
+
+    def _parabolic(self, i: int, d: int) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + d / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + d) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - d) * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, d: int) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + d * (h[i + d] - h[i]) / (n[i + d] - n[i])
+
+    @property
+    def value(self) -> float:
+        """Current estimate (``nan`` before any samples)."""
+        if not self._heights:
+            return float("nan")
+        if len(self._heights) < 5:
+            # Exact quantile over the few retained samples (nearest-rank).
+            rank = max(0, math.ceil(self.p * len(self._heights)) - 1)
+            return self._heights[rank]
+        return self._heights[2]
+
+
+class StreamingHistogram:
+    """Bounded-memory distribution summary with percentile queries.
+
+    Tracks count, sum, exact min/max, and a fixed-size uniform sample of
+    the stream (reservoir sampling, algorithm R).  ``quantile(0)`` and
+    ``quantile(100)`` return the exact extremes; interior quantiles are
+    nearest-rank over the reservoir.
+
+    Args:
+        reservoir_size: retained sample count (memory bound).
+        seed: PRNG seed; fixed by default so estimates are reproducible.
+    """
+
+    def __init__(self, reservoir_size: int = 1024, seed: int = 0x5EED) -> None:
+        if reservoir_size <= 0:
+            raise ValueError(
+                f"reservoir_size must be positive, got {reservoir_size}"
+            )
+        self.reservoir_size = reservoir_size
+        self._rng = random.Random(seed)
+        self._sample: List[float] = []
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def add(self, x: float) -> None:
+        x = float(x)
+        self.count += 1
+        self.total += x
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+        if len(self._sample) < self.reservoir_size:
+            self._sample.append(x)
+        else:
+            j = self._rng.randrange(self.count)
+            if j < self.reservoir_size:
+                self._sample[j] = x
+
+    def extend(self, xs) -> None:
+        for x in xs:
+            self.add(x)
+
+    @property
+    def mean(self) -> float:
+        """Stream mean (``nan`` when empty)."""
+        if self.count == 0:
+            return float("nan")
+        return self.total / self.count
+
+    def quantile(self, q: float) -> float:
+        """Percentile ``q`` in [0, 100] (``nan`` when empty).
+
+        Exact at the extremes, nearest-rank over the reservoir between.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if self.count == 0:
+            return float("nan")
+        if q == 0:
+            return self.min
+        if q == 100:
+            return self.max
+        ordered = sorted(self._sample)
+        rank = max(0, math.ceil(q / 100 * len(ordered)) - 1)
+        return ordered[rank]
+
+    def merge(self, other: "StreamingHistogram") -> None:
+        """Fold ``other`` into this histogram.
+
+        Exact for count/sum/min/max; the merged reservoir is a
+        count-weighted subsample of both reservoirs (an approximation —
+        documented, deterministic).
+        """
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.total = other.total
+            self.min = other.min
+            self.max = other.max
+            self._sample = list(other._sample)
+            return
+        total = self.count + other.count
+        take_self = max(
+            1, round(self.reservoir_size * self.count / total)
+        )
+        take_other = self.reservoir_size - take_self
+        merged = self._subsample(self._sample, take_self) + self._subsample(
+            other._sample, take_other
+        )
+        self.count = total
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        self._sample = merged
+
+    def _subsample(self, sample: List[float], k: int) -> List[float]:
+        if k <= 0:
+            return []
+        if len(sample) <= k:
+            return list(sample)
+        return self._rng.sample(sample, k)
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.total / self.count if self.count else None,
+            "p50": self.quantile(50) if self.count else None,
+            "p95": self.quantile(95) if self.count else None,
+            "p99": self.quantile(99) if self.count else None,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Any] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge, lambda: Gauge(name))
+
+    def histogram(
+        self, name: str, reservoir_size: int = 1024
+    ) -> StreamingHistogram:
+        return self._get_or_create(
+            name,
+            StreamingHistogram,
+            lambda: StreamingHistogram(reservoir_size=reservoir_size),
+        )
+
+    def _get_or_create(self, name, expected_type, factory):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, expected_type):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {expected_type.__name__}"
+            )
+        return instrument
+
+    def get(self, name: str) -> Optional[Any]:
+        return self._instruments.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """All instruments as plain dicts (for manifests / JSON export)."""
+        return {
+            name: inst.snapshot()
+            for name, inst in sorted(self._instruments.items())
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def clear(self) -> None:
+        self._instruments.clear()
+
+
+_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide metrics registry."""
+    return _registry

@@ -1,0 +1,376 @@
+"""Lightweight span tracer with ring-buffered JSONL export.
+
+Instrumented code asks for the module-level tracer at call time and opens
+spans around interesting work::
+
+    from repro.obs.trace import get_tracer
+
+    def serve(query):
+        tracer = get_tracer()
+        with tracer.span("serve_query", query=query) as span:
+            ...
+            span.set_attr("hit", hit)
+
+By default :func:`get_tracer` returns a shared no-op singleton whose
+``span()`` hands back one reusable null context manager — no allocation,
+no clock reads — so instrumentation is near-free until a caller installs
+a recording tracer with :func:`enable`.  Inner loops that want to skip
+even attribute packing can guard on ``tracer.enabled``.
+
+The recording tracer keeps the newest ``capacity`` records in a ring
+buffer (old spans fall off the back of million-query replays instead of
+exhausting memory) and serializes them to JSON Lines, one record per
+line, via :meth:`Tracer.export_jsonl`.
+
+The tracer tracks the open-span stack per thread, so spans nest correctly
+even when experiments fan out across worker threads.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+__all__ = [
+    "NULL_TRACER",
+    "SpanRecord",
+    "Tracer",
+    "disable",
+    "enable",
+    "get_tracer",
+    "set_tracer",
+]
+
+#: Default ring-buffer capacity: enough for a full small replay while
+#: bounding memory for unbounded runs (~150 bytes/record -> ~40 MB).
+DEFAULT_CAPACITY = 262_144
+
+
+@dataclass
+class SpanRecord:
+    """One completed span or point event.
+
+    Attributes:
+        name: span name (e.g. ``"serve_query"``).
+        span_id: unique id within this tracer.
+        parent_id: enclosing span's id, or ``None`` at top level.
+        t_start: start offset in seconds since the tracer was created.
+        duration_s: wall-clock duration (0.0 for point events).
+        kind: ``"span"`` or ``"event"``.
+        attrs: caller-supplied attributes.
+    """
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    t_start: float
+    duration_s: float
+    kind: str = "span"
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "t_start": self.t_start,
+            "duration_s": self.duration_s,
+            "kind": self.kind,
+            "attrs": self.attrs,
+        }
+
+
+class _ActiveSpan:
+    """An open span; used as a context manager."""
+
+    __slots__ = ("_tracer", "name", "span_id", "parent_id", "t_start", "attrs")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        t_start: float,
+        attrs: Dict[str, Any],
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.t_start = t_start
+        self.attrs = attrs
+
+    def set_attr(self, key: str, value: Any) -> None:
+        """Attach one attribute to the span."""
+        self.attrs[key] = value
+
+    def set_attrs(self, **attrs: Any) -> None:
+        """Attach several attributes to the span."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_ActiveSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self._tracer._finish(self)
+        return False
+
+
+class _NullSpan:
+    """Reusable do-nothing span handed out by the disabled tracer."""
+
+    __slots__ = ()
+
+    def set_attr(self, key: str, value: Any) -> None:
+        pass
+
+    def set_attrs(self, **attrs: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: every operation is a no-op.
+
+    ``span()`` returns one shared null context manager, so the cost of an
+    instrumented call site with tracing off is a method call and nothing
+    else.
+    """
+
+    enabled = False
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, **attrs: Any) -> None:
+        pass
+
+    def records(self) -> List[SpanRecord]:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+    def export_jsonl(self, path: str) -> int:
+        raise RuntimeError(
+            "tracing is disabled; call repro.obs.trace.enable() first"
+        )
+
+
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Recording tracer with a bounded ring buffer.
+
+    Args:
+        capacity: maximum retained records; older records are evicted.
+        clock: monotonic time source (injectable for tests).
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._clock = clock
+        self._epoch = clock()
+        self._records: deque = deque(maxlen=capacity)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self.dropped = 0  # records evicted from the ring
+
+    # -- span lifecycle -----------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> _ActiveSpan:
+        """Open a span; use as a context manager."""
+        stack = self._stack()
+        parent_id = stack[-1].span_id if stack else None
+        span = _ActiveSpan(
+            self, name, self._new_id(), parent_id, self._now(), attrs
+        )
+        stack.append(span)
+        return span
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record a zero-duration point event under the current span."""
+        stack = self._stack()
+        parent_id = stack[-1].span_id if stack else None
+        self._append(
+            SpanRecord(
+                name=name,
+                span_id=self._new_id(),
+                parent_id=parent_id,
+                t_start=self._now(),
+                duration_s=0.0,
+                kind="event",
+                attrs=attrs,
+            )
+        )
+
+    def _finish(self, span: _ActiveSpan) -> None:
+        stack = self._stack()
+        # Tolerate out-of-order exits (generators, exceptions): unwind to
+        # the closing span rather than corrupting the stack.
+        while stack:
+            top = stack.pop()
+            if top is span:
+                break
+        self._append(
+            SpanRecord(
+                name=span.name,
+                span_id=span.span_id,
+                parent_id=span.parent_id,
+                t_start=span.t_start,
+                duration_s=self._now() - span.t_start,
+                kind="span",
+                attrs=span.attrs,
+            )
+        )
+
+    # -- record access ------------------------------------------------------
+
+    def records(self) -> List[SpanRecord]:
+        """A snapshot of the retained records, oldest first."""
+        with self._lock:
+            return list(self._records)
+
+    def clear(self) -> None:
+        """Drop all retained records (open spans are unaffected)."""
+        with self._lock:
+            self._records.clear()
+            self.dropped = 0
+
+    def export_jsonl(self, path: str) -> int:
+        """Write retained records as JSON Lines; returns the record count."""
+        records = self.records()
+        with open(path, "w") as fh:
+            for record in records:
+                fh.write(json.dumps(record.to_dict()) + "\n")
+        return len(records)
+
+    # -- internals ----------------------------------------------------------
+
+    def _now(self) -> float:
+        return self._clock() - self._epoch
+
+    def _new_id(self) -> int:
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        return span_id
+
+    def _stack(self) -> List[_ActiveSpan]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _append(self, record: SpanRecord) -> None:
+        with self._lock:
+            if len(self._records) == self.capacity:
+                self.dropped += 1
+            self._records.append(record)
+
+
+# -- module-level tracer -----------------------------------------------------
+
+_tracer = NULL_TRACER
+
+
+def get_tracer():
+    """The process-wide tracer (a no-op singleton unless enabled)."""
+    return _tracer
+
+
+def set_tracer(tracer) -> None:
+    """Install ``tracer`` as the process-wide tracer."""
+    global _tracer
+    _tracer = tracer
+
+
+def enable(capacity: int = DEFAULT_CAPACITY) -> Tracer:
+    """Install and return a fresh recording tracer."""
+    tracer = Tracer(capacity=capacity)
+    set_tracer(tracer)
+    return tracer
+
+
+def disable() -> None:
+    """Restore the no-op tracer."""
+    set_tracer(NULL_TRACER)
+
+
+def load_jsonl(path: str) -> List[SpanRecord]:
+    """Read a trace file written by :meth:`Tracer.export_jsonl`."""
+    records = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            raw = json.loads(line)
+            records.append(
+                SpanRecord(
+                    name=raw["name"],
+                    span_id=raw["span_id"],
+                    parent_id=raw["parent_id"],
+                    t_start=raw["t_start"],
+                    duration_s=raw["duration_s"],
+                    kind=raw.get("kind", "span"),
+                    attrs=raw.get("attrs", {}),
+                )
+            )
+    return records
+
+
+def span_breakdown(records: Iterable[SpanRecord]) -> List[Dict[str, Any]]:
+    """Aggregate records into a per-name span-time table.
+
+    Self time is a span's duration minus its direct children's durations
+    (events contribute zero).  Rows are sorted by total self time,
+    descending — the profile view of ``repro profile``.
+    """
+    records = list(records)
+    child_time: Dict[int, float] = {}
+    for r in records:
+        if r.parent_id is not None:
+            child_time[r.parent_id] = (
+                child_time.get(r.parent_id, 0.0) + r.duration_s
+            )
+    rows: Dict[str, Dict[str, Any]] = {}
+    for r in records:
+        row = rows.setdefault(
+            r.name,
+            {"name": r.name, "kind": r.kind, "count": 0, "total_s": 0.0,
+             "self_s": 0.0},
+        )
+        row["count"] += 1
+        row["total_s"] += r.duration_s
+        row["self_s"] += max(0.0, r.duration_s - child_time.get(r.span_id, 0.0))
+    out = sorted(rows.values(), key=lambda d: d["self_s"], reverse=True)
+    for row in out:
+        row["mean_ms"] = row["total_s"] / row["count"] * 1e3
+    return out

@@ -32,11 +32,42 @@ class TileId:
     @classmethod
     def for_position(cls, x_m: float, y_m: float) -> "TileId":
         """The tile containing a ground position in meters."""
-        return cls(int(math.floor(x_m / TILE_METERS)), int(math.floor(y_m / TILE_METERS)))
+        return cls(_tile_index(x_m), _tile_index(y_m))
 
     @property
     def origin_m(self) -> tuple:
         return (self.x * TILE_METERS, self.y * TILE_METERS)
+
+
+def _tile_index(v_m: float) -> int:
+    """Grid index ``i`` with ``i * TILE_METERS <= v_m < (i+1) * TILE_METERS``.
+
+    Plain ``floor(v / TILE_METERS)`` breaks at the float margins — a tiny
+    negative denormal divided by the tile size underflows to -0.0 and
+    floors to tile 0 — so the index is corrected against the exact
+    containment predicate after the division.
+    """
+    i = int(math.floor(v_m / TILE_METERS))
+    if v_m < i * TILE_METERS:
+        i -= 1
+    elif v_m >= (i + 1) * TILE_METERS:
+        i += 1
+    return i
+
+
+def _tile_span(start_m: float, extent_m: float) -> tuple:
+    """Half-open index range ``[i0, i1)`` of tiles a 1-D interval touches.
+
+    Uses the same containment-corrected index as ``_tile_index`` so a
+    region and ``TileId.for_position`` never disagree about which tile a
+    boundary coordinate belongs to.
+    """
+    i0 = _tile_index(start_m)
+    end_m = start_m + extent_m
+    i1 = _tile_index(end_m)
+    if end_m > i1 * TILE_METERS:  # interval reaches into tile i1
+        i1 += 1
+    return i0, max(i1, i0 + 1)
 
 
 @dataclass(frozen=True)
@@ -54,20 +85,16 @@ class Region:
 
     def tiles(self) -> Iterator[TileId]:
         """All tiles intersecting the region, row-major."""
-        x0 = int(math.floor(self.x_m / TILE_METERS))
-        y0 = int(math.floor(self.y_m / TILE_METERS))
-        x1 = int(math.ceil((self.x_m + self.width_m) / TILE_METERS))
-        y1 = int(math.ceil((self.y_m + self.height_m) / TILE_METERS))
+        x0, x1 = _tile_span(self.x_m, self.width_m)
+        y0, y1 = _tile_span(self.y_m, self.height_m)
         for y in range(y0, y1):
             for x in range(x0, x1):
                 yield TileId(x, y)
 
     @property
     def tile_count(self) -> int:
-        x0 = int(math.floor(self.x_m / TILE_METERS))
-        y0 = int(math.floor(self.y_m / TILE_METERS))
-        x1 = int(math.ceil((self.x_m + self.width_m) / TILE_METERS))
-        y1 = int(math.ceil((self.y_m + self.height_m) / TILE_METERS))
+        x0, x1 = _tile_span(self.x_m, self.width_m)
+        y0, y1 = _tile_span(self.y_m, self.height_m)
         return (x1 - x0) * (y1 - y0)
 
     @property

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.obs.trace import get_tracer
 from repro.pocketsearch.cache import PocketSearchCache
 from repro.pocketsearch.content import DEFAULT_RECORD_BYTES
 from repro.radio.energy import isolated_request_energy, isolated_request_latency
@@ -103,12 +104,23 @@ class PocketSearchEngine:
             navigational: optional nav flag recorded in the outcome.
             timestamp: optional event time recorded in the outcome.
         """
-        lookup = self.cache.lookup(query)
-        if lookup.hit:
-            result = self._serve_hit(lookup, query, navigational, timestamp)
-        else:
-            result = self._serve_miss(query, navigational, timestamp)
-        self.cache.record_click(query, clicked_url, record_bytes)
+        tracer = get_tracer()
+        with tracer.span("serve_query", timestamp=timestamp) as span:
+            with tracer.span("cache_lookup"):
+                lookup = self.cache.lookup(query)
+            if lookup.hit:
+                result = self._serve_hit(lookup, query, navigational, timestamp)
+            else:
+                result = self._serve_miss(query, navigational, timestamp)
+            with tracer.span("record_click"):
+                self.cache.record_click(query, clicked_url, record_bytes)
+            if tracer.enabled:
+                span.set_attrs(
+                    hit=result.outcome.hit,
+                    source=result.outcome.source.value,
+                    model_latency_s=result.outcome.latency_s,
+                    model_energy_j=result.outcome.energy_j,
+                )
         return result
 
     def suggest(self, partial_query: str, k: int = 5):
@@ -148,13 +160,22 @@ class PocketSearchEngine:
         return self._serve_hit(lookup, query, None, 0.0)
 
     def _serve_hit(self, lookup, query, navigational, timestamp) -> ServeResult:
+        tracer = get_tracer()
         fetch_latency = 0.0
         fetch_energy = 0.0
-        for result_hash, _score in lookup.results[:RESULTS_PER_PAGE]:
-            fetch = self.cache.database.fetch(result_hash)
-            fetch_latency += fetch.latency_s
-            fetch_energy += fetch.energy_j
-        render_s = self.browser.render(SERP_BYTES)
+        with tracer.span("database_read") as fetch_span:
+            for result_hash, _score in lookup.results[:RESULTS_PER_PAGE]:
+                fetch = self.cache.database.fetch(result_hash)
+                fetch_latency += fetch.latency_s
+                fetch_energy += fetch.energy_j
+            if tracer.enabled:
+                fetch_span.set_attrs(
+                    n_results=len(lookup.results[:RESULTS_PER_PAGE]),
+                    model_latency_s=fetch_latency,
+                    model_energy_j=fetch_energy,
+                )
+        with tracer.span("browser_render"):
+            render_s = self.browser.render(SERP_BYTES)
         latency = (
             lookup.lookup_latency_s + fetch_latency + render_s + MISC_LATENCY_S
         )
@@ -181,13 +202,23 @@ class PocketSearchEngine:
         return ServeResult(outcome=outcome, breakdown=breakdown)
 
     def _serve_miss(self, query, navigational, timestamp) -> ServeResult:
-        radio_latency = isolated_request_latency(
-            self.radio, self.query_bytes_up, self.serp_bytes_down, self.server_time_s
-        )
-        radio_energy = isolated_request_energy(
-            self.radio, self.query_bytes_up, self.serp_bytes_down, self.server_time_s
-        )
-        render_s = self.browser.render(SERP_BYTES)
+        tracer = get_tracer()
+        with tracer.span("radio_fetch", radio=self.radio.name) as radio_span:
+            radio_latency = isolated_request_latency(
+                self.radio, self.query_bytes_up, self.serp_bytes_down,
+                self.server_time_s,
+            )
+            radio_energy = isolated_request_energy(
+                self.radio, self.query_bytes_up, self.serp_bytes_down,
+                self.server_time_s,
+            )
+            if tracer.enabled:
+                radio_span.set_attrs(
+                    model_latency_s=radio_latency, model_energy_j=radio_energy
+                )
+                self._trace_radio_states(tracer, timestamp)
+        with tracer.span("browser_render"):
+            render_s = self.browser.render(SERP_BYTES)
         lookup_s = self.cache.hashtable.lookup_latency_s
         latency = lookup_s + radio_latency + render_s
         energy = (
@@ -210,6 +241,36 @@ class PocketSearchEngine:
             navigational=navigational,
         )
         return ServeResult(outcome=outcome, breakdown=breakdown)
+
+    def _trace_radio_states(self, tracer, timestamp: float) -> None:
+        """Emit the implied radio state sequence of one isolated request.
+
+        Each miss is costed with the radio starting asleep (the Figure
+        15 methodology), so the state machine deterministically walks
+        SLEEP -> RAMP -> ACTIVE -> TAIL; the events attribute dwell time
+        and energy to each state for trace analysis.
+        """
+        profile = self.radio
+        transfer_s = (
+            profile.request_rtt_s()
+            + self.query_bytes_up / profile.uplink_bps
+            + self.server_time_s
+            + self.serp_bytes_down / profile.downlink_bps
+        )
+        t = timestamp
+        for state, dwell_s, power_w in (
+            ("ramp", profile.wakeup_s, profile.ramp_power_w),
+            ("active", transfer_s, profile.active_power_w),
+            ("tail", profile.tail_s, profile.tail_power_w),
+        ):
+            tracer.event(
+                "radio_state",
+                state=state,
+                t_model=t,
+                dwell_s=dwell_s,
+                energy_j=dwell_s * power_w,
+            )
+            t += dwell_s
 
     # -- reference costs ------------------------------------------------------------
 

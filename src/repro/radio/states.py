@@ -14,6 +14,8 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import TYPE_CHECKING, List
 
+from repro.obs.trace import get_tracer
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.radio.models import RadioProfile
 
@@ -199,3 +201,12 @@ class RadioLink:
             return
         self._segments.append(PowerSegment(t, duration, power, state))
         self._timeline_cursor = max(self._timeline_cursor, t + duration)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "radio_state",
+                state=state.value,
+                t_model=t,
+                dwell_s=duration,
+                energy_j=duration * power,
+            )

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.logs.generator import SearchLog
 from repro.logs.schema import MONTH_SECONDS, UserClass, classify_user
+from repro.obs.trace import get_tracer
 from repro.pocketsearch.cache import PocketSearchCache
 from repro.pocketsearch.content import (
     CacheContent,
@@ -61,6 +62,9 @@ class ReplayConfig:
     policy: ContentPolicy = PAPER_OPERATING_POINT
     seed: int = 97
     daily_updates: bool = False
+    #: Use bounded-memory streaming collectors instead of retaining every
+    #: QueryOutcome (see :class:`repro.sim.metrics.MetricsCollector`).
+    bounded_metrics: bool = False
 
     def __post_init__(self) -> None:
         if self.users_per_class <= 0:
@@ -117,12 +121,13 @@ class ReplayResult:
 
     def navigational_breakdown(self) -> Dict[UserClass, Dict[str, float]]:
         """Figure 19: cache-hit split into nav / non-nav per class."""
+        bounded = any(u.metrics.bounded for u in self.users)
         out: Dict[UserClass, Dict[str, float]] = {}
         for user_class in UserClass:
-            merged = MetricsCollector()
+            merged = MetricsCollector(bounded=bounded)
             for user in self.users:
                 if user.user_class is user_class:
-                    merged.extend(user.metrics.outcomes)
+                    merged.merge(user.metrics)
             out[user_class] = merged.hit_breakdown_navigational()
         return out
 
@@ -180,26 +185,39 @@ def replay_user(
     user_id: int,
     t_start: float,
     t_end: float,
+    metrics: Optional[MetricsCollector] = None,
 ) -> MetricsCollector:
     """Replay one user's events in [t_start, t_end) through an engine."""
     stream = log.for_user(user_id).window(t_start, t_end)
-    metrics = MetricsCollector()
-    for i in range(stream.n_events):
-        qkey = int(stream.query_keys[i])
-        rkey = int(stream.result_keys[i])
-        result = engine.serve_query(
-            query=stream.query_string(qkey),
-            clicked_url=stream.result_url(rkey),
-            record_bytes=_record_bytes(stream, rkey),
-            navigational=bool(stream.navigational[i]),
-            timestamp=float(stream.timestamps[i]),
-        )
-        metrics.record(result.outcome)
+    if metrics is None:
+        metrics = MetricsCollector()
+    with get_tracer().span(
+        "replay_user", user_id=user_id, n_events=stream.n_events
+    ) as span:
+        for i in range(stream.n_events):
+            qkey = int(stream.query_keys[i])
+            rkey = int(stream.result_keys[i])
+            result = engine.serve_query(
+                query=stream.query_string(qkey),
+                clicked_url=stream.result_url(rkey),
+                record_bytes=_record_bytes(stream, rkey),
+                navigational=bool(stream.navigational[i]),
+                timestamp=float(stream.timestamps[i]),
+            )
+            metrics.record(result.outcome)
+        span.set_attr("hit_rate", metrics.hit_rate)
     return metrics
 
 
-def _record_bytes(log: SearchLog, result_key: int) -> int:
-    community = log.community
+def _record_bytes(stream: SearchLog, result_key: int) -> int:
+    """Stored size of a clicked result in a per-user windowed stream.
+
+    ``stream`` is the per-user, time-windowed :class:`SearchLog` view the
+    replay loop iterates (not the full multi-user log); community results
+    carry their mined record size, unique (personal) results use a
+    nominal 500 bytes.
+    """
+    community = stream.community
     if result_key < community.n_results:
         return community.result_records[result_key].record_bytes
     return 500
@@ -222,8 +240,10 @@ def run_replay(
     Returns:
         mode -> :class:`ReplayResult`.
     """
-    build_log = log.month(config.build_month)
-    content = build_cache_content(build_log, config.policy)
+    tracer = get_tracer()
+    with tracer.span("build_cache_content", month=config.build_month):
+        build_log = log.month(config.build_month)
+        content = build_cache_content(build_log, config.policy)
     if selected_users is None:
         selected_users = select_replay_users(
             log, config.replay_month, config.users_per_class, config.seed
@@ -233,28 +253,46 @@ def run_replay(
 
     daily_contents: List[CacheContent] = []
     if config.daily_updates:
-        daily_contents = _daily_contents(log, config)
+        with tracer.span("mine_daily_contents"):
+            daily_contents = _daily_contents(log, config)
 
     results: Dict[str, ReplayResult] = {}
     for mode in modes:
         result = ReplayResult(mode=mode)
-        for user_class, uids in selected_users.items():
-            for uid in uids:
-                cache = make_cache(content, mode)
-                engine = PocketSearchEngine(cache)
-                if config.daily_updates and mode != CacheMode.PERSONALIZATION_ONLY:
-                    metrics = _replay_user_with_updates(
-                        engine, log, uid, t_start, t_end, daily_contents
+        with tracer.span("replay_mode", mode=mode) as mode_span:
+            for user_class, uids in selected_users.items():
+                for uid in uids:
+                    cache = make_cache(content, mode)
+                    engine = PocketSearchEngine(cache)
+                    metrics = _new_collector(config)
+                    if (
+                        config.daily_updates
+                        and mode != CacheMode.PERSONALIZATION_ONLY
+                    ):
+                        _replay_user_with_updates(
+                            engine, log, uid, t_start, t_end, daily_contents,
+                            metrics,
+                        )
+                    else:
+                        replay_user(
+                            engine, log, uid, t_start, t_end, metrics
+                        )
+                    result.users.append(
+                        UserReplayResult(
+                            user_id=uid, user_class=user_class, metrics=metrics
+                        )
                     )
-                else:
-                    metrics = replay_user(engine, log, uid, t_start, t_end)
-                result.users.append(
-                    UserReplayResult(
-                        user_id=uid, user_class=user_class, metrics=metrics
-                    )
-                )
+            mode_span.set_attrs(
+                n_users=len(result.users),
+                overall_hit_rate=result.overall_hit_rate(),
+            )
         results[mode] = result
     return results
+
+
+def _new_collector(config: ReplayConfig) -> MetricsCollector:
+    """A per-user collector honouring the config's memory mode."""
+    return MetricsCollector(bounded=config.bounded_metrics)
 
 
 def _daily_contents(log: SearchLog, config: ReplayConfig) -> List[CacheContent]:
@@ -275,26 +313,37 @@ def _replay_user_with_updates(
     t_start: float,
     t_end: float,
     daily_contents: List[CacheContent],
+    metrics: Optional[MetricsCollector] = None,
 ) -> MetricsCollector:
     """Replay with a nightly community refresh (Section 6.2.2)."""
     server = CacheUpdateServer()
     stream = log.for_user(user_id).window(t_start, t_end)
-    metrics = MetricsCollector()
-    day = 0
-    for i in range(stream.n_events):
-        t = float(stream.timestamps[i])
-        event_day = min(int((t - t_start) // DAY_SECONDS), len(daily_contents) - 1)
-        while day <= event_day:
-            server.refresh_with_content(engine.cache, daily_contents[day])
-            day += 1
-        qkey = int(stream.query_keys[i])
-        rkey = int(stream.result_keys[i])
-        result = engine.serve_query(
-            query=stream.query_string(qkey),
-            clicked_url=stream.result_url(rkey),
-            record_bytes=_record_bytes(stream, rkey),
-            navigational=bool(stream.navigational[i]),
-            timestamp=t,
-        )
-        metrics.record(result.outcome)
+    if metrics is None:
+        metrics = MetricsCollector()
+    tracer = get_tracer()
+    with tracer.span(
+        "replay_user", user_id=user_id, n_events=stream.n_events,
+        daily_updates=True,
+    ) as span:
+        day = 0
+        for i in range(stream.n_events):
+            t = float(stream.timestamps[i])
+            event_day = min(
+                int((t - t_start) // DAY_SECONDS), len(daily_contents) - 1
+            )
+            while day <= event_day:
+                with tracer.span("community_refresh", day=day):
+                    server.refresh_with_content(engine.cache, daily_contents[day])
+                day += 1
+            qkey = int(stream.query_keys[i])
+            rkey = int(stream.result_keys[i])
+            result = engine.serve_query(
+                query=stream.query_string(qkey),
+                clicked_url=stream.result_url(rkey),
+                record_bytes=_record_bytes(stream, rkey),
+                navigational=bool(stream.navigational[i]),
+                timestamp=t,
+            )
+            metrics.record(result.outcome)
+        span.set_attr("hit_rate", metrics.hit_rate)
     return metrics

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.trace import get_tracer
+
 
 @dataclass(frozen=True)
 class AccessResult:
@@ -65,25 +67,41 @@ class MemoryDevice:
 
     def read(self, nbytes: int) -> AccessResult:
         """Model reading ``nbytes``; returns latency/energy and logs stats."""
-        result = self._access(nbytes, self.read_latency_s, self.read_bandwidth_bps)
+        result = self._access(
+            nbytes, self.read_latency_s, self.read_bandwidth_bps, "read"
+        )
         self.total_reads += 1
         self.total_bytes_read += nbytes
         return result
 
     def write(self, nbytes: int) -> AccessResult:
         """Model writing ``nbytes``; returns latency/energy and logs stats."""
-        result = self._access(nbytes, self.write_latency_s, self.write_bandwidth_bps)
+        result = self._access(
+            nbytes, self.write_latency_s, self.write_bandwidth_bps, "write"
+        )
         self.total_writes += 1
         self.total_bytes_written += nbytes
         return result
 
-    def _access(self, nbytes: int, latency: float, bandwidth: float) -> AccessResult:
+    def _access(
+        self, nbytes: int, latency: float, bandwidth: float, op: str = "access"
+    ) -> AccessResult:
         if nbytes < 0:
             raise ValueError(f"nbytes must be non-negative, got {nbytes}")
         elapsed = latency + nbytes / bandwidth
         energy = self.access_energy_j + nbytes * self.energy_per_byte_j
         self.total_time_s += elapsed
         self.total_energy_j += energy
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "device_access",
+                device=self.name,
+                op=op,
+                nbytes=nbytes,
+                model_latency_s=elapsed,
+                model_energy_j=energy,
+            )
         return AccessResult(latency_s=elapsed, energy_j=energy, bytes_moved=nbytes)
 
     def reset_stats(self) -> None:

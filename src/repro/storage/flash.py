@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs.trace import get_tracer
 from repro.storage.device import AccessResult, MemoryDevice
 
 KB = 1024
@@ -158,4 +159,14 @@ class NandFlash(MemoryDevice):
         self.total_writes += writes
         self.total_bytes_read += bytes_read
         self.total_bytes_written += bytes_written
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "device_access",
+                device=self.name,
+                op="read" if reads else ("write" if writes else "erase"),
+                nbytes=nbytes,
+                model_latency_s=latency,
+                model_energy_j=energy,
+            )
         return AccessResult(latency_s=latency, energy_j=energy, bytes_moved=nbytes)

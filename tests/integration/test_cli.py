@@ -44,3 +44,49 @@ class TestCli:
         assert main(["fig17", "--users", "4"]) == 0
         out = capsys.readouterr().out
         assert "full" in out and "community" in out
+
+
+class TestObservabilityCli:
+    def test_trace_writes_jsonl(self, capsys, tmp_path):
+        import json
+
+        out = str(tmp_path / "trace.jsonl")
+        assert main(["trace", "fig17", "--users", "2", "--trace-out", out]) == 0
+        assert "wrote" in capsys.readouterr().out
+        with open(out) as fh:
+            records = [json.loads(line) for line in fh if line.strip()]
+        names = {r["name"] for r in records}
+        assert "serve_query" in names
+        assert "radio_state" in names
+        # Nested spans: serve_query sub-steps point at their parent.
+        parents = {r["span_id"] for r in records}
+        assert any(
+            r["parent_id"] in parents
+            for r in records
+            if r["name"] == "database_read"
+        )
+
+    def test_trace_restores_noop_tracer(self, tmp_path):
+        from repro.obs.trace import NULL_TRACER, get_tracer
+
+        out = str(tmp_path / "trace.jsonl")
+        assert main(["trace", "table2", "--trace-out", out]) == 0
+        assert get_tracer() is NULL_TRACER
+
+    def test_profile_prints_breakdown(self, capsys):
+        assert main(["profile", "fig17", "--users", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "span-time breakdown" in out
+        assert "serve_query" in out
+        assert "self %" in out
+
+    def test_manifest_out(self, capsys, tmp_path):
+        import json
+
+        path = str(tmp_path / "m.json")
+        assert main(["table2", "--manifest-out", path]) == 0
+        with open(path) as fh:
+            manifest = json.load(fh)
+        assert manifest["name"] == "table2"
+        assert manifest["config"]["users"] == 40
+        assert manifest["wall_time_s"] >= 0

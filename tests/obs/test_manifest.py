@@ -1,0 +1,65 @@
+"""Tests for run manifests."""
+
+import json
+
+from repro.obs.manifest import (
+    ManifestRecorder,
+    RunManifest,
+    collect_manifest,
+    git_sha,
+    peak_rss_bytes,
+)
+
+
+class TestCollection:
+    def test_collect_fields(self):
+        m = collect_manifest("fig17", config={"users": 5}, seed=23)
+        assert m.name == "fig17"
+        assert m.config == {"users": 5}
+        assert m.seed == 23
+        assert m.schema_version == 1
+        assert m.python.count(".") == 2
+        assert "T" in m.started_at and m.started_at.endswith("Z")
+
+    def test_git_sha_in_repo(self):
+        sha = git_sha()
+        assert sha is None or (len(sha) == 40 and set(sha) <= set("0123456789abcdef"))
+
+    def test_peak_rss_positive_on_posix(self):
+        rss = peak_rss_bytes()
+        assert rss is None or rss > 1024 * 1024
+
+    def test_recorder_times_block(self):
+        with ManifestRecorder("x", config={"k": 1}, seed=7) as rec:
+            rec.add_metric("events", 10)
+        m = rec.manifest
+        assert m.wall_time_s >= 0
+        assert m.metrics == {"events": 10}
+        assert m.seed == 7
+
+    def test_recorder_captures_error(self):
+        try:
+            with ManifestRecorder("bad") as rec:
+                raise KeyError("nope")
+        except KeyError:
+            pass
+        assert rec.manifest.metrics["error"] == "KeyError"
+
+
+class TestSerialization:
+    def test_write_read_round_trip(self, tmp_path):
+        m = collect_manifest("bench", config={"n": 3}, seed=1, wall_time_s=2.5)
+        path = str(tmp_path / "nested" / "m.json")
+        m.write(path)
+        loaded = RunManifest.read(path)
+        assert loaded == m
+
+    def test_json_is_stable_and_valid(self, tmp_path):
+        m = collect_manifest("bench")
+        raw = json.loads(m.to_json())
+        assert raw["name"] == "bench"
+        assert raw["schema_version"] == 1
+
+    def test_from_dict_ignores_unknown_fields(self):
+        m = RunManifest.from_dict({"name": "x", "future_field": 1})
+        assert m.name == "x"

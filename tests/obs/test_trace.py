@@ -1,0 +1,180 @@
+"""Tests for the span tracer: nesting, attributes, JSONL, no-op path."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    Tracer,
+    disable,
+    enable,
+    get_tracer,
+    load_jsonl,
+    span_breakdown,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_global_tracer():
+    yield
+    disable()
+
+
+class TestSpans:
+    def test_nesting_parent_ids(self):
+        t = Tracer()
+        with t.span("outer"):
+            with t.span("mid"):
+                with t.span("leaf"):
+                    pass
+        by_name = {r.name: r for r in t.records()}
+        assert by_name["outer"].parent_id is None
+        assert by_name["mid"].parent_id == by_name["outer"].span_id
+        assert by_name["leaf"].parent_id == by_name["mid"].span_id
+
+    def test_siblings_share_parent(self):
+        t = Tracer()
+        with t.span("outer"):
+            with t.span("a"):
+                pass
+            with t.span("b"):
+                pass
+        by_name = {r.name: r for r in t.records()}
+        assert by_name["a"].parent_id == by_name["outer"].span_id
+        assert by_name["b"].parent_id == by_name["outer"].span_id
+
+    def test_attributes(self):
+        t = Tracer()
+        with t.span("s", mode="full") as span:
+            span.set_attr("hit", True)
+            span.set_attrs(user_id=7, n=2)
+        (record,) = t.records()
+        assert record.attrs == {
+            "mode": "full", "hit": True, "user_id": 7, "n": 2,
+        }
+
+    def test_events_nest_under_current_span(self):
+        t = Tracer()
+        with t.span("outer"):
+            t.event("tick", x=1)
+        events = [r for r in t.records() if r.kind == "event"]
+        spans = [r for r in t.records() if r.kind == "span"]
+        assert events[0].parent_id == spans[0].span_id
+        assert events[0].duration_s == 0.0
+
+    def test_exception_closes_span_and_marks_error(self):
+        t = Tracer()
+        with pytest.raises(RuntimeError):
+            with t.span("failing"):
+                raise RuntimeError("boom")
+        (record,) = t.records()
+        assert record.attrs["error"] == "RuntimeError"
+        # The stack unwound: a new span is top-level again.
+        with t.span("after"):
+            pass
+        assert t.records()[-1].parent_id is None
+
+    def test_durations_monotone(self):
+        t = Tracer()
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+        by_name = {r.name: r for r in t.records()}
+        assert by_name["outer"].duration_s >= by_name["inner"].duration_s >= 0
+
+    def test_ring_buffer_eviction(self):
+        t = Tracer(capacity=10)
+        for i in range(25):
+            t.event("e", i=i)
+        records = t.records()
+        assert len(records) == 10
+        assert t.dropped == 15
+        assert [r.attrs["i"] for r in records] == list(range(15, 25))
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip(self, tmp_path):
+        t = Tracer()
+        with t.span("outer", mode="full"):
+            with t.span("inner"):
+                pass
+            t.event("evt", nbytes=512)
+        path = str(tmp_path / "trace.jsonl")
+        written = t.export_jsonl(path)
+        assert written == 3
+        loaded = load_jsonl(path)
+        assert [(r.name, r.kind, r.span_id, r.parent_id, r.attrs)
+                for r in loaded] == [
+            (r.name, r.kind, r.span_id, r.parent_id, r.attrs)
+            for r in t.records()
+        ]
+
+    def test_each_line_is_standalone_json(self, tmp_path):
+        t = Tracer()
+        with t.span("a"):
+            pass
+        with t.span("b"):
+            pass
+        path = str(tmp_path / "trace.jsonl")
+        t.export_jsonl(path)
+        with open(path) as fh:
+            lines = [line for line in fh if line.strip()]
+        assert len(lines) == 2
+        for line in lines:
+            record = json.loads(line)
+            assert {"name", "span_id", "parent_id", "t_start",
+                    "duration_s", "kind", "attrs"} <= set(record)
+
+
+class TestDisabledTracer:
+    def test_default_tracer_is_noop(self):
+        assert get_tracer() is NULL_TRACER
+        assert not get_tracer().enabled
+
+    def test_noop_span_is_shared_and_inert(self):
+        t = get_tracer()
+        s1 = t.span("a", x=1)
+        s2 = t.span("b")
+        assert s1 is s2  # one reusable null span: no allocation per call
+        with s1 as span:
+            span.set_attr("k", "v")
+            span.set_attrs(a=1)
+        t.event("e", y=2)
+        assert t.records() == []
+
+    def test_noop_export_raises(self):
+        with pytest.raises(RuntimeError):
+            NULL_TRACER.export_jsonl("/tmp/never.jsonl")
+
+    def test_enable_disable_cycle(self):
+        tracer = enable(capacity=16)
+        assert get_tracer() is tracer
+        with get_tracer().span("s"):
+            pass
+        assert len(tracer.records()) == 1
+        disable()
+        assert get_tracer() is NULL_TRACER
+
+
+class TestBreakdown:
+    def test_self_time_excludes_children(self):
+        t = Tracer()
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+        rows = {r["name"]: r for r in span_breakdown(t.records())}
+        outer, inner = rows["outer"], rows["inner"]
+        assert outer["count"] == inner["count"] == 1
+        assert outer["self_s"] == pytest.approx(
+            outer["total_s"] - inner["total_s"]
+        )
+
+    def test_counts_aggregate_by_name(self):
+        t = Tracer()
+        for _ in range(5):
+            with t.span("repeated"):
+                pass
+        (row,) = span_breakdown(t.records())
+        assert row["count"] == 5
+        assert row["mean_ms"] == pytest.approx(row["total_s"] / 5 * 1e3)
