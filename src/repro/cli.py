@@ -139,20 +139,27 @@ def _print_fig12() -> None:
     )
 
 
-def _print_fig15() -> None:
-    f15 = performance.figure15()
-    rows = []
-    for path, d in f15.items():
-        rows.append(
-            [
-                path,
-                f"{d['mean_latency_s']:.3f}",
-                f"{d.get('latency_speedup', 1):.1f}x",
-                f"{d['mean_energy_j']:.2f}",
-                f"{d.get('energy_ratio', 1):.1f}x",
-            ]
+def _make_fig15(workers: int):
+    def run() -> None:
+        f15 = performance.figure15(workers=workers)
+        rows = []
+        for path, d in f15.items():
+            rows.append(
+                [
+                    path,
+                    f"{d['mean_latency_s']:.3f}",
+                    f"{d.get('latency_speedup', 1):.1f}x",
+                    f"{d['mean_energy_j']:.2f}",
+                    f"{d.get('energy_ratio', 1):.1f}x",
+                ]
+            )
+        print(
+            format_table(
+                rows, ["path", "latency s", "speedup", "energy J", "ratio"]
+            )
         )
-    print(format_table(rows, ["path", "latency s", "speedup", "energy J", "ratio"]))
+
+    return run
 
 
 def _print_table4() -> None:
@@ -207,9 +214,9 @@ def _print_table6() -> None:
     )
 
 
-def _make_fig17(users: int) -> Callable[[], None]:
+def _make_fig17(users: int, workers: int) -> Callable[[], None]:
     def run() -> None:
-        f17 = hitrate.figure17(users_per_class=users)
+        f17 = hitrate.figure17(users_per_class=users, workers=workers)
         rows = [
             [mode] + [f"{d[k]:.3f}" for k in ("overall", "low", "medium", "high", "extreme")]
             for mode, d in f17.items()
@@ -219,9 +226,9 @@ def _make_fig17(users: int) -> Callable[[], None]:
     return run
 
 
-def _make_fig18(users: int) -> Callable[[], None]:
+def _make_fig18(users: int, workers: int) -> Callable[[], None]:
     def run() -> None:
-        f18 = hitrate.figure18(users_per_class=users)
+        f18 = hitrate.figure18(users_per_class=users, workers=workers)
         for window, modes in f18.items():
             for mode, by_class in modes.items():
                 values = " ".join(f"{v:.3f}" for v in by_class.values())
@@ -230,9 +237,9 @@ def _make_fig18(users: int) -> Callable[[], None]:
     return run
 
 
-def _make_fig19(users: int) -> Callable[[], None]:
+def _make_fig19(users: int, workers: int) -> Callable[[], None]:
     def run() -> None:
-        f19 = hitrate.figure19(users_per_class=users)
+        f19 = hitrate.figure19(users_per_class=users, workers=workers)
         rows = [
             [c, f"{s['navigational']:.3f}", f"{s['non_navigational']:.3f}"]
             for c, s in f19.items()
@@ -263,6 +270,13 @@ def build_parser(mode: Optional[str] = None) -> argparse.ArgumentParser:
         type=int,
         default=40,
         help="users per Table 6 class for replay figures (default 40)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for replay fan-outs (default 1 = serial; "
+        "results are bit-identical for any value)",
     )
     parser.add_argument(
         "--manifest-out",
@@ -332,17 +346,23 @@ def main(argv=None) -> int:
         "fig8": _print_fig8,
         "fig11": _print_fig11,
         "fig12": _print_fig12,
-        "fig15": _print_fig15,
+        "fig15": _make_fig15(args.workers),
         "table4": _print_table4,
         "table5": _print_table5,
         "fig16": _print_fig16,
         "table6": _print_table6,
-        "fig17": _make_fig17(args.users),
-        "fig18": _make_fig18(args.users),
-        "fig19": _make_fig19(args.users),
+        "fig17": _make_fig17(args.users, args.workers),
+        "fig18": _make_fig18(args.users, args.workers),
+        "fig19": _make_fig19(args.users, args.workers),
         "mobile-vs-desktop": lambda: print(characterization.mobile_vs_desktop()),
-        "daily-updates": lambda: print(hitrate.daily_updates(users_per_class=10)),
-        "baselines": lambda: print(ablations.baseline_hit_rates(users_per_class=10)),
+        "daily-updates": lambda: print(
+            hitrate.daily_updates(users_per_class=10, workers=args.workers)
+        ),
+        "baselines": lambda: print(
+            ablations.baseline_hit_rates(
+                users_per_class=10, workers=args.workers
+            )
+        ),
         "extensions": _print_extensions,
         "export": lambda: print(
             "\n".join(
@@ -383,8 +403,19 @@ def main(argv=None) -> int:
 
         clear_replay_cache()  # memoized replays would record no spans
         tracer = obs_trace.enable(capacity=args.trace_capacity)
+    if args.workers <= 0:
+        print(
+            f"repro: --workers must be positive, got {args.workers}",
+            file=sys.stderr,
+        )
+        return 2
     recorder = ManifestRecorder(
-        args.artifact, config={"users": args.users, "mode": mode or "run"}
+        args.artifact,
+        config={
+            "users": args.users,
+            "workers": args.workers,
+            "mode": mode or "run",
+        },
     )
     try:
         with recorder:

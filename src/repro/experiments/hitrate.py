@@ -36,9 +36,13 @@ def table6(seed: int = 23) -> Dict[str, dict]:
     }
 
 
-def figure17(users_per_class: int = 100, seed: int = 23) -> Dict[str, dict]:
+def figure17(
+    users_per_class: int = 100, seed: int = 23, workers: int = 1
+) -> Dict[str, dict]:
     """Figure 17: hit rate per class for full / community / personal."""
-    replay = default_replay(users_per_class=users_per_class, seed=seed)
+    replay = default_replay(
+        users_per_class=users_per_class, seed=seed, workers=workers
+    )
     out = {}
     for mode, result in replay.items():
         by_class = result.hit_rate_by_class()
@@ -49,9 +53,13 @@ def figure17(users_per_class: int = 100, seed: int = 23) -> Dict[str, dict]:
     return out
 
 
-def figure18(users_per_class: int = 100, seed: int = 23) -> Dict[str, dict]:
+def figure18(
+    users_per_class: int = 100, seed: int = 23, workers: int = 1
+) -> Dict[str, dict]:
     """Figure 18: hit rates over the first week and first two weeks."""
-    replay = default_replay(users_per_class=users_per_class, seed=seed)
+    replay = default_replay(
+        users_per_class=users_per_class, seed=seed, workers=workers
+    )
     t0 = 1 * MONTH_SECONDS  # replay month start
     windows = {
         "week1": (t0, t0 + WEEK_SECONDS),
@@ -69,9 +77,13 @@ def figure18(users_per_class: int = 100, seed: int = 23) -> Dict[str, dict]:
     return out
 
 
-def figure19(users_per_class: int = 100, seed: int = 23) -> Dict[str, dict]:
+def figure19(
+    users_per_class: int = 100, seed: int = 23, workers: int = 1
+) -> Dict[str, dict]:
     """Figure 19: navigational vs non-navigational share of cache hits."""
-    replay = default_replay(users_per_class=users_per_class, seed=seed)
+    replay = default_replay(
+        users_per_class=users_per_class, seed=seed, workers=workers
+    )
     full = replay[CacheMode.FULL]
     breakdown = full.navigational_breakdown()
     merged_nav = []
@@ -96,19 +108,25 @@ def figure19(users_per_class: int = 100, seed: int = 23) -> Dict[str, dict]:
     return out
 
 
-def daily_updates(users_per_class: int = 25, seed: int = 23) -> Dict[str, float]:
+def daily_updates(
+    users_per_class: int = 25, seed: int = 23, workers: int = 1
+) -> Dict[str, float]:
     """Section 6.2.2: full-cache hit rate with vs without daily updates."""
     log = default_log(seed=seed)
     users = select_replay_users(log, month=1, users_per_class=users_per_class)
     static = run_replay(
         log,
-        ReplayConfig(users_per_class=users_per_class),
+        ReplayConfig(users_per_class=users_per_class, workers=workers),
         modes=(CacheMode.FULL,),
         selected_users=users,
     )[CacheMode.FULL]
     daily = run_replay(
         log,
-        ReplayConfig(users_per_class=users_per_class, daily_updates=True),
+        ReplayConfig(
+            users_per_class=users_per_class,
+            daily_updates=True,
+            workers=workers,
+        ),
         modes=(CacheMode.FULL,),
         selected_users=users,
     )[CacheMode.FULL]

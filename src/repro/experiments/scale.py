@@ -14,9 +14,11 @@ from typing import Dict
 from repro.logs import analysis
 from repro.logs.generator import GeneratorConfig, SearchLog, generate_logs
 from repro.logs.popularity import CommunityModel
+from repro.logs.schema import UserClass
 from repro.logs.users import PopulationConfig, UserPopulation
 from repro.logs.vocabulary import Vocabulary, VocabularyConfig
 from repro.pocketsearch.content import PAPER_OPERATING_POINT, build_cache_content
+from repro.sim.replay import CacheMode, ReplayConfig, run_replay
 
 #: 5x the default topic universe and population.
 PAPER_SCALE_VOCAB = VocabularyConfig(
@@ -55,3 +57,40 @@ def paper_scale_characterization(seed: int = 23) -> Dict[str, float]:
         "unique_result_ratio": content.n_unique_results
         / max(content.n_unique_queries, 1),
     }
+
+
+def paper_scale_replay(
+    users_per_class: int = 25,
+    workers: int = 1,
+    seed: int = 23,
+    months: int = 2,
+    modes=(CacheMode.FULL,),
+) -> Dict[str, dict]:
+    """Section 6.2 hit-rate replay at near-paper scale.
+
+    The 10k-user population makes the serial replay the slowest artifact
+    in the repo; this is the workload the sharded harness exists for.
+    Uses bounded-memory collectors (thousands of month-long users would
+    otherwise retain every outcome) — results are bit-identical for any
+    ``workers`` value.
+    """
+    log = paper_scale_log(months=months, seed=seed)
+    replay = run_replay(
+        log,
+        ReplayConfig(
+            users_per_class=users_per_class,
+            seed=seed,
+            workers=workers,
+            bounded_metrics=True,
+        ),
+        modes=modes,
+    )
+    out: Dict[str, dict] = {}
+    for mode, result in replay.items():
+        by_class = result.hit_rate_by_class()
+        out[mode] = {
+            "overall": result.overall_hit_rate(),
+            "n_users": len(result.users),
+            **{c.value: by_class[c] for c in UserClass},
+        }
+    return out

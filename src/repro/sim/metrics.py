@@ -70,12 +70,18 @@ class MetricsCollector:
             them (see module docstring for the accuracy trade-offs).
         reservoir_size: latency-histogram reservoir size in bounded mode.
         window_bucket_s: time-bucket width for bounded ``window()``.
+        reservoir_seed: seed of the bounded-mode latency reservoir.
+            ``None`` keeps the histogram's fixed default; the replay
+            harness derives one per user (keyed by user id) so reservoir
+            contents are reproducible independently of which worker
+            process or shard replays the user.
     """
 
     outcomes: List[QueryOutcome] = field(default_factory=list)
     bounded: bool = False
     reservoir_size: int = 1024
     window_bucket_s: float = DEFAULT_WINDOW_BUCKET_S
+    reservoir_seed: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.window_bucket_s <= 0:
@@ -91,9 +97,15 @@ class MetricsCollector:
         self._latency_hist: Optional[StreamingHistogram] = None
         self._buckets: Dict[int, List[int]] = {}  # bucket -> [count, hits]
         if self.bounded:
-            self._latency_hist = StreamingHistogram(
-                reservoir_size=self.reservoir_size
-            )
+            if self.reservoir_seed is None:
+                self._latency_hist = StreamingHistogram(
+                    reservoir_size=self.reservoir_size
+                )
+            else:
+                self._latency_hist = StreamingHistogram(
+                    reservoir_size=self.reservoir_size,
+                    seed=self.reservoir_seed,
+                )
             if self.outcomes:
                 preload, self.outcomes = self.outcomes, []
                 for outcome in preload:
@@ -276,6 +288,7 @@ class MetricsCollector:
             bounded=True,
             reservoir_size=self.reservoir_size,
             window_bucket_s=self.window_bucket_s,
+            reservoir_seed=self.reservoir_seed,
         )
         width = self.window_bucket_s
         for bucket_id, (count, hits) in self._buckets.items():

@@ -13,12 +13,20 @@ Reproduces the paper's hit-rate methodology:
 
 Optionally applies daily server updates during the replay (Section
 6.2.2), refreshing the community component from a trailing log window.
+
+Each user's replay is independent (one phone per user), so the harness
+is embarrassingly parallel: ``ReplayConfig(workers=N)`` partitions the
+selected users into shards dispatched to a ``multiprocessing`` pool (see
+:mod:`repro.sim.shard`).  All randomness is derived per user from
+``np.random.SeedSequence`` spawn keys over the user id — never from a
+shared stream — so results are bit-identical regardless of worker count,
+shard size, or scheduling order.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -65,12 +73,25 @@ class ReplayConfig:
     #: Use bounded-memory streaming collectors instead of retaining every
     #: QueryOutcome (see :class:`repro.sim.metrics.MetricsCollector`).
     bounded_metrics: bool = False
+    #: Worker processes for the replay fan-out.  1 (the default) keeps
+    #: the exact in-process serial path; N > 1 dispatches user shards to
+    #: a multiprocessing pool.  Results are bit-identical either way.
+    workers: int = 1
+    #: Users per shard when ``workers > 1``.  ``None`` auto-sizes to
+    #: roughly four shards per worker (load balancing without excessive
+    #: per-shard dispatch overhead).  Affects scheduling only, never
+    #: results.
+    shard_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.users_per_class <= 0:
             raise ValueError("users_per_class must be positive")
         if self.build_month == self.replay_month:
             raise ValueError("build and replay months must differ")
+        if self.workers <= 0:
+            raise ValueError("workers must be positive")
+        if self.shard_size is not None and self.shard_size <= 0:
+            raise ValueError("shard_size must be positive when given")
 
 
 @dataclass
@@ -132,6 +153,30 @@ class ReplayResult:
         return out
 
 
+# Spawn-key domains partitioning the per-user seed space: the selection
+# lottery and the replay itself must draw from unrelated streams.
+_SELECTION_DOMAIN = 0
+_REPLAY_DOMAIN = 1
+
+
+def derive_user_seed(seed: int, user_id: int) -> int:
+    """Deterministic per-user replay seed, keyed by (seed, user id).
+
+    Derived through ``np.random.SeedSequence`` spawn keys rather than a
+    shared stream, so a user's seed never depends on how many draws other
+    users consumed — the property that makes sharded replays bit-identical
+    to serial ones regardless of scheduling order.
+    """
+    seq = np.random.SeedSequence(seed, spawn_key=(_REPLAY_DOMAIN, user_id))
+    return int(seq.generate_state(1, dtype=np.uint64)[0])
+
+
+def _selection_priority(seed: int, user_id: int) -> int:
+    """Per-user lottery ticket for :func:`select_replay_users`."""
+    seq = np.random.SeedSequence(seed, spawn_key=(_SELECTION_DOMAIN, user_id))
+    return int(seq.generate_state(1, dtype=np.uint64)[0])
+
+
 def select_replay_users(
     log: SearchLog,
     month: int,
@@ -142,8 +187,14 @@ def select_replay_users(
 
     Classification uses the user's volume in the replay month, and users
     below the 20-queries/month floor are excluded, as in the paper.
+
+    Selection is a per-user lottery keyed by ``(seed, user_id)``: each
+    eligible user draws an independent priority and the
+    ``users_per_class`` lowest tickets win.  Because no shared RNG stream
+    is consumed, one class's candidate pool never perturbs another
+    class's selection, and adding or removing unrelated users leaves
+    existing picks stable (no draw-order coupling).
     """
-    rng = np.random.default_rng(seed)
     volumes = log.user_monthly_volumes(month=month)
     buckets: Dict[UserClass, List[int]] = {c: [] for c in UserClass}
     for uid, volume in volumes.items():
@@ -152,11 +203,12 @@ def select_replay_users(
             buckets[user_class].append(uid)
     selected = {}
     for user_class, uids in buckets.items():
-        uids = sorted(uids)
         if len(uids) > users_per_class:
-            chosen = rng.choice(len(uids), size=users_per_class, replace=False)
-            uids = [uids[i] for i in sorted(chosen.tolist())]
-        selected[user_class] = uids
+            ranked = sorted(
+                uids, key=lambda uid: (_selection_priority(seed, uid), uid)
+            )
+            uids = ranked[:users_per_class]
+        selected[user_class] = sorted(uids)
     return selected
 
 
@@ -256,32 +308,32 @@ def run_replay(
         with tracer.span("mine_daily_contents"):
             daily_contents = _daily_contents(log, config)
 
+    work: List[Tuple[UserClass, int]] = [
+        (user_class, uid)
+        for user_class, uids in selected_users.items()
+        for uid in uids
+    ]
+
     results: Dict[str, ReplayResult] = {}
     for mode in modes:
-        result = ReplayResult(mode=mode)
         with tracer.span("replay_mode", mode=mode) as mode_span:
-            for user_class, uids in selected_users.items():
-                for uid in uids:
-                    cache = make_cache(content, mode)
-                    engine = PocketSearchEngine(cache)
-                    metrics = _new_collector(config)
-                    if (
-                        config.daily_updates
-                        and mode != CacheMode.PERSONALIZATION_ONLY
-                    ):
-                        _replay_user_with_updates(
-                            engine, log, uid, t_start, t_end, daily_contents,
-                            metrics,
-                        )
-                    else:
-                        replay_user(
-                            engine, log, uid, t_start, t_end, metrics
-                        )
-                    result.users.append(
-                        UserReplayResult(
-                            user_id=uid, user_class=user_class, metrics=metrics
-                        )
+            if config.workers > 1 and len(work) > 1:
+                from repro.sim.shard import run_sharded_mode
+
+                users, stats = run_sharded_mode(
+                    log, content, daily_contents, config, mode, work,
+                    t_start, t_end,
+                )
+                mode_span.set_attrs(**stats)
+            else:
+                users = [
+                    replay_one_user(
+                        log, content, daily_contents, config, mode,
+                        user_class, uid, t_start, t_end,
                     )
+                    for user_class, uid in work
+                ]
+            result = ReplayResult(mode=mode, users=users)
             mode_span.set_attrs(
                 n_users=len(result.users),
                 overall_hit_rate=result.overall_hit_rate(),
@@ -290,9 +342,48 @@ def run_replay(
     return results
 
 
-def _new_collector(config: ReplayConfig) -> MetricsCollector:
-    """A per-user collector honouring the config's memory mode."""
-    return MetricsCollector(bounded=config.bounded_metrics)
+def replay_one_user(
+    log: SearchLog,
+    content: Optional[CacheContent],
+    daily_contents: List[CacheContent],
+    config: ReplayConfig,
+    mode: str,
+    user_class: UserClass,
+    user_id: int,
+    t_start: float,
+    t_end: float,
+) -> UserReplayResult:
+    """Replay a single user on a fresh phone (shared by serial/sharded paths).
+
+    Everything a user's outcome depends on — the cache content, the log
+    window, and the per-user seed — is passed in explicitly, so the
+    result is identical whether this runs inline or in a worker process.
+    """
+    cache = make_cache(content, mode)
+    engine = PocketSearchEngine(cache)
+    metrics = _new_collector(config, user_id)
+    if config.daily_updates and mode != CacheMode.PERSONALIZATION_ONLY:
+        _replay_user_with_updates(
+            engine, log, user_id, t_start, t_end, daily_contents, metrics
+        )
+    else:
+        replay_user(engine, log, user_id, t_start, t_end, metrics)
+    return UserReplayResult(
+        user_id=user_id, user_class=user_class, metrics=metrics
+    )
+
+
+def _new_collector(config: ReplayConfig, user_id: int) -> MetricsCollector:
+    """A per-user collector honouring the config's memory mode.
+
+    Bounded collectors get a reservoir seed derived from the user id so
+    percentile estimates are reproducible across serial and sharded runs.
+    """
+    if not config.bounded_metrics:
+        return MetricsCollector()
+    return MetricsCollector(
+        bounded=True, reservoir_seed=derive_user_seed(config.seed, user_id)
+    )
 
 
 def _daily_contents(log: SearchLog, config: ReplayConfig) -> List[CacheContent]:

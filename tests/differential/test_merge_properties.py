@@ -1,0 +1,196 @@
+"""Property tests for ``MetricsCollector.merge``.
+
+The sharded replay's deterministic merge leans on algebraic properties
+of the collector: merging must behave like (multi)set union of the
+underlying outcome streams.  Checked here with hypothesis-generated
+outcome lists:
+
+* associativity — ``(a + b) + c == a + (b + c)`` on all merged stats;
+* commutativity — ``a + b`` and ``b + a`` agree on every order-free
+  statistic (counts, sums, extremes, buckets, navigational split);
+* identity — merging an empty collector is a no-op, and merging *into*
+  an empty collector reproduces the source;
+* exact/bounded agreement — a bounded collector fed the same outcomes
+  (directly or via merge) matches the exact collector on counts,
+  hit rate, sums, and extreme percentiles.
+
+Reservoir *interiors* (p50/p95 estimates) are deliberately excluded from
+the commutativity/associativity assertions: the reservoir subsample is
+documented as order-dependent.  Everything asserted here is exact.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.metrics import MetricsCollector, QueryOutcome, ServiceSource
+
+DAY_S = 24 * 3600.0
+
+
+def outcome_strategy():
+    return st.builds(
+        QueryOutcome,
+        query=st.sampled_from(["q0", "q1", "q2", "q3"]),
+        hit=st.booleans(),
+        source=st.sampled_from(list(ServiceSource)),
+        latency_s=st.floats(min_value=1e-4, max_value=30.0, allow_nan=False),
+        energy_j=st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+        timestamp=st.floats(min_value=0.0, max_value=60 * DAY_S,
+                            allow_nan=False),
+        navigational=st.sampled_from([None, True, False]),
+    )
+
+
+outcome_lists = st.lists(outcome_strategy(), max_size=40)
+
+
+def exact_of(outcomes):
+    collector = MetricsCollector()
+    collector.extend(list(outcomes))
+    return collector
+
+
+def bounded_of(outcomes, seed=7):
+    collector = MetricsCollector(bounded=True, reservoir_seed=seed)
+    collector.extend(list(outcomes))
+    return collector
+
+
+def order_free_stats(c: MetricsCollector) -> dict:
+    """Every statistic that must not depend on merge order."""
+    stats = {
+        "count": c.count,
+        "hits": c.hits,
+        "hit_rate": c.hit_rate,
+        "nav": c.hit_breakdown_navigational(),
+        "window_w1": _window_stats(c, 0.0, 7 * DAY_S),
+        "window_w2": _window_stats(c, 7 * DAY_S, 30 * DAY_S),
+    }
+    if c.count:
+        stats["p0"] = c.latency_percentile(0)
+        stats["p100"] = c.latency_percentile(100)
+    return stats
+
+
+def _window_stats(c, lo, hi):
+    w = c.window(lo, hi)
+    return (w.count, w.hits)
+
+
+def close_sums(a: MetricsCollector, b: MetricsCollector):
+    """Float totals may differ by summation order only at ulp scale."""
+    assert math.isclose(
+        a.total_latency_s, b.total_latency_s, rel_tol=1e-9, abs_tol=1e-12
+    )
+    assert math.isclose(
+        a.total_energy_j, b.total_energy_j, rel_tol=1e-9, abs_tol=1e-12
+    )
+
+
+class TestExactMerge:
+    @given(a=outcome_lists, b=outcome_lists, c=outcome_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_associative(self, a, b, c):
+        left = exact_of(a)
+        left.merge(exact_of(b))
+        left.merge(exact_of(c))
+        bc = exact_of(b)
+        bc.merge(exact_of(c))
+        right = exact_of(a)
+        right.merge(bc)
+        assert left.outcomes == right.outcomes  # exact mode: full streams
+
+    @given(a=outcome_lists, b=outcome_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_commutative_stats(self, a, b):
+        ab = exact_of(a)
+        ab.merge(exact_of(b))
+        ba = exact_of(b)
+        ba.merge(exact_of(a))
+        assert order_free_stats(ab) == order_free_stats(ba)
+        close_sums(ab, ba)
+
+    @given(a=outcome_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_empty_identity(self, a):
+        collector = exact_of(a)
+        collector.merge(MetricsCollector())
+        assert collector.outcomes == list(a)
+        empty = MetricsCollector()
+        empty.merge(exact_of(a))
+        assert empty.outcomes == list(a)
+
+
+class TestBoundedMerge:
+    @given(a=outcome_lists, b=outcome_lists, c=outcome_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_associative_stats(self, a, b, c):
+        left = bounded_of(a)
+        left.merge(bounded_of(b))
+        left.merge(bounded_of(c))
+        bc = bounded_of(b)
+        bc.merge(bounded_of(c))
+        right = bounded_of(a)
+        right.merge(bc)
+        assert order_free_stats(left) == order_free_stats(right)
+        close_sums(left, right)
+
+    @given(a=outcome_lists, b=outcome_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_commutative_stats(self, a, b):
+        ab = bounded_of(a)
+        ab.merge(bounded_of(b))
+        ba = bounded_of(b)
+        ba.merge(bounded_of(a))
+        assert order_free_stats(ab) == order_free_stats(ba)
+        close_sums(ab, ba)
+
+    @given(a=outcome_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_empty_identity(self, a):
+        collector = bounded_of(a)
+        before = order_free_stats(collector)
+        collector.merge(MetricsCollector(bounded=True))
+        assert order_free_stats(collector) == before
+        empty = MetricsCollector(bounded=True)
+        empty.merge(bounded_of(a))
+        assert order_free_stats(empty) == order_free_stats(bounded_of(a))
+
+
+class TestExactBoundedAgreement:
+    @given(a=outcome_lists, b=outcome_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_agreement(self, a, b):
+        """Bounded absorbing exact == bounded absorbing bounded == exact."""
+        exact = exact_of(a)
+        exact.merge(exact_of(b))
+
+        via_exact = bounded_of(a)
+        via_exact.merge(exact_of(b))  # bounded <- exact replays outcomes
+        via_bounded = bounded_of(a)
+        via_bounded.merge(bounded_of(b))
+
+        for bounded in (via_exact, via_bounded):
+            assert bounded.count == exact.count
+            assert bounded.hits == exact.hits
+            assert bounded.hit_rate == exact.hit_rate
+            assert (
+                bounded.hit_breakdown_navigational()
+                == exact.hit_breakdown_navigational()
+            )
+            close_sums(bounded, exact)
+            if exact.count:
+                assert bounded.latency_percentile(0) == exact.latency_percentile(0)
+                assert bounded.latency_percentile(100) == exact.latency_percentile(
+                    100
+                )
+
+    @given(a=outcome_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_exact_cannot_absorb_bounded(self, a):
+        import pytest
+
+        exact = exact_of(a)
+        with pytest.raises(ValueError):
+            exact.merge(bounded_of(a))
