@@ -1,0 +1,130 @@
+"""Serving-layer latency/throughput sweep, recorded in a manifest.
+
+Runs the open-loop load test over the default-calibrated log at a sweep
+of offered-load multipliers on the deterministic simulated clock, and
+writes one run manifest whose metrics carry, per rate: simulated
+throughput, sojourn p50/p99 of admitted requests, shed rate, batching
+efficiency, and the wall-clock cost of simulating it.  The manifest is
+``emit_bench_json.py``-compatible, so serve latency rides the same
+BENCH trajectory as the rest of the benchmarks::
+
+    PYTHONPATH=src python benchmarks/serve_latency_manifest.py \
+        --rates 1,10 --out manifests/serve_latency.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.common import DEFAULT_SEED, default_log
+from repro.obs.manifest import ManifestRecorder
+from repro.serve import LoadGenConfig, ServeConfig, run_loadtest
+
+
+def run(
+    duration_s: float,
+    rates: list,
+    queue_depth: int,
+    max_devices: int,
+    seed: int,
+    out: str,
+) -> dict:
+    log = default_log()
+    recorder = ManifestRecorder(
+        "serve_latency",
+        config={
+            "duration_s": duration_s,
+            "rates": rates,
+            "queue_depth": queue_depth,
+            "max_devices": max_devices,
+        },
+        seed=seed,
+    )
+    with recorder:
+        sweep = {}
+        for rate in rates:
+            t0 = time.perf_counter()
+            report, workload = run_loadtest(
+                log,
+                LoadGenConfig(
+                    duration_s=duration_s,
+                    rate_multiplier=rate,
+                    seed=seed,
+                    max_devices=max_devices or None,
+                ),
+                ServeConfig(queue_depth=queue_depth),
+            )
+            wall_s = time.perf_counter() - t0
+            lost = report.requests - report.completed - report.shed
+            if lost:
+                raise SystemExit(
+                    f"FATAL: rate {rate}: {lost} requests neither "
+                    "completed nor shed"
+                )
+            sweep[f"x{rate:g}"] = {
+                "requests": report.requests,
+                "offered_rate_rps": round(workload.offered_rate, 6),
+                "throughput_rps": round(report.throughput_rps, 6),
+                "shed_rate": round(report.shed_rate, 6),
+                "hit_rate": round(report.hit_rate, 6),
+                "sojourn_p50_s": round(report.sojourn_p50_s, 6),
+                "sojourn_p99_s": round(report.sojourn_p99_s, 6),
+                "batch_efficiency": round(report.batch_efficiency, 6),
+                "wall_s": round(wall_s, 4),
+            }
+            print(
+                f"rate x{rate:g}: {report.requests} reqs, "
+                f"throughput {report.throughput_rps:.3f}/s, "
+                f"p99 {report.sojourn_p99_s:.3f}s, "
+                f"shed {report.shed_rate:.1%} "
+                f"(simulated {duration_s:.0f}s in {wall_s:.2f}s wall)"
+            )
+        recorder.add_metric("sweep", sweep)
+        recorder.add_metric(
+            "p99_s_at_max_rate", sweep[f"x{rates[-1]:g}"]["sojourn_p99_s"]
+        )
+        recorder.add_metric(
+            "throughput_rps_at_max_rate",
+            sweep[f"x{rates[-1]:g}"]["throughput_rps"],
+        )
+    path = recorder.manifest.write(out)
+    print(f"wrote manifest to {path}")
+    return recorder.manifest.to_dict()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--duration", type=float, default=600.0,
+        help="simulated seconds per rate point (default 600)",
+    )
+    parser.add_argument(
+        "--rates", default="1,10",
+        help="comma-separated offered-load multipliers (default 1,10)",
+    )
+    parser.add_argument("--queue-depth", type=int, default=32)
+    parser.add_argument(
+        "--max-devices", type=int, default=0,
+        help="cap distinct devices, 0 = no cap",
+    )
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--out", default="manifests/serve_latency.json",
+        help="manifest destination path",
+    )
+    args = parser.parse_args(argv)
+    rates = [float(r) for r in args.rates.split(",") if r.strip()]
+    if not rates:
+        print("no rates given", file=sys.stderr)
+        return 2
+    run(
+        args.duration, rates, args.queue_depth, args.max_devices,
+        args.seed, args.out,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

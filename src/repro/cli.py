@@ -12,6 +12,11 @@ Observability wrappers run any artifact with the span tracer on::
     python -m repro trace fig17 --users 5      # writes trace.jsonl
     python -m repro profile fig17 --users 5    # prints span-time breakdown
 
+Online-serving verbs (see :mod:`repro.serve`)::
+
+    python -m repro serve --users 5 --check-equivalence
+    python -m repro loadtest --duration 600 --rate 10 --manifest-out m.json
+
 Any invocation can also record a run manifest (seed/config/git
 SHA/wall-time/peak-RSS JSON) with ``--manifest-out PATH``.
 
@@ -39,6 +44,9 @@ from repro.obs.manifest import ManifestRecorder
 
 #: Wrapper subcommands that run an artifact under the tracer.
 OBS_MODES = ("trace", "profile")
+
+#: Online-serving verbs with their own parsers (see repro.serve.cli).
+SERVE_MODES = ("serve", "loadtest")
 
 
 def _print_table1() -> None:
@@ -330,6 +338,11 @@ def _profile_table(records, top: int) -> str:
 
 def main(argv=None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] in SERVE_MODES:
+        from repro.serve.cli import loadtest_main, serve_main
+
+        verb = {"serve": serve_main, "loadtest": loadtest_main}[argv[0]]
+        return verb(argv[1:])
     mode: Optional[str] = None
     if argv and argv[0] in OBS_MODES:
         mode = argv[0]

@@ -15,6 +15,13 @@ aggregates without retaining per-event objects:
 
 All structures are deterministic: the reservoir uses a seeded PRNG so a
 replay produces identical percentile estimates run to run.
+
+Instruments and the registry are safe for concurrent use from threads
+and asyncio tasks: get-or-create is serialized by a registry lock, and
+each mutating instrument guards its state with its own lock (``inc`` on
+a shared counter from N threads never loses an increment).  Single-task
+asyncio code pays one uncontended lock acquisition per record — noise
+next to the arithmetic it protects.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ from __future__ import annotations
 import json
 import math
 import random
+import threading
 from typing import Any, Dict, List, Optional
 
 __all__ = [
@@ -35,34 +43,62 @@ __all__ = [
 
 
 class Counter:
-    """A monotonically increasing named count."""
+    """A monotonically increasing named count (thread-safe)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, n: int = 1) -> None:
         if n < 0:
             raise ValueError(f"counter increment must be non-negative, got {n}")
-        self.value += n
+        with self._lock:
+            self.value += n
+
+    def __getstate__(self):
+        return {"name": self.name, "value": self.value}
+
+    def __setstate__(self, state) -> None:
+        self.name = state["name"]
+        self.value = state["value"]
+        self._lock = threading.Lock()
 
     def snapshot(self) -> Dict[str, Any]:
         return {"type": "counter", "value": self.value}
 
 
 class Gauge:
-    """A named last-value-wins measurement."""
+    """A named last-value-wins measurement (thread-safe)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value: float = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        value = float(value)
+        with self._lock:
+            self.value = value
+
+    def max(self, value: float) -> None:
+        """Raise the gauge to ``value`` if it is higher (high-watermark)."""
+        value = float(value)
+        with self._lock:
+            if value > self.value:
+                self.value = value
+
+    def __getstate__(self):
+        return {"name": self.name, "value": self.value}
+
+    def __setstate__(self, state) -> None:
+        self.name = state["name"]
+        self.value = state["value"]
+        self._lock = threading.Lock()
 
     def snapshot(self) -> Dict[str, Any]:
         return {"type": "gauge", "value": self.value}
@@ -88,8 +124,13 @@ class P2Quantile:
         self._desired = [0.0, 0.0, 0.0, 0.0, 0.0]
         self._increments = [0.0, p / 2, p, (1 + p) / 2, 1.0]
         self.count = 0
+        self._lock = threading.Lock()
 
     def add(self, x: float) -> None:
+        with self._lock:
+            self._add_locked(x)
+
+    def _add_locked(self, x: float) -> None:
         self.count += 1
         heights = self._heights
         if len(heights) < 5:
@@ -154,6 +195,15 @@ class P2Quantile:
         h, n = self._heights, self._positions
         return h[i] + d * (h[i + d] - h[i]) / (n[i + d] - n[i])
 
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     @property
     def value(self) -> float:
         """Current estimate (``nan`` before any samples)."""
@@ -191,9 +241,15 @@ class StreamingHistogram:
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        # Reentrant: snapshot() calls quantile() under the same lock.
+        self._lock = threading.RLock()
 
     def add(self, x: float) -> None:
         x = float(x)
+        with self._lock:
+            self._add_locked(x)
+
+    def _add_locked(self, x: float) -> None:
         self.count += 1
         self.total += x
         if x < self.min:
@@ -208,15 +264,17 @@ class StreamingHistogram:
                 self._sample[j] = x
 
     def extend(self, xs) -> None:
-        for x in xs:
-            self.add(x)
+        with self._lock:
+            for x in xs:
+                self._add_locked(float(x))
 
     @property
     def mean(self) -> float:
         """Stream mean (``nan`` when empty)."""
-        if self.count == 0:
-            return float("nan")
-        return self.total / self.count
+        with self._lock:
+            if self.count == 0:
+                return float("nan")
+            return self.total / self.count
 
     def quantile(self, q: float) -> float:
         """Percentile ``q`` in [0, 100] (``nan`` when empty).
@@ -225,13 +283,14 @@ class StreamingHistogram:
         """
         if not 0 <= q <= 100:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
-        if self.count == 0:
-            return float("nan")
-        if q == 0:
-            return self.min
-        if q == 100:
-            return self.max
-        ordered = sorted(self._sample)
+        with self._lock:
+            if self.count == 0:
+                return float("nan")
+            if q == 0:
+                return self.min
+            if q == 100:
+                return self.max
+            ordered = sorted(self._sample)
         rank = max(0, math.ceil(q / 100 * len(ordered)) - 1)
         return ordered[rank]
 
@@ -242,6 +301,13 @@ class StreamingHistogram:
         count-weighted subsample of both reservoirs (an approximation —
         documented, deterministic).
         """
+        # Lock both sides in a stable order so concurrent cross-merges
+        # (A.merge(B) while B.merge(A)) cannot deadlock.
+        first, second = sorted((self, other), key=id)
+        with first._lock, second._lock:
+            self._merge_locked(other)
+
+    def _merge_locked(self, other: "StreamingHistogram") -> None:
         if other.count == 0:
             return
         if self.count == 0:
@@ -272,25 +338,36 @@ class StreamingHistogram:
             return list(sample)
         return self._rng.sample(sample, k)
 
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
+
     def snapshot(self) -> Dict[str, Any]:
-        return {
-            "type": "histogram",
-            "count": self.count,
-            "sum": self.total,
-            "min": self.min if self.count else None,
-            "max": self.max if self.count else None,
-            "mean": self.total / self.count if self.count else None,
-            "p50": self.quantile(50) if self.count else None,
-            "p95": self.quantile(95) if self.count else None,
-            "p99": self.quantile(99) if self.count else None,
-        }
+        with self._lock:
+            return {
+                "type": "histogram",
+                "count": self.count,
+                "sum": self.total,
+                "min": self.min if self.count else None,
+                "max": self.max if self.count else None,
+                "mean": self.total / self.count if self.count else None,
+                "p50": self.quantile(50) if self.count else None,
+                "p95": self.quantile(95) if self.count else None,
+                "p99": self.quantile(99) if self.count else None,
+            }
 
 
 class MetricsRegistry:
-    """Get-or-create registry of named instruments."""
+    """Get-or-create registry of named instruments (thread-safe)."""
 
     def __init__(self) -> None:
         self._instruments: Dict[str, Any] = {}
+        self._lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
         return self._get_or_create(name, Counter, lambda: Counter(name))
@@ -308,35 +385,47 @@ class MetricsRegistry:
         )
 
     def _get_or_create(self, name, expected_type, factory):
-        instrument = self._instruments.get(name)
-        if instrument is None:
-            instrument = factory()
-            self._instruments[name] = instrument
-        elif not isinstance(instrument, expected_type):
-            raise TypeError(
-                f"metric {name!r} already registered as "
-                f"{type(instrument).__name__}, not {expected_type.__name__}"
-            )
-        return instrument
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = factory()
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, expected_type):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(instrument).__name__}, not {expected_type.__name__}"
+                )
+            return instrument
 
     def get(self, name: str) -> Optional[Any]:
-        return self._instruments.get(name)
+        with self._lock:
+            return self._instruments.get(name)
 
     def names(self) -> List[str]:
-        return sorted(self._instruments)
+        with self._lock:
+            return sorted(self._instruments)
 
     def snapshot(self) -> Dict[str, Dict[str, Any]]:
         """All instruments as plain dicts (for manifests / JSON export)."""
-        return {
-            name: inst.snapshot()
-            for name, inst in sorted(self._instruments.items())
-        }
+        with self._lock:
+            instruments = sorted(self._instruments.items())
+        return {name: inst.snapshot() for name, inst in instruments}
 
     def to_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.snapshot(), indent=indent)
 
     def clear(self) -> None:
-        self._instruments.clear()
+        with self._lock:
+            self._instruments.clear()
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
 
 _registry = MetricsRegistry()

@@ -22,8 +22,12 @@ buffer (old spans fall off the back of million-query replays instead of
 exhausting memory) and serializes them to JSON Lines, one record per
 line, via :meth:`Tracer.export_jsonl`.
 
-The tracer tracks the open-span stack per thread, so spans nest correctly
-even when experiments fan out across worker threads.
+The tracer tracks the open-span stack in a :class:`~contextvars.ContextVar`,
+so spans nest correctly both across worker threads *and* across
+interleaved asyncio tasks: each task (and each thread) sees its own
+stack, and a task spawned inside a span parents its spans under the span
+that was open at spawn time.  Record storage is guarded by a lock, so
+many tasks and threads can finish spans concurrently.
 """
 
 from __future__ import annotations
@@ -32,8 +36,9 @@ import json
 import threading
 import time
 from collections import deque
+from contextvars import ContextVar
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 __all__ = [
     "NULL_TRACER",
@@ -196,7 +201,12 @@ class Tracer:
         self._clock = clock
         self._epoch = clock()
         self._records: deque = deque(maxlen=capacity)
-        self._local = threading.local()
+        # The open-span stack is an immutable tuple held in a ContextVar:
+        # every thread and every asyncio task sees (and rebinds) its own
+        # stack, so concurrent spans never corrupt each other's parents.
+        self._stack_var: ContextVar[Tuple["_ActiveSpan", ...]] = ContextVar(
+            "repro_obs_span_stack", default=()
+        )
         self._lock = threading.Lock()
         self._next_id = 0
         self.dropped = 0  # records evicted from the ring
@@ -205,17 +215,17 @@ class Tracer:
 
     def span(self, name: str, **attrs: Any) -> _ActiveSpan:
         """Open a span; use as a context manager."""
-        stack = self._stack()
+        stack = self._stack_var.get()
         parent_id = stack[-1].span_id if stack else None
         span = _ActiveSpan(
             self, name, self._new_id(), parent_id, self._now(), attrs
         )
-        stack.append(span)
+        self._stack_var.set(stack + (span,))
         return span
 
     def event(self, name: str, **attrs: Any) -> None:
         """Record a zero-duration point event under the current span."""
-        stack = self._stack()
+        stack = self._stack_var.get()
         parent_id = stack[-1].span_id if stack else None
         self._append(
             SpanRecord(
@@ -230,12 +240,14 @@ class Tracer:
         )
 
     def _finish(self, span: _ActiveSpan) -> None:
-        stack = self._stack()
+        stack = self._stack_var.get()
         # Tolerate out-of-order exits (generators, exceptions): unwind to
-        # the closing span rather than corrupting the stack.
-        while stack:
-            top = stack.pop()
-            if top is span:
+        # the closing span rather than corrupting the stack.  A span
+        # finished from a different task/thread than the one that opened
+        # it simply isn't on this context's stack — leave it untouched.
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] is span:
+                self._stack_var.set(stack[:i])
                 break
         self._append(
             SpanRecord(
@@ -280,13 +292,6 @@ class Tracer:
             span_id = self._next_id
             self._next_id += 1
         return span_id
-
-    def _stack(self) -> List[_ActiveSpan]:
-        stack = getattr(self._local, "stack", None)
-        if stack is None:
-            stack = []
-            self._local.stack = stack
-        return stack
 
     def _append(self, record: SpanRecord) -> None:
         with self._lock:

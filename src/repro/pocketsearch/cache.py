@@ -25,6 +25,50 @@ from repro.storage.filesystem import FlashFilesystem
 from repro.storage.flash import NandFlash
 
 
+class VersionedRegistry(dict):
+    """A dict with a monotonically increasing mutation version.
+
+    The suggest index uses the version as a cheap change token: comparing
+    the registry's *length* misses updates that replace N entries with N
+    different ones (a nightly refresh that swaps the popular set), which
+    would leave the auto-suggest box serving stale queries.
+    """
+
+    __slots__ = ("version",)
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.version = 0
+
+    def __setitem__(self, key, value) -> None:
+        super().__setitem__(key, value)
+        self.version += 1
+
+    def __delitem__(self, key) -> None:
+        super().__delitem__(key)
+        self.version += 1
+
+    def pop(self, *args):
+        self.version += 1
+        return super().pop(*args)
+
+    def popitem(self):
+        self.version += 1
+        return super().popitem()
+
+    def clear(self) -> None:
+        super().clear()
+        self.version += 1
+
+    def update(self, *args, **kwargs) -> None:
+        super().update(*args, **kwargs)
+        self.version += 1
+
+    def setdefault(self, key, default=None):
+        self.version += 1
+        return super().setdefault(key, default)
+
+
 @dataclass(frozen=True)
 class CacheLookup:
     """Outcome of a cache lookup."""
@@ -51,11 +95,12 @@ class PocketSearchCache:
         self.database = database
         self.ranker = ranker or PersonalizedRanker()
         self.personalization_enabled = personalization_enabled
-        #: query hash -> query string, for every query ever cached.  The
-        #: hash table itself stores only hashes (Figure 10); the strings
-        #: live with the app (and the server) and are needed to enumerate
-        #: the table during updates.
-        self.query_registry: dict = {}
+        #: query hash -> query string, for every query currently cached.
+        #: The hash table itself stores only hashes (Figure 10); the
+        #: strings live with the app (and the server) and are needed to
+        #: enumerate the table during updates.  The registry's mutation
+        #: version lets the suggest index detect content swaps.
+        self.query_registry: VersionedRegistry = VersionedRegistry()
         self.hits = 0
         self.misses = 0
 

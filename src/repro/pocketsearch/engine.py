@@ -129,11 +129,17 @@ class PocketSearchEngine:
         Returns (suggestions, latency_s).  The latency is microseconds —
         the point of the prototype's auto-suggest box: real results
         appear as the user types, no radio involved.
+
+        The index is re-synced with the cache registry on every call (a
+        version-token compare, free when nothing changed), so
+        suggestions reflect server updates applied since the last
+        keystroke — not the cache content the index was built from.
         """
         from repro.pocketsearch.suggest import SuggestIndex
 
         if self._suggest_index is None:
             self._suggest_index = SuggestIndex(self.cache)
+        self._suggest_index.refresh()
         suggestions = self._suggest_index.complete(partial_query, k)
         return suggestions, self._suggest_index.lookup_latency_s()
 

@@ -43,6 +43,9 @@ class UpdatePatch:
     pairs_removed: int
     results_added: int
     results_removed: int = 0
+    #: query strings dropped from the phone's registry because the
+    #: update left them with no cached pairs.
+    queries_pruned: int = 0
     compaction: Optional[CompactionResult] = None
     patch_files: Dict[int, int] = field(default_factory=dict)  # file -> bytes
 
@@ -122,9 +125,17 @@ class CacheUpdateServer:
             table.insert(entry.query, result_hash, entry.score, accessed=False)
             cache.query_registry[hash64(entry.query)] = entry.query
 
-        # Step 4: drop result records no pair references any more, and
-        # compact the database files if enough garbage accumulated (a
-        # charge-time maintenance pass, free in battery terms).
+        # Step 4: garbage-collect the phone-side string registry and the
+        # result database, then compact the database files if enough
+        # garbage accumulated (a charge-time maintenance pass, free in
+        # battery terms).  Queries whose pairs were all dropped must not
+        # linger in the registry: the suggest index would keep offering
+        # them, and the strings are dead weight in DRAM.
+        queries_pruned = 0
+        for query_hash, query in list(cache.query_registry.items()):
+            if not table.slots_for(query):
+                del cache.query_registry[query_hash]
+                queries_pruned += 1
         referenced = set()
         for _query, slots in self._table_pairs(cache):
             for result_hash, _score, _accessed in slots:
@@ -149,6 +160,7 @@ class CacheUpdateServer:
             pairs_removed=len(to_remove),
             results_added=results_added,
             results_removed=results_removed,
+            queries_pruned=queries_pruned,
             compaction=compacted,
             patch_files=patch_files,
         )

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.pocketsearch.cache import PocketSearchCache
 
@@ -41,21 +41,31 @@ class SuggestIndex:
         cache: the cache whose query registry backs the index.
 
     The index is rebuilt lazily: mutations to the cache are picked up on
-    the next :meth:`refresh` (the engine refreshes after click events).
+    the next :meth:`refresh` (the engine refreshes on every suggest
+    call).  Staleness is detected through the registry's mutation
+    *version*, not its length — a server update that replaces N queries
+    with N different ones changes the version even though the size is
+    unchanged.
     """
 
     def __init__(self, cache: PocketSearchCache) -> None:
         self.cache = cache
         self._sorted_queries: List[str] = []
-        self._registry_size = -1
+        self._registry_version: Optional[int] = None
         self.refresh()
 
     def refresh(self) -> None:
-        """Re-sync the sorted query list with the cache registry."""
-        if len(self.cache.query_registry) == self._registry_size:
+        """Re-sync the sorted query list with the cache registry.
+
+        No-op when the registry's mutation version is unchanged, so
+        calling this on every keystroke costs one integer compare.
+        """
+        registry = self.cache.query_registry
+        version = getattr(registry, "version", None)
+        if version is not None and version == self._registry_version:
             return
-        self._sorted_queries = sorted(self.cache.query_registry.values())
-        self._registry_size = len(self.cache.query_registry)
+        self._sorted_queries = sorted(registry.values())
+        self._registry_version = version
 
     @property
     def n_queries(self) -> int:

@@ -1,0 +1,68 @@
+"""Single-flight batching of concurrent identical miss fetches.
+
+When two devices miss on the same key at (simulated-)overlapping times,
+the cloudlet only needs one radio round-trip: the first miss becomes the
+*leader* and actually occupies the radio for the modelled fetch
+duration; everyone else arriving while that fetch is in flight
+*piggybacks* — they await the leader's future and complete at the same
+instant, without issuing a second fetch.
+
+Accounting note: piggybacking shares fetch *time*, not hit/miss
+accounting.  A piggybacked request is still recorded as a miss with its
+full modelled latency, which is what keeps the serve layer's per-user
+numbers bit-identical to the offline replay.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Hashable
+
+__all__ = ["MissBatcher"]
+
+
+class MissBatcher:
+    """Deduplicate in-flight fetches by key (single-flight).
+
+    Must be used from a single event loop; all state is loop-confined.
+    """
+
+    def __init__(self) -> None:
+        self._inflight: Dict[Hashable, "asyncio.Future[None]"] = {}
+        #: fetches actually issued (leaders)
+        self.fetches = 0
+        #: requests that rode an existing in-flight fetch
+        self.piggybacked = 0
+
+    async def fetch(self, key: Hashable, duration_s: float) -> bool:
+        """Wait out one radio fetch of ``key`` taking ``duration_s``.
+
+        Returns ``True`` if this call piggybacked on a fetch another
+        caller already had in flight, ``False`` if it was the leader.
+        """
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.piggybacked += 1
+            await existing
+            return True
+
+        loop = asyncio.get_event_loop()
+        future: "asyncio.Future[None]" = loop.create_future()
+        self._inflight[key] = future
+        self.fetches += 1
+        try:
+            await asyncio.sleep(duration_s)
+        finally:
+            del self._inflight[key]
+            future.set_result(None)
+        return False
+
+    @property
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    @property
+    def batch_efficiency(self) -> float:
+        """Fraction of miss fetches avoided by sharing (0.0 when idle)."""
+        total = self.fetches + self.piggybacked
+        return self.piggybacked / total if total else 0.0

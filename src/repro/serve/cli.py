@@ -1,0 +1,277 @@
+"""``repro serve`` / ``repro loadtest`` command implementations.
+
+Both verbs run on the deterministic virtual clock, so a "10-minute"
+load test finishes in however long the Python work takes, and two runs
+with the same flags print the same numbers.
+
+``repro serve`` replays the Section 6.2 experiment through the online
+server and reports the serving-layer view (sojourn percentiles,
+batching, sheds) next to the hit rates; ``--check-equivalence`` also
+runs the offline replay and verifies the accounting matches.
+
+``repro loadtest`` drives the server with an open-loop workload at a
+chosen multiple of the log's natural rate and reports how admission
+control held up.  ``--max-shed-rate`` turns the report into a pass/fail
+gate for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.common import DEFAULT_SEED, default_log, format_table
+from repro.obs.manifest import ManifestRecorder
+from repro.serve.harness import ServeReport, run_loadtest, serve_replay
+from repro.serve.loadgen import LoadGenConfig
+from repro.serve.server import ServeConfig
+from repro.sim.replay import CacheMode, ReplayConfig
+
+__all__ = ["loadtest_main", "serve_main"]
+
+#: Tolerance of the serve-vs-replay equivalence check (sums of model
+#: latencies are float accumulations; identical orders give identical
+#: sums, so this is belt-and-braces).
+EQUIVALENCE_TOLERANCE = 1e-9
+
+
+def _report_rows(report: ServeReport) -> List[List[str]]:
+    return [
+        ["requests", str(report.requests)],
+        ["completed", str(report.completed)],
+        ["shed", f"{report.shed} ({report.shed_rate:.1%})"],
+        ["hit rate", f"{report.hit_rate:.3f}"],
+        ["throughput", f"{report.throughput_rps:.3f} req/s"],
+        ["sojourn p50", f"{report.sojourn_p50_s:.3f} s"],
+        ["sojourn p99", f"{report.sojourn_p99_s:.3f} s"],
+        ["queue wait p99", f"{report.queue_wait_p99_s:.3f} s"],
+        ["radio fetches", str(report.fetches)],
+        ["piggybacked", str(report.piggybacked)],
+        ["batch efficiency", f"{report.batch_efficiency:.3f}"],
+    ]
+
+
+def _write_manifest(
+    recorder: ManifestRecorder, report: ServeReport, path: Optional[str]
+) -> None:
+    for key, value in report.to_metrics().items():
+        recorder.add_metric(key, value)
+    if path:
+        recorder.manifest.metrics.update(recorder.metrics)
+        recorder.manifest.write(path)
+        print(f"wrote run manifest to {path}")
+
+
+# -- repro serve ------------------------------------------------------------
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Replay month-1 traffic through the online serving "
+        "layer on the simulated clock.",
+    )
+    parser.add_argument(
+        "--users", type=int, default=10,
+        help="users per Table 6 class (default 10)",
+    )
+    parser.add_argument(
+        "--mode", choices=CacheMode.ALL, default=CacheMode.FULL,
+        help="cache mode (default full)",
+    )
+    parser.add_argument(
+        "--daily-updates", action="store_true",
+        help="apply the Section 6.2.2 nightly community refresh",
+    )
+    parser.add_argument("--seed", type=int, default=97, help="replay seed")
+    parser.add_argument(
+        "--check-equivalence", action="store_true",
+        help="also run the offline replay and verify accounting matches",
+    )
+    parser.add_argument("--manifest-out", metavar="PATH", default=None)
+    args = parser.parse_args(argv)
+    if args.users <= 0:
+        print("repro serve: --users must be positive", file=sys.stderr)
+        return 2
+
+    log = default_log()
+    config = ReplayConfig(
+        users_per_class=args.users,
+        seed=args.seed,
+        daily_updates=args.daily_updates,
+    )
+    recorder = ManifestRecorder(
+        "serve",
+        config={
+            "users": args.users,
+            "mode": args.mode,
+            "daily_updates": args.daily_updates,
+        },
+        seed=args.seed,
+    )
+    with recorder:
+        results, reports = serve_replay(log, config, modes=(args.mode,))
+        report = reports[args.mode]
+        result = results[args.mode]
+        recorder.add_metric("overall_hit_rate", result.overall_hit_rate())
+
+    print(f"=== serve: mode={args.mode} users/class={args.users} ===")
+    print(format_table(_report_rows(report), ["metric", "value"]))
+    print(f"overall hit rate: {result.overall_hit_rate():.3f}")
+
+    exit_code = 0
+    if args.check_equivalence:
+        from repro.sim.replay import run_replay
+
+        offline = run_replay(log, config, modes=(args.mode,))[args.mode]
+        mismatches = _compare(offline, result)
+        if report.shed:
+            mismatches.append(f"serve shed {report.shed} requests")
+        if mismatches:
+            print("EQUIVALENCE FAILED:", file=sys.stderr)
+            for line in mismatches:
+                print("  " + line, file=sys.stderr)
+            exit_code = 1
+        else:
+            print(
+                f"equivalence check: serve matches offline replay for "
+                f"{len(result.users)} users (tolerance {EQUIVALENCE_TOLERANCE})"
+            )
+        recorder.add_metric("equivalence_ok", not mismatches)
+    _write_manifest(recorder, report, args.manifest_out)
+    return exit_code
+
+
+def _compare(offline, served) -> List[str]:
+    """Per-user accounting diffs between offline and served replays."""
+    mismatches: List[str] = []
+    if len(offline.users) != len(served.users):
+        return [
+            f"user count {len(offline.users)} != {len(served.users)}"
+        ]
+    for a, b in zip(offline.users, served.users):
+        if a.user_id != b.user_id:
+            mismatches.append(f"user order diverged: {a.user_id} vs {b.user_id}")
+            continue
+        if a.metrics.count != b.metrics.count:
+            mismatches.append(
+                f"user {a.user_id}: count {a.metrics.count} != {b.metrics.count}"
+            )
+        if a.metrics.hits != b.metrics.hits:
+            mismatches.append(
+                f"user {a.user_id}: hits {a.metrics.hits} != {b.metrics.hits}"
+            )
+        for attr in ("total_latency_s", "total_energy_j"):
+            diff = abs(getattr(a.metrics, attr) - getattr(b.metrics, attr))
+            if diff > EQUIVALENCE_TOLERANCE:
+                mismatches.append(
+                    f"user {a.user_id}: {attr} differs by {diff:.3e}"
+                )
+    return mismatches
+
+
+# -- repro loadtest ---------------------------------------------------------
+
+
+def loadtest_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro loadtest",
+        description="Open-loop load test of the serving layer on the "
+        "simulated clock.",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=600.0,
+        help="simulated seconds of traffic (default 600)",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=1.0,
+        help="offered load as a multiple of the log's natural rate",
+    )
+    parser.add_argument(
+        "--arrivals", choices=("poisson", "log"), default="poisson",
+    )
+    parser.add_argument(
+        "--no-diurnal", action="store_true",
+        help="flat Poisson rate instead of the hour-of-day profile",
+    )
+    parser.add_argument(
+        "--max-devices", type=int, default=None,
+        help="cap distinct devices (highest-volume first)",
+    )
+    parser.add_argument("--queue-depth", type=int, default=32)
+    parser.add_argument("--max-inflight", type=int, default=4096)
+    parser.add_argument(
+        "--refresh-interval", type=float, default=None, metavar="S",
+        help="run the background cache refresher at this simulated period",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--max-shed-rate", type=float, default=None, metavar="F",
+        help="exit nonzero if the shed fraction exceeds F (CI gate)",
+    )
+    parser.add_argument("--manifest-out", metavar="PATH", default=None)
+    args = parser.parse_args(argv)
+
+    recorder = ManifestRecorder(
+        "loadtest",
+        config={
+            "duration_s": args.duration,
+            "rate_multiplier": args.rate,
+            "arrivals": args.arrivals,
+            "diurnal": not args.no_diurnal,
+            "max_devices": args.max_devices,
+            "queue_depth": args.queue_depth,
+            "max_inflight": args.max_inflight,
+            "refresh_interval_s": args.refresh_interval,
+        },
+        seed=args.seed,
+    )
+    try:
+        with recorder:
+            report, workload = run_loadtest(
+                default_log(),
+                LoadGenConfig(
+                    duration_s=args.duration,
+                    rate_multiplier=args.rate,
+                    seed=args.seed,
+                    arrivals=args.arrivals,
+                    diurnal=not args.no_diurnal,
+                    max_devices=args.max_devices,
+                ),
+                ServeConfig(
+                    queue_depth=args.queue_depth,
+                    max_inflight=args.max_inflight,
+                ),
+                refresh_interval_s=args.refresh_interval,
+            )
+            recorder.add_metric("offered_rate_rps", workload.offered_rate)
+            recorder.add_metric("n_devices", workload.n_devices)
+    except (ValueError, RuntimeError) as exc:
+        print(f"repro loadtest: {exc}", file=sys.stderr)
+        return 2
+
+    print(
+        f"=== loadtest: {workload.n_requests} requests over "
+        f"{args.duration:.0f}s simulated ({workload.n_devices} devices, "
+        f"{workload.offered_rate:.3f} req/s offered) ==="
+    )
+    print(format_table(_report_rows(report), ["metric", "value"]))
+
+    exit_code = 0
+    lost = report.requests - report.completed - report.shed
+    if lost:
+        print(
+            f"repro loadtest: {lost} requests neither completed nor shed",
+            file=sys.stderr,
+        )
+        exit_code = 1
+    if args.max_shed_rate is not None and report.shed_rate > args.max_shed_rate:
+        print(
+            f"repro loadtest: shed rate {report.shed_rate:.3f} exceeds "
+            f"--max-shed-rate {args.max_shed_rate}",
+            file=sys.stderr,
+        )
+        exit_code = 1
+    _write_manifest(recorder, report, args.manifest_out)
+    return exit_code

@@ -1,0 +1,401 @@
+"""Serve-mode harnesses: replay equivalence and open-loop load tests.
+
+``serve_replay`` runs the Section 6.2 replay *through the online
+server* on the deterministic virtual clock: every selected user becomes
+a device session, every logged event is submitted open-loop at its
+in-month offset, and the per-user outcomes are collected into the same
+:class:`~repro.sim.replay.ReplayResult` shape ``run_replay`` produces.
+Because each device's backend is driven strictly in submission order
+and the outcome records *model* costs (queueing is a separate
+serve-layer metric), the hit/miss/latency accounting matches the
+offline replay bit-for-bit — the differential test the serving layer is
+held to.
+
+``run_loadtest`` drives a server with a :mod:`repro.serve.loadgen`
+workload (typically at a deliberate overload) and reports how the
+admission control held up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.logs.generator import SearchLog
+from repro.logs.schema import MONTH_SECONDS, UserClass
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import get_tracer
+from repro.pocketsearch.content import (
+    ContentPolicy,
+    PAPER_OPERATING_POINT,
+    build_cache_content,
+)
+from repro.pocketsearch.engine import PocketSearchEngine
+from repro.serve.backends import DailyUpdateBackend, SearchBackend
+from repro.serve.loadgen import LoadGenConfig, Workload, build_workload
+from repro.serve.requests import Overloaded, ServeRequest, ServeResponse
+from repro.serve.server import CloudletServer, ServeConfig
+from repro.serve.vclock import run_simulated
+from repro.sim.metrics import MetricsCollector
+from repro.sim.replay import (
+    CacheMode,
+    ReplayConfig,
+    ReplayResult,
+    UserReplayResult,
+    _daily_contents,
+    _new_collector,
+    _record_bytes,
+    make_cache,
+    select_replay_users,
+)
+
+__all__ = ["ServeReport", "serve_replay", "run_loadtest", "run_workload"]
+
+
+def _percentile(ordered: List[float], q: float) -> float:
+    """Nearest-rank percentile of a pre-sorted list (nan when empty)."""
+    if not ordered:
+        return float("nan")
+    import math
+
+    rank = max(0, math.ceil(q / 100 * len(ordered)) - 1)
+    return ordered[rank]
+
+
+@dataclass
+class ServeReport:
+    """Serving-layer accounting of one serve run.
+
+    Latency fields are *sojourn* times — submission to completion as the
+    user experienced them on the loop clock, including queueing — for
+    admitted requests only (sheds resolve instantly by design).
+    """
+
+    requests: int = 0
+    completed: int = 0
+    shed: int = 0
+    hits: int = 0
+    misses: int = 0
+    fetches: int = 0
+    piggybacked: int = 0
+    duration_s: float = 0.0
+    sojourn_p50_s: float = float("nan")
+    sojourn_p99_s: float = float("nan")
+    sojourn_max_s: float = float("nan")
+    queue_wait_p99_s: float = float("nan")
+    shed_reasons: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.requests if self.requests else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.completed if self.completed else 0.0
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.completed / self.duration_s if self.duration_s else 0.0
+
+    @property
+    def batch_efficiency(self) -> float:
+        """Fraction of miss fetches avoided by single-flight sharing."""
+        total = self.fetches + self.piggybacked
+        return self.piggybacked / total if total else 0.0
+
+    def to_metrics(self) -> Dict[str, float]:
+        """Flat mapping for run manifests / BENCH emission."""
+        out = {
+            "requests": self.requests,
+            "completed": self.completed,
+            "shed": self.shed,
+            "shed_rate": self.shed_rate,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "fetches": self.fetches,
+            "piggybacked": self.piggybacked,
+            "batch_efficiency": self.batch_efficiency,
+            "duration_s": self.duration_s,
+            "throughput_rps": self.throughput_rps,
+            "sojourn_p50_s": self.sojourn_p50_s,
+            "sojourn_p99_s": self.sojourn_p99_s,
+            "sojourn_max_s": self.sojourn_max_s,
+            "queue_wait_p99_s": self.queue_wait_p99_s,
+        }
+        for reason, count in sorted(self.shed_reasons.items()):
+            out["shed_" + reason.replace("-", "_")] = count
+        return out
+
+
+def _build_report(
+    replies: List[object], server: CloudletServer, duration_s: float
+) -> ServeReport:
+    report = ServeReport(
+        requests=len(replies),
+        fetches=server.batcher.fetches,
+        piggybacked=server.batcher.piggybacked,
+    )
+    sojourns: List[float] = []
+    waits: List[float] = []
+    for reply in replies:
+        if isinstance(reply, Overloaded):
+            report.shed += 1
+            report.shed_reasons[reply.reason] = (
+                report.shed_reasons.get(reply.reason, 0) + 1
+            )
+            continue
+        assert isinstance(reply, ServeResponse)
+        report.completed += 1
+        if reply.outcome.hit:
+            report.hits += 1
+        else:
+            report.misses += 1
+        sojourns.append(reply.sojourn_s)
+        waits.append(reply.queue_wait_s)
+        duration_s = max(duration_s, reply.completed_at)
+    report.duration_s = duration_s
+    sojourns.sort()
+    waits.sort()
+    report.sojourn_p50_s = _percentile(sojourns, 50)
+    report.sojourn_p99_s = _percentile(sojourns, 99)
+    report.sojourn_max_s = sojourns[-1] if sojourns else float("nan")
+    report.queue_wait_p99_s = _percentile(waits, 99)
+    return report
+
+
+# -- open-loop submission ---------------------------------------------------
+
+
+async def _submit_schedule(
+    server: CloudletServer,
+    schedule: List[Tuple[float, ServeRequest]],
+) -> List["object"]:
+    """Submit requests at their scheduled offsets; gather all replies.
+
+    Open-loop: submission timing depends only on the schedule, never on
+    how fast the server answers.
+    """
+    import asyncio
+
+    loop = asyncio.get_running_loop()
+    origin = loop.time()
+    futures = []
+    for offset, request in schedule:
+        delay = origin + offset - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        futures.append(server.submit(request))
+    await server.drain()
+    return [f.result() for f in futures]
+
+
+async def run_workload(server: CloudletServer, workload: Workload) -> ServeReport:
+    """Drive ``server`` with ``workload`` and report what happened."""
+    server.start()
+    try:
+        replies = await _submit_schedule(server, workload.arrivals)
+    finally:
+        await server.close()
+    return _build_report(replies, server, workload.duration_s)
+
+
+# -- replay equivalence -----------------------------------------------------
+
+#: Serve config of the equivalence harness: generous bounds so nothing
+#: is shed (a shed request would diverge from the offline replay by
+#: construction — the equivalence test asserts shed == 0).
+EQUIVALENCE_SERVE_CONFIG = ServeConfig(
+    queue_depth=100_000, max_inflight=1_000_000, time_scale=1.0
+)
+
+
+def serve_replay(
+    log: SearchLog,
+    config: ReplayConfig = ReplayConfig(),
+    modes: Iterable[str] = (CacheMode.FULL,),
+    serve_config: Optional[ServeConfig] = None,
+) -> Tuple[Dict[str, ReplayResult], Dict[str, ServeReport]]:
+    """Run the replay experiment through the online server.
+
+    Same inputs and accounting as :func:`repro.sim.replay.run_replay`;
+    executed as live traffic on the deterministic virtual clock.
+
+    Returns:
+        ``(results, reports)`` — per-mode :class:`ReplayResult` exactly
+        comparable to ``run_replay``'s, and per-mode serving-layer
+        :class:`ServeReport`.
+    """
+    serve_config = serve_config or EQUIVALENCE_SERVE_CONFIG
+    tracer = get_tracer()
+    with tracer.span("serve_build_cache_content", month=config.build_month):
+        content = build_cache_content(log.month(config.build_month), config.policy)
+    selected_users = select_replay_users(
+        log, config.replay_month, config.users_per_class, config.seed
+    )
+    t_start = config.replay_month * MONTH_SECONDS
+    t_end = t_start + MONTH_SECONDS
+    daily_contents = (
+        _daily_contents(log, config) if config.daily_updates else []
+    )
+    work: List[Tuple[UserClass, int]] = [
+        (user_class, uid)
+        for user_class, uids in selected_users.items()
+        for uid in uids
+    ]
+
+    results: Dict[str, ReplayResult] = {}
+    reports: Dict[str, ServeReport] = {}
+    for mode in modes:
+        with tracer.span("serve_mode", mode=mode) as span:
+            users, report = run_simulated(
+                _serve_mode(
+                    log, content, daily_contents, config, mode, work,
+                    t_start, t_end, serve_config,
+                )
+            )
+            result = ReplayResult(mode=mode, users=users)
+            span.set_attrs(
+                n_users=len(users),
+                overall_hit_rate=result.overall_hit_rate(),
+                shed=report.shed,
+                batch_efficiency=report.batch_efficiency,
+            )
+        results[mode] = result
+        reports[mode] = report
+    return results, reports
+
+
+async def _serve_mode(
+    log: SearchLog,
+    content,
+    daily_contents,
+    config: ReplayConfig,
+    mode: str,
+    work: List[Tuple[UserClass, int]],
+    t_start: float,
+    t_end: float,
+    serve_config: ServeConfig,
+) -> Tuple[List[UserReplayResult], ServeReport]:
+    updates_on = config.daily_updates and mode != CacheMode.PERSONALIZATION_ONLY
+
+    def backend_factory(device_id: int):
+        engine = PocketSearchEngine(make_cache(content, mode))
+        backend = SearchBackend(engine)
+        if updates_on:
+            # Event-synced nightly refresh: replay-equivalent ordering
+            # even when a session crosses midnight with a backlog.
+            return DailyUpdateBackend(backend, daily_contents, t_start)
+        return backend
+
+    server = CloudletServer(
+        backend_factory, serve_config, registry=MetricsRegistry()
+    )
+
+    # Per-user schedules in log order, stably merged by arrival offset —
+    # a stable sort keeps each device's events in submission order, the
+    # invariant the equivalence guarantee rests on.
+    schedule: List[Tuple[float, ServeRequest]] = []
+    order: List[Tuple[UserClass, int]] = []
+    for user_class, uid in work:
+        order.append((user_class, uid))
+        stream = log.for_user(uid).window(t_start, t_end)
+        for i in range(stream.n_events):
+            t = float(stream.timestamps[i])
+            schedule.append(
+                (
+                    t - t_start,
+                    ServeRequest(
+                        device_id=uid,
+                        key=stream.query_string(int(stream.query_keys[i])),
+                        timestamp=t,
+                        clicked_url=stream.result_url(
+                            int(stream.result_keys[i])
+                        ),
+                        record_bytes=_record_bytes(
+                            stream, int(stream.result_keys[i])
+                        ),
+                        navigational=bool(stream.navigational[i]),
+                    ),
+                )
+            )
+    schedule.sort(key=lambda pair: pair[0])
+
+    server.start()
+    try:
+        replies = await _submit_schedule(server, schedule)
+    finally:
+        await server.close()
+
+    # Fold replies back into per-user collectors in submission order, so
+    # exact collectors hold identical outcome sequences to the offline
+    # replay and bounded collectors fold reservoir samples identically.
+    by_user: Dict[int, List[ServeResponse]] = {uid: [] for _, uid in work}
+    for reply in replies:
+        if isinstance(reply, ServeResponse):
+            by_user[reply.request.device_id].append(reply)
+    users: List[UserReplayResult] = []
+    for user_class, uid in order:
+        collector: MetricsCollector = _new_collector(config, uid)
+        for response in by_user[uid]:
+            collector.record(response.outcome)
+        users.append(
+            UserReplayResult(
+                user_id=uid, user_class=user_class, metrics=collector
+            )
+        )
+    report = _build_report(replies, server, t_end - t_start)
+    return users, report
+
+
+# -- load testing -----------------------------------------------------------
+
+
+def run_loadtest(
+    log: SearchLog,
+    loadgen: LoadGenConfig = LoadGenConfig(),
+    serve_config: ServeConfig = ServeConfig(),
+    build_month: int = 0,
+    workload_month: int = 1,
+    policy: ContentPolicy = PAPER_OPERATING_POINT,
+    refresh_interval_s: Optional[float] = None,
+) -> Tuple[ServeReport, Workload]:
+    """Load-test the server on the virtual clock.
+
+    Devices serve from fresh full-mode caches whose community content is
+    mined from ``build_month``; the workload replays ``workload_month``
+    traffic at ``loadgen.rate_multiplier`` times its natural rate.
+
+    Args:
+        refresh_interval_s: if set, runs the background cache refresh
+            task at this period, re-applying the build-month content
+            (exercising the update path under live load).
+    """
+    content = build_cache_content(log.month(build_month), policy)
+    workload = build_workload(log, workload_month, loadgen)
+
+    def backend_factory(device_id: int) -> SearchBackend:
+        return SearchBackend(PocketSearchEngine(make_cache(content, CacheMode.FULL)))
+
+    refresh_fn = None
+    if refresh_interval_s is not None:
+        from repro.pocketsearch.manager import CacheUpdateServer
+
+        update_server = CacheUpdateServer()
+
+        def refresh_fn(device_id: int, backend: SearchBackend) -> None:
+            update_server.refresh_with_content(backend.engine.cache, content)
+
+    server = CloudletServer(
+        backend_factory,
+        ServeConfig(
+            queue_depth=serve_config.queue_depth,
+            max_inflight=serve_config.max_inflight,
+            time_scale=serve_config.time_scale,
+            refresh_interval_s=refresh_interval_s,
+        ),
+        registry=MetricsRegistry(),
+        refresh_fn=refresh_fn,
+    )
+    report = run_simulated(run_workload(server, workload))
+    return report, workload

@@ -1,0 +1,85 @@
+"""Request/response types of the online serving layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.pocketsearch.content import DEFAULT_RECORD_BYTES
+from repro.sim.metrics import QueryOutcome
+
+__all__ = ["Overloaded", "ServeRequest", "ServeResponse", "ServeReply"]
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One live request from a device.
+
+    Attributes:
+        device_id: the phone issuing the request (one cache per device).
+        key: the lookup key — a query string for PocketSearch, a URL for
+            PocketWeb, a packed tile key for PocketMaps.
+        timestamp: logical event time in log seconds; carried into the
+            recorded :class:`~repro.sim.metrics.QueryOutcome` so serve
+            accounting lines up with replay accounting.
+        clicked_url: the result the user selects (drives personalization).
+        record_bytes: stored size of the clicked result.
+        navigational: optional nav flag recorded in the outcome.
+    """
+
+    device_id: int
+    key: str
+    timestamp: float = 0.0
+    clicked_url: str = ""
+    record_bytes: int = DEFAULT_RECORD_BYTES
+    navigational: Optional[bool] = None
+
+
+@dataclass(frozen=True)
+class ServeResponse:
+    """A served (admitted and completed) request.
+
+    Times are loop-clock seconds (simulated or wall, depending on the
+    loop the server ran under).  The *modelled* device-side cost lives in
+    ``outcome``; queueing the serve layer added on top is the difference
+    between ``sojourn_s`` and the model latency.
+    """
+
+    request: ServeRequest
+    outcome: QueryOutcome
+    enqueued_at: float
+    started_at: float
+    completed_at: float
+    #: miss piggybacked on another device's identical in-flight fetch
+    shared_fetch: bool = False
+
+    ok = True
+
+    @property
+    def queue_wait_s(self) -> float:
+        return self.started_at - self.enqueued_at
+
+    @property
+    def sojourn_s(self) -> float:
+        """Submission-to-completion time as the user experienced it."""
+        return self.completed_at - self.enqueued_at
+
+
+@dataclass(frozen=True)
+class Overloaded:
+    """Typed shed response: the server refused the request at admission.
+
+    Reasons:
+        ``"device-queue-full"`` — the per-device bounded queue was full;
+        ``"server-busy"`` — the global in-flight cap was reached.
+    """
+
+    request: ServeRequest
+    reason: str
+    t: float
+
+    ok = False
+
+
+#: What a submitted request resolves to.
+ServeReply = Union[ServeResponse, Overloaded]

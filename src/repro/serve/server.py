@@ -1,0 +1,288 @@
+"""The asyncio cloudlet server: sessions, admission control, refresh.
+
+One :class:`CloudletServer` fronts many devices.  Each device gets a
+*session* — a bounded FIFO queue plus a worker task that drives that
+device's backend strictly in submission order (a phone answers its own
+user's queries one at a time; cross-device requests interleave freely).
+
+Admission control is shed-on-overload, never queue-without-bound:
+
+* a full per-device queue rejects with ``Overloaded("device-queue-full")``;
+* a server-wide in-flight cap rejects with ``Overloaded("server-busy")``.
+
+A rejected request costs O(1) work and resolves immediately with the
+typed shed response, so an overloaded server stays responsive and its
+memory stays bounded no matter the offered load.
+
+Cache misses go through the shared :class:`~repro.serve.batcher.MissBatcher`
+so concurrent identical fetches ride one simulated radio round trip.
+
+A background refresh task (``ServeConfig.refresh_interval_s``) applies
+``refresh_fn`` to every session's backend under that session's lock —
+serving never observes a half-applied update, and the scheduler yields
+between devices so it cannot monopolise the loop.
+
+The server never reads wall clocks directly — all timing goes through
+``loop.time()`` and ``asyncio.sleep`` — so the same code runs under a
+stock loop (real time) or a :class:`~repro.serve.vclock.VirtualTimeLoop`
+(deterministic simulated time).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Set
+
+from repro.obs.registry import MetricsRegistry, get_registry
+from repro.obs.trace import get_tracer
+from repro.serve.backends import DeviceBackend
+from repro.serve.batcher import MissBatcher
+from repro.serve.requests import Overloaded, ServeRequest, ServeResponse
+
+__all__ = ["CloudletServer", "ServeConfig"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Serving-layer knobs (the model itself is the backend's business).
+
+    Args:
+        queue_depth: per-device queue bound; the device sheds above it.
+        max_inflight: server-wide cap on admitted-but-unfinished
+            requests across all devices.
+        time_scale: multiplier from modelled seconds to loop-clock
+            seconds.  1.0 under the virtual loop replays model time
+            exactly; small values make wall-clock demos brisk; 0.0
+            serves with no sleeps at all (pure throughput mode).
+        refresh_interval_s: period of the background cache refresh task
+            (None disables it).
+    """
+
+    queue_depth: int = 32
+    max_inflight: int = 4096
+    time_scale: float = 1.0
+    refresh_interval_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.queue_depth <= 0:
+            raise ValueError("queue_depth must be positive")
+        if self.max_inflight <= 0:
+            raise ValueError("max_inflight must be positive")
+        if self.time_scale < 0:
+            raise ValueError("time_scale must be non-negative")
+        if self.refresh_interval_s is not None and self.refresh_interval_s <= 0:
+            raise ValueError("refresh_interval_s must be positive when given")
+
+
+class _DeviceSession:
+    """One device's bounded queue, backend, and worker task."""
+
+    __slots__ = ("device_id", "backend", "queue", "lock", "worker")
+
+    def __init__(
+        self, device_id: int, backend: DeviceBackend, queue_depth: int
+    ) -> None:
+        self.device_id = device_id
+        self.backend = backend
+        self.queue: "asyncio.Queue" = asyncio.Queue(maxsize=queue_depth)
+        # Serializes backend access between the worker and the
+        # background refresher; the worker is the queue's only consumer.
+        self.lock = asyncio.Lock()
+        self.worker: Optional["asyncio.Task"] = None
+
+
+class CloudletServer:
+    """Serve requests from many devices over their per-device backends.
+
+    Args:
+        backend_factory: ``device_id -> DeviceBackend``; called once per
+            device on first contact (each phone gets its own cache).
+        config: serving-layer parameters.
+        registry: metrics sink (defaults to the process registry).
+        refresh_fn: ``(device_id, backend) -> None`` applied by the
+            background refresh task; required if
+            ``config.refresh_interval_s`` is set.
+
+    All methods must be called from the event loop the server runs on.
+    """
+
+    def __init__(
+        self,
+        backend_factory: Callable[[int], DeviceBackend],
+        config: ServeConfig = ServeConfig(),
+        registry: Optional[MetricsRegistry] = None,
+        refresh_fn: Optional[Callable[[int, DeviceBackend], None]] = None,
+    ) -> None:
+        if config.refresh_interval_s is not None and refresh_fn is None:
+            raise ValueError("refresh_interval_s set but no refresh_fn given")
+        self.backend_factory = backend_factory
+        self.config = config
+        self.registry = registry if registry is not None else get_registry()
+        self.refresh_fn = refresh_fn
+        self.batcher = MissBatcher()
+        self._sessions: Dict[int, _DeviceSession] = {}
+        self._inflight = 0
+        self._pending: Set["asyncio.Future"] = set()
+        self._refresh_task: Optional["asyncio.Task"] = None
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Start background tasks (the refresh scheduler, if configured)."""
+        if self.config.refresh_interval_s is not None:
+            loop = asyncio.get_running_loop()
+            self._refresh_task = loop.create_task(self._refresh_loop())
+
+    async def drain(self) -> None:
+        """Wait until every admitted request has completed."""
+        while self._pending:
+            await asyncio.gather(*list(self._pending), return_exceptions=True)
+
+    async def close(self) -> None:
+        """Cancel workers and the refresher; pending work is abandoned."""
+        self._closed = True
+        tasks = [s.worker for s in self._sessions.values() if s.worker]
+        if self._refresh_task is not None:
+            tasks.append(self._refresh_task)
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    # -- request path -------------------------------------------------------
+
+    def ensure_session(self, device_id: int) -> _DeviceSession:
+        """The device's session, creating backend + worker on first use."""
+        session = self._sessions.get(device_id)
+        if session is None:
+            session = _DeviceSession(
+                device_id,
+                self.backend_factory(device_id),
+                self.config.queue_depth,
+            )
+            loop = asyncio.get_running_loop()
+            session.worker = loop.create_task(self._run_session(session))
+            self._sessions[device_id] = session
+        return session
+
+    def submit(self, request: ServeRequest) -> "asyncio.Future":
+        """Admit or shed ``request``; resolves to a ``ServeReply``.
+
+        Open-loop safe: returns immediately in both cases.  Shed
+        requests resolve synchronously with a typed
+        :class:`~repro.serve.requests.Overloaded`; admitted requests
+        resolve when their device's worker completes them.
+        """
+        if self._closed:
+            raise RuntimeError("server is closed")
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        self.registry.counter("serve.requests").inc()
+        if self._inflight >= self.config.max_inflight:
+            self._shed(future, request, "server-busy", loop)
+            return future
+        session = self.ensure_session(request.device_id)
+        try:
+            session.queue.put_nowait((request, future, loop.time()))
+        except asyncio.QueueFull:
+            self._shed(future, request, "device-queue-full", loop)
+            return future
+        self._inflight += 1
+        self.registry.counter("serve.admitted").inc()
+        self.registry.gauge("serve.inflight_peak").max(self._inflight)
+        self._pending.add(future)
+        future.add_done_callback(self._pending.discard)
+        return future
+
+    def _shed(self, future, request, reason: str, loop) -> None:
+        self.registry.counter("serve.shed").inc()
+        self.registry.counter(
+            "serve.shed." + reason.replace("-", "_")
+        ).inc()
+        future.set_result(Overloaded(request=request, reason=reason, t=loop.time()))
+
+    # -- workers ------------------------------------------------------------
+
+    async def _run_session(self, session: _DeviceSession) -> None:
+        loop = asyncio.get_running_loop()
+        tracer = get_tracer()
+        scale = self.config.time_scale
+        while True:
+            request, future, enqueued_at = await session.queue.get()
+            started_at = loop.time()
+            async with session.lock:
+                with tracer.span(
+                    "serve_request",
+                    device_id=session.device_id,
+                    key=request.key,
+                ):
+                    result = session.backend.serve(request)
+            outcome = result.outcome
+            shared = False
+            if not outcome.hit and result.radio_s > 0:
+                # Occupy the shared radio for the fetch; identical
+                # concurrent misses piggyback on one round trip.
+                shared = await self.batcher.fetch(
+                    request.key, result.radio_s * scale
+                )
+                local_s = (outcome.latency_s - result.radio_s) * scale
+                if local_s > 0:
+                    await asyncio.sleep(local_s)
+            elif outcome.latency_s * scale > 0:
+                await asyncio.sleep(outcome.latency_s * scale)
+            completed_at = loop.time()
+            response = ServeResponse(
+                request=request,
+                outcome=outcome,
+                enqueued_at=enqueued_at,
+                started_at=started_at,
+                completed_at=completed_at,
+                shared_fetch=shared,
+            )
+            self._record(response)
+            self._inflight -= 1
+            if not future.done():
+                future.set_result(response)
+            session.queue.task_done()
+
+    def _record(self, response: ServeResponse) -> None:
+        reg = self.registry
+        reg.counter("serve.completed").inc()
+        if response.outcome.hit:
+            reg.counter("serve.hits").inc()
+        else:
+            reg.counter("serve.misses").inc()
+        if response.shared_fetch:
+            reg.counter("serve.shared_fetches").inc()
+        reg.histogram("serve.queue_wait_s").add(response.queue_wait_s)
+        reg.histogram("serve.sojourn_s").add(response.sojourn_s)
+
+    # -- background refresh -------------------------------------------------
+
+    async def _refresh_loop(self) -> None:
+        """Periodically refresh every session's backend, never blocking
+        serving for longer than one device's refresh."""
+        tracer = get_tracer()
+        assert self.config.refresh_interval_s is not None
+        while True:
+            await asyncio.sleep(self.config.refresh_interval_s)
+            with tracer.span("serve_refresh_round", n=len(self._sessions)):
+                for device_id, session in list(self._sessions.items()):
+                    async with session.lock:
+                        self.refresh_fn(device_id, session.backend)
+                    self.registry.counter("serve.refreshes").inc()
+                    # Yield so queued requests of other devices proceed
+                    # between per-device refreshes.
+                    await asyncio.sleep(0)
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    @property
+    def n_sessions(self) -> int:
+        return len(self._sessions)

@@ -1,0 +1,172 @@
+"""Concurrency regression tests: the serve path records metrics and
+spans from many asyncio tasks (and replay merges from threads), so the
+registry and tracer must not lose updates or corrupt span parenting
+under concurrent use."""
+
+import asyncio
+import threading
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import Tracer
+
+N_THREADS = 8
+N_OPS = 2_000
+
+
+class TestRegistryThreadSafety:
+    def test_counter_increments_not_lost(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hammer.count")
+
+        def work():
+            for _ in range(N_OPS):
+                counter.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(N_THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == N_THREADS * N_OPS
+
+    def test_histogram_count_exact_under_contention(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("hammer.latency")
+
+        def work(offset):
+            for i in range(N_OPS):
+                hist.add(offset + i)
+
+        threads = [
+            threading.Thread(target=work, args=(k,)) for k in range(N_THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert hist.count == N_THREADS * N_OPS
+        assert hist.min == 0.0
+        assert hist.max == N_THREADS - 1 + N_OPS - 1
+
+    def test_get_or_create_races_return_one_instrument(self):
+        registry = MetricsRegistry()
+        seen = []
+
+        def work():
+            for _ in range(200):
+                seen.append(registry.counter("shared"))
+
+        threads = [threading.Thread(target=work) for _ in range(N_THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len({id(c) for c in seen}) == 1
+
+    def test_snapshot_while_recording(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("hammer.snap")
+        stop = threading.Event()
+
+        def record():
+            while not stop.is_set():
+                hist.add(1.0)
+
+        writer = threading.Thread(target=record)
+        writer.start()
+        try:
+            for _ in range(200):
+                snap = registry.snapshot()["hammer.snap"]
+                assert snap["count"] >= 0
+        finally:
+            stop.set()
+            writer.join()
+
+    def test_gauge_max_is_high_watermark(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("hammer.peak")
+        gauge.max(3.0)
+        gauge.max(1.0)
+        assert gauge.value == 3.0
+
+
+class TestTracerAsyncioSafety:
+    def test_interleaved_tasks_nest_independently(self):
+        """Each task's spans must parent under its own open span, not
+        whichever span another task opened last on the shared thread."""
+        tracer = Tracer()
+
+        async def session(name):
+            with tracer.span("outer", task=name) as outer:
+                await asyncio.sleep(0)  # force interleaving
+                with tracer.span("inner", task=name):
+                    await asyncio.sleep(0)
+                return outer.span_id
+
+        async def main():
+            return await asyncio.gather(*(session(f"t{i}") for i in range(16)))
+
+        outer_ids = asyncio.run(main())
+        by_id = {r.span_id: r for r in tracer.records()}
+        inners = [r for r in by_id.values() if r.name == "inner"]
+        assert len(inners) == 16
+        for inner in inners:
+            parent = by_id[inner.parent_id]
+            assert parent.name == "outer"
+            assert parent.attrs["task"] == inner.attrs["task"]
+        assert sorted(r.span_id for r in by_id.values() if r.name == "outer") == sorted(
+            outer_ids
+        )
+
+    def test_task_spawned_inside_span_parents_under_it(self):
+        tracer = Tracer()
+
+        async def child():
+            with tracer.span("child"):
+                await asyncio.sleep(0)
+
+        async def main():
+            with tracer.span("parent") as parent:
+                task = asyncio.ensure_future(child())
+                await task
+                return parent.span_id
+
+        parent_id = asyncio.run(main())
+        child_rec = [r for r in tracer.records() if r.name == "child"][0]
+        assert child_rec.parent_id == parent_id
+
+    def test_threads_and_tasks_hammer_without_corruption(self):
+        tracer = Tracer(capacity=N_THREADS * N_OPS * 2)
+
+        def thread_work(k):
+            for i in range(N_OPS // 10):
+                with tracer.span("thread_span", k=k):
+                    tracer.event("tick", i=i)
+
+        async def task_work(k):
+            for _ in range(N_OPS // 10):
+                with tracer.span("task_span", k=k):
+                    await asyncio.sleep(0)
+
+        async def async_main():
+            await asyncio.gather(*(task_work(k) for k in range(4)))
+
+        threads = [
+            threading.Thread(target=thread_work, args=(k,)) for k in range(4)
+        ]
+        for t in threads:
+            t.start()
+        asyncio.run(async_main())
+        for t in threads:
+            t.join()
+        records = tracer.records()
+        names = {r.name for r in records}
+        assert names == {"thread_span", "tick", "task_span"}
+        by_id = {r.span_id: r for r in records}
+        # every event's parent is a thread_span (never a task_span)
+        for r in records:
+            if r.kind == "event":
+                assert by_id[r.parent_id].name == "thread_span"
+        assert len([r for r in records if r.name == "task_span"]) == 4 * (
+            N_OPS // 10
+        )

@@ -185,3 +185,52 @@ class TestRegistry:
         assert snap["lat"]["count"] == 1
         r.clear()
         assert r.names() == []
+
+
+class TestPicklability:
+    """Instruments cross process boundaries (parallel replay returns
+    bounded MetricsCollectors, whose histograms must survive pickling
+    despite their locks)."""
+
+    def test_instruments_pickle_round_trip(self):
+        import pickle
+
+        c = Counter("n")
+        c.inc(3)
+        g = Gauge("peak")
+        g.max(7.5)
+        h = StreamingHistogram(reservoir_size=8)
+        h.extend([1.0, 2.0, 3.0])
+        q = P2Quantile(0.95)
+        for x in range(10):
+            q.add(float(x))
+        for original in (c, g, q):
+            clone = pickle.loads(pickle.dumps(original))
+            assert clone.value == original.value
+        clone_h = pickle.loads(pickle.dumps(h))
+        assert clone_h.count == h.count
+        assert clone_h.total == h.total
+        assert clone_h.quantile(50) == h.quantile(50)
+        clone_h.add(4.0)  # the recreated lock works
+        assert clone_h.count == h.count + 1
+
+    def test_registry_pickles(self):
+        import pickle
+
+        registry = MetricsRegistry()
+        registry.counter("a").inc(2)
+        registry.histogram("b").add(1.5)
+        clone = pickle.loads(pickle.dumps(registry))
+        assert clone.counter("a").value == 2
+        assert clone.histogram("b").count == 1
+        clone.counter("a").inc()  # lock restored
+        assert clone.counter("a").value == 3
+
+    def test_bounded_collector_pickles(self):
+        import pickle
+
+        collector = MetricsCollector(bounded=True)
+        collector.record(_outcome(0.1))
+        clone = pickle.loads(pickle.dumps(collector))
+        assert clone.count == collector.count
+        assert clone.hits == collector.hits

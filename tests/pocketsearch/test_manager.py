@@ -98,3 +98,87 @@ class TestRefresh:
     def test_validation(self):
         with pytest.raises(ValueError):
             CacheUpdateServer(retention_min_score=-1)
+
+
+class TestRefreshEdgeCases:
+    """refresh_with_content boundary behaviour: empty fresh logs, whole-
+    cache evictions, and updates landing mid-session."""
+
+    def test_empty_fresh_log_drops_unaccessed_community(self, cache, small_log):
+        """Mining an empty log window yields empty content; the round
+        must still run (prune + GC), not crash or ship garbage."""
+        server = CacheUpdateServer()
+        empty = small_log.window(1e15, 1e15 + 1)
+        assert empty.n_events == 0
+        patch = server.refresh(cache, empty)
+        assert patch.pairs_added == 0
+        assert patch.results_added == 0
+        assert patch.pairs_removed == 2  # both community pairs, unaccessed
+        assert not cache.lookup("youtube").hit
+        assert cache.hashtable.n_pairs == 0
+        assert len(cache.query_registry) == 0
+
+    def test_empty_fresh_log_keeps_accessed_entries(self, cache, small_log):
+        cache.record_click("youtube", "www.youtube.com")
+        server = CacheUpdateServer()
+        patch = server.refresh(cache, small_log.window(1e15, 1e15 + 1))
+        assert cache.lookup("youtube").hit
+        assert patch.pairs_removed == 1  # only the untouched pair
+
+    def test_full_community_eviction(self, cache):
+        """A patch whose fresh set is disjoint from the old one evicts
+        the entire community cache and frees its database records."""
+        server = CacheUpdateServer()
+        fresh = content(
+            [entry("alpha", "www.alpha.com"), entry("beta", "www.beta.com")]
+        )
+        patch = server.refresh_with_content(cache, fresh)
+        assert patch.pairs_removed == 2
+        assert patch.pairs_added == 2
+        assert patch.results_removed == 2
+        assert patch.queries_pruned == 2
+        assert not cache.lookup("youtube").hit
+        assert not cache.lookup("oldnews").hit
+        assert cache.lookup("alpha").hit
+        assert cache.lookup("beta").hit
+        from repro.pocketsearch.hashtable import hash64 as h64
+
+        assert not cache.database.contains(h64("www.youtube.com"))
+        assert cache.database.contains(h64("www.alpha.com"))
+
+    def test_mid_session_update_preserves_personalization(self, cache):
+        """An update applied between queries must not lose the pairs the
+        user's own clicks created (personalization survives refresh)."""
+        from repro.pocketsearch.engine import PocketSearchEngine
+
+        engine = PocketSearchEngine(cache)
+        # Session first half: a personal query, cached by the click.
+        miss = engine.serve_query("my bank", "www.mybank.example")
+        assert not miss.outcome.hit
+        assert engine.serve_query("my bank", "www.mybank.example").outcome.hit
+
+        server = CacheUpdateServer()
+        fresh = content([entry("alpha", "www.alpha.com")])
+        patch = server.refresh_with_content(cache, fresh)
+        assert patch.pairs_removed >= 2  # community pairs went away
+
+        # Session second half: the personal entry still hits, and the
+        # fresh community entry is live.
+        assert engine.serve_query("my bank", "www.mybank.example").outcome.hit
+        assert cache.lookup("alpha").hit
+        assert hash64("my bank") in cache.query_registry
+
+    def test_mid_session_update_then_decay_eviction(self, cache):
+        """Personal entries survive refreshes only while their score
+        stays above retention — the paper's 3-month drop rule."""
+        from repro.pocketsearch.engine import PocketSearchEngine
+
+        engine = PocketSearchEngine(cache)
+        engine.serve_query("my bank", "www.mybank.example")
+        server = CacheUpdateServer(retention_min_score=0.05)
+        server.refresh_with_content(cache, content([]))
+        assert cache.lookup("my bank").hit
+        cache.hashtable.set_score("my bank", hash64("www.mybank.example"), 0.01)
+        server.refresh_with_content(cache, content([]))
+        assert not cache.lookup("my bank").hit
+        assert hash64("my bank") not in cache.query_registry

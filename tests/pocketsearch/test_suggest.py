@@ -92,3 +92,74 @@ class TestEngineIntegration:
         suggestions, latency = engine.suggest("yo", k=3)
         assert suggestions[0].query == "youtube"
         assert latency < 1e-3  # microseconds, not radio seconds
+
+
+class TestUpdateFreshness:
+    """A server update that swaps N queries for N different ones keeps
+    the registry the same *size*; only the mutation version reveals the
+    change.  Regression for the stale-suggest bug."""
+
+    def _swap_content(self):
+        # Same cardinality as make_cache()'s community load: 4 in, 4 out.
+        return CacheContent(
+            entries=[
+                CacheEntry("zebra", "www.zebra.org", 100, 0.9, False),
+                CacheEntry("zelda", "www.zelda.com", 50, 0.8, False),
+                CacheEntry("zen garden", "www.zen.org", 20, 0.6, False),
+                CacheEntry("zeppelin", "www.ledzeppelin.com", 10, 0.5, False),
+            ],
+            total_log_volume=1000,
+        )
+
+    def test_registry_version_bumps_on_swap(self):
+        from repro.pocketsearch.manager import CacheUpdateServer
+
+        cache = make_cache()
+        before = cache.query_registry.version
+        patch = CacheUpdateServer().refresh_with_content(
+            cache, self._swap_content()
+        )
+        assert cache.query_registry.version > before
+        assert patch.queries_pruned == 4  # all old queries unaccessed
+        assert len(cache.query_registry) == 4  # same size, new content
+
+    def test_suggest_fresh_after_equal_size_swap(self):
+        from repro.pocketsearch.manager import CacheUpdateServer
+
+        engine = PocketSearchEngine(make_cache())
+        suggestions, _ = engine.suggest("yo")
+        assert suggestions, "community content should suggest before update"
+        CacheUpdateServer().refresh_with_content(
+            engine.cache, self._swap_content()
+        )
+        stale, _ = engine.suggest("yo")
+        assert stale == []  # old queries are gone, not served stale
+        fresh, _ = engine.suggest("ze")
+        assert {s.query for s in fresh} == {
+            "zebra",
+            "zelda",
+            "zen garden",
+            "zeppelin",
+        }
+
+    def test_index_refresh_detects_swap_directly(self):
+        from repro.pocketsearch.manager import CacheUpdateServer
+
+        cache = make_cache()
+        index = SuggestIndex(cache)
+        assert index.complete("youtube")
+        CacheUpdateServer().refresh_with_content(cache, self._swap_content())
+        index.refresh()
+        assert index.complete("youtube") == []
+        assert index.complete("zebra")[0].query == "zebra"
+
+    def test_accessed_query_survives_swap_and_stays_suggested(self):
+        from repro.pocketsearch.manager import CacheUpdateServer
+
+        engine = PocketSearchEngine(make_cache())
+        engine.cache.record_click("youtube", "www.youtube.com")
+        CacheUpdateServer().refresh_with_content(
+            engine.cache, self._swap_content()
+        )
+        kept, _ = engine.suggest("youtube")
+        assert kept and kept[0].query == "youtube"

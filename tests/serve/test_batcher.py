@@ -1,0 +1,90 @@
+"""Tests for single-flight miss batching."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.batcher import MissBatcher
+from repro.serve.vclock import run_simulated
+
+
+class TestSingleFlight:
+    def test_concurrent_identical_fetches_share_one_flight(self):
+        async def scenario():
+            batcher = MissBatcher()
+            shared = await asyncio.gather(
+                batcher.fetch("q", 5.0), batcher.fetch("q", 5.0),
+                batcher.fetch("q", 5.0),
+            )
+            return batcher, shared
+
+        batcher, shared = run_simulated(scenario())
+        assert batcher.fetches == 1
+        assert batcher.piggybacked == 2
+        assert shared == [False, True, True]
+        assert batcher.batch_efficiency == pytest.approx(2 / 3)
+
+    def test_distinct_keys_do_not_share(self):
+        async def scenario():
+            batcher = MissBatcher()
+            await asyncio.gather(
+                batcher.fetch("a", 1.0), batcher.fetch("b", 1.0)
+            )
+            return batcher
+
+        batcher = run_simulated(scenario())
+        assert batcher.fetches == 2
+        assert batcher.piggybacked == 0
+        assert batcher.batch_efficiency == 0.0
+
+    def test_sequential_fetches_do_not_share(self):
+        async def scenario():
+            batcher = MissBatcher()
+            await batcher.fetch("q", 1.0)
+            await batcher.fetch("q", 1.0)
+            return batcher
+
+        batcher = run_simulated(scenario())
+        assert batcher.fetches == 2
+        assert batcher.piggybacked == 0
+
+    def test_follower_completes_with_leader(self):
+        """A piggybacked fetch finishes when the in-flight one does —
+        earlier than its own full duration would have."""
+
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            batcher = MissBatcher()
+            times = {}
+
+            async def leader():
+                await batcher.fetch("q", 10.0)
+                times["leader"] = loop.time()
+
+            async def follower():
+                await asyncio.sleep(4.0)  # join 4s into the flight
+                await batcher.fetch("q", 10.0)
+                times["follower"] = loop.time()
+
+            await asyncio.gather(leader(), follower())
+            return times
+
+        times = run_simulated(scenario())
+        assert times["leader"] == pytest.approx(10.0)
+        assert times["follower"] == pytest.approx(10.0)
+
+    def test_inflight_tracking(self):
+        async def scenario():
+            batcher = MissBatcher()
+            task = asyncio.ensure_future(batcher.fetch("q", 2.0))
+            await asyncio.sleep(1.0)
+            mid = batcher.inflight
+            await task
+            return mid, batcher.inflight
+
+        mid, after = run_simulated(scenario())
+        assert mid == 1
+        assert after == 0
+
+    def test_idle_efficiency_is_zero(self):
+        assert MissBatcher().batch_efficiency == 0.0

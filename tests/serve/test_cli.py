@@ -1,0 +1,66 @@
+"""Tests for the ``repro serve`` / ``repro loadtest`` CLI verbs."""
+
+import json
+
+from repro.cli import main as repro_main
+from repro.serve.cli import loadtest_main, serve_main
+
+LIGHT_LOADTEST = [
+    "--duration", "600", "--rate", "5", "--seed", "7",
+]
+
+OVERLOAD = [
+    "--duration", "600", "--rate", "3000", "--max-devices", "2",
+    "--queue-depth", "4", "--max-inflight", "32", "--seed", "7",
+]
+
+
+class TestLoadtestVerb:
+    def test_manifest_metrics(self, tmp_path, capsys):
+        out = tmp_path / "loadtest.json"
+        code = loadtest_main(LIGHT_LOADTEST + ["--manifest-out", str(out)])
+        assert code == 0
+        manifest = json.loads(out.read_text())
+        for key in (
+            "requests", "completed", "shed_rate", "throughput_rps",
+            "sojourn_p50_s", "sojourn_p99_s", "batch_efficiency",
+        ):
+            assert key in manifest["metrics"], key
+        assert manifest["config"]["rate_multiplier"] == 5.0
+        assert manifest["seed"] == 7
+        assert "throughput" in capsys.readouterr().out
+
+    def test_shed_gate_fails_under_overload(self, tmp_path):
+        out = tmp_path / "overload.json"
+        code = loadtest_main(
+            OVERLOAD + ["--max-shed-rate", "0.0001", "--manifest-out", str(out)]
+        )
+        assert code == 1
+        # The manifest is still written so the failing run is inspectable.
+        manifest = json.loads(out.read_text())
+        assert manifest["metrics"]["shed"] > 0
+
+    def test_shed_gate_passes_with_headroom(self):
+        assert loadtest_main(OVERLOAD + ["--max-shed-rate", "0.999"]) == 0
+
+    def test_dispatch_from_main_cli(self, capsys):
+        assert repro_main(["loadtest"] + LIGHT_LOADTEST) == 0
+        assert "loadtest" in capsys.readouterr().out
+
+
+class TestServeVerb:
+    def test_serve_with_equivalence_check(self, tmp_path, capsys):
+        out = tmp_path / "serve.json"
+        code = serve_main(
+            ["--users", "1", "--check-equivalence", "--manifest-out", str(out)]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "equivalence check: serve matches offline replay" in captured
+        manifest = json.loads(out.read_text())
+        assert manifest["metrics"]["equivalence_ok"] is True
+        assert manifest["metrics"]["shed"] == 0
+        assert 0.0 < manifest["metrics"]["hit_rate"] <= 1.0
+
+    def test_bad_users_rejected(self, capsys):
+        assert serve_main(["--users", "0"]) == 2

@@ -1,0 +1,126 @@
+"""Tests for the open-loop load generator."""
+
+import pytest
+
+from repro.serve.loadgen import LoadGenConfig, build_workload
+
+
+class TestPoissonWorkload:
+    def test_deterministic_for_same_seed(self, small_log):
+        cfg = LoadGenConfig(duration_s=3600.0, rate_multiplier=50.0, seed=7)
+        a = build_workload(small_log, 1, cfg)
+        b = build_workload(small_log, 1, cfg)
+        assert [(t, r.device_id, r.key) for t, r in a.arrivals] == [
+            (t, r.device_id, r.key) for t, r in b.arrivals
+        ]
+
+    def test_different_seed_differs(self, small_log):
+        a = build_workload(
+            small_log, 1, LoadGenConfig(duration_s=3600.0, rate_multiplier=50.0, seed=7)
+        )
+        b = build_workload(
+            small_log, 1, LoadGenConfig(duration_s=3600.0, rate_multiplier=50.0, seed=8)
+        )
+        assert [t for t, _ in a.arrivals] != [t for t, _ in b.arrivals]
+
+    def test_rate_multiplier_scales_volume(self, small_log):
+        one = build_workload(
+            small_log, 1,
+            LoadGenConfig(duration_s=86400.0, rate_multiplier=1.0, seed=7),
+        )
+        ten = build_workload(
+            small_log, 1,
+            LoadGenConfig(duration_s=86400.0, rate_multiplier=10.0, seed=7),
+        )
+        assert ten.n_requests > 5 * max(one.n_requests, 1)
+
+    def test_arrivals_sorted_and_in_range(self, small_log):
+        wl = build_workload(
+            small_log, 1,
+            LoadGenConfig(duration_s=3600.0, rate_multiplier=100.0, seed=7),
+        )
+        offsets = [t for t, _ in wl.arrivals]
+        assert offsets == sorted(offsets)
+        assert all(0 <= t < 3600.0 for t in offsets)
+        # Requests are re-stamped with their schedule arrival time.
+        assert all(req.timestamp == t for t, req in wl.arrivals)
+
+    def test_max_devices_caps_population(self, small_log):
+        wl = build_workload(
+            small_log, 1,
+            LoadGenConfig(
+                duration_s=3600.0, rate_multiplier=200.0, seed=7, max_devices=3
+            ),
+        )
+        assert wl.n_devices <= 3
+        assert wl.n_requests > 0
+
+    def test_device_requests_follow_its_log_order(self, small_log):
+        """Each device replays its own logged queries in log order."""
+        wl = build_workload(
+            small_log, 1,
+            LoadGenConfig(
+                duration_s=7200.0, rate_multiplier=500.0, seed=7, max_devices=1
+            ),
+        )
+        (device_id,) = {r.device_id for _, r in wl.arrivals}
+        month = small_log.month(1).for_user(device_id)
+        logged = [
+            month.query_string(int(month.query_keys[i]))
+            for i in range(month.n_events)
+        ]
+        scheduled = [r.key for _, r in wl.arrivals]
+        n = min(len(logged), len(scheduled))
+        assert scheduled[:n] == logged[:n]
+
+
+class TestLogWorkload:
+    def test_trace_mode_compresses_time(self, small_log):
+        natural = build_workload(
+            small_log, 1,
+            LoadGenConfig(
+                duration_s=10 * 86400.0, rate_multiplier=1.0, arrivals="log"
+            ),
+        )
+        squeezed = build_workload(
+            small_log, 1,
+            LoadGenConfig(
+                duration_s=10 * 86400.0, rate_multiplier=10.0, arrivals="log"
+            ),
+        )
+        # 10x compression fits ~10x the events into the same span.
+        assert squeezed.n_requests >= natural.n_requests
+        from repro.logs.schema import MONTH_SECONDS
+
+        month = small_log.month(1)
+        t0 = min(float(t) for t in month.timestamps)
+        # First logged event lands at its in-month offset / multiplier.
+        assert squeezed.arrivals[0][0] == pytest.approx(
+            (t0 - MONTH_SECONDS) / 10.0
+        )
+
+    def test_trace_mode_preserves_per_device_order(self, small_log):
+        wl = build_workload(
+            small_log, 1,
+            LoadGenConfig(duration_s=86400.0, rate_multiplier=5.0, arrivals="log"),
+        )
+        seen = {}
+        for t, req in wl.arrivals:
+            assert seen.get(req.device_id, -1.0) <= t
+            seen[req.device_id] = t
+
+
+class TestValidation:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LoadGenConfig(duration_s=0)
+        with pytest.raises(ValueError):
+            LoadGenConfig(rate_multiplier=0)
+        with pytest.raises(ValueError):
+            LoadGenConfig(arrivals="burst")
+        with pytest.raises(ValueError):
+            LoadGenConfig(max_devices=0)
+
+    def test_empty_month_rejected(self, small_log):
+        with pytest.raises(ValueError, match="no events"):
+            build_workload(small_log, 99, LoadGenConfig())

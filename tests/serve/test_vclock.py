@@ -1,0 +1,93 @@
+"""Tests for the deterministic simulated-time event loop."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.serve.vclock import VirtualTimeLoop, run_simulated
+
+
+class TestVirtualTime:
+    def test_sleep_advances_clock_not_wall(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            t0 = loop.time()
+            await asyncio.sleep(1_000_000.0)
+            return loop.time() - t0
+
+        wall0 = time.monotonic()
+        elapsed = run_simulated(scenario())
+        assert elapsed == pytest.approx(1_000_000.0)
+        assert time.monotonic() - wall0 < 5.0
+
+    def test_clock_starts_at_zero(self):
+        async def scenario():
+            return asyncio.get_running_loop().time()
+
+        assert run_simulated(scenario()) == 0.0
+
+    def test_concurrent_sleeps_complete_in_deadline_order(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            events = []
+
+            async def sleeper(name, dt):
+                await asyncio.sleep(dt)
+                events.append((name, loop.time()))
+
+            await asyncio.gather(
+                sleeper("c", 3.0), sleeper("a", 1.0), sleeper("b", 2.0)
+            )
+            return events
+
+        events = run_simulated(scenario())
+        assert [name for name, _ in events] == ["a", "b", "c"]
+        assert [t for _, t in events] == pytest.approx([1.0, 2.0, 3.0])
+
+    def test_interleaving_is_deterministic(self):
+        async def scenario():
+            trace = []
+
+            async def worker(name, period, n):
+                for i in range(n):
+                    await asyncio.sleep(period)
+                    trace.append((name, i))
+
+            await asyncio.gather(
+                worker("x", 0.7, 10), worker("y", 1.1, 10), worker("z", 0.3, 10)
+            )
+            return trace
+
+        assert run_simulated(scenario()) == run_simulated(scenario())
+
+    def test_result_and_exception_propagate(self):
+        async def ok():
+            await asyncio.sleep(1)
+            return 42
+
+        async def boom():
+            await asyncio.sleep(1)
+            raise ValueError("boom")
+
+        assert run_simulated(ok()) == 42
+        with pytest.raises(ValueError, match="boom"):
+            run_simulated(boom())
+
+    def test_deadlocked_await_raises_instead_of_spinning(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            await loop.create_future()  # nobody will ever resolve this
+
+        with pytest.raises(RuntimeError, match="stalled"):
+            run_simulated(scenario())
+
+    def test_loop_closed_after_run(self):
+        loop_holder = {}
+
+        async def scenario():
+            loop_holder["loop"] = asyncio.get_running_loop()
+
+        run_simulated(scenario())
+        assert isinstance(loop_holder["loop"], VirtualTimeLoop)
+        assert loop_holder["loop"].is_closed()
