@@ -17,6 +17,12 @@ Online-serving verbs (see :mod:`repro.serve`)::
     python -m repro serve --users 5 --check-equivalence
     python -m repro loadtest --duration 600 --rate 10 --manifest-out m.json
 
+Telemetry verbs::
+
+    python -m repro top --url http://127.0.0.1:9464   # live dashboard
+    python -m repro top --snapshot snap.json          # render one frame
+    python -m repro bench-gate --baseline BENCH_seed.json --candidate b.json
+
 Any invocation can also record a run manifest (seed/config/git
 SHA/wall-time/peak-RSS JSON) with ``--manifest-out PATH``.
 
@@ -343,6 +349,14 @@ def main(argv=None) -> int:
 
         verb = {"serve": serve_main, "loadtest": loadtest_main}[argv[0]]
         return verb(argv[1:])
+    if argv and argv[0] == "top":
+        from repro.serve.top import top_main
+
+        return top_main(argv[1:])
+    if argv and argv[0] == "bench-gate":
+        from repro.obs.benchgate import main as benchgate_main
+
+        return benchgate_main(argv[1:])
     mode: Optional[str] = None
     if argv and argv[0] in OBS_MODES:
         mode = argv[0]
@@ -433,6 +447,8 @@ def main(argv=None) -> int:
     try:
         with recorder:
             runner()
+            if tracer is not None:
+                recorder.add_metric("spans_dropped", tracer.spans_dropped)
     finally:
         if tracer is not None:
             obs_trace.disable()

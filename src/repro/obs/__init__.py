@@ -13,6 +13,18 @@ replay hot paths pay nothing unless a caller opts in:
   outcome object.
 * :mod:`repro.obs.manifest` — machine-readable run manifests (seed,
   config, git SHA, wall time, peak RSS) for experiments and benchmarks.
+
+The v2 telemetry plane (always-on for the serving stack) adds:
+
+* :mod:`repro.obs.timeseries` — fixed-width ring-buffered windowed
+  counters/gauges/histograms plus slow-request exemplars, deterministic
+  under the virtual clock;
+* :mod:`repro.obs.slo` — good-fraction SLO rules with multi-window
+  burn-rate alerting and machine-readable verdicts;
+* :mod:`repro.obs.exposition` — Prometheus text + JSON rendering and an
+  in-process asyncio HTTP endpoint;
+* :mod:`repro.obs.benchgate` — the ``repro bench-gate`` trajectory
+  regression gate.
 """
 
 from repro.obs.manifest import RunManifest, collect_manifest
@@ -24,7 +36,17 @@ from repro.obs.registry import (
     StreamingHistogram,
     get_registry,
 )
+from repro.obs.slo import SLOAlert, SLOMonitor, SLOPolicy, SLORule
+from repro.obs.timeseries import (
+    ExemplarRing,
+    TimeSeriesRegistry,
+    WindowedCounter,
+    WindowedGauge,
+    WindowedHistogram,
+)
 from repro.obs.trace import (
+    Segment,
+    TraceContext,
     Tracer,
     disable,
     enable,
@@ -34,12 +56,23 @@ from repro.obs.trace import (
 
 __all__ = [
     "Counter",
+    "ExemplarRing",
     "Gauge",
     "MetricsRegistry",
     "P2Quantile",
     "RunManifest",
+    "SLOAlert",
+    "SLOMonitor",
+    "SLOPolicy",
+    "SLORule",
+    "Segment",
     "StreamingHistogram",
+    "TimeSeriesRegistry",
+    "TraceContext",
     "Tracer",
+    "WindowedCounter",
+    "WindowedGauge",
+    "WindowedHistogram",
     "collect_manifest",
     "disable",
     "enable",

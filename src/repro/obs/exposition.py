@@ -1,0 +1,202 @@
+"""Metric exposition: Prometheus text format, JSON snapshots, HTTP.
+
+Everything the registry and the windowed telemetry know can be read out
+in two wire formats:
+
+* :func:`render_prometheus` — the Prometheus text exposition format
+  (version 0.0.4): counters and gauges one sample per line, histograms
+  as summaries (``{quantile="..."}`` plus ``_count``/``_sum``);
+* :func:`render_json` — the same data as one JSON document, optionally
+  with extra sections (windowed snapshot, SLO status, exemplars).
+
+:class:`TelemetryEndpoint` serves both from inside a running server
+process over a deliberately tiny HTTP/1.0 implementation on
+``asyncio.start_server`` — no dependencies, three routes::
+
+    /metrics        Prometheus text
+    /metrics.json   registry + extra sections as JSON
+    /healthz        200 ok
+
+Scrape it with ``curl``, a Prometheus instance, or ``repro top --url``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import re
+from typing import Any, Callable, Dict, Optional
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = [
+    "TelemetryEndpoint",
+    "prometheus_name",
+    "render_json",
+    "render_prometheus",
+]
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Interior quantiles exposed for histogram summaries.
+SUMMARY_QUANTILES = (0.5, 0.95, 0.99)
+
+
+def prometheus_name(name: str, prefix: str = "repro") -> str:
+    """Sanitize a dotted metric name into a Prometheus identifier."""
+    flat = _NAME_OK.sub("_", name.replace(".", "_").replace("-", "_"))
+    if prefix:
+        flat = f"{prefix}_{flat}"
+    if flat and flat[0].isdigit():
+        flat = "_" + flat
+    return flat
+
+
+def _format_value(value: Any) -> str:
+    try:
+        number = float(value)
+    except (TypeError, ValueError):
+        return "NaN"
+    if math.isnan(number):
+        return "NaN"
+    if math.isinf(number):
+        return "+Inf" if number > 0 else "-Inf"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def render_prometheus(
+    registry: MetricsRegistry, prefix: str = "repro"
+) -> str:
+    """The registry in Prometheus text exposition format (0.0.4)."""
+    lines = []
+    for name, snap in sorted(registry.snapshot().items()):
+        flat = prometheus_name(name, prefix)
+        kind = snap.get("type")
+        if kind == "counter":
+            lines.append(f"# TYPE {flat} counter")
+            lines.append(f"{flat} {_format_value(snap['value'])}")
+        elif kind == "gauge":
+            lines.append(f"# TYPE {flat} gauge")
+            lines.append(f"{flat} {_format_value(snap['value'])}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {flat} summary")
+            for q in SUMMARY_QUANTILES:
+                key = f"p{int(q * 100)}"
+                lines.append(
+                    f'{flat}{{quantile="{q}"}} '
+                    f"{_format_value(snap.get(key))}"
+                )
+            lines.append(f"{flat}_count {_format_value(snap['count'])}")
+            lines.append(f"{flat}_sum {_format_value(snap['sum'])}")
+        else:  # unknown instrument: expose what we can as untyped
+            lines.append(f"{flat} {_format_value(snap.get('value'))}")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(
+    registry: MetricsRegistry,
+    extra: Optional[Dict[str, Any]] = None,
+    indent: Optional[int] = None,
+) -> str:
+    """Registry snapshot (plus optional extra sections) as JSON."""
+    doc: Dict[str, Any] = {"metrics": registry.snapshot()}
+    if extra:
+        doc.update(extra)
+    return json.dumps(doc, indent=indent, sort_keys=True, default=str)
+
+
+class TelemetryEndpoint:
+    """Minimal asyncio HTTP server exposing live telemetry.
+
+    Args:
+        registry: metrics source for both formats.
+        snapshot_fn: optional zero-arg callable returning extra JSON
+            sections (windowed telemetry, SLO status, exemplars) merged
+            into ``/metrics.json``.
+        host: bind address (default loopback).
+        port: bind port; 0 picks a free one (see :attr:`port` after
+            :meth:`start`).
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        snapshot_fn: Optional[Callable[[], Dict[str, Any]]] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.registry = registry
+        self.snapshot_fn = snapshot_fn
+        self.host = host
+        self._requested_port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        #: requests served, by route (for tests and the top view)
+        self.scrapes = 0
+
+    @property
+    def port(self) -> Optional[int]:
+        """The bound port once started (None before)."""
+        if self._server is None or not self._server.sockets:
+            return None
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> "TelemetryEndpoint":
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self._requested_port
+        )
+        return self
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- request handling ----------------------------------------------------
+
+    def _respond(self, path: str) -> tuple:
+        if path in ("/metrics", "/"):
+            return 200, "text/plain; version=0.0.4", render_prometheus(
+                self.registry
+            )
+        if path == "/metrics.json":
+            extra = self.snapshot_fn() if self.snapshot_fn else None
+            return 200, "application/json", render_json(
+                self.registry, extra=extra, indent=2
+            )
+        if path == "/healthz":
+            return 200, "text/plain", "ok\n"
+        return 404, "text/plain", f"no route {path}\n"
+
+    async def _handle(self, reader, writer) -> None:
+        try:
+            request_line = await reader.readline()
+            parts = request_line.decode("latin-1").split()
+            path = parts[1] if len(parts) >= 2 else "/"
+            # Drain (and ignore) headers up to the blank line.
+            while True:
+                line = await reader.readline()
+                if not line or line in (b"\r\n", b"\n"):
+                    break
+            status, ctype, body = self._respond(path.split("?", 1)[0])
+            self.scrapes += 1
+            payload = body.encode("utf-8")
+            reason = {200: "OK", 404: "Not Found"}.get(status, "OK")
+            head = (
+                f"HTTP/1.0 {status} {reason}\r\n"
+                f"Content-Type: {ctype}; charset=utf-8\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                "Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode("latin-1") + payload)
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except RuntimeError:  # loop already closing
+                pass

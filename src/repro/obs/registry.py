@@ -276,6 +276,11 @@ class StreamingHistogram:
                 return float("nan")
             return self.total / self.count
 
+    def samples(self) -> List[float]:
+        """A copy of the retained reservoir sample."""
+        with self._lock:
+            return list(self._sample)
+
     def quantile(self, q: float) -> float:
         """Percentile ``q`` in [0, 100] (``nan`` when empty).
 
@@ -318,13 +323,30 @@ class StreamingHistogram:
             self._sample = list(other._sample)
             return
         total = self.count + other.count
-        take_self = max(
-            1, round(self.reservoir_size * self.count / total)
-        )
-        take_other = self.reservoir_size - take_self
-        merged = self._subsample(self._sample, take_self) + self._subsample(
-            other._sample, take_other
-        )
+        avail_self, avail_other = len(self._sample), len(other._sample)
+        if avail_self + avail_other <= self.reservoir_size:
+            # Everything fits: keep every retained sample, no subsampling.
+            merged = self._sample + list(other._sample)
+        else:
+            # Count-weighted split of the reservoir.  Clamp both shares
+            # to [1, size-1]: plain round() starves the lighter side to
+            # zero under extreme count skew, silently discarding a
+            # non-empty reservoir.  Quota a side cannot fill (its
+            # reservoir is smaller than its share) is reallocated to
+            # the other side so the merged reservoir stays full
+            # whenever enough samples exist.
+            size = self.reservoir_size
+            take_self = min(
+                max(round(size * self.count / total), 1), size - 1
+            )
+            take_other = size - take_self
+            spill_self = max(0, take_self - avail_self)
+            spill_other = max(0, take_other - avail_other)
+            take_self = min(take_self + spill_other, avail_self)
+            take_other = min(take_other + spill_self, avail_other)
+            merged = self._subsample(
+                self._sample, take_self
+            ) + self._subsample(other._sample, take_other)
         self.count = total
         self.total += other.total
         self.min = min(self.min, other.min)

@@ -35,6 +35,7 @@ from __future__ import annotations
 import json
 import threading
 import time
+import warnings
 from collections import deque
 from contextvars import ContextVar
 from dataclasses import dataclass, field
@@ -42,7 +43,9 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 __all__ = [
     "NULL_TRACER",
+    "Segment",
     "SpanRecord",
+    "TraceContext",
     "Tracer",
     "disable",
     "enable",
@@ -86,6 +89,114 @@ class SpanRecord:
             "duration_s": self.duration_s,
             "kind": self.kind,
             "attrs": self.attrs,
+        }
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One contiguous phase of a request's lifetime.
+
+    Attributes:
+        name: phase label (``"queue_wait"``, ``"batch_wait"``,
+            ``"service"``, ``"refresh_blocked"``, ...).
+        t_start: loop-clock start of the phase.
+        t_end: loop-clock end of the phase.
+    """
+
+    name: str
+    t_start: float
+    t_end: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.t_end - self.t_start
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            "duration_s": self.duration_s,
+        }
+
+
+class TraceContext:
+    """Request-scoped trace: one id plus causally ordered phase marks.
+
+    A context is created at admission time and threaded along with the
+    request (queue tuple → session worker → miss batcher), collecting a
+    *mark* at each phase boundary.  Phases are defined **between
+    consecutive marks**, so the segment durations telescope: their sum
+    is exactly ``last mark - first mark``, which is what lets a response
+    assert ``queue_wait + refresh_blocked + batch_wait + service ==
+    end-to-end latency`` to float equality rather than within some
+    slop.
+
+    Marks carry the *name of the phase they end*.  ``annotations`` is a
+    free-form dict for causal links (e.g. the leader trace a piggybacked
+    miss rode on) and backend facts (hit/miss, refreshes applied).
+    """
+
+    __slots__ = ("trace_id", "marks", "annotations")
+
+    def __init__(self, trace_id: int, t_origin: float) -> None:
+        self.trace_id = trace_id
+        #: ``(phase_name, t)`` pairs; index 0 is the origin mark.
+        self.marks: List[Tuple[str, float]] = [("enqueued", t_origin)]
+        self.annotations: Dict[str, Any] = {}
+
+    @property
+    def t_origin(self) -> float:
+        return self.marks[0][1]
+
+    @property
+    def t_last(self) -> float:
+        return self.marks[-1][1]
+
+    def mark(self, phase: str, t: float) -> None:
+        """Close phase ``phase`` at loop time ``t``."""
+        self.marks.append((phase, t))
+
+    def annotate(self, **attrs: Any) -> None:
+        self.annotations.update(attrs)
+
+    def segments(self) -> List[Segment]:
+        """The causally ordered phase timeline."""
+        return [
+            Segment(name, self.marks[i - 1][1], t)
+            for i, (name, t) in enumerate(self.marks)
+            if i > 0
+        ]
+
+    def segment_s(self, phase: str) -> float:
+        """Total seconds spent in ``phase`` (0.0 if never marked)."""
+        return sum(
+            t - self.marks[i - 1][1]
+            for i, (name, t) in enumerate(self.marks)
+            if i > 0 and name == phase
+        )
+
+    def breakdown(self) -> Dict[str, float]:
+        """Phase -> seconds; keys in first-marked order."""
+        out: Dict[str, float] = {}
+        for i, (name, t) in enumerate(self.marks):
+            if i == 0:
+                continue
+            out[name] = out.get(name, 0.0) + (t - self.marks[i - 1][1])
+        return out
+
+    def end_to_end_s(self) -> float:
+        """First mark to last mark — the full traced lifetime."""
+        return self.t_last - self.t_origin
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "t_origin": self.t_origin,
+            "end_to_end_s": self.end_to_end_s(),
+            "segments": [s.to_dict() for s in self.segments()],
+            "breakdown": self.breakdown(),
+            "annotations": dict(self.annotations),
         }
 
 
@@ -210,6 +321,7 @@ class Tracer:
         self._lock = threading.Lock()
         self._next_id = 0
         self.dropped = 0  # records evicted from the ring
+        self._drop_warned = False
 
     # -- span lifecycle -----------------------------------------------------
 
@@ -273,11 +385,33 @@ class Tracer:
         with self._lock:
             self._records.clear()
             self.dropped = 0
+            self._drop_warned = False
+
+    @property
+    def spans_dropped(self) -> int:
+        """Spans silently evicted from the ring since the last clear."""
+        return self.dropped
 
     def export_jsonl(self, path: str) -> int:
-        """Write retained records as JSON Lines; returns the record count."""
+        """Write retained records as JSON Lines; returns the record count.
+
+        The first line is a ``meta`` record carrying the ring capacity
+        and the eviction count, so a truncated trace is detectable from
+        the file alone.
+        """
         records = self.records()
         with open(path, "w") as fh:
+            fh.write(
+                json.dumps(
+                    {
+                        "kind": "meta",
+                        "capacity": self.capacity,
+                        "spans_dropped": self.dropped,
+                        "n_records": len(records),
+                    }
+                )
+                + "\n"
+            )
             for record in records:
                 fh.write(json.dumps(record.to_dict()) + "\n")
         return len(records)
@@ -294,10 +428,22 @@ class Tracer:
         return span_id
 
     def _append(self, record: SpanRecord) -> None:
+        warn_now = False
         with self._lock:
             if len(self._records) == self.capacity:
                 self.dropped += 1
+                if not self._drop_warned:
+                    self._drop_warned = True
+                    warn_now = True
             self._records.append(record)
+        if warn_now:
+            warnings.warn(
+                f"span ring buffer full (capacity {self.capacity}); oldest "
+                "spans are being dropped — raise the tracer capacity for a "
+                "complete trace",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
 
 # -- module-level tracer -----------------------------------------------------
@@ -337,6 +483,8 @@ def load_jsonl(path: str) -> List[SpanRecord]:
             if not line:
                 continue
             raw = json.loads(line)
+            if raw.get("kind") == "meta":
+                continue
             records.append(
                 SpanRecord(
                     name=raw["name"],

@@ -20,7 +20,12 @@ service:
   sessions from :mod:`repro.logs` with Poisson/diurnal arrivals;
 * :mod:`repro.serve.harness` — the replay-equivalence harness: a
   simulated-time serve over a log reproduces ``run_replay``'s hit/miss
-  accounting bit-for-bit.
+  accounting bit-for-bit;
+* :mod:`repro.serve.telemetry` — the always-on telemetry plane:
+  windowed rolling stats, slow-request exemplars, and SLO burn-rate
+  monitoring over every request's trace-segment breakdown;
+* :mod:`repro.serve.top` — the ``repro top`` terminal dashboard over a
+  live endpoint or a snapshot file.
 """
 
 from repro.serve.backends import (
@@ -38,8 +43,14 @@ from repro.serve.harness import (
     serve_replay,
 )
 from repro.serve.loadgen import LoadGenConfig, Workload, build_workload
-from repro.serve.requests import Overloaded, ServeRequest, ServeResponse
+from repro.serve.requests import (
+    SEGMENT_NAMES,
+    Overloaded,
+    ServeRequest,
+    ServeResponse,
+)
 from repro.serve.server import CloudletServer, ServeConfig
+from repro.serve.telemetry import ServeTelemetry
 from repro.serve.vclock import VirtualTimeLoop, run_simulated
 
 __all__ = [
@@ -50,11 +61,13 @@ __all__ = [
     "LoadGenConfig",
     "MissBatcher",
     "Overloaded",
+    "SEGMENT_NAMES",
     "SearchBackend",
     "ServeConfig",
     "ServeReport",
     "ServeRequest",
     "ServeResponse",
+    "ServeTelemetry",
     "VirtualTimeLoop",
     "WebBackend",
     "Workload",

@@ -19,8 +19,8 @@ Backends wrap the existing offline models without changing them:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Protocol, runtime_checkable
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Protocol, runtime_checkable
 
 from repro.pocketsearch.content import CacheContent
 from repro.pocketsearch.engine import PocketSearchEngine
@@ -45,6 +45,9 @@ class BackendResult:
     outcome: QueryOutcome
     #: Radio round-trip seconds within ``outcome.latency_s`` (0.0 on hits).
     radio_s: float = 0.0
+    #: Backend facts worth carrying into the request's trace (e.g. how
+    #: many pending nightly refreshes were applied before serving).
+    annotations: Dict[str, Any] = field(default_factory=dict)
 
 
 @runtime_checkable
@@ -105,6 +108,7 @@ class DailyUpdateBackend:
         self._day = 0
 
     def serve(self, request: ServeRequest) -> BackendResult:
+        applied = 0
         if self.daily_contents:
             event_day = min(
                 int((request.timestamp - self.t_start) // DAY_SECONDS),
@@ -115,7 +119,19 @@ class DailyUpdateBackend:
                     self.inner.engine.cache, self.daily_contents[self._day]
                 )
                 self._day += 1
-        return self.inner.serve(request)
+                applied += 1
+        result = self.inner.serve(request)
+        if applied:
+            # Surface in the trace which requests paid for catch-up
+            # refreshes — they are this backend's latency outliers.
+            return BackendResult(
+                outcome=result.outcome,
+                radio_s=result.radio_s,
+                annotations=dict(
+                    result.annotations, refreshes_applied=applied
+                ),
+            )
+        return result
 
 
 class WebBackend:

@@ -11,12 +11,20 @@ Accounting note: piggybacking shares fetch *time*, not hit/miss
 accounting.  A piggybacked request is still recorded as a miss with its
 full modelled latency, which is what keeps the serve layer's per-user
 numbers bit-identical to the offline replay.
+
+Tracing: when a request's :class:`~repro.obs.trace.TraceContext` is
+threaded into :meth:`MissBatcher.fetch`, the batcher annotates the
+causal relationship — a leader records how many riders shared its
+fetch, and each rider records the leader's trace id (the span its
+batch-wait segment was actually spent inside).
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Dict, Hashable
+from typing import Dict, Hashable, Optional
+
+from repro.obs.trace import TraceContext
 
 __all__ = ["MissBatcher"]
 
@@ -28,33 +36,48 @@ class MissBatcher:
     """
 
     def __init__(self) -> None:
-        self._inflight: Dict[Hashable, "asyncio.Future[None]"] = {}
+        # key -> [leader's completion future, leader's trace id, riders]
+        self._inflight: Dict[Hashable, list] = {}
         #: fetches actually issued (leaders)
         self.fetches = 0
         #: requests that rode an existing in-flight fetch
         self.piggybacked = 0
 
-    async def fetch(self, key: Hashable, duration_s: float) -> bool:
+    async def fetch(
+        self,
+        key: Hashable,
+        duration_s: float,
+        trace: Optional[TraceContext] = None,
+    ) -> bool:
         """Wait out one radio fetch of ``key`` taking ``duration_s``.
 
         Returns ``True`` if this call piggybacked on a fetch another
         caller already had in flight, ``False`` if it was the leader.
+        ``trace``, when given, is annotated with the causal link.
         """
         existing = self._inflight.get(key)
         if existing is not None:
             self.piggybacked += 1
-            await existing
+            existing[2] += 1
+            if trace is not None:
+                trace.annotate(
+                    batch_role="rider", batch_leader_trace=existing[1]
+                )
+            await existing[0]
             return True
 
         loop = asyncio.get_event_loop()
         future: "asyncio.Future[None]" = loop.create_future()
-        self._inflight[key] = future
+        entry = [future, trace.trace_id if trace is not None else None, 0]
+        self._inflight[key] = entry
         self.fetches += 1
         try:
             await asyncio.sleep(duration_s)
         finally:
             del self._inflight[key]
             future.set_result(None)
+        if trace is not None:
+            trace.annotate(batch_role="leader", batch_riders=entry[2])
         return False
 
     @property

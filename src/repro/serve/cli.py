@@ -18,14 +18,20 @@ gate for CI.
 from __future__ import annotations
 
 import argparse
+import asyncio
+import json
 import sys
 from typing import List, Optional
 
 from repro.experiments.common import DEFAULT_SEED, default_log, format_table
+from repro.obs.exposition import TelemetryEndpoint
 from repro.obs.manifest import ManifestRecorder
+from repro.obs.registry import MetricsRegistry
+from repro.obs.slo import SLOPolicy
 from repro.serve.harness import ServeReport, run_loadtest, serve_replay
 from repro.serve.loadgen import LoadGenConfig
 from repro.serve.server import ServeConfig
+from repro.serve.telemetry import ServeTelemetry
 from repro.sim.replay import CacheMode, ReplayConfig
 
 __all__ = ["loadtest_main", "serve_main"]
@@ -46,10 +52,63 @@ def _report_rows(report: ServeReport) -> List[List[str]]:
         ["sojourn p50", f"{report.sojourn_p50_s:.3f} s"],
         ["sojourn p99", f"{report.sojourn_p99_s:.3f} s"],
         ["queue wait p99", f"{report.queue_wait_p99_s:.3f} s"],
+        ["refresh-blocked p99", f"{report.refresh_blocked_p99_s:.3f} s"],
+        ["batch wait p99", f"{report.batch_wait_p99_s:.3f} s"],
+        ["service p99", f"{report.service_p99_s:.3f} s"],
         ["radio fetches", str(report.fetches)],
         ["piggybacked", str(report.piggybacked)],
         ["batch efficiency", f"{report.batch_efficiency:.3f}"],
     ]
+
+
+def _print_slo(report: ServeReport) -> None:
+    slo = report.slo
+    if slo is None:
+        return
+    print(f"SLO verdict: {slo['verdict'].upper()} "
+          f"({slo['alerts_total']} burn-rate alerts)")
+    rows = [
+        [
+            name,
+            rule["kind"],
+            f"{rule['objective']:.3f}",
+            f"{rule['bad_fraction']:.4f}",
+            str(rule["alerts"]),
+            "pass" if rule["passed"] else "FAIL",
+        ]
+        for name, rule in sorted(slo["rules"].items())
+    ]
+    print(format_table(
+        rows, ["rule", "kind", "objective", "bad frac", "alerts", "verdict"]
+    ))
+    for alert in slo["alerts"]:
+        print(
+            f"  alert t={alert['t']:.1f}s {alert['rule']} "
+            f"burn long={alert['burn_long']:.1f} "
+            f"short={alert['burn_short']:.1f}"
+        )
+
+
+async def _serve_endpoint(
+    registry: MetricsRegistry,
+    telemetry: ServeTelemetry,
+    port: int,
+    seconds: float,
+) -> None:
+    """Expose the finished run's telemetry over HTTP for ``seconds``."""
+    endpoint = TelemetryEndpoint(
+        registry,
+        snapshot_fn=lambda: {"serve": telemetry.snapshot()},
+        port=port,
+    )
+    await endpoint.start()
+    print(
+        f"telemetry on http://127.0.0.1:{endpoint.port}/metrics "
+        f"(and /metrics.json) for {seconds:.0f}s",
+        flush=True,
+    )
+    await asyncio.sleep(seconds)
+    await endpoint.close()
 
 
 def _write_manifest(
@@ -210,8 +269,39 @@ def loadtest_main(argv: Optional[List[str]] = None) -> int:
         "--max-shed-rate", type=float, default=None, metavar="F",
         help="exit nonzero if the shed fraction exceeds F (CI gate)",
     )
+    parser.add_argument(
+        "--slo-policy", metavar="PATH", default=None,
+        help="monitor the run against this SLO policy JSON",
+    )
+    parser.add_argument(
+        "--fail-on-alert", action="store_true",
+        help="exit nonzero if the SLO verdict is fail (CI gate)",
+    )
+    parser.add_argument(
+        "--snapshot-out", metavar="PATH", default=None,
+        help="write the final telemetry snapshot JSON (repro top --snapshot)",
+    )
+    parser.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="after the run, serve /metrics and /metrics.json on this "
+        "port (0 picks a free one)",
+    )
+    parser.add_argument(
+        "--metrics-serve-s", type=float, default=5.0, metavar="S",
+        help="how long to keep the metrics endpoint up (default 5)",
+    )
     parser.add_argument("--manifest-out", metavar="PATH", default=None)
     args = parser.parse_args(argv)
+
+    slo_policy = None
+    if args.slo_policy is not None:
+        try:
+            slo_policy = SLOPolicy.from_json(args.slo_policy)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"repro loadtest: bad --slo-policy: {exc}", file=sys.stderr)
+            return 2
+    telemetry = ServeTelemetry(slo_policy=slo_policy)
+    registry = MetricsRegistry()
 
     recorder = ManifestRecorder(
         "loadtest",
@@ -224,6 +314,7 @@ def loadtest_main(argv: Optional[List[str]] = None) -> int:
             "queue_depth": args.queue_depth,
             "max_inflight": args.max_inflight,
             "refresh_interval_s": args.refresh_interval,
+            "slo_policy": args.slo_policy,
         },
         seed=args.seed,
     )
@@ -244,9 +335,13 @@ def loadtest_main(argv: Optional[List[str]] = None) -> int:
                     max_inflight=args.max_inflight,
                 ),
                 refresh_interval_s=args.refresh_interval,
+                telemetry=telemetry,
+                registry=registry,
             )
             recorder.add_metric("offered_rate_rps", workload.offered_rate)
             recorder.add_metric("n_devices", workload.n_devices)
+            if report.slo is not None:
+                recorder.add_metric("slo", report.slo)
     except (ValueError, RuntimeError) as exc:
         print(f"repro loadtest: {exc}", file=sys.stderr)
         return 2
@@ -257,8 +352,26 @@ def loadtest_main(argv: Optional[List[str]] = None) -> int:
         f"{workload.offered_rate:.3f} req/s offered) ==="
     )
     print(format_table(_report_rows(report), ["metric", "value"]))
+    _print_slo(report)
+
+    if args.snapshot_out:
+        with open(args.snapshot_out, "w") as fh:
+            json.dump({"serve": telemetry.snapshot()}, fh, indent=2)
+        print(f"wrote telemetry snapshot to {args.snapshot_out}")
+    if args.metrics_port is not None:
+        asyncio.run(
+            _serve_endpoint(
+                registry, telemetry, args.metrics_port, args.metrics_serve_s
+            )
+        )
 
     exit_code = 0
+    if args.fail_on_alert and report.slo is not None and not report.slo["passed"]:
+        print(
+            "repro loadtest: SLO verdict fail (--fail-on-alert)",
+            file=sys.stderr,
+        )
+        exit_code = 1
     lost = report.requests - report.completed - report.shed
     if lost:
         print(

@@ -19,11 +19,12 @@ admission control held up.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.logs.generator import SearchLog
 from repro.logs.schema import MONTH_SECONDS, UserClass
 from repro.obs.registry import MetricsRegistry
+from repro.obs.slo import SLOPolicy
 from repro.obs.trace import get_tracer
 from repro.pocketsearch.content import (
     ContentPolicy,
@@ -35,6 +36,7 @@ from repro.serve.backends import DailyUpdateBackend, SearchBackend
 from repro.serve.loadgen import LoadGenConfig, Workload, build_workload
 from repro.serve.requests import Overloaded, ServeRequest, ServeResponse
 from repro.serve.server import CloudletServer, ServeConfig
+from repro.serve.telemetry import ServeTelemetry
 from repro.serve.vclock import run_simulated
 from repro.sim.metrics import MetricsCollector
 from repro.sim.replay import (
@@ -83,7 +85,15 @@ class ServeReport:
     sojourn_p99_s: float = float("nan")
     sojourn_max_s: float = float("nan")
     queue_wait_p99_s: float = float("nan")
+    #: trace-segment percentiles (from per-response breakdowns)
+    refresh_blocked_p99_s: float = float("nan")
+    batch_wait_p99_s: float = float("nan")
+    service_p99_s: float = float("nan")
     shed_reasons: Dict[str, int] = field(default_factory=dict)
+    #: SLO verdict (``SLOMonitor.verdict()``) when a policy was attached
+    slo: Optional[Dict[str, Any]] = None
+    #: slowest-request exemplars, each a full segment timeline
+    exemplars: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def shed_rate(self) -> float:
@@ -122,9 +132,15 @@ class ServeReport:
             "sojourn_p99_s": self.sojourn_p99_s,
             "sojourn_max_s": self.sojourn_max_s,
             "queue_wait_p99_s": self.queue_wait_p99_s,
+            "refresh_blocked_p99_s": self.refresh_blocked_p99_s,
+            "batch_wait_p99_s": self.batch_wait_p99_s,
+            "service_p99_s": self.service_p99_s,
         }
         for reason, count in sorted(self.shed_reasons.items()):
             out["shed_" + reason.replace("-", "_")] = count
+        if self.slo is not None:
+            out["slo_passed"] = 1.0 if self.slo.get("passed") else 0.0
+            out["slo_alerts_total"] = float(self.slo.get("alerts_total", 0))
         return out
 
 
@@ -138,6 +154,9 @@ def _build_report(
     )
     sojourns: List[float] = []
     waits: List[float] = []
+    refresh_blocked: List[float] = []
+    batch_waits: List[float] = []
+    services: List[float] = []
     for reply in replies:
         if isinstance(reply, Overloaded):
             report.shed += 1
@@ -152,15 +171,30 @@ def _build_report(
         else:
             report.misses += 1
         sojourns.append(reply.sojourn_s)
-        waits.append(reply.queue_wait_s)
+        breakdown = reply.breakdown()
+        waits.append(breakdown["queue_wait"])
+        refresh_blocked.append(breakdown["refresh_blocked"])
+        batch_waits.append(breakdown["batch_wait"])
+        services.append(breakdown["service"])
         duration_s = max(duration_s, reply.completed_at)
     report.duration_s = duration_s
-    sojourns.sort()
-    waits.sort()
+    for values, attr in (
+        (sojourns, None),
+        (waits, "queue_wait_p99_s"),
+        (refresh_blocked, "refresh_blocked_p99_s"),
+        (batch_waits, "batch_wait_p99_s"),
+        (services, "service_p99_s"),
+    ):
+        values.sort()
+        if attr is not None:
+            setattr(report, attr, _percentile(values, 99))
     report.sojourn_p50_s = _percentile(sojourns, 50)
     report.sojourn_p99_s = _percentile(sojourns, 99)
     report.sojourn_max_s = sojourns[-1] if sojourns else float("nan")
-    report.queue_wait_p99_s = _percentile(waits, 99)
+    telemetry = server.telemetry
+    telemetry.finalize()
+    report.slo = telemetry.verdict()
+    report.exemplars = telemetry.exemplars.top(telemetry.t_last)
     return report
 
 
@@ -359,6 +393,9 @@ def run_loadtest(
     workload_month: int = 1,
     policy: ContentPolicy = PAPER_OPERATING_POINT,
     refresh_interval_s: Optional[float] = None,
+    slo_policy: Optional[SLOPolicy] = None,
+    telemetry: Optional[ServeTelemetry] = None,
+    registry: Optional[MetricsRegistry] = None,
 ) -> Tuple[ServeReport, Workload]:
     """Load-test the server on the virtual clock.
 
@@ -370,9 +407,17 @@ def run_loadtest(
         refresh_interval_s: if set, runs the background cache refresh
             task at this period, re-applying the build-month content
             (exercising the update path under live load).
+        slo_policy: if set, the run is monitored against it; the verdict
+            lands in ``report.slo`` and burn-rate alerts are emitted as
+            ``slo_alert`` tracer events.
+        telemetry: pre-built telemetry plane (wins over ``slo_policy``);
+            pass one to keep a handle for snapshots/exposition after the
+            run.
     """
     content = build_cache_content(log.month(build_month), policy)
     workload = build_workload(log, workload_month, loadgen)
+    if telemetry is None:
+        telemetry = ServeTelemetry(slo_policy=slo_policy)
 
     def backend_factory(device_id: int) -> SearchBackend:
         return SearchBackend(PocketSearchEngine(make_cache(content, CacheMode.FULL)))
@@ -394,8 +439,9 @@ def run_loadtest(
             time_scale=serve_config.time_scale,
             refresh_interval_s=refresh_interval_s,
         ),
-        registry=MetricsRegistry(),
+        registry=registry if registry is not None else MetricsRegistry(),
         refresh_fn=refresh_fn,
+        telemetry=telemetry,
     )
     report = run_simulated(run_workload(server, workload))
     return report, workload

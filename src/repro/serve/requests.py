@@ -2,13 +2,17 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Union
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
 
+from repro.obs.trace import TraceContext
 from repro.pocketsearch.content import DEFAULT_RECORD_BYTES
 from repro.sim.metrics import QueryOutcome
 
 __all__ = ["Overloaded", "ServeRequest", "ServeResponse", "ServeReply"]
+
+#: Segment names every response breakdown reports, in causal order.
+SEGMENT_NAMES = ("queue_wait", "refresh_blocked", "batch_wait", "service")
 
 
 @dataclass(frozen=True)
@@ -52,6 +56,8 @@ class ServeResponse:
     completed_at: float
     #: miss piggybacked on another device's identical in-flight fetch
     shared_fetch: bool = False
+    #: request-scoped trace: id + causally ordered phase segments
+    trace: Optional[TraceContext] = field(default=None, compare=False)
 
     ok = True
 
@@ -63,6 +69,44 @@ class ServeResponse:
     def sojourn_s(self) -> float:
         """Submission-to-completion time as the user experienced it."""
         return self.completed_at - self.enqueued_at
+
+    @property
+    def trace_id(self) -> Optional[int]:
+        return self.trace.trace_id if self.trace is not None else None
+
+    @property
+    def refresh_blocked_s(self) -> float:
+        """Dequeue-to-service time lost waiting out a session refresh."""
+        return self.trace.segment_s("refresh_blocked") if self.trace else 0.0
+
+    @property
+    def batch_wait_s(self) -> float:
+        """Time spent inside the shared single-flight radio fetch."""
+        return self.trace.segment_s("batch_wait") if self.trace else 0.0
+
+    @property
+    def service_s(self) -> float:
+        """Modelled device-side service time outside the shared fetch."""
+        if self.trace is not None:
+            return self.trace.segment_s("service")
+        return self.sojourn_s - self.queue_wait_s
+
+    def breakdown(self) -> Dict[str, float]:
+        """Phase -> seconds over :data:`SEGMENT_NAMES`.
+
+        Segments telescope between consecutive trace marks, so the
+        values sum *exactly* to ``sojourn_s`` — the property the
+        trace-propagation tests assert to 1e-9.
+        """
+        if self.trace is None:
+            return {
+                "queue_wait": self.queue_wait_s,
+                "refresh_blocked": 0.0,
+                "batch_wait": 0.0,
+                "service": self.sojourn_s - self.queue_wait_s,
+            }
+        got = self.trace.breakdown()
+        return {name: got.get(name, 0.0) for name in SEGMENT_NAMES}
 
 
 @dataclass(frozen=True)
@@ -77,8 +121,14 @@ class Overloaded:
     request: ServeRequest
     reason: str
     t: float
+    #: trace of the rejected request (one ``shed`` segment)
+    trace: Optional[TraceContext] = field(default=None, compare=False)
 
     ok = False
+
+    @property
+    def trace_id(self) -> Optional[int]:
+        return self.trace.trace_id if self.trace is not None else None
 
 
 #: What a submitted request resolves to.

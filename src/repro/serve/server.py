@@ -31,14 +31,16 @@ stock loop (real time) or a :class:`~repro.serve.vclock.VirtualTimeLoop`
 from __future__ import annotations
 
 import asyncio
+import itertools
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Set
 
 from repro.obs.registry import MetricsRegistry, get_registry
-from repro.obs.trace import get_tracer
+from repro.obs.trace import TraceContext, get_tracer
 from repro.serve.backends import DeviceBackend
 from repro.serve.batcher import MissBatcher
 from repro.serve.requests import Overloaded, ServeRequest, ServeResponse
+from repro.serve.telemetry import ServeTelemetry
 
 __all__ = ["CloudletServer", "ServeConfig"]
 
@@ -103,6 +105,9 @@ class CloudletServer:
         refresh_fn: ``(device_id, backend) -> None`` applied by the
             background refresh task; required if
             ``config.refresh_interval_s`` is set.
+        telemetry: windowed telemetry plane; a default
+            :class:`~repro.serve.telemetry.ServeTelemetry` is created
+            when not given, so every server is observable out of the box.
 
     All methods must be called from the event loop the server runs on.
     """
@@ -113,6 +118,7 @@ class CloudletServer:
         config: ServeConfig = ServeConfig(),
         registry: Optional[MetricsRegistry] = None,
         refresh_fn: Optional[Callable[[int, DeviceBackend], None]] = None,
+        telemetry: Optional[ServeTelemetry] = None,
     ) -> None:
         if config.refresh_interval_s is not None and refresh_fn is None:
             raise ValueError("refresh_interval_s set but no refresh_fn given")
@@ -121,6 +127,10 @@ class CloudletServer:
         self.registry = registry if registry is not None else get_registry()
         self.refresh_fn = refresh_fn
         self.batcher = MissBatcher()
+        self.telemetry = telemetry if telemetry is not None else ServeTelemetry()
+        # Per-server trace ids: a plain counter is deterministic under
+        # the virtual clock (no randomness, no wall time).
+        self._trace_ids = itertools.count(1)
         self._sessions: Dict[int, _DeviceSession] = {}
         self._inflight = 0
         self._pending: Set["asyncio.Future"] = set()
@@ -179,29 +189,38 @@ class CloudletServer:
             raise RuntimeError("server is closed")
         loop = asyncio.get_running_loop()
         future = loop.create_future()
+        now = loop.time()
+        trace = TraceContext(next(self._trace_ids), now)
         self.registry.counter("serve.requests").inc()
         if self._inflight >= self.config.max_inflight:
-            self._shed(future, request, "server-busy", loop)
+            self._shed(future, request, "server-busy", now, trace)
             return future
         session = self.ensure_session(request.device_id)
         try:
-            session.queue.put_nowait((request, future, loop.time()))
+            session.queue.put_nowait((request, future, trace))
         except asyncio.QueueFull:
-            self._shed(future, request, "device-queue-full", loop)
+            self._shed(future, request, "device-queue-full", now, trace)
             return future
         self._inflight += 1
         self.registry.counter("serve.admitted").inc()
         self.registry.gauge("serve.inflight_peak").max(self._inflight)
+        self.telemetry.on_submit(now, self._inflight)
         self._pending.add(future)
         future.add_done_callback(self._pending.discard)
         return future
 
-    def _shed(self, future, request, reason: str, loop) -> None:
+    def _shed(
+        self, future, request, reason: str, now: float, trace: TraceContext
+    ) -> None:
         self.registry.counter("serve.shed").inc()
         self.registry.counter(
             "serve.shed." + reason.replace("-", "_")
         ).inc()
-        future.set_result(Overloaded(request=request, reason=reason, t=loop.time()))
+        trace.mark("shed", now)
+        trace.annotate(shed_reason=reason)
+        reply = Overloaded(request=request, reason=reason, t=now, trace=trace)
+        self.telemetry.on_shed(now, reply)
+        future.set_result(reply)
 
     # -- workers ------------------------------------------------------------
 
@@ -210,29 +229,40 @@ class CloudletServer:
         tracer = get_tracer()
         scale = self.config.time_scale
         while True:
-            request, future, enqueued_at = await session.queue.get()
+            request, future, trace = await session.queue.get()
+            enqueued_at = trace.marks[0][1]
             started_at = loop.time()
+            trace.mark("queue_wait", started_at)
             async with session.lock:
                 with tracer.span(
                     "serve_request",
                     device_id=session.device_id,
                     key=request.key,
+                    trace_id=trace.trace_id,
                 ):
                     result = session.backend.serve(request)
+            # Dequeue-to-here is time spent waiting out a session
+            # refresh holding the lock (the backend itself is sync model
+            # code: zero loop-clock time under the virtual clock).
+            trace.mark("refresh_blocked", loop.time())
+            if result.annotations:
+                trace.annotate(**result.annotations)
             outcome = result.outcome
             shared = False
             if not outcome.hit and result.radio_s > 0:
                 # Occupy the shared radio for the fetch; identical
                 # concurrent misses piggyback on one round trip.
                 shared = await self.batcher.fetch(
-                    request.key, result.radio_s * scale
+                    request.key, result.radio_s * scale, trace=trace
                 )
+                trace.mark("batch_wait", loop.time())
                 local_s = (outcome.latency_s - result.radio_s) * scale
                 if local_s > 0:
                     await asyncio.sleep(local_s)
             elif outcome.latency_s * scale > 0:
                 await asyncio.sleep(outcome.latency_s * scale)
             completed_at = loop.time()
+            trace.mark("service", completed_at)
             response = ServeResponse(
                 request=request,
                 outcome=outcome,
@@ -240,9 +270,11 @@ class CloudletServer:
                 started_at=started_at,
                 completed_at=completed_at,
                 shared_fetch=shared,
+                trace=trace,
             )
             self._record(response)
             self._inflight -= 1
+            self.telemetry.on_response(completed_at, response, self._inflight)
             if not future.done():
                 future.set_result(response)
             session.queue.task_done()

@@ -1,0 +1,259 @@
+"""The serving stack's always-on telemetry plane.
+
+One :class:`ServeTelemetry` instance rides along with each
+:class:`~repro.serve.server.CloudletServer`: the server calls its three
+hooks (submit / shed / response) on the request path, and everything
+else — rolling windows, slow-request exemplars, SLO burn-rate alerts,
+live-view callbacks — derives from those events.
+
+Design constraints, in order:
+
+* **deterministic** — all state is keyed by loop-clock timestamps the
+  server passes in, so under
+  :class:`~repro.serve.vclock.VirtualTimeLoop` two runs of a workload
+  produce identical windows, identical exemplars, and identical alert
+  sequences;
+* **cheap** — a few ring-bucket updates per request, no allocation
+  proportional to traffic, no background task (SLO evaluation is
+  piggybacked on the first event of each new bucket);
+* **complete** — sheds are first-class events, not gaps: shed-rate
+  windows and shed-aware SLO rules see every rejected request.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.obs.slo import SLOAlert, SLOMonitor, SLOPolicy
+from repro.obs.timeseries import TimeSeriesRegistry
+from repro.obs.trace import get_tracer
+from repro.serve.requests import Overloaded, ServeResponse
+
+__all__ = ["ServeTelemetry"]
+
+#: Default bucket geometry: 1-second buckets, 2-minute window.
+DEFAULT_BUCKET_WIDTH_S = 1.0
+DEFAULT_N_BUCKETS = 120
+DEFAULT_EXEMPLAR_K = 5
+
+
+class ServeTelemetry:
+    """Windowed metrics + exemplars + SLO monitoring for one server.
+
+    Args:
+        bucket_width_s: ring bucket width in loop seconds.
+        n_buckets: buckets retained (window = width * buckets).
+        exemplar_k: slow-request exemplars kept per bucket.
+        slo_policy: optional SLO policy to monitor; alerts surface as
+            ``slo_alert`` tracer events and in :meth:`verdict`.
+    """
+
+    def __init__(
+        self,
+        bucket_width_s: float = DEFAULT_BUCKET_WIDTH_S,
+        n_buckets: int = DEFAULT_N_BUCKETS,
+        exemplar_k: int = DEFAULT_EXEMPLAR_K,
+        slo_policy: Optional[SLOPolicy] = None,
+    ) -> None:
+        self.windows = TimeSeriesRegistry(bucket_width_s, n_buckets)
+        w = self.windows
+        self._requests = w.counter("serve.requests")
+        self._completed = w.counter("serve.completed")
+        self._hits = w.counter("serve.hits")
+        self._shed = w.counter("serve.shed")
+        self._fetches = w.counter("serve.fetches")
+        self._piggybacked = w.counter("serve.piggybacked")
+        self._sojourn = w.histogram("serve.sojourn_s")
+        self._queue_wait = w.histogram("serve.queue_wait_s")
+        self._batch_wait = w.histogram("serve.batch_wait_s")
+        self._service = w.histogram("serve.service_s")
+        self._inflight = w.gauge("serve.inflight")
+        self.exemplars = w.exemplars("serve.slow_requests", k=exemplar_k)
+        self.slo: Optional[SLOMonitor] = (
+            SLOMonitor(slo_policy, width_s=bucket_width_s)
+            if slo_policy is not None
+            else None
+        )
+        #: called as ``fn(t, self)`` once per completed bucket — the
+        #: ``repro top`` live view hangs off this.
+        self.on_tick: List[Callable[[float, "ServeTelemetry"], None]] = []
+        self._last_bucket: Optional[int] = None
+        self._t_last = 0.0
+
+    @property
+    def bucket_width_s(self) -> float:
+        return self.windows.width_s
+
+    @property
+    def window_s(self) -> float:
+        return self.windows.window_s
+
+    @property
+    def t_last(self) -> float:
+        """Loop time of the latest event seen (0.0 before any)."""
+        return self._t_last
+
+    # -- server hooks --------------------------------------------------------
+
+    def on_submit(self, t: float, inflight: int) -> None:
+        self._maybe_tick(t)
+        self._requests.inc(t)
+        self._inflight.observe(t, inflight)
+
+    def on_shed(self, t: float, reply: Overloaded) -> None:
+        self._maybe_tick(t)
+        self._shed.inc(t)
+        if self.slo is not None:
+            self.slo.record_request(t, shed=True)
+
+    def on_response(self, t: float, response: ServeResponse, inflight: int) -> None:
+        self._maybe_tick(t)
+        self._completed.inc(t)
+        if response.outcome.hit:
+            self._hits.inc(t)
+        elif response.shared_fetch:
+            self._piggybacked.inc(t)
+        elif response.batch_wait_s > 0:
+            self._fetches.inc(t)
+        sojourn = response.sojourn_s
+        self._sojourn.observe(t, sojourn)
+        self._queue_wait.observe(t, response.queue_wait_s)
+        self._batch_wait.observe(t, response.batch_wait_s)
+        self._service.observe(t, response.service_s)
+        self._inflight.observe(t, inflight)
+        if response.trace is not None:
+            payload = response.trace.to_dict()
+            payload["device_id"] = response.request.device_id
+            payload["key"] = response.request.key
+            payload["hit"] = response.outcome.hit
+            self.exemplars.observe(t, sojourn, payload)
+        if self.slo is not None:
+            self.slo.record_request(
+                t, latency_s=sojourn, hit=response.outcome.hit
+            )
+
+    # -- bucket ticks --------------------------------------------------------
+
+    def _maybe_tick(self, t: float) -> None:
+        """Run once-per-bucket work when an event lands in a new bucket."""
+        self._t_last = max(self._t_last, t)
+        bucket = int(t // self.windows.width_s)
+        if self._last_bucket is None:
+            self._last_bucket = bucket
+            return
+        if bucket == self._last_bucket:
+            return
+        # Evaluate at the boundary the previous bucket closed on, so
+        # alert timestamps are bucket-aligned and run-to-run stable.
+        t_eval = bucket * self.windows.width_s
+        self._last_bucket = bucket
+        self._evaluate(t_eval)
+        for callback in self.on_tick:
+            callback(t_eval, self)
+
+    def _evaluate(self, t: float) -> List[SLOAlert]:
+        if self.slo is None:
+            return []
+        fired = self.slo.evaluate(t)
+        if fired:
+            tracer = get_tracer()
+            for alert in fired:
+                tracer.event("slo_alert", **alert.to_dict())
+        return fired
+
+    def finalize(self, t: Optional[float] = None) -> None:
+        """Close out the run: one last SLO evaluation at ``t`` (defaults
+        to the latest event time)."""
+        self._evaluate(self._t_last if t is None else t)
+
+    def verdict(self) -> Optional[Dict[str, Any]]:
+        """The SLO verdict (None when no policy is attached)."""
+        return self.slo.verdict() if self.slo is not None else None
+
+    # -- read side -----------------------------------------------------------
+
+    def rolling(self, t: float) -> Dict[str, Any]:
+        """Headline rolling stats over the window ending at ``t``."""
+        requests = self._requests.total(t)
+        completed = self._completed.total(t)
+        shed = self._shed.total(t)
+        fetches = self._fetches.total(t)
+        piggybacked = self._piggybacked.total(t)
+        shared_total = fetches + piggybacked
+        return {
+            "request_rate_rps": self._requests.rate(t),
+            "completed_rate_rps": self._completed.rate(t),
+            "requests": requests,
+            "completed": completed,
+            "shed": shed,
+            "hit_rate": (
+                self._hits.total(t) / completed if completed else float("nan")
+            ),
+            "shed_rate": shed / requests if requests else 0.0,
+            "sojourn_p50_s": self._sojourn.quantile(t, 50),
+            "sojourn_p99_s": self._sojourn.quantile(t, 99),
+            "queue_wait_p99_s": self._queue_wait.quantile(t, 99),
+            "batch_wait_p99_s": self._batch_wait.quantile(t, 99),
+            "service_p99_s": self._service.quantile(t, 99),
+            "batch_efficiency": (
+                piggybacked / shared_total if shared_total else 0.0
+            ),
+            "inflight": self._inflight.last(t),
+            "inflight_hwm": self._inflight.high_watermark(t),
+        }
+
+    def per_bucket(self, t: float) -> List[Dict[str, Any]]:
+        """Aligned per-bucket rows (completed, hit rate, shed, p99,
+        in-flight high-watermark), oldest first."""
+        completed = dict(self._completed.per_bucket(t))
+        hits = dict(self._hits.per_bucket(t))
+        shed = dict(self._shed.per_bucket(t))
+        requests = dict(self._requests.per_bucket(t))
+        inflight = {
+            row[0]: row[2] for row in self._inflight.per_bucket(t)
+        }
+        sojourn = {
+            row["t_start"]: row for row in self._sojourn.per_bucket(t)
+        }
+        starts = sorted(
+            set(completed) | set(shed) | set(requests) | set(inflight)
+            | set(sojourn)
+        )
+        rows = []
+        for start in starts:
+            done = completed.get(start, 0.0)
+            hit = hits.get(start, 0.0)
+            srow = sojourn.get(start, {})
+            rows.append(
+                {
+                    "t_start": start,
+                    "requests": requests.get(start, 0.0),
+                    "completed": done,
+                    "shed": shed.get(start, 0.0),
+                    "hit_rate": hit / done if done else None,
+                    "sojourn_p50_s": srow.get("p50"),
+                    "sojourn_p99_s": srow.get("p99"),
+                    "inflight_hwm": inflight.get(start),
+                }
+            )
+        return rows
+
+    def snapshot(self, t: Optional[float] = None) -> Dict[str, Any]:
+        """One JSON-ready document: rolling stats, per-bucket series,
+        exemplars, and SLO status — the ``/metrics.json`` extra section
+        and the ``repro top`` data source."""
+        t = self._t_last if t is None else t
+        doc: Dict[str, Any] = {
+            "t": t,
+            "bucket_width_s": self.windows.width_s,
+            "window_s": self.windows.window_s,
+            "rolling": self.rolling(t),
+            "per_bucket": self.per_bucket(t),
+            "exemplars": self.exemplars.top(t),
+        }
+        if self.slo is not None:
+            doc["slo"] = {
+                "status": self.slo.status(t),
+                "alerts_total": len(self.slo.alerts),
+            }
+        return doc

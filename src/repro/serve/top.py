@@ -1,0 +1,224 @@
+"""``repro top`` — a live terminal view of the serving telemetry.
+
+Renders one screenful from a telemetry snapshot document (the
+``serve`` section of ``/metrics.json``): headline rolling stats,
+per-bucket sparklines, SLO burn-rate status, and the window's slowest
+requests with their full segment breakdowns.
+
+Two data sources:
+
+* ``--url http://HOST:PORT`` — poll a live
+  :class:`~repro.obs.exposition.TelemetryEndpoint` every ``--interval``
+  seconds and redraw (the classic ``top`` experience);
+* ``--snapshot PATH`` — render a snapshot JSON written by
+  ``repro loadtest --snapshot-out`` once (deterministic, CI-friendly).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional
+
+__all__ = ["render_top", "top_main"]
+
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def _spark(values: List[float]) -> str:
+    """A unicode sparkline; empty values render as spaces."""
+    finite = [v for v in values if v is not None and not math.isnan(v)]
+    if not finite:
+        return ""
+    top = max(finite) or 1.0
+    out = []
+    for v in values:
+        if v is None or math.isnan(v):
+            out.append(" ")
+        else:
+            rank = int(v / top * (len(_SPARKS) - 1)) if top else 0
+            out.append(_SPARKS[max(0, min(rank, len(_SPARKS) - 1))])
+    return "".join(out)
+
+
+def _fmt(value: Any, pattern: str = "{:.3f}", missing: str = "-") -> str:
+    if value is None:
+        return missing
+    try:
+        number = float(value)
+    except (TypeError, ValueError):
+        return str(value)
+    if math.isnan(number):
+        return missing
+    return pattern.format(number)
+
+
+def extract_serve_snapshot(doc: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+    """Find the telemetry snapshot inside a ``/metrics.json`` document
+    (or accept a bare snapshot)."""
+    if "rolling" in doc:
+        return doc
+    serve = doc.get("serve")
+    if isinstance(serve, dict) and "rolling" in serve:
+        return serve
+    return None
+
+
+def render_top(snapshot: Dict[str, Any], buckets_shown: int = 60) -> str:
+    """One screenful of dashboard text from a telemetry snapshot."""
+    rolling = snapshot.get("rolling", {})
+    lines: List[str] = []
+    lines.append(
+        f"repro top — t={_fmt(snapshot.get('t'), '{:.1f}')}s  "
+        f"window={_fmt(snapshot.get('window_s'), '{:.0f}')}s "
+        f"({_fmt(snapshot.get('bucket_width_s'), '{:g}')}s buckets)"
+    )
+    lines.append(
+        f"rate {_fmt(rolling.get('request_rate_rps'))} req/s  "
+        f"completed {_fmt(rolling.get('completed'), '{:.0f}')}  "
+        f"hit {_fmt(rolling.get('hit_rate'), '{:.1%}')}  "
+        f"shed {_fmt(rolling.get('shed_rate'), '{:.1%}')}  "
+        f"inflight {_fmt(rolling.get('inflight'), '{:.0f}')} "
+        f"(hwm {_fmt(rolling.get('inflight_hwm'), '{:.0f}')})"
+    )
+    lines.append(
+        f"sojourn p50 {_fmt(rolling.get('sojourn_p50_s'))}s "
+        f"p99 {_fmt(rolling.get('sojourn_p99_s'))}s  "
+        f"queue p99 {_fmt(rolling.get('queue_wait_p99_s'))}s  "
+        f"batch-wait p99 {_fmt(rolling.get('batch_wait_p99_s'))}s  "
+        f"batch eff {_fmt(rolling.get('batch_efficiency'), '{:.2f}')}"
+    )
+
+    rows = snapshot.get("per_bucket", [])[-buckets_shown:]
+    if rows:
+        lines.append("")
+        for label, key in (
+            ("completed", "completed"),
+            ("shed", "shed"),
+            ("p99 (s)", "sojourn_p99_s"),
+        ):
+            series = [row.get(key) for row in rows]
+            numeric = [
+                float(v) for v in series
+                if v is not None and not math.isnan(float(v))
+            ]
+            peak = max(numeric) if numeric else 0.0
+            lines.append(
+                f"{label:>10} {_spark([None if v is None else float(v) for v in series])}"
+                f"  peak {_fmt(peak, '{:g}')}"
+            )
+
+    slo = snapshot.get("slo")
+    if slo:
+        lines.append("")
+        lines.append("SLO rules (burn = budget consumption rate; ! = firing)")
+        for rule in slo.get("status", []):
+            flag = "!" if rule.get("firing") else " "
+            lines.append(
+                f" {flag} {rule.get('rule', '?'):<20} "
+                f"burn L {_fmt(rule.get('burn_long'), '{:.2f}')} "
+                f"S {_fmt(rule.get('burn_short'), '{:.2f}')}  "
+                f"bad {_fmt(rule.get('bad_fraction'), '{:.3%}')} "
+                f"of {_fmt(rule.get('budget'), '{:.2%}')} budget  "
+                f"alerts {_fmt(rule.get('alerts'), '{:.0f}')}"
+            )
+
+    exemplars = snapshot.get("exemplars", [])
+    if exemplars:
+        lines.append("")
+        lines.append("slowest requests in window")
+        lines.append(
+            f"  {'trace':>7} {'latency':>9} {'queue':>8} {'refresh':>8} "
+            f"{'batch':>8} {'service':>8}  device key"
+        )
+        for ex in exemplars[:8]:
+            breakdown = ex.get("breakdown", {})
+            key = str(ex.get("key", ""))[:24]
+            lines.append(
+                f"  {_fmt(ex.get('trace_id'), '{:.0f}'):>7} "
+                f"{_fmt(ex.get('latency_s')):>9} "
+                f"{_fmt(breakdown.get('queue_wait')):>8} "
+                f"{_fmt(breakdown.get('refresh_blocked')):>8} "
+                f"{_fmt(breakdown.get('batch_wait')):>8} "
+                f"{_fmt(breakdown.get('service')):>8}  "
+                f"{_fmt(ex.get('device_id'), '{:.0f}')} {key}"
+            )
+    return "\n".join(lines)
+
+
+def _fetch_snapshot(url: str) -> Optional[Dict[str, Any]]:
+    target = url.rstrip("/") + "/metrics.json"
+    with urllib.request.urlopen(target, timeout=5) as response:
+        return extract_serve_snapshot(json.loads(response.read()))
+
+
+def top_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro top",
+        description="Live (or snapshot) terminal view of serving telemetry.",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--url", help="base URL of a running telemetry endpoint"
+    )
+    source.add_argument(
+        "--snapshot", metavar="PATH",
+        help="render one frame from a snapshot JSON file",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=2.0,
+        help="poll period in seconds with --url (default 2)",
+    )
+    parser.add_argument(
+        "--frames", type=int, default=0, metavar="N",
+        help="stop after N frames (default 0 = until interrupted; "
+        "--snapshot always renders exactly one)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.snapshot:
+        with open(args.snapshot) as fh:
+            snapshot = extract_serve_snapshot(json.load(fh))
+        if snapshot is None:
+            print(
+                f"repro top: {args.snapshot} has no telemetry snapshot",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            print(render_top(snapshot))
+        except BrokenPipeError:  # e.g. piped into head(1)
+            sys.stderr.close()
+        return 0
+
+    frame = 0
+    try:
+        while True:
+            try:
+                snapshot = _fetch_snapshot(args.url)
+            except (urllib.error.URLError, OSError) as exc:
+                print(f"repro top: {exc}", file=sys.stderr)
+                return 1
+            frame += 1
+            if snapshot is None:
+                print("repro top: endpoint returned no serve telemetry")
+            else:
+                # Clear screen + home between frames, like top(1).
+                if args.frames != 1:
+                    sys.stdout.write("\x1b[2J\x1b[H")
+                print(render_top(snapshot))
+                sys.stdout.flush()
+            if args.frames and frame >= args.frames:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(top_main())

@@ -54,7 +54,12 @@ class TestObservabilityCli:
         assert main(["trace", "fig17", "--users", "2", "--trace-out", out]) == 0
         assert "wrote" in capsys.readouterr().out
         with open(out) as fh:
-            records = [json.loads(line) for line in fh if line.strip()]
+            lines = [json.loads(line) for line in fh if line.strip()]
+        # The first line is the export's meta record; spans follow.
+        meta, records = lines[0], lines[1:]
+        assert meta["kind"] == "meta"
+        assert meta["spans_dropped"] == 0
+        assert meta["n_records"] == len(records)
         names = {r["name"] for r in records}
         assert "serve_query" in names
         assert "radio_state" in names

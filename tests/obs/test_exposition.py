@@ -1,0 +1,100 @@
+"""Tests for metric exposition: text format, JSON, HTTP endpoint."""
+
+import asyncio
+import json
+
+from repro.obs.exposition import (
+    TelemetryEndpoint,
+    prometheus_name,
+    render_json,
+    render_prometheus,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+def _registry():
+    reg = MetricsRegistry()
+    reg.counter("serve.requests").inc(42)
+    reg.gauge("serve.inflight_peak").max(7)
+    for i in range(100):
+        reg.histogram("serve.sojourn_s").add(i / 100.0)
+    return reg
+
+
+class TestPrometheusName:
+    def test_dots_and_dashes_flattened(self):
+        assert prometheus_name("serve.shed.device-queue-full") == (
+            "repro_serve_shed_device_queue_full"
+        )
+
+    def test_leading_digit_guarded(self):
+        assert prometheus_name("3g.radio", prefix="")[0] == "_"
+
+
+class TestRenderPrometheus:
+    def test_counter_gauge_and_summary_lines(self):
+        text = render_prometheus(_registry())
+        assert "# TYPE repro_serve_requests counter" in text
+        assert "repro_serve_requests 42" in text
+        assert "# TYPE repro_serve_inflight_peak gauge" in text
+        assert "# TYPE repro_serve_sojourn_s summary" in text
+        assert 'repro_serve_sojourn_s{quantile="0.5"}' in text
+        assert "repro_serve_sojourn_s_count 100" in text
+        assert text.endswith("\n")
+
+    def test_nan_renders_as_NaN_token(self):
+        reg = MetricsRegistry()
+        reg.histogram("empty")  # force creation, no samples
+        text = render_prometheus(reg)
+        assert "NaN" in text
+
+
+class TestRenderJson:
+    def test_extra_sections_merged(self):
+        doc = json.loads(
+            render_json(_registry(), extra={"serve": {"rolling": {}}})
+        )
+        assert "metrics" in doc
+        assert doc["metrics"]["serve.requests"]["value"] == 42
+        assert doc["serve"] == {"rolling": {}}
+
+
+async def _get(port, path):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(
+        f"GET {path} HTTP/1.0\r\nHost: localhost\r\n\r\n".encode()
+    )
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status = int(head.split()[1])
+    return status, body.decode()
+
+
+class TestTelemetryEndpoint:
+    def test_routes(self):
+        async def scenario():
+            endpoint = TelemetryEndpoint(
+                _registry(),
+                snapshot_fn=lambda: {"serve": {"rolling": {"hit_rate": 0.5}}},
+            )
+            await endpoint.start()
+            port = endpoint.port
+            assert port
+            metrics = await _get(port, "/metrics")
+            as_json = await _get(port, "/metrics.json")
+            health = await _get(port, "/healthz")
+            missing = await _get(port, "/nope")
+            await endpoint.close()
+            return endpoint, metrics, as_json, health, missing
+
+        endpoint, metrics, as_json, health, missing = asyncio.run(scenario())
+        assert metrics[0] == 200
+        assert "repro_serve_requests 42" in metrics[1]
+        assert as_json[0] == 200
+        doc = json.loads(as_json[1])
+        assert doc["serve"]["rolling"]["hit_rate"] == 0.5
+        assert health == (200, "ok\n")
+        assert missing[0] == 404
+        assert endpoint.scrapes == 4

@@ -1,0 +1,100 @@
+"""Property tests for StreamingHistogram.merge reservoir subsampling.
+
+The merge must keep count/sum/min/max exact, and its count-weighted
+reservoir partition must fill the reservoir exactly and never starve the
+lighter side under extreme count skew (the rounding bias this guards
+against: a naive ``round(size * count/total)`` can round the light
+side's share to zero, silently deleting its distribution).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.registry import StreamingHistogram
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+def _hist(values, reservoir_size=16):
+    h = StreamingHistogram(reservoir_size=reservoir_size)
+    for v in values:
+        h.add(v)
+    return h
+
+
+class TestMergeExactStats:
+    @given(
+        a=st.lists(finite_floats, min_size=0, max_size=200),
+        b=st.lists(finite_floats, min_size=0, max_size=200),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_count_sum_min_max_exact(self, a, b):
+        ha, hb = _hist(a), _hist(b)
+        expect_total = ha.total + hb.total
+        ha.merge(hb)
+        assert ha.count == len(a) + len(b)
+        assert ha.total == expect_total
+        if a or b:
+            assert ha.min == min(a + b)
+            assert ha.max == max(a + b)
+
+    @given(b=st.lists(finite_floats, min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_merge_into_empty_adopts_other(self, b):
+        ha = StreamingHistogram(reservoir_size=16)
+        ha.merge(_hist(b))
+        assert ha.count == len(b)
+        assert ha.min == min(b)
+        assert ha.max == max(b)
+        assert len(ha.samples()) == min(16, len(b))
+
+
+class TestReservoirPartition:
+    @given(
+        n_a=st.integers(min_value=1, max_value=400),
+        n_b=st.integers(min_value=1, max_value=400),
+        size=st.integers(min_value=2, max_value=32),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_reservoir_exactly_full_after_merge(self, n_a, n_b, size):
+        ha = _hist([1.0] * n_a, reservoir_size=size)
+        hb = _hist([2.0] * n_b, reservoir_size=size)
+        avail = min(n_a, size) + min(n_b, size)
+        ha.merge(hb)
+        merged = ha.samples()
+        # take_self + take_other == reservoir_size whenever enough
+        # samples exist on the two sides combined.
+        assert len(merged) == min(size, avail)
+
+    @given(
+        heavy=st.integers(min_value=1000, max_value=100_000),
+        light=st.integers(min_value=1, max_value=3),
+        size=st.integers(min_value=2, max_value=32),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_light_side_survives_extreme_count_skew(self, heavy, light, size):
+        """round(size * heavy/total) == size would starve the light side;
+        the clamp keeps at least one slot for it in both directions."""
+        ha = _hist([1.0] * heavy, reservoir_size=size)
+        hb = _hist([2.0] * light, reservoir_size=size)
+        ha.merge(hb)
+        assert 2.0 in ha.samples(), "light other-side was starved"
+
+        hc = _hist([2.0] * light, reservoir_size=size)
+        hd = _hist([1.0] * heavy, reservoir_size=size)
+        hc.merge(hd)
+        assert 2.0 in hc.samples(), "light self-side was starved"
+        assert 1.0 in hc.samples()
+
+    def test_skew_preserves_quantile_mass(self):
+        # 10_000 fast ops vs 5 slow outliers: p50 must stay fast, and
+        # the slow tail must remain visible at the max.
+        fast = _hist([0.01] * 10_000, reservoir_size=64)
+        slow = _hist([9.0] * 5, reservoir_size=64)
+        fast.merge(slow)
+        assert fast.quantile(50) == pytest.approx(0.01)
+        assert fast.max == 9.0
+        assert 9.0 in fast.samples()

@@ -1,0 +1,159 @@
+"""Tests for SLO rules, burn-rate alerting, and verdicts (repro.obs.slo)."""
+
+import json
+
+import pytest
+
+from repro.obs.slo import SLOMonitor, SLOPolicy, SLORule
+
+
+def _policy(**overrides):
+    defaults = dict(
+        rules=(
+            SLORule("p99", "latency", objective=0.9, threshold_s=1.0),
+        ),
+        long_window_s=10.0,
+        short_window_s=2.0,
+        burn_threshold=2.0,
+    )
+    defaults.update(overrides)
+    return SLOPolicy(**defaults)
+
+
+class TestRuleValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            SLORule("x", "availability", objective=0.9)
+
+    def test_objective_bounds(self):
+        for bad in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                SLORule("x", "hit_rate", objective=bad)
+
+    def test_latency_needs_threshold(self):
+        with pytest.raises(ValueError):
+            SLORule("x", "latency", objective=0.9)
+
+    def test_budget_is_complement(self):
+        rule = SLORule("x", "hit_rate", objective=0.75)
+        assert rule.budget == pytest.approx(0.25)
+
+
+class TestPolicyValidation:
+    def test_empty_policy_rejected(self):
+        with pytest.raises(ValueError):
+            SLOPolicy(rules=())
+
+    def test_duplicate_rule_names_rejected(self):
+        rule = SLORule("dup", "hit_rate", objective=0.5)
+        with pytest.raises(ValueError):
+            SLOPolicy(rules=(rule, rule))
+
+    def test_short_window_must_not_exceed_long(self):
+        with pytest.raises(ValueError):
+            _policy(long_window_s=1.0, short_window_s=5.0)
+
+    def test_json_round_trip(self, tmp_path):
+        policy = _policy()
+        path = tmp_path / "policy.json"
+        path.write_text(json.dumps(policy.to_dict()))
+        loaded = SLOPolicy.from_json(str(path))
+        assert loaded == policy
+
+
+class TestClassification:
+    def test_latency_rule_counts_slow_and_shed_as_bad(self):
+        monitor = SLOMonitor(_policy())
+        monitor.record_request(0.1, latency_s=0.5, hit=True)
+        monitor.record_request(0.2, latency_s=5.0, hit=False)
+        monitor.record_request(0.3, shed=True)
+        verdict = monitor.verdict()
+        rule = verdict["rules"]["p99"]
+        assert rule["total"] == 3
+        assert rule["bad"] == 2
+
+    def test_hit_rate_rule_ignores_sheds(self):
+        policy = _policy(rules=(SLORule("hr", "hit_rate", objective=0.5),))
+        monitor = SLOMonitor(policy)
+        monitor.record_request(0.1, latency_s=0.1, hit=True)
+        monitor.record_request(0.2, latency_s=0.1, hit=False)
+        monitor.record_request(0.3, shed=True)
+        rule = monitor.verdict()["rules"]["hr"]
+        assert rule["total"] == 2
+        assert rule["bad"] == 1
+
+    def test_shed_rate_rule_counts_everything(self):
+        policy = _policy(rules=(SLORule("sh", "shed_rate", objective=0.5),))
+        monitor = SLOMonitor(policy)
+        monitor.record_request(0.1, latency_s=0.1, hit=True)
+        monitor.record_request(0.2, shed=True)
+        rule = monitor.verdict()["rules"]["sh"]
+        assert rule["total"] == 2
+        assert rule["bad"] == 1
+
+
+class TestBurnRateAlerting:
+    def test_alert_fires_once_per_episode_and_rearms(self):
+        monitor = SLOMonitor(_policy())
+        # Saturate both windows with bad events: burn >> threshold.
+        for i in range(20):
+            monitor.record_request(i * 0.1, latency_s=9.0, hit=False)
+        fired = monitor.evaluate(2.0)
+        assert len(fired) == 1
+        assert fired[0].rule == "p99"
+        assert fired[0].burn_long >= 2.0
+        # Still firing: no duplicate alert.
+        assert monitor.evaluate(2.5) == []
+        # Recovery: good traffic pushes the short window under threshold.
+        for i in range(200):
+            monitor.record_request(3.0 + i * 0.05, latency_s=0.1, hit=True)
+        assert monitor.evaluate(13.0) == []
+        # A fresh bad burst fires a second alert.
+        for i in range(200):
+            monitor.record_request(14.0 + i * 0.01, latency_s=9.0, hit=False)
+        assert len(monitor.evaluate(16.0)) == 1
+        assert len(monitor.alerts) == 2
+
+    def test_no_alert_when_only_long_window_burns(self):
+        monitor = SLOMonitor(_policy())
+        # Bad events only in the long window's past; short window clean.
+        for i in range(20):
+            monitor.record_request(i * 0.1, latency_s=9.0, hit=False)
+        for i in range(40):
+            monitor.record_request(4.0 + i * 0.05, latency_s=0.1, hit=True)
+        assert monitor.evaluate(6.0) == []
+
+    def test_no_traffic_no_alert(self):
+        monitor = SLOMonitor(_policy())
+        assert monitor.evaluate(100.0) == []
+
+
+class TestVerdict:
+    def test_pass_when_within_budget_and_no_alerts(self):
+        monitor = SLOMonitor(_policy())
+        for i in range(100):
+            monitor.record_request(i * 0.1, latency_s=0.1, hit=True)
+        monitor.evaluate(10.0)
+        verdict = monitor.verdict()
+        assert verdict["verdict"] == "pass"
+        assert verdict["passed"] is True
+        assert verdict["alerts_total"] == 0
+        assert verdict["policy"]["burn_threshold"] == 2.0
+
+    def test_fail_on_budget_overrun_even_without_alert(self):
+        monitor = SLOMonitor(_policy())
+        monitor.record_request(0.1, latency_s=9.0, hit=False)
+        monitor.record_request(0.2, latency_s=0.1, hit=True)
+        verdict = monitor.verdict()
+        assert verdict["verdict"] == "fail"
+        assert verdict["rules"]["p99"]["bad_fraction"] == pytest.approx(0.5)
+
+    def test_fail_records_alert_history(self):
+        monitor = SLOMonitor(_policy())
+        for i in range(20):
+            monitor.record_request(i * 0.1, latency_s=9.0, hit=False)
+        monitor.evaluate(2.0)
+        verdict = monitor.verdict()
+        assert verdict["passed"] is False
+        assert len(verdict["alerts"]) == 1
+        assert verdict["alerts"][0]["rule"] == "p99"

@@ -1,0 +1,141 @@
+"""Tests for the windowed time-series engine (repro.obs.timeseries)."""
+
+import math
+
+import pytest
+
+from repro.obs.timeseries import (
+    ExemplarRing,
+    TimeSeriesRegistry,
+    WindowedCounter,
+    WindowedGauge,
+    WindowedHistogram,
+)
+
+
+class TestWindowedCounter:
+    def test_total_and_rate_within_window(self):
+        wc = WindowedCounter(width_s=1.0, n_buckets=5)
+        wc.inc(0.2)
+        wc.inc(1.7, 2)
+        wc.inc(3.0)
+        assert wc.total(3.5) == 4
+        assert wc.rate(3.5) == pytest.approx(4 / 5.0)
+
+    def test_old_buckets_age_out(self):
+        wc = WindowedCounter(width_s=1.0, n_buckets=5)
+        wc.inc(0.5, 10)
+        wc.inc(4.5)
+        assert wc.total(4.9) == 11
+        # At t=5.9 the window is buckets 1..5: bucket 0 has aged out.
+        assert wc.total(5.9) == 1
+
+    def test_ring_slot_reuse_resets_stale_bucket(self):
+        wc = WindowedCounter(width_s=1.0, n_buckets=3)
+        wc.inc(0.5, 7)  # bucket 0
+        wc.inc(3.5, 1)  # bucket 3 claims the same slot as bucket 0
+        assert wc.per_bucket(4.0) == [(3.0, 1.0)]
+
+    def test_observe_total_mirrors_monotonic_counter(self):
+        wc = WindowedCounter(width_s=1.0, n_buckets=10)
+        wc.observe_total(0.0, 100)  # seeds the baseline
+        wc.observe_total(1.5, 103)
+        wc.observe_total(2.5, 103)  # no delta, no bucket write
+        wc.observe_total(3.5, 110)
+        assert wc.total(4.0) == 10
+        with pytest.raises(ValueError):
+            wc.observe_total(5.0, 90)
+
+    def test_negative_increment_rejected(self):
+        wc = WindowedCounter()
+        with pytest.raises(ValueError):
+            wc.inc(0.0, -1)
+
+
+class TestWindowedGauge:
+    def test_last_and_high_watermark(self):
+        g = WindowedGauge(width_s=1.0, n_buckets=4)
+        g.observe(0.5, 3)
+        g.observe(0.9, 1)
+        g.observe(2.5, 2)
+        assert g.last(3.0) == 2
+        assert g.high_watermark(3.0) == 3
+        # After bucket 0 ages out, the watermark drops.
+        assert g.high_watermark(4.5) == 2
+
+    def test_empty_window_is_nan(self):
+        g = WindowedGauge(width_s=1.0, n_buckets=4)
+        assert math.isnan(g.last(10.0))
+        assert math.isnan(g.high_watermark(10.0))
+
+
+class TestWindowedHistogram:
+    def test_quantiles_exact_at_extremes(self):
+        h = WindowedHistogram(width_s=1.0, n_buckets=10)
+        for i in range(100):
+            h.observe(i * 0.05, float(i))
+        assert h.quantile(5.0, 0) == 0.0
+        assert h.quantile(5.0, 100) == 99.0
+        assert h.count(5.0) == 100
+        assert h.mean(5.0) == pytest.approx(49.5)
+
+    def test_rolling_quantile_over_pooled_buckets(self):
+        h = WindowedHistogram(width_s=1.0, n_buckets=4)
+        for i in range(10):
+            h.observe(0.5, 1.0)
+            h.observe(1.5, 100.0)
+        assert h.quantile(2.0, 50) == 1.0
+        # At t=4.2 the window is buckets 1..4: the cheap bucket 0 has
+        # aged out and only the expensive bucket remains.
+        assert h.quantile(4.2, 50) == 100.0
+
+    def test_empty_is_nan_and_bad_percentile_raises(self):
+        h = WindowedHistogram()
+        assert math.isnan(h.quantile(0.0, 99))
+        with pytest.raises(ValueError):
+            h.quantile(0.0, 101)
+
+
+class TestExemplarRing:
+    def test_keeps_top_k_per_bucket(self):
+        ring = ExemplarRing(width_s=1.0, n_buckets=4, k=2)
+        for i in range(10):
+            ring.observe(0.5, float(i), {"id": i})
+        top = ring.top(0.9)
+        assert [e["id"] for e in top] == [9, 8]
+        assert [e["latency_s"] for e in top] == [9.0, 8.0]
+
+    def test_quiet_bucket_not_crowded_out(self):
+        ring = ExemplarRing(width_s=1.0, n_buckets=4, k=2)
+        ring.observe(0.5, 100.0, {"id": "busy-1"})
+        ring.observe(0.6, 90.0, {"id": "busy-2"})
+        ring.observe(0.7, 80.0, {"id": "busy-3"})
+        ring.observe(1.5, 0.001, {"id": "quiet"})
+        everything = ring.top(2.0, k=10)
+        assert {e["id"] for e in everything} == {"busy-1", "busy-2", "quiet"}
+
+
+class TestTimeSeriesRegistry:
+    def test_get_or_create_shares_geometry(self):
+        reg = TimeSeriesRegistry(width_s=2.0, n_buckets=30)
+        c = reg.counter("a")
+        assert reg.counter("a") is c
+        assert c.width_s == 2.0
+        assert reg.window_s == 60.0
+        assert reg.names() == ["a"]
+
+    def test_type_conflict_raises(self):
+        reg = TimeSeriesRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_snapshot_covers_all_instruments(self):
+        reg = TimeSeriesRegistry()
+        reg.counter("c").inc(0.5)
+        reg.gauge("g").observe(0.5, 2)
+        reg.histogram("h").observe(0.5, 1.0)
+        snap = reg.snapshot(1.0)
+        assert snap["c"]["type"] == "windowed_counter"
+        assert snap["g"]["type"] == "windowed_gauge"
+        assert snap["h"]["type"] == "windowed_histogram"

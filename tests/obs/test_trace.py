@@ -120,8 +120,13 @@ class TestJsonlRoundTrip:
         t.export_jsonl(path)
         with open(path) as fh:
             lines = [line for line in fh if line.strip()]
-        assert len(lines) == 2
-        for line in lines:
+        # First line is the meta record; the rest are span records.
+        assert len(lines) == 3
+        meta = json.loads(lines[0])
+        assert meta["kind"] == "meta"
+        assert meta["spans_dropped"] == 0
+        assert meta["n_records"] == 2
+        for line in lines[1:]:
             record = json.loads(line)
             assert {"name", "span_id", "parent_id", "t_start",
                     "duration_s", "kind", "attrs"} <= set(record)

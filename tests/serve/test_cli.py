@@ -64,3 +64,96 @@ class TestServeVerb:
 
     def test_bad_users_rejected(self, capsys):
         assert serve_main(["--users", "0"]) == 2
+
+
+STRICT_POLICY = {
+    "burn_threshold": 1.0,
+    "long_window_s": 60.0,
+    "short_window_s": 5.0,
+    "rules": [
+        {"name": "p99", "kind": "latency", "objective": 0.999,
+         "threshold_s": 0.001},
+    ],
+}
+
+
+class TestLoadtestTelemetryFlags:
+    def test_slo_policy_verdict_in_manifest_and_output(
+        self, tmp_path, capsys
+    ):
+        policy = tmp_path / "policy.json"
+        policy.write_text(json.dumps(STRICT_POLICY))
+        out = tmp_path / "loadtest.json"
+        code = loadtest_main(
+            LIGHT_LOADTEST
+            + ["--slo-policy", str(policy), "--manifest-out", str(out)]
+        )
+        assert code == 0  # without --fail-on-alert the verdict is advisory
+        captured = capsys.readouterr().out
+        assert "SLO verdict: FAIL" in captured
+        manifest = json.loads(out.read_text())
+        assert manifest["metrics"]["slo"]["verdict"] == "fail"
+        assert manifest["metrics"]["slo"]["alerts_total"] >= 1
+        assert manifest["metrics"]["slo_passed"] == 0.0
+
+    def test_fail_on_alert_gates_exit_code(self, tmp_path):
+        policy = tmp_path / "policy.json"
+        policy.write_text(json.dumps(STRICT_POLICY))
+        code = loadtest_main(
+            LIGHT_LOADTEST + ["--slo-policy", str(policy), "--fail-on-alert"]
+        )
+        assert code == 1
+
+    def test_bad_policy_file_exits_2(self, tmp_path):
+        policy = tmp_path / "broken.json"
+        policy.write_text("{not json")
+        code = loadtest_main(LIGHT_LOADTEST + ["--slo-policy", str(policy)])
+        assert code == 2
+
+    def test_snapshot_out_renders_with_repro_top(self, tmp_path, capsys):
+        snap = tmp_path / "snap.json"
+        code = loadtest_main(LIGHT_LOADTEST + ["--snapshot-out", str(snap)])
+        assert code == 0
+        doc = json.loads(snap.read_text())
+        assert "rolling" in doc["serve"]
+        assert repro_main(["top", "--snapshot", str(snap)]) == 0
+        assert "repro top" in capsys.readouterr().out
+
+    def test_every_response_breakdown_in_manifest_path(self, tmp_path):
+        # The trace plane is always on: even a bare loadtest records
+        # segment p99s in its manifest.
+        out = tmp_path / "loadtest.json"
+        assert loadtest_main(
+            LIGHT_LOADTEST + ["--manifest-out", str(out)]
+        ) == 0
+        manifest = json.loads(out.read_text())
+        for key in ("queue_wait_p99_s", "batch_wait_p99_s", "service_p99_s"):
+            assert key in manifest["metrics"], key
+
+    def test_traced_runs_record_spans_dropped_in_manifest(self, tmp_path):
+        trace_out = tmp_path / "trace.jsonl"
+        manifest_out = tmp_path / "m.json"
+        code = repro_main(
+            ["trace", "table2", "--trace-out", str(trace_out),
+             "--manifest-out", str(manifest_out)]
+        )
+        assert code == 0
+        manifest = json.loads(manifest_out.read_text())
+        assert manifest["metrics"]["spans_dropped"] == 0
+
+
+class TestBenchGateVerb:
+    def test_dispatch_from_main_cli(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        base.write_text(
+            json.dumps({"name": "lt", "metrics": {"sojourn_p99_s": 1.0}})
+        )
+        cand = tmp_path / "cand.json"
+        cand.write_text(
+            json.dumps({"name": "lt", "metrics": {"sojourn_p99_s": 5.0}})
+        )
+        code = repro_main(
+            ["bench-gate", "--baseline", str(base), "--candidate", str(cand)]
+        )
+        assert code == 1
+        assert "REGRESSED" in capsys.readouterr().out

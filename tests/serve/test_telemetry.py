@@ -1,0 +1,169 @@
+"""Tests for the serving telemetry plane (repro.serve.telemetry)."""
+
+import pytest
+
+from repro.obs.slo import SLOPolicy, SLORule
+from repro.obs.trace import TraceContext, Tracer, set_tracer, disable
+from repro.serve.requests import ServeRequest, ServeResponse
+from repro.serve.telemetry import ServeTelemetry
+from repro.sim.metrics import QueryOutcome, ServiceSource
+
+
+def _response(
+    trace_id=1,
+    enqueued_at=0.0,
+    completed_at=1.0,
+    hit=True,
+    shared=False,
+    device_id=1,
+    key="q",
+):
+    """A synthetic completed response with a consistent trace."""
+    outcome = QueryOutcome(
+        query=key,
+        hit=hit,
+        source=ServiceSource.CACHE if hit else ServiceSource.RADIO_3G,
+        latency_s=completed_at - enqueued_at,
+        energy_j=0.0,
+        timestamp=enqueued_at,
+    )
+    trace = TraceContext(trace_id, enqueued_at)
+    trace.mark("queue_wait", enqueued_at)
+    trace.mark("refresh_blocked", enqueued_at)
+    if not hit:
+        trace.mark("batch_wait", completed_at)
+    trace.mark("service", completed_at)
+    return ServeResponse(
+        request=ServeRequest(device_id=device_id, key=key),
+        outcome=outcome,
+        enqueued_at=enqueued_at,
+        started_at=enqueued_at,
+        completed_at=completed_at,
+        shared_fetch=shared,
+        trace=trace,
+    )
+
+
+def _slow_policy():
+    return SLOPolicy(
+        rules=(SLORule("p99", "latency", objective=0.9, threshold_s=0.5),),
+        long_window_s=10.0,
+        short_window_s=2.0,
+        burn_threshold=2.0,
+    )
+
+
+class TestRollingStats:
+    def test_hit_and_shed_rates(self):
+        telemetry = ServeTelemetry(bucket_width_s=1.0, n_buckets=60)
+        for i in range(4):
+            telemetry.on_submit(i * 0.1, inflight=1)
+            telemetry.on_response(
+                i * 0.1 + 0.05,
+                _response(trace_id=i + 1, enqueued_at=i * 0.1,
+                          completed_at=i * 0.1 + 0.05, hit=(i % 2 == 0)),
+                inflight=0,
+            )
+        telemetry.on_submit(1.0, inflight=1)
+        telemetry.on_shed(1.0, object())
+        rolling = telemetry.rolling(2.0)
+        assert rolling["requests"] == 5
+        assert rolling["completed"] == 4
+        assert rolling["hit_rate"] == pytest.approx(0.5)
+        assert rolling["shed_rate"] == pytest.approx(0.2)
+        assert rolling["inflight_hwm"] == 1
+
+    def test_batch_efficiency_from_fetch_classification(self):
+        telemetry = ServeTelemetry()
+        # Leader miss: batch_wait > 0, not shared.
+        telemetry.on_response(
+            1.0, _response(hit=False, completed_at=1.0), inflight=0
+        )
+        # Rider miss: shared fetch.
+        telemetry.on_response(
+            1.1,
+            _response(trace_id=2, hit=False, completed_at=1.1, shared=True),
+            inflight=0,
+        )
+        rolling = telemetry.rolling(2.0)
+        assert rolling["batch_efficiency"] == pytest.approx(0.5)
+
+    def test_exemplars_carry_segment_timelines(self):
+        telemetry = ServeTelemetry(exemplar_k=2)
+        telemetry.on_response(
+            5.0, _response(completed_at=5.0, key="slow"), inflight=0
+        )
+        top = telemetry.exemplars.top(5.5)
+        assert top[0]["key"] == "slow"
+        assert top[0]["latency_s"] == pytest.approx(5.0)
+        assert "breakdown" in top[0]
+        assert top[0]["hit"] is True
+
+
+class TestPerBucket:
+    def test_rows_align_across_instruments(self):
+        telemetry = ServeTelemetry(bucket_width_s=1.0, n_buckets=10)
+        telemetry.on_submit(0.5, inflight=3)
+        telemetry.on_response(
+            0.6, _response(enqueued_at=0.5, completed_at=0.6), inflight=2
+        )
+        telemetry.on_shed(2.5, object())
+        rows = telemetry.per_bucket(3.0)
+        by_start = {row["t_start"]: row for row in rows}
+        assert by_start[0.0]["completed"] == 1
+        assert by_start[0.0]["hit_rate"] == 1.0
+        assert by_start[0.0]["inflight_hwm"] == 3
+        assert by_start[2.0]["shed"] == 1
+        assert by_start[2.0]["hit_rate"] is None
+
+
+class TestSLOIntegration:
+    def test_alerts_fire_inline_and_emit_tracer_events(self):
+        tracer = Tracer()
+        set_tracer(tracer)
+        try:
+            telemetry = ServeTelemetry(slo_policy=_slow_policy())
+            # Every request blows the 0.5s threshold across 4 buckets;
+            # the bucket-roll tick evaluates and fires inline.
+            for i in range(40):
+                t = i * 0.1
+                telemetry.on_response(
+                    t,
+                    _response(trace_id=i + 1, enqueued_at=t - 2.0,
+                              completed_at=t, hit=False),
+                    inflight=0,
+                )
+            telemetry.finalize()
+            assert telemetry.slo.alerts
+            events = [r for r in tracer.records() if r.name == "slo_alert"]
+            assert len(events) == len(telemetry.slo.alerts)
+            assert events[0].attrs["rule"] == "p99"
+        finally:
+            disable()
+
+    def test_verdict_surfaces_in_snapshot_and_none_without_policy(self):
+        telemetry = ServeTelemetry(slo_policy=_slow_policy())
+        telemetry.on_response(0.5, _response(completed_at=0.5), inflight=0)
+        snapshot = telemetry.snapshot()
+        assert "slo" in snapshot
+        assert telemetry.verdict()["verdict"] in ("pass", "fail")
+        bare = ServeTelemetry()
+        assert bare.verdict() is None
+        assert "slo" not in bare.snapshot()
+
+
+class TestTicks:
+    def test_on_tick_fires_once_per_bucket_roll(self):
+        telemetry = ServeTelemetry(bucket_width_s=1.0)
+        ticks = []
+        telemetry.on_tick.append(lambda t, tel: ticks.append(t))
+        for t in (0.1, 0.5, 0.9, 1.1, 1.2, 3.5):
+            telemetry.on_submit(t, inflight=1)
+        # Rolls: bucket 0 -> 1 (tick at 1.0) and 1 -> 3 (tick at 3.0).
+        assert ticks == [1.0, 3.0]
+
+    def test_snapshot_defaults_to_latest_event_time(self):
+        telemetry = ServeTelemetry()
+        telemetry.on_submit(7.25, inflight=1)
+        assert telemetry.snapshot()["t"] == 7.25
+        assert telemetry.t_last == 7.25
