@@ -1,0 +1,133 @@
+"""Committed-baseline support: grandfather old findings, block new ones.
+
+The baseline file (``LINT_baseline.json`` at the repo root) lists
+findings that existed when a rule was introduced and were judged
+*deliberate* — each entry carries a human-written ``reason``.  Findings
+matching a baseline entry are reported as "baselined" and do not fail
+the run; anything new does.
+
+Matching is by :meth:`~repro.analysis.findings.Finding.fingerprint`
+(rule + path + offending line *text*, not line number) with occurrence
+counting: a baseline entry with ``count: 2`` tolerates two identical
+violations in that file, and the third fails.  Stale entries (fixed
+code whose baseline line remains) are surfaced so the file shrinks
+monotonically instead of rotting.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import os
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.analysis.findings import Finding
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "Baseline",
+    "partition",
+]
+
+#: Conventional location, relative to the repo root.
+DEFAULT_BASELINE = "LINT_baseline.json"
+
+SCHEMA_VERSION = 1
+
+
+class Baseline:
+    """In-memory view of the committed baseline file."""
+
+    def __init__(self, entries: Sequence[Dict[str, Any]] = ()) -> None:
+        #: fingerprint -> allowed occurrence count
+        self.counts: Dict[str, int] = collections.Counter()
+        #: fingerprint -> the raw entry (for stale reporting)
+        self.entries: Dict[str, Dict[str, Any]] = {}
+        for entry in entries:
+            fp = entry["fingerprint"]
+            self.counts[fp] += int(entry.get("count", 1))
+            self.entries.setdefault(fp, dict(entry))
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not os.path.exists(path):
+            return cls()
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        if not isinstance(doc, dict) or "entries" not in doc:
+            raise ValueError(
+                f"{path}: not a lint baseline (expected an object with "
+                "'entries')"
+            )
+        return cls(doc["entries"])
+
+    @classmethod
+    def from_findings(
+        cls, findings: Sequence[Finding], reason: str = "baselined at introduction"
+    ) -> "Baseline":
+        grouped: Dict[Tuple[str, str, str, str], int] = collections.Counter()
+        for f in findings:
+            grouped[(f.fingerprint(), f.rule, f.path, f.snippet)] += 1
+        entries = [
+            {
+                "fingerprint": fp,
+                "rule": rule,
+                "path": path,
+                "snippet": snippet,
+                "count": count,
+                "reason": reason,
+            }
+            for (fp, rule, path, snippet), count in sorted(grouped.items())
+        ]
+        return cls(entries)
+
+    def write(self, path: str) -> str:
+        doc = {
+            "schema_version": SCHEMA_VERSION,
+            "entries": sorted(
+                self.to_entries(), key=lambda e: (e["path"], e["rule"], e["fingerprint"])
+            ),
+        }
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return path
+
+    def to_entries(self) -> List[Dict[str, Any]]:
+        out = []
+        for fp, count in self.counts.items():
+            entry = dict(self.entries.get(fp, {"fingerprint": fp}))
+            entry["count"] = count
+            out.append(entry)
+        return out
+
+
+def partition(
+    findings: Sequence[Finding], baseline: Baseline
+) -> Tuple[List[Finding], List[Finding], List[Dict[str, Any]]]:
+    """Split findings into ``(new, baselined)`` plus stale entries.
+
+    Occurrence counting consumes baseline budget per fingerprint; stale
+    entries are baseline lines whose budget was never (fully) used —
+    the violation has been fixed and the entry should be deleted.
+    """
+    budget = dict(baseline.counts)
+    new: List[Finding] = []
+    grandfathered: List[Finding] = []
+    for finding in findings:
+        fp = finding.fingerprint()
+        if budget.get(fp, 0) > 0:
+            budget[fp] -= 1
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    stale = [
+        {**baseline.entries.get(fp, {"fingerprint": fp}), "unused": left}
+        for fp, left in sorted(budget.items())
+        if left > 0
+    ]
+    return new, grandfathered, stale

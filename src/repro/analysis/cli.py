@@ -1,0 +1,272 @@
+"""``repro lint``: run the determinism/async-safety analyzer from the CLI.
+
+Usage::
+
+    python -m repro lint                         # src/ benchmarks/ tests/differential/
+    python -m repro lint src/repro/serve         # one subtree
+    python -m repro lint --format json           # machine-readable report
+    python -m repro lint --stats                 # findings per rule / package
+    python -m repro lint --write-baseline        # grandfather current findings
+    python -m repro lint --manifest-out lint.json  # lint-health run manifest
+
+Exit-code semantics match ``repro bench-gate``: 0 clean, 1 findings
+(new errors; warnings too under ``--strict``), 2 usage/input error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.baseline import DEFAULT_BASELINE, Baseline, partition
+from repro.analysis.engine import Analyzer, FileReport
+from repro.analysis.findings import Finding, Severity
+
+__all__ = ["lint_main"]
+
+#: What CI gates when no explicit paths are given.
+DEFAULT_PATHS = ("src", "benchmarks", "tests/differential")
+
+
+def _format_table(rows: List[List[str]], headers: List[str]) -> str:
+    widths = [
+        max(len(str(headers[i])), *(len(str(r[i])) for r in rows)) if rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    def line(cells):
+        return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+    out = [line(headers), line("-" * w for w in widths)]
+    out.extend(line(r) for r in rows)
+    return "\n".join(out)
+
+
+def _package_of(path: str) -> str:
+    parts = path.replace("\\", "/").split("/")
+    if "repro" in parts:
+        idx = parts.index("repro")
+        if idx + 1 < len(parts) - 1:
+            return f"repro.{parts[idx + 1]}"
+        return "repro"
+    return parts[0] if parts else path
+
+
+def _stats(
+    new: Sequence[Finding],
+    baselined: Sequence[Finding],
+    suppressed_total: int,
+    files: int,
+) -> Dict[str, Any]:
+    per_rule: Dict[str, int] = collections.Counter()
+    per_package: Dict[str, int] = collections.Counter()
+    errors = warnings = 0
+    for finding in new:
+        per_rule[finding.rule] += 1
+        per_package[_package_of(finding.path)] += 1
+        if finding.severity is Severity.ERROR:
+            errors += 1
+        else:
+            warnings += 1
+    return {
+        "files": files,
+        "findings": len(new),
+        "errors": errors,
+        "warnings": warnings,
+        "baselined": len(baselined),
+        "suppressed": suppressed_total,
+        "per_rule": dict(sorted(per_rule.items())),
+        "per_package": dict(sorted(per_package.items())),
+    }
+
+
+def _print_stats(stats: Dict[str, Any]) -> None:
+    from repro.analysis.rules import RULES_BY_ID
+
+    print(f"\n=== lint stats: {stats['files']} files ===")
+    rule_rows = [
+        [rule, RULES_BY_ID[rule].name if rule in RULES_BY_ID else "-",
+         str(count)]
+        for rule, count in stats["per_rule"].items()
+    ]
+    if rule_rows:
+        print(_format_table(rule_rows, ["rule", "name", "findings"]))
+    pkg_rows = [[pkg, str(n)] for pkg, n in stats["per_package"].items()]
+    if pkg_rows:
+        print()
+        print(_format_table(pkg_rows, ["package", "findings"]))
+    if not rule_rows:
+        print("no findings")
+
+
+def _manifest_metrics(stats: Dict[str, Any]) -> Dict[str, Any]:
+    metrics: Dict[str, Any] = {
+        f"lint.{key}": stats[key]
+        for key in ("files", "findings", "errors", "warnings",
+                    "baselined", "suppressed")
+    }
+    for rule, count in stats["per_rule"].items():
+        metrics[f"lint.rule.{rule}"] = count
+    for pkg, count in stats["per_package"].items():
+        metrics[f"lint.package.{pkg}"] = count
+    return metrics
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="AST-based determinism & async-safety analyzer "
+        "(project-specific rules REP001-REP008).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help=f"files/directories to analyze (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default text)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH", default=DEFAULT_BASELINE,
+        help=f"committed baseline file (default {DEFAULT_BASELINE}; "
+        "missing file = empty baseline)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline file: every finding counts",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write current unsuppressed findings to --baseline and exit 0 "
+        "(edit the file to add a `reason` per entry)",
+    )
+    parser.add_argument(
+        "--select", action="append", metavar="RULES",
+        help="comma-separated rule ids/names to run (repeatable)",
+    )
+    parser.add_argument(
+        "--ignore", action="append", metavar="RULES",
+        help="comma-separated rule ids/names to skip (repeatable)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="warnings also fail the run (default: only errors do)",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print a findings-per-rule / per-package summary",
+    )
+    parser.add_argument(
+        "--manifest-out", metavar="PATH", default=None,
+        help="write a lint-health run manifest (counts per rule/package)",
+    )
+    return parser
+
+
+def _split_specs(specs: Optional[List[str]]) -> Optional[List[str]]:
+    if specs is None:
+        return None
+    out: List[str] = []
+    for spec in specs:
+        out.extend(s.strip() for s in spec.split(",") if s.strip())
+    return out
+
+
+def lint_main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        analyzer = Analyzer(
+            select=_split_specs(args.select), ignore=_split_specs(args.ignore)
+        )
+    except ValueError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+
+    paths = args.paths or list(DEFAULT_PATHS)
+    reports: List[FileReport] = analyzer.run(paths)
+    if not reports:
+        print(f"repro lint: no python files under {paths}", file=sys.stderr)
+        return 2
+    all_findings = [f for r in reports for f in r.findings]
+    suppressed_total = sum(len(r.suppressed) for r in reports)
+
+    if args.write_baseline:
+        baseline = Baseline.from_findings(all_findings)
+        path = baseline.write(args.baseline)
+        print(
+            f"repro lint: wrote {len(baseline)} finding(s) to {path} — "
+            "add a `reason` to each entry explaining why it is deliberate"
+        )
+        return 0
+
+    if args.no_baseline:
+        baseline = Baseline()
+    else:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except (ValueError, json.JSONDecodeError, OSError) as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return 2
+    new, grandfathered, stale = partition(all_findings, baseline)
+
+    stats = _stats(new, grandfathered, suppressed_total, files=len(reports))
+    failing = stats["errors"] + (stats["warnings"] if args.strict else 0)
+    exit_code = 1 if failing else 0
+
+    if args.manifest_out:
+        from repro.obs.manifest import ManifestRecorder
+
+        recorder = ManifestRecorder(
+            "lint",
+            config={
+                "paths": list(paths),
+                "strict": args.strict,
+                "baseline": None if args.no_baseline else args.baseline,
+                "rules": [r.id for r in analyzer.rules],
+            },
+        )
+        with recorder:
+            for key, value in _manifest_metrics(stats).items():
+                recorder.add_metric(key, value)
+        recorder.manifest.write(args.manifest_out)
+
+    if args.format == "json":
+        doc = {
+            "version": 1,
+            "stats": stats,
+            "findings": [f.to_dict() for f in new],
+            "baselined": [f.to_dict() for f in grandfathered],
+            "stale_baseline": stale,
+            "exit_code": exit_code,
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        if args.manifest_out:
+            print(f"wrote lint manifest to {args.manifest_out}",
+                  file=sys.stderr)
+        return exit_code
+
+    for finding in new:
+        print(finding.format())
+    for entry in stale:
+        print(
+            f"stale baseline entry ({entry.get('rule', '?')} "
+            f"{entry.get('path', '?')}): violation no longer present — "
+            f"delete it from {args.baseline}",
+        )
+    if args.stats:
+        _print_stats(stats)
+    print(
+        f"repro lint: {stats['files']} files, {stats['errors']} error(s), "
+        f"{stats['warnings']} warning(s) "
+        f"({suppressed_total} suppressed inline, "
+        f"{stats['baselined']} baselined, {len(stale)} stale baseline)"
+    )
+    if args.manifest_out:
+        print(f"wrote lint manifest to {args.manifest_out}")
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(lint_main())

@@ -1,0 +1,166 @@
+"""Per-file analysis context: logical package, imports, suppressions.
+
+Rules never touch the filesystem or import the code under analysis —
+everything they need (parsed tree, source lines, resolved import
+aliases, the file's position in the ``repro`` package layout, inline
+``# repro: noqa`` directives) lives on one :class:`FileContext`.
+
+Import resolution is intentionally *syntactic*: ``import numpy as np``
+makes ``np.random.rand`` resolve to ``numpy.random.rand`` without ever
+importing numpy.  That keeps the analyzer runnable on files whose
+dependencies are absent and free of import side effects.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Set, Tuple
+
+__all__ = ["FileContext", "ImportMap", "parse_noqa"]
+
+#: ``# repro: noqa``, ``# repro: noqa[REP001,REP002]`` or the ruff-shaped
+#: ``# repro: noqa: REP001,REP002``.  A bare directive suppresses every
+#: rule on that line.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa"
+    r"(?:\s*(?:\[(?P<brack>[A-Z0-9,\s]+)\]|:\s*(?P<colon>[A-Z0-9,\s]+)))?",
+)
+
+#: Sentinel rule set meaning "suppress everything on this line".
+ALL_RULES: frozenset = frozenset({"*"})
+
+
+def parse_noqa(lines: List[str]) -> Dict[int, frozenset]:
+    """Map 1-based line number -> suppressed rule ids (or :data:`ALL_RULES`)."""
+    out: Dict[int, frozenset] = {}
+    for lineno, text in enumerate(lines, start=1):
+        if "repro" not in text or "noqa" not in text:
+            continue
+        match = _NOQA_RE.search(text)
+        if match is None:
+            continue
+        spec = match.group("brack") or match.group("colon")
+        if spec is None:
+            out[lineno] = ALL_RULES
+        else:
+            rules = frozenset(
+                r.strip() for r in spec.split(",") if r.strip()
+            )
+            out[lineno] = rules or ALL_RULES
+    return out
+
+
+class ImportMap:
+    """Syntactic alias table for resolving dotted call targets.
+
+    Built from every ``import``/``from ... import`` in the file (at any
+    nesting level — decorator-gated or function-local imports count).
+    :meth:`resolve` turns an attribute chain back into the canonical
+    dotted name, e.g. with ``from datetime import datetime as dt``,
+    ``dt.now`` resolves to ``datetime.datetime.now``.
+    """
+
+    def __init__(self, tree: ast.AST) -> None:
+        #: local alias -> canonical dotted prefix
+        self.aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    # ``import a.b`` binds ``a``; ``import a.b as c`` binds c=a.b.
+                    target = alias.name if alias.asname else local
+                    self.aliases[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.aliases[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Canonical dotted name of a Name/Attribute chain, or ``None``.
+
+        ``None`` means the chain is rooted in something that is not a
+        plain name (a call result, subscript, ...) — rules treat that
+        as "unknown", never as a match.
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(node.id)
+        parts.reverse()
+        root = parts[0]
+        resolved_root = self.aliases.get(root, root)
+        return ".".join([resolved_root] + parts[1:])
+
+
+class FileContext:
+    """Everything the rules may know about one file under analysis.
+
+    Attributes:
+        path: display path (repo-relative POSIX when possible).
+        source: raw file text.
+        lines: source split into lines (no trailing newlines).
+        tree: parsed :class:`ast.Module`.
+        imports: the file's :class:`ImportMap`.
+        noqa: line -> suppressed rule ids (see :func:`parse_noqa`).
+        module_parts: path components from the nearest ``repro``
+            directory down to the file, e.g. ``("sim", "replay.py")``;
+            empty when the file is outside any ``repro`` tree.  Fixture
+            trees under ``tests/.../repro/`` resolve exactly like the
+            real package, so path-scoped rules are testable.
+    """
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.imports = ImportMap(tree)
+        self.noqa = parse_noqa(self.lines)
+        self.module_parts = self._locate(path)
+
+    @staticmethod
+    def _locate(path: str) -> Tuple[str, ...]:
+        parts = path.replace("\\", "/").split("/")
+        for i in range(len(parts) - 1, -1, -1):
+            if parts[i] == "repro":
+                return tuple(parts[i + 1:])
+        return ()
+
+    @property
+    def subpackage(self) -> Optional[str]:
+        """First-level package inside ``repro`` (``"sim"``, ``"serve"``,
+        ...), the module stem for top-level files (``"cli"``), or
+        ``None`` outside the repro tree."""
+        if not self.module_parts:
+            return None
+        if len(self.module_parts) == 1:
+            name = self.module_parts[0]
+            return name[:-3] if name.endswith(".py") else name
+        return self.module_parts[0]
+
+    @property
+    def filename(self) -> str:
+        return self.module_parts[-1] if self.module_parts else self.path
+
+    def in_packages(self, names: Set[str]) -> bool:
+        sub = self.subpackage
+        return sub is not None and sub in names
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def is_suppressed(self, rule_id: str, lineno: int) -> bool:
+        rules = self.noqa.get(lineno)
+        if rules is None:
+            return False
+        return rules is ALL_RULES or "*" in rules or rule_id in rules

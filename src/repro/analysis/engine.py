@@ -1,0 +1,249 @@
+"""The rule engine: one AST pass per file, many rules riding along.
+
+Rules are flake8-plugin-shaped: subclass :class:`Rule`, declare ``id``,
+``name`` and ``severity``, and implement ``visit_<NodeType>`` methods.
+The :class:`Analyzer` parses each file once, walks the tree in source
+order, and dispatches every node to each applicable rule's matching
+visitor.  Rules that need flow context (e.g. "an ``await`` while a lock
+is held") are free to sub-walk the node they were handed.
+
+Suppression happens at collection time: a finding on a line carrying
+``# repro: noqa[RULE]`` is counted but not reported (see
+:mod:`repro.analysis.context`).  Baseline filtering is a separate,
+later stage (:mod:`repro.analysis.baseline`) so "suppressed inline" and
+"grandfathered" stay distinguishable in the stats.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Type
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding, Severity
+
+__all__ = ["Analyzer", "FileReport", "Rule", "iter_python_files", "walk_in_order"]
+
+
+class Rule:
+    """Base class for one lint rule, instantiated fresh per file.
+
+    Class attributes:
+        id: stable identifier, ``REP`` + 3 digits.
+        name: short kebab-case name used in docs and ``--select``.
+        severity: default :class:`Severity` for this rule's findings.
+
+    Subclasses implement any number of ``visit_<NodeType>`` methods and
+    may override :meth:`applies_to` to scope themselves to packages,
+    and :meth:`finish` for whole-file checks after the walk.
+    """
+
+    id: str = "REP000"
+    name: str = "abstract-rule"
+    severity: Severity = Severity.ERROR
+
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self.findings: List[Finding] = []
+
+    @classmethod
+    def applies_to(cls, ctx: FileContext) -> bool:
+        return True
+
+    def report(
+        self,
+        node: ast.AST,
+        message: str,
+        severity: Optional[Severity] = None,
+    ) -> None:
+        line = getattr(node, "lineno", 1)
+        self.findings.append(
+            Finding(
+                rule=self.id,
+                severity=severity or self.severity,
+                path=self.ctx.path,
+                line=line,
+                col=getattr(node, "col_offset", 0),
+                message=message,
+                snippet=self.ctx.line_text(line),
+            )
+        )
+
+    def finish(self) -> None:
+        """Called once after the file walk; override for file-level checks."""
+
+
+def walk_in_order(tree: ast.AST) -> Iterator[ast.AST]:
+    """Depth-first, source-order traversal (``ast.walk`` is BFS)."""
+    stack: List[ast.AST] = [tree]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(list(ast.iter_child_nodes(node))))
+
+
+@dataclass
+class FileReport:
+    """Outcome of analyzing one file."""
+
+    path: str
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    error: Optional[str] = None  # syntax/read failure, reported as REP000
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Expand files/directories into a sorted, deduplicated ``.py`` list."""
+    seen = set()
+    out: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            candidates = [path]
+        else:
+            candidates = []
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs
+                    if d != "__pycache__" and not d.startswith(".")
+                )
+                candidates.extend(
+                    os.path.join(root, f) for f in sorted(files)
+                    if f.endswith(".py")
+                )
+        for cand in candidates:
+            real = os.path.realpath(cand)
+            if real not in seen:
+                seen.add(real)
+                out.append(cand)
+    return iter(out)
+
+
+class Analyzer:
+    """Run a rule set over files and collect findings.
+
+    Args:
+        rules: rule classes to run; defaults to the full registry in
+            :mod:`repro.analysis.rules`.
+        select: optional rule ids/names to keep (others dropped).
+        ignore: optional rule ids/names to drop.
+
+    Raises:
+        ValueError: if ``select``/``ignore`` mention unknown rules —
+            a typo in CI config must fail loudly, not silently gate
+            nothing.
+    """
+
+    def __init__(
+        self,
+        rules: Optional[Sequence[Type[Rule]]] = None,
+        select: Optional[Iterable[str]] = None,
+        ignore: Optional[Iterable[str]] = None,
+    ) -> None:
+        if rules is None:
+            from repro.analysis.rules import ALL_RULES
+
+            rules = ALL_RULES
+        self.rules: List[Type[Rule]] = list(rules)
+        known = {r.id for r in self.rules} | {r.name for r in self.rules}
+        for spec, label in ((select, "select"), (ignore, "ignore")):
+            unknown = set(spec or ()) - known
+            if unknown:
+                raise ValueError(
+                    f"unknown rule(s) in --{label}: {sorted(unknown)}; "
+                    f"known: {sorted(r.id for r in self.rules)}"
+                )
+        if select is not None:
+            wanted = set(select)
+            self.rules = [
+                r for r in self.rules if r.id in wanted or r.name in wanted
+            ]
+        if ignore is not None:
+            dropped = set(ignore)
+            self.rules = [
+                r for r in self.rules
+                if r.id not in dropped and r.name not in dropped
+            ]
+
+    # -- per-file -----------------------------------------------------------
+
+    def analyze_source(self, path: str, source: str) -> FileReport:
+        """Analyze in-memory source (the unit tests' entry point)."""
+        report = FileReport(path=path)
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            report.error = f"syntax error: {exc.msg} (line {exc.lineno})"
+            report.findings.append(
+                Finding(
+                    rule="REP000",
+                    severity=Severity.ERROR,
+                    path=path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+            return report
+        ctx = FileContext(path, source, tree)
+        active = [
+            rule_cls(ctx) for rule_cls in self.rules
+            if rule_cls.applies_to(ctx)
+        ]
+        if not active:
+            return report
+        # Dispatch table: node type name -> [bound visitor methods].
+        dispatch: Dict[str, List] = {}
+        for rule in active:
+            for attr in dir(rule):
+                if attr.startswith("visit_"):
+                    dispatch.setdefault(attr[6:], []).append(
+                        getattr(rule, attr)
+                    )
+        for node in walk_in_order(tree):
+            for visitor in dispatch.get(type(node).__name__, ()):
+                visitor(node)
+        for rule in active:
+            rule.finish()
+            for finding in rule.findings:
+                if ctx.is_suppressed(finding.rule, finding.line):
+                    report.suppressed.append(finding)
+                else:
+                    report.findings.append(finding)
+        report.findings.sort(key=lambda f: (f.line, f.col, f.rule))
+        return report
+
+    def analyze_file(self, path: str, display_path: Optional[str] = None) -> FileReport:
+        display = display_path or _display_path(path)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                source = fh.read()
+        except (OSError, UnicodeDecodeError) as exc:
+            report = FileReport(path=display, error=str(exc))
+            report.findings.append(
+                Finding(
+                    rule="REP000",
+                    severity=Severity.ERROR,
+                    path=display,
+                    line=1,
+                    col=0,
+                    message=f"cannot read file: {exc}",
+                )
+            )
+            return report
+        return self.analyze_source(display, source)
+
+    # -- trees --------------------------------------------------------------
+
+    def run(self, paths: Sequence[str]) -> List[FileReport]:
+        """Analyze every ``.py`` file under ``paths``, in sorted order."""
+        return [self.analyze_file(p) for p in iter_python_files(paths)]
+
+
+def _display_path(path: str) -> str:
+    """Repo-relative POSIX path when under the cwd, else as given."""
+    rel = os.path.relpath(path)
+    if not rel.startswith(".."):
+        path = rel
+    return path.replace(os.sep, "/")

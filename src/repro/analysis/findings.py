@@ -1,0 +1,83 @@
+"""Finding and severity types for the ``repro lint`` static analyzer.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+:meth:`~Finding.fingerprint` deliberately hashes the *content* of the
+offending line rather than its number, so a committed baseline survives
+unrelated edits that merely renumber lines (the same trick ruff and
+pylint baselines use).
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+__all__ = ["Finding", "Severity"]
+
+
+class Severity(str, enum.Enum):
+    """How a finding affects the exit code.
+
+    ``ERROR`` findings fail the lint run; ``WARNING`` findings are
+    reported but only fail under ``--strict``.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        rule: rule identifier (``REP001`` ...).
+        severity: :class:`Severity` of the owning rule.
+        path: repo-relative POSIX path of the file.
+        line: 1-based line of the offending node.
+        col: 0-based column of the offending node.
+        message: human-readable description with the suggested fix.
+        snippet: stripped source text of the offending line (baselines
+            match on this, not on the line number).
+    """
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str = field(default="", compare=False)
+
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching: rule + path + line text.
+
+        Line *numbers* are excluded on purpose — inserting a docstring
+        above a pre-existing finding must not churn the baseline.
+        Duplicate fingerprints (the same violation text twice in one
+        file) are disambiguated by the baseline's occurrence counting,
+        not here.
+        """
+        basis = "\x1f".join((self.rule, self.path, self.snippet))
+        return hashlib.sha256(basis.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint(),
+        }
+
+    def format(self) -> str:
+        """gcc/ruff-style one-liner: ``path:line:col: RULE message``."""
+        return (
+            f"{self.path}:{self.line}:{self.col + 1}: "
+            f"{self.rule} [{self.severity.value}] {self.message}"
+        )

@@ -1,0 +1,39 @@
+"""Rule registry for ``repro lint``.
+
+Import order fixes report order for equal source positions; ids are
+stable and never reused.  Adding a rule: subclass
+:class:`repro.analysis.engine.Rule` in a sibling module, append it
+here, document it in the README rule table, and give it positive +
+negative fixtures under ``tests/analysis/fixtures/``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.analysis.engine import Rule
+from repro.analysis.rules.asyncsafety import AsyncSafetyRule
+from repro.analysis.rules.defaults import MutableDefaultRule
+from repro.analysis.rules.excepts import ExceptionSwallowRule
+from repro.analysis.rules.layering import LayeringRule
+from repro.analysis.rules.rng import UnseededRngRule
+from repro.analysis.rules.setorder import SetOrderRule
+from repro.analysis.rules.tasks import OrphanTaskRule
+from repro.analysis.rules.wallclock import WallClockRule
+
+__all__ = ["ALL_RULES", "RULES_BY_ID", "AsyncSafetyRule", "ExceptionSwallowRule",
+           "LayeringRule", "MutableDefaultRule", "OrphanTaskRule",
+           "SetOrderRule", "UnseededRngRule", "WallClockRule"]
+
+ALL_RULES: List[Type[Rule]] = [
+    WallClockRule,        # REP001
+    UnseededRngRule,      # REP002
+    SetOrderRule,         # REP003
+    AsyncSafetyRule,      # REP004
+    OrphanTaskRule,       # REP005
+    MutableDefaultRule,   # REP006
+    ExceptionSwallowRule, # REP007
+    LayeringRule,         # REP008
+]
+
+RULES_BY_ID: Dict[str, Type[Rule]] = {rule.id: rule for rule in ALL_RULES}

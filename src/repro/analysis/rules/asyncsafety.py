@@ -1,0 +1,176 @@
+"""REP004: lock discipline and no blocking calls in async code.
+
+The serve path is single-threaded asyncio: correctness of admission
+control and the background refresher rests on (a) locks only ever being
+held across an ``await`` when acquired with ``async with`` (so
+cancellation releases them), and (b) nothing inside an ``async def``
+blocking the loop — one stray ``time.sleep`` freezes *every* device's
+queue and, under :class:`~repro.serve.vclock.VirtualTimeLoop`,
+deadlocks the deterministic clock outright.
+
+Three patterns are flagged inside ``async def``:
+
+* an ``await`` while a lock is held via a manual ``.acquire()`` (sync
+  or awaited) instead of ``async with`` — cancellation at that await
+  leaks the lock;
+* a *sync* ``with <...lock...>:`` block containing an ``await`` —
+  holding a threading lock across a suspension point stalls every
+  other task that touches it;
+* calls into a known-blocking API (``time.sleep``, ``subprocess.*``,
+  ``socket``/``urllib`` I/O) in ``serve/`` — use ``asyncio.sleep`` /
+  executors.
+
+Nested function definitions are analyzed independently (a sync helper
+defined inside an async function is not "inside" it for lock flow).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional
+
+from repro.analysis.context import FileContext
+from repro.analysis.engine import Rule
+from repro.analysis.findings import Severity
+
+__all__ = ["AsyncSafetyRule"]
+
+#: Dotted call targets that block the event loop.
+BLOCKING_CALLS = {
+    "time.sleep",
+    "os.system",
+    "os.wait",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "socket.create_connection",
+    "urllib.request.urlopen",
+    "requests.get",
+    "requests.post",
+    "requests.request",
+}
+
+#: Only the serving package gets the blocking-call check; lock
+#: discipline applies everywhere asyncio is used.
+BLOCKING_SCOPE = {"serve"}
+
+
+def _chain_str(node: ast.AST) -> Optional[str]:
+    """``self.session.lock`` -> that dotted string, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _looks_like_lock(name: Optional[str]) -> bool:
+    if name is None:
+        return False
+    tail = name.rsplit(".", 1)[-1].lower()
+    return "lock" in tail or "mutex" in tail or "sem" in tail
+
+
+def _walk_same_function(fn: ast.AST) -> Iterator[ast.AST]:
+    """Source-order descendants of ``fn``, not entering nested defs."""
+    stack: List[ast.AST] = list(reversed(list(ast.iter_child_nodes(fn))))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(reversed(list(ast.iter_child_nodes(node))))
+
+
+class AsyncSafetyRule(Rule):
+    id = "REP004"
+    name = "async-lock-safety"
+    severity = Severity.ERROR
+
+    def __init__(self, ctx: FileContext) -> None:
+        super().__init__(ctx)
+        self.check_blocking = ctx.in_packages(BLOCKING_SCOPE)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_lock_flow(node)
+        if self.check_blocking:
+            self._check_blocking(node)
+
+    # -- manual acquire/release across await --------------------------------
+
+    def _check_lock_flow(self, fn: ast.AsyncFunctionDef) -> None:
+        held: Dict[str, ast.AST] = {}
+        acquire_awaits = set()
+        for node in _walk_same_function(fn):
+            if isinstance(node, ast.Await):
+                inner = node.value
+                if (
+                    isinstance(inner, ast.Call)
+                    and isinstance(inner.func, ast.Attribute)
+                    and inner.func.attr == "acquire"
+                ):
+                    # ``await lock.acquire()`` — the acquisition itself.
+                    acquire_awaits.add(id(inner))
+                    base = _chain_str(inner.func.value)
+                    if base is not None:
+                        held[base] = node
+                elif held:
+                    locks = ", ".join(f"`{b}`" for b in sorted(held))
+                    self.report(
+                        node,
+                        f"`await` while holding {locks} acquired without "
+                        "`async with` — cancellation here leaks the lock; "
+                        "use `async with lock:`",
+                    )
+                    held.clear()  # one finding per hold, not per await
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                base = _chain_str(node.func.value)
+                if node.func.attr == "acquire" and id(node) not in acquire_awaits:
+                    if base is not None:
+                        held[base] = node
+                elif node.func.attr == "release" and base in held:
+                    del held[base]
+
+    def visit_With(self, node: ast.With) -> None:
+        # A *sync* with-block over a lock containing an await: the lock
+        # stays held while the coroutine is suspended.
+        lockish = [
+            _chain_str(item.context_expr)
+            for item in node.items
+            if _looks_like_lock(_chain_str(item.context_expr))
+        ]
+        if not lockish:
+            return
+        for child in _walk_same_function(node):
+            if isinstance(child, ast.Await):
+                self.report(
+                    child,
+                    f"`await` inside sync `with {lockish[0]}:` — the lock "
+                    "is held across the suspension point; use "
+                    "`async with` (asyncio.Lock) instead",
+                )
+                return
+
+    # -- blocking calls in serve/ -------------------------------------------
+
+    def _check_blocking(self, fn: ast.AsyncFunctionDef) -> None:
+        for node in _walk_same_function(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = self.ctx.imports.resolve(node.func)
+            if resolved in BLOCKING_CALLS:
+                self.report(
+                    node,
+                    f"blocking `{resolved}()` inside `async def "
+                    f"{fn.name}` stalls the event loop (and deadlocks "
+                    "VirtualTimeLoop) — use `await asyncio.sleep` or an "
+                    "executor",
+                )

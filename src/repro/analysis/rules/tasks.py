@@ -1,0 +1,49 @@
+"""REP005: ``asyncio.create_task`` results must be retained.
+
+CPython keeps only a *weak* reference to tasks: a fire-and-forget
+``asyncio.create_task(...)`` expression can be garbage-collected
+mid-flight, silently killing the coroutine — and any exception it
+raises is never observed.  The serve layer's convention is to hold
+tasks on the owning object (``session.worker``, ``self._refresh_task``)
+so close/drain can cancel and await them.
+
+Flagged: an expression *statement* whose value is ``create_task`` /
+``ensure_future`` (on ``asyncio`` or any loop/taskgroup object) — i.e.
+the returned task is neither assigned, stored, awaited, nor passed on.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import Rule
+from repro.analysis.findings import Severity
+
+__all__ = ["OrphanTaskRule"]
+
+SPAWNERS = {"create_task", "ensure_future"}
+
+
+class OrphanTaskRule(Rule):
+    id = "REP005"
+    name = "retain-created-tasks"
+    severity = Severity.ERROR
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        call = node.value
+        if not isinstance(call, ast.Call):
+            return
+        func = call.func
+        name = None
+        if isinstance(func, ast.Attribute) and func.attr in SPAWNERS:
+            name = func.attr
+        elif isinstance(func, ast.Name) and func.id in SPAWNERS:
+            name = func.id
+        if name is not None:
+            self.report(
+                node,
+                f"`{name}(...)` result discarded — asyncio holds only a "
+                "weak ref, so the task can be garbage-collected mid-flight "
+                "and its exceptions are lost; assign it (e.g. "
+                "`self._task = ...`) and cancel/await it on close",
+            )

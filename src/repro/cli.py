@@ -23,6 +23,11 @@ Telemetry verbs::
     python -m repro top --snapshot snap.json          # render one frame
     python -m repro bench-gate --baseline BENCH_seed.json --candidate b.json
 
+Static analysis (see :mod:`repro.analysis`)::
+
+    python -m repro lint                  # determinism/async-safety rules
+    python -m repro lint --format json --stats
+
 Any invocation can also record a run manifest (seed/config/git
 SHA/wall-time/peak-RSS JSON) with ``--manifest-out PATH``.
 
@@ -357,6 +362,10 @@ def main(argv=None) -> int:
         from repro.obs.benchgate import main as benchgate_main
 
         return benchgate_main(argv[1:])
+    if argv and argv[0] == "lint":
+        from repro.analysis.cli import lint_main
+
+        return lint_main(argv[1:])
     mode: Optional[str] = None
     if argv and argv[0] in OBS_MODES:
         mode = argv[0]

@@ -147,7 +147,9 @@ class DataSelector(Generic[K]):
         max_personal = max(
             (w for _, w in self.personal.top_items(1)), default=0.0
         )
-        candidates = set(item_bytes)
+        # Sorted so equal-score ties land deterministically after the
+        # stable sort below, whatever order item_bytes was built in.
+        candidates = sorted(set(item_bytes))
         scored: List[SelectedItem] = []
         for item in candidates:
             comm = (

@@ -172,7 +172,7 @@ def results_per_entry_hit_cost(seed: int = 23) -> Dict[int, dict]:
         for entry in content.entries:
             table.insert(entry.query, hash64(entry.url), entry.score)
         chain_lengths = []
-        for query in {e.query for e in content.entries}:
+        for query in sorted({e.query for e in content.entries}):
             slots = table.slots_for(query)
             chains = -(-len(slots) // width) if slots else 0
             chain_lengths.append(chains)

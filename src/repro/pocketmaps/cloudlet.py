@@ -154,7 +154,8 @@ class MapCloudlet:
 
         latency = 0.0
         energy = 0.0
-        touched_regions = {self._region_key(t) for t in hits}
+        # Sorted: float latency/energy sums must not depend on set order.
+        touched_regions = sorted({self._region_key(t) for t in hits})
         for key in touched_regions:
             cost = self.filesystem.read(
                 self._region_file(key),

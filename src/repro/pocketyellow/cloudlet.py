@@ -132,7 +132,8 @@ class YellowPagesCloudlet:
 
         latency = 0.0
         energy = 0.0
-        for key in {self._pack_key(t) for t in hits}:
+        # Sorted: float latency/energy sums must not depend on set order.
+        for key in sorted({self._pack_key(t) for t in hits}):
             cost = self.filesystem.read(
                 self._pack_file(key), 0, self._pack_counts[key] * BUSINESS_TILE_BYTES
             )

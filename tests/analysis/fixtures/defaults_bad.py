@@ -1,0 +1,26 @@
+"""REP006 positive fixture: shared mutable defaults."""
+
+import collections
+
+
+def accumulate(x, acc=[]):  # fires: list literal default
+    acc.append(x)
+    return acc
+
+
+def index(key, table={}):  # fires: dict literal default
+    return table.setdefault(key, len(table))
+
+
+def group(pairs, by=collections.defaultdict(list)):  # fires: ctor default
+    for k, v in pairs:
+        by[k].append(v)
+    return by
+
+
+def dedupe(items, seen=set()):  # fires: keyword-only set default
+    return [i for i in items if i not in seen]
+
+
+def tail(*, history=list()):  # fires: kw-only list() default
+    return history

@@ -1,0 +1,16 @@
+"""REP006 negative fixture: immutable defaults, None-then-build."""
+
+
+def accumulate(x, acc=None):
+    acc = [] if acc is None else acc
+    acc.append(x)
+    return acc
+
+
+def scale(values, factor=1.0, label="run", flags=()):  # immutables: fine
+    return [v * factor for v in values]
+
+
+def windowed(series, bounds=(0, 10)):  # tuple default: fine
+    lo, hi = bounds
+    return series[lo:hi]

@@ -1,0 +1,27 @@
+"""REP004 positive fixture: lock-across-await and blocking async code."""
+
+import asyncio
+import subprocess
+import time
+
+
+class Session:
+    def __init__(self):
+        self.lock = asyncio.Lock()
+
+    async def manual_acquire(self):
+        await self.lock.acquire()
+        await asyncio.sleep(1.0)  # fires: await while self.lock held
+        self.lock.release()
+
+    async def sync_with(self):
+        with self.lock:
+            await asyncio.sleep(0)  # fires: await inside sync `with lock:`
+
+
+async def blocking_sleep():
+    time.sleep(0.1)  # fires: blocks the loop in serve/
+
+
+async def blocking_subprocess():
+    subprocess.run(["true"])  # fires: blocks the loop in serve/

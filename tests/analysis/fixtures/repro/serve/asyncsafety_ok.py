@@ -1,0 +1,31 @@
+"""REP004 negative fixture: async-with discipline, async sleeps only."""
+
+import asyncio
+import time
+
+
+class Session:
+    def __init__(self):
+        self.lock = asyncio.Lock()
+
+    async def disciplined(self):
+        async with self.lock:
+            await asyncio.sleep(1.0)  # lock acquired via async with: fine
+
+    async def acquire_release_no_await(self):
+        # Manual acquire with no await while held: allowed (no
+        # suspension point to leak across).
+        await self.lock.acquire()
+        self.lock.release()
+        await asyncio.sleep(0)
+
+    def sync_helper(self):
+        time.sleep(0.001)  # sync function: blocking is the caller's problem
+
+
+async def nested_sync_def():
+    def inner():
+        time.sleep(0.001)  # sync helper defined inside async fn: fine
+
+    inner()
+    await asyncio.sleep(0)

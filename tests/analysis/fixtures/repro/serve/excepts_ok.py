@@ -1,0 +1,21 @@
+"""REP007 negative fixture: specific catches, or record-then-reraise."""
+
+
+class Overloaded(Exception):
+    pass
+
+
+def serve_one(backend, request, counters):
+    try:
+        return backend.serve(request)
+    except Overloaded:  # specific type: fine
+        counters["shed"] += 1
+        raise
+
+
+def observed(backend, request, counters):
+    try:
+        return backend.serve(request)
+    except Exception:
+        counters["errors"] += 1
+        raise  # broad but re-raises after recording: fine

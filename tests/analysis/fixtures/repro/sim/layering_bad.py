@@ -1,0 +1,6 @@
+"""REP008 positive fixture: sim/ (level 2) importing upward."""
+
+from repro.serve.server import CloudletServer  # fires: serve is level 4
+import repro.experiments.common  # fires: experiments is level 3
+
+__all__ = ["CloudletServer", "repro"]

@@ -1,0 +1,9 @@
+"""REP008 negative fixture: downward and same-level imports are fine."""
+
+from repro.logs.schema import QueryEvent  # level 1 < 2: fine
+from repro.obs.registry import MetricsRegistry  # level 0 < 2: fine
+from repro.pocketsearch.engine import SearchEngine  # level 2 == 2: fine
+from repro.sim.clock import SimClock  # own package: fine
+from . import metrics  # relative: intra-package by construction
+
+__all__ = ["MetricsRegistry", "QueryEvent", "SearchEngine", "SimClock", "metrics"]

@@ -1,0 +1,17 @@
+"""REP001 positive fixture: wall-clock reads in sim/ model code."""
+
+import time
+from datetime import datetime
+from time import monotonic as mono
+
+
+def stamp_event():
+    return time.time()  # fires: wall clock in sim/
+
+
+def label_run():
+    return datetime.now().isoformat()  # fires: datetime.now in sim/
+
+
+def tick():
+    return mono()  # fires: aliased time.monotonic

@@ -1,0 +1,23 @@
+"""REP001 negative fixture: virtual time and measurement-only timing."""
+
+import time
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def simulate(clock):
+    clock.advance(0.25)
+    return clock.now  # virtual time: fine
+
+
+def measure():
+    # perf_counter measures host duration (span timings, shard wall
+    # times), never simulated time — deliberately allowed.
+    t0 = time.perf_counter()
+    return time.perf_counter() - t0

@@ -1,0 +1,30 @@
+"""REP002 positive fixture: global/unseeded randomness."""
+
+import random
+import numpy as np
+from random import shuffle
+
+
+def draw():
+    return random.random()  # fires: global stream
+
+
+def pick(items):
+    shuffle(items)  # fires: aliased global shuffle
+    return items[0]
+
+
+def legacy_normal():
+    return np.random.normal(0.0, 1.0)  # fires: legacy numpy global
+
+
+def unseeded_generator():
+    return np.random.default_rng()  # fires: no seed
+
+
+def unseeded_instance():
+    return random.Random()  # fires: no seed
+
+
+def entropy_backed():
+    return random.SystemRandom()  # fires: never deterministic

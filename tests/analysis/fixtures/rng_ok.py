@@ -1,0 +1,25 @@
+"""REP002 negative fixture: seeds flow explicitly, generators are passed."""
+
+import random
+import numpy as np
+
+
+def make_rng(seed):
+    return np.random.default_rng(seed)  # seeded: fine
+
+
+def spawn(seed, user_id):
+    seq = np.random.SeedSequence(seed, spawn_key=(7, user_id))
+    return np.random.default_rng(seq)
+
+
+def seeded_instance(seed):
+    return random.Random(seed)  # seeded: fine
+
+
+def draw(rng: np.random.Generator):
+    return rng.random()  # instance method on a passed generator: fine
+
+
+def keyword_seeded():
+    return np.random.default_rng(seed=23)

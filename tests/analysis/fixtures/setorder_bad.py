@@ -1,0 +1,28 @@
+"""REP003 positive fixture: ordered accumulation driven by set order."""
+
+import math
+
+weights = {1.25, 2.5, 3.125}
+
+
+def total():
+    return sum(weights)  # fires: float fold over a set
+
+
+def total_fsum(values):
+    return math.fsum(w for w in values & weights)  # fires: gen over set op
+
+
+def accumulate(latencies: set):
+    acc = 0.0
+    bad = set(latencies)
+    for lat in bad:
+        acc += lat  # fires: += inside a set loop
+    return acc
+
+
+def collect(keys):
+    out = []
+    for key in {k.lower() for k in keys}:
+        out.append(key)  # fires: list built in set-comp order
+    return out

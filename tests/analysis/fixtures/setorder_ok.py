@@ -1,0 +1,30 @@
+"""REP003 negative fixture: sorted first, or order-free consumption."""
+
+weights = {1.25, 2.5, 3.125}
+
+
+def total_sorted():
+    return sum(sorted(weights))  # sorted before folding: fine
+
+
+def count(items: set):
+    n = 0
+    hits = set(items)
+    for _ in hits:
+        n = n + 1  # plain rebinding, not AugAssign accumulation
+    return n
+
+
+def membership(needles, haystack):
+    found = set()
+    for n in needles:  # iterating a *list*, building a set: fine
+        if n in haystack:
+            found.add(n)
+    return found
+
+
+def fold_list(values: list):
+    acc = 0.0
+    for v in values:  # list order is the caller's contract: fine
+        acc += v
+    return acc

@@ -1,0 +1,31 @@
+"""Suppression fixture: every finding here is inline-noqa'd except one.
+
+The demo registry below genuinely wants shared mutable defaults (it is
+a module-level singleton pattern used by a fixture), so each carries a
+``# repro: noqa`` with the rule spelled out — except `leaky`, which is
+the control that must still fire.
+"""
+
+
+def bracketed(acc=[]):  # repro: noqa[REP006] — fixture singleton
+    return acc
+
+
+def colon_form(acc=[]):  # repro: noqa: REP006 — ruff-shaped spelling
+    return acc
+
+
+def bare_directive(acc=[]):  # repro: noqa — suppresses every rule here
+    return acc
+
+
+def multi(acc={}):  # repro: noqa[REP001, REP006]
+    return acc
+
+
+def wrong_rule(acc=[]):  # repro: noqa[REP001] — wrong id: still fires
+    return acc
+
+
+def leaky(acc=[]):  # control: fires REP006
+    return acc

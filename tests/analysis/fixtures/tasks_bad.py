@@ -1,0 +1,20 @@
+"""REP005 positive fixture: fire-and-forget task spawns."""
+
+import asyncio
+
+
+async def worker():
+    await asyncio.sleep(0)
+
+
+async def spawn_and_forget():
+    asyncio.create_task(worker())  # fires: result discarded
+
+
+async def loop_spawn():
+    loop = asyncio.get_running_loop()
+    loop.create_task(worker())  # fires: loop variant, result discarded
+
+
+async def ensure_and_forget():
+    asyncio.ensure_future(worker())  # fires: ensure_future variant

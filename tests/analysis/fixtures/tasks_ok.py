@@ -1,0 +1,29 @@
+"""REP005 negative fixture: every spawned task is owned."""
+
+import asyncio
+
+
+async def worker():
+    await asyncio.sleep(0)
+
+
+class Owner:
+    def __init__(self):
+        self._task = None
+        self._tasks = set()
+
+    async def spawn(self):
+        self._task = asyncio.create_task(worker())  # assigned: fine
+
+    async def spawn_tracked(self):
+        task = asyncio.create_task(worker())
+        self._tasks.add(task)  # retained in a collection: fine
+        task.add_done_callback(self._tasks.discard)
+
+    async def spawn_awaited(self):
+        await asyncio.create_task(worker())  # awaited directly: fine
+
+    async def close(self):
+        if self._task is not None:
+            self._task.cancel()
+            await asyncio.gather(self._task, return_exceptions=True)

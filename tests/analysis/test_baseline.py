@@ -1,0 +1,105 @@
+"""Baseline round-trip, occurrence counting, and line-shift robustness."""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import Baseline, partition
+from repro.analysis.engine import Analyzer
+
+BAD_SRC = """\
+def f(a=[]):
+    return a
+
+
+def g(b={}):
+    return b
+"""
+
+
+def findings_for(src: str, path: str = "mod.py"):
+    return Analyzer().analyze_source(path, src).findings
+
+
+class TestRoundTrip:
+    def test_write_load_partition(self, tmp_path):
+        findings = findings_for(BAD_SRC)
+        assert len(findings) == 2
+        path = str(tmp_path / "LINT_baseline.json")
+        Baseline.from_findings(findings).write(path)
+
+        loaded = Baseline.load(path)
+        assert len(loaded) == 2
+        new, grandfathered, stale = partition(findings, loaded)
+        assert new == []
+        assert len(grandfathered) == 2
+        assert stale == []
+
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        baseline = Baseline.load(str(tmp_path / "nope.json"))
+        assert len(baseline) == 0
+        new, grandfathered, _ = partition(findings_for(BAD_SRC), baseline)
+        assert len(new) == 2 and grandfathered == []
+
+    def test_entries_carry_reason_slot(self, tmp_path):
+        path = str(tmp_path / "b.json")
+        Baseline.from_findings(
+            findings_for(BAD_SRC), reason="legacy fixture"
+        ).write(path)
+        loaded = Baseline.load(path)
+        assert all(
+            e["reason"] == "legacy fixture" for e in loaded.to_entries()
+        )
+
+
+class TestLineShiftRobustness:
+    def test_same_violation_moved_down_still_matches(self):
+        baseline = Baseline.from_findings(findings_for(BAD_SRC))
+        shifted = '"""A new docstring pushes everything down."""\n\n' + BAD_SRC
+        new, grandfathered, stale = partition(
+            findings_for(shifted), baseline
+        )
+        assert new == []  # line numbers changed, fingerprints did not
+        assert len(grandfathered) == 2
+        assert stale == []
+
+    def test_edited_line_is_a_new_finding(self):
+        baseline = Baseline.from_findings(findings_for(BAD_SRC))
+        edited = BAD_SRC.replace("def f(a=[]):", "def f(a=[], c=1):")
+        new, grandfathered, stale = partition(findings_for(edited), baseline)
+        assert len(new) == 1  # f's snippet changed -> new fingerprint
+        assert len(grandfathered) == 1  # g untouched
+        assert len(stale) == 1  # old f entry now unused
+
+
+class TestOccurrenceCounting:
+    def test_extra_identical_violation_fails(self):
+        # Two identical offending lines in one file, baseline allows one.
+        src = "def f(a=[]):\n    return a\n"
+        one = findings_for(src)
+        baseline = Baseline.from_findings(one)
+        doubled = src + "\n\ndef g(b=7):\n    return b\n" + src.replace(
+            "def f", "def h"
+        )
+        # h's line text differs from f's (different name) -> new finding.
+        new, grandfathered, _ = partition(findings_for(doubled), baseline)
+        assert len(grandfathered) == 1
+        assert len(new) == 1
+
+    def test_count_field_tolerates_duplicates(self):
+        src = "def f(a=[]):\n    return a\n"
+        # The same line text twice: fingerprints collide, count = 2.
+        doubled = src + "\n" + src
+        findings = findings_for(doubled)
+        assert len(findings) == 2
+        baseline = Baseline.from_findings(findings)
+        entries = baseline.to_entries()
+        assert len(entries) == 1 and entries[0]["count"] == 2
+        new, grandfathered, stale = partition(findings, baseline)
+        assert new == [] and len(grandfathered) == 2 and stale == []
+
+    def test_stale_entries_reported_with_unused_budget(self):
+        baseline = Baseline.from_findings(findings_for(BAD_SRC))
+        clean = "def f(a=None):\n    return a\n"
+        new, grandfathered, stale = partition(findings_for(clean), baseline)
+        assert new == [] and grandfathered == []
+        assert len(stale) == 2
+        assert all(s["unused"] == 1 for s in stale)

@@ -1,0 +1,163 @@
+"""``repro lint`` CLI tests: exit codes, formats, baseline flow, stats,
+manifest wiring, and dispatch through the top-level ``repro`` verb."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.cli import lint_main
+from repro.cli import main as repro_main
+from repro.obs.manifest import RunManifest
+
+CLEAN = "def f(a=None):\n    return a\n"
+DIRTY = "def f(a=[]):\n    return a\n\n\ndef g(b={}):\n    return b\n"
+WARN_ONLY = "s = {1.0, 2.0}\ntotal = sum(s)\n"
+
+
+@pytest.fixture
+def tree(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "pkg").mkdir()
+    return tmp_path
+
+
+def write(tree, name, src):
+    path = tree / "pkg" / name
+    path.write_text(src)
+    return str(path)
+
+
+class TestExitCodes:
+    def test_clean_exits_zero(self, tree, capsys):
+        write(tree, "a.py", CLEAN)
+        assert lint_main(["pkg"]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_errors_exit_one(self, tree, capsys):
+        write(tree, "a.py", DIRTY)
+        assert lint_main(["pkg"]) == 1
+        out = capsys.readouterr().out
+        assert "REP006" in out and "2 error(s)" in out
+
+    def test_warnings_pass_unless_strict(self, tree):
+        write(tree, "a.py", WARN_ONLY)
+        assert lint_main(["pkg"]) == 0
+        assert lint_main(["pkg", "--strict"]) == 1
+
+    def test_unknown_rule_is_usage_error(self, tree, capsys):
+        write(tree, "a.py", CLEAN)
+        assert lint_main(["pkg", "--select", "REP999"]) == 2
+        assert "REP999" in capsys.readouterr().err
+
+    def test_no_files_is_usage_error(self, tree, capsys):
+        (tree / "empty").mkdir()
+        assert lint_main(["empty"]) == 2
+        assert "no python files" in capsys.readouterr().err
+
+    def test_select_scopes_the_run(self, tree):
+        write(tree, "a.py", DIRTY)
+        assert lint_main(["pkg", "--select", "REP001"]) == 0
+        assert lint_main(["pkg", "--select", "REP006"]) == 1
+        assert lint_main(["pkg", "--ignore", "REP006"]) == 0
+
+
+class TestJsonFormat:
+    def test_json_document_shape(self, tree, capsys):
+        write(tree, "a.py", DIRTY)
+        assert lint_main(["pkg", "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["stats"]["errors"] == 2
+        assert doc["stats"]["per_rule"] == {"REP006": 2}
+        assert doc["exit_code"] == 1
+        finding = doc["findings"][0]
+        for key in ("rule", "severity", "path", "line", "message",
+                    "snippet", "fingerprint"):
+            assert key in finding
+
+    def test_json_clean(self, tree, capsys):
+        write(tree, "a.py", CLEAN)
+        assert lint_main(["pkg", "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["findings"] == [] and doc["exit_code"] == 0
+
+
+class TestBaselineFlow:
+    def test_write_baseline_then_clean(self, tree, capsys):
+        write(tree, "a.py", DIRTY)
+        assert lint_main(["pkg", "--write-baseline"]) == 0
+        assert (tree / "LINT_baseline.json").exists()
+        capsys.readouterr()
+        assert lint_main(["pkg"]) == 0  # grandfathered
+        assert "2 baselined" in capsys.readouterr().out
+
+    def test_new_violation_still_fails(self, tree):
+        path = write(tree, "a.py", DIRTY)
+        assert lint_main(["pkg", "--write-baseline"]) == 0
+        with open(path, "a") as fh:
+            fh.write("\n\ndef h(c=set()):\n    return c\n")
+        assert lint_main(["pkg"]) == 1
+
+    def test_no_baseline_flag_ignores_file(self, tree):
+        write(tree, "a.py", DIRTY)
+        assert lint_main(["pkg", "--write-baseline"]) == 0
+        assert lint_main(["pkg", "--no-baseline"]) == 1
+
+    def test_stale_entries_are_reported(self, tree, capsys):
+        path = write(tree, "a.py", DIRTY)
+        assert lint_main(["pkg", "--write-baseline"]) == 0
+        with open(path, "w") as fh:
+            fh.write(CLEAN)
+        capsys.readouterr()
+        assert lint_main(["pkg"]) == 0
+        assert "stale baseline entry" in capsys.readouterr().out
+
+    def test_corrupt_baseline_is_usage_error(self, tree, capsys):
+        write(tree, "a.py", CLEAN)
+        (tree / "LINT_baseline.json").write_text("[1, 2, 3]\n")
+        assert lint_main(["pkg"]) == 2
+
+
+class TestStatsAndManifest:
+    def test_stats_table(self, tree, capsys):
+        write(tree, "a.py", DIRTY)
+        write(tree, "b.py", WARN_ONLY)
+        lint_main(["pkg", "--stats"])
+        out = capsys.readouterr().out
+        assert "lint stats" in out
+        assert "REP006" in out and "no-mutable-defaults" in out
+        assert "REP003" in out
+
+    def test_manifest_metrics(self, tree, capsys):
+        write(tree, "a.py", DIRTY)
+        out_path = str(tree / "lint_manifest.json")
+        lint_main(["pkg", "--manifest-out", out_path])
+        manifest = RunManifest.read(out_path)
+        assert manifest.name == "lint"
+        assert manifest.metrics["lint.errors"] == 2
+        assert manifest.metrics["lint.rule.REP006"] == 2
+        assert manifest.metrics["lint.files"] == 1
+        assert manifest.config["rules"][0] == "REP001"
+        assert manifest.schema_version == 1
+
+    def test_suppressed_counted_in_summary(self, tree, capsys):
+        write(
+            tree, "a.py",
+            "def f(a=[]):  # repro: noqa[REP006]\n    return a\n",
+        )
+        assert lint_main(["pkg"]) == 0
+        assert "1 suppressed inline" in capsys.readouterr().out
+
+
+class TestTopLevelVerb:
+    def test_repro_lint_dispatch(self, tree, capsys):
+        write(tree, "a.py", DIRTY)
+        assert repro_main(["lint", "pkg"]) == 1
+        assert "REP006" in capsys.readouterr().out
+
+    def test_repro_lint_help_smoke(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            repro_main(["lint", "--help"])
+        assert exc.value.code == 0
+        assert "determinism" in capsys.readouterr().out

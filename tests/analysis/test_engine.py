@@ -1,0 +1,194 @@
+"""Engine-level tests: dispatch, suppression, contexts, file discovery."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.context import FileContext, ImportMap, parse_noqa
+from repro.analysis.engine import Analyzer, Rule, iter_python_files, walk_in_order
+from repro.analysis.findings import Severity
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestImportMap:
+    def resolve(self, source: str, expr: str):
+        tree = ast.parse(source + "\n_probe = " + expr)
+        imports = ImportMap(tree)
+        probe = tree.body[-1].value
+        return imports.resolve(probe)
+
+    def test_plain_import(self):
+        assert self.resolve("import time", "time.time") == "time.time"
+
+    def test_aliased_import(self):
+        assert (
+            self.resolve("import numpy as np", "np.random.rand")
+            == "numpy.random.rand"
+        )
+
+    def test_from_import_alias(self):
+        assert (
+            self.resolve("from datetime import datetime as dt", "dt.now")
+            == "datetime.datetime.now"
+        )
+
+    def test_from_import_function(self):
+        assert self.resolve("from time import monotonic", "monotonic") == (
+            "time.monotonic"
+        )
+
+    def test_unimported_name_resolves_to_itself(self):
+        assert self.resolve("", "sum") == "sum"
+
+    def test_non_name_root_is_unknown(self):
+        tree = ast.parse("get_lock().acquire")
+        assert ImportMap(tree).resolve(tree.body[0].value) is None
+
+
+class TestNoqa:
+    def test_bracket_colon_and_bare_forms(self):
+        lines = [
+            "x = 1  # repro: noqa[REP001]",
+            "y = 2  # repro: noqa: REP002, REP003",
+            "z = 3  # repro: noqa",
+            "plain = 4",
+        ]
+        noqa = parse_noqa(lines)
+        assert noqa[1] == frozenset({"REP001"})
+        assert noqa[2] == frozenset({"REP002", "REP003"})
+        assert "*" in noqa[3] or noqa[3]  # bare directive suppresses all
+        assert 4 not in noqa
+
+    def test_ruff_noqa_without_repro_prefix_is_not_ours(self):
+        assert parse_noqa(["except:  # noqa: E722"]) == {}
+
+    def test_suppression_fixture_end_to_end(self):
+        report = Analyzer().analyze_file(str(FIXTURES / "suppression.py"))
+        fired = sorted(f.snippet for f in report.findings)
+        assert len(report.findings) == 2  # wrong_rule + leaky control
+        assert any("leaky" in s for s in fired)
+        assert any("wrong_rule" in s for s in fired)
+        assert len(report.suppressed) == 4
+
+
+class TestFileContext:
+    def make(self, path: str) -> FileContext:
+        return FileContext(path, "", ast.parse(""))
+
+    def test_subpackage_from_nested_path(self):
+        assert self.make("src/repro/sim/replay.py").subpackage == "sim"
+
+    def test_subpackage_from_fixture_tree(self):
+        ctx = self.make("tests/analysis/fixtures/repro/serve/x.py")
+        assert ctx.subpackage == "serve"
+
+    def test_top_level_module_uses_stem(self):
+        assert self.make("src/repro/cli.py").subpackage == "cli"
+
+    def test_outside_repro_tree(self):
+        ctx = self.make("benchmarks/bench_core_ops.py")
+        assert ctx.subpackage is None
+        assert not ctx.in_packages({"sim"})
+
+    def test_rightmost_repro_component_wins(self):
+        ctx = self.make("repro/tests/fixtures/repro/sim/x.py")
+        assert ctx.subpackage == "sim"
+
+
+class TestDispatch:
+    def test_rules_with_same_visitor_all_run(self):
+        class CountCalls(Rule):
+            id = "TST001"
+            name = "count-calls"
+
+            def visit_Call(self, node):
+                self.report(node, "call seen")
+
+        class CountCallsToo(Rule):
+            id = "TST002"
+            name = "count-calls-too"
+
+            def visit_Call(self, node):
+                self.report(node, "call also seen")
+
+        analyzer = Analyzer(rules=[CountCalls, CountCallsToo])
+        report = analyzer.analyze_source("x.py", "f()\ng()\n")
+        assert sorted(f.rule for f in report.findings) == [
+            "TST001", "TST001", "TST002", "TST002",
+        ]
+
+    def test_applies_to_gates_instantiation(self):
+        class ServeOnly(Rule):
+            id = "TST003"
+            name = "serve-only"
+
+            @classmethod
+            def applies_to(cls, ctx):
+                return ctx.subpackage == "serve"
+
+            def visit_Module(self, node):
+                self.report(node, "hit")
+
+        analyzer = Analyzer(rules=[ServeOnly])
+        assert analyzer.analyze_source("repro/serve/x.py", "").findings
+        assert not analyzer.analyze_source("repro/sim/x.py", "").findings
+
+    def test_findings_sorted_by_position(self):
+        report = Analyzer().analyze_file(str(FIXTURES / "defaults_bad.py"))
+        positions = [(f.line, f.col) for f in report.findings]
+        assert positions == sorted(positions)
+
+    def test_syntax_error_reports_rep000(self):
+        report = Analyzer().analyze_source("broken.py", "def f(:\n")
+        assert report.error is not None
+        assert [f.rule for f in report.findings] == ["REP000"]
+        assert report.findings[0].severity is Severity.ERROR
+
+    def test_walk_in_order_is_source_ordered(self):
+        tree = ast.parse("a = 1\nb = 2\nc = 3\n")
+        names = [
+            n.id for n in walk_in_order(tree) if isinstance(n, ast.Name)
+        ]
+        assert names == ["a", "b", "c"]
+
+
+class TestSelection:
+    def test_select_runs_only_named_rules(self):
+        analyzer = Analyzer(select=["REP006"])
+        assert [r.id for r in analyzer.rules] == ["REP006"]
+
+    def test_select_by_name(self):
+        analyzer = Analyzer(select=["no-mutable-defaults"])
+        assert [r.id for r in analyzer.rules] == ["REP006"]
+
+    def test_ignore_drops_rules(self):
+        analyzer = Analyzer(ignore=["REP003"])
+        assert "REP003" not in [r.id for r in analyzer.rules]
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(ValueError, match="REP999"):
+            Analyzer(select=["REP999"])
+        with pytest.raises(ValueError, match="unknown"):
+            Analyzer(ignore=["not-a-rule"])
+
+
+class TestDiscovery:
+    def test_iter_python_files_deduplicates(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "sub" / "b.py").write_text("y = 2\n")
+        (tmp_path / "sub" / "__pycache__").mkdir()
+        (tmp_path / "sub" / "__pycache__" / "c.py").write_text("z = 3\n")
+        files = list(
+            iter_python_files(
+                [str(tmp_path), str(tmp_path / "a.py"), str(tmp_path / "sub")]
+            )
+        )
+        names = [Path(f).name for f in files]
+        assert names.count("a.py") == 1
+        assert "b.py" in names
+        assert "c.py" not in names  # __pycache__ pruned

@@ -1,0 +1,58 @@
+"""Meta-test: the repo itself passes its own static analyzer.
+
+This is the in-tree mirror of the CI ``lint-gate`` job: the gated
+trees (``src/``, ``benchmarks/``, ``tests/differential/``) must carry
+zero unsuppressed, unbaselined findings — errors *or* warnings.  If a
+rule change or a code change trips this, either fix the code (the
+default) or, for a deliberate exception, add an inline
+``# repro: noqa[RULE]`` with a justifying comment.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.analysis.baseline import DEFAULT_BASELINE, Baseline, partition
+from repro.analysis.engine import Analyzer
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Must match ``repro.analysis.cli.DEFAULT_PATHS`` — the CI gate.
+GATED_TREES = ("src", "benchmarks", "tests/differential")
+
+
+def test_gated_trees_are_lint_clean():
+    reports = Analyzer().run(
+        [str(REPO_ROOT / tree) for tree in GATED_TREES]
+    )
+    assert len(reports) > 100  # sanity: the walk really found the repo
+    findings = [f for r in reports for f in r.findings]
+    baseline = Baseline.load(str(REPO_ROOT / DEFAULT_BASELINE))
+    new, _, stale = partition(findings, baseline)
+    assert new == [], "new lint findings:\n" + "\n".join(
+        f.format() for f in new
+    )
+    assert stale == [], (
+        "stale baseline entries (violations already fixed) — prune "
+        f"{DEFAULT_BASELINE}: {stale}"
+    )
+
+
+def test_no_parse_failures_anywhere():
+    reports = Analyzer().run(
+        [str(REPO_ROOT / tree) for tree in GATED_TREES]
+    )
+    broken = [r.path for r in reports if r.error]
+    assert broken == []
+
+
+def test_fixture_tree_is_excluded_from_the_gate():
+    # The positive fixtures *must* be dirty; they live outside every
+    # gated tree so the meta-gate and CI cannot be poisoned by them.
+    fixtures = Path(__file__).parent / "fixtures"
+    for tree in GATED_TREES:
+        gated = (REPO_ROOT / tree).resolve()
+        assert os.path.commonpath(
+            [str(fixtures.resolve()), str(gated)]
+        ) != str(gated)
