@@ -63,7 +63,7 @@ def run(
                     f"FATAL: rate {rate}: {lost} requests neither "
                     "completed nor shed"
                 )
-            sweep[f"x{rate:g}"] = {
+            point = {
                 "requests": report.requests,
                 "offered_rate_rps": round(workload.offered_rate, 6),
                 "throughput_rps": round(report.throughput_rps, 6),
@@ -74,11 +74,36 @@ def run(
                 "batch_efficiency": round(report.batch_efficiency, 6),
                 "wall_s": round(wall_s, 4),
             }
+            # Energy attribution: only present when responses carried
+            # breakdowns (NaN fields are skipped to keep the JSON clean).
+            for name in (
+                "energy_j_per_query",
+                "energy_j_p50",
+                "energy_j_p99",
+                "hit_miss_energy_ratio",
+                "battery_day_fraction",
+            ):
+                value = getattr(report, name)
+                if value == value:  # not NaN
+                    point[name] = round(value, 6)
+            if report.queries_per_charge is not None:
+                point["queries_per_charge"] = report.queries_per_charge
+            if report.energy_conserved is not None:
+                point["energy_conserved"] = report.energy_conserved
+                if not report.energy_conserved:
+                    raise SystemExit(
+                        f"FATAL: rate {rate}: energy attribution drifted "
+                        f"{report.conservation_error_j:+.3e} J off the "
+                        "radio timeline"
+                    )
+            sweep[f"x{rate:g}"] = point
             print(
                 f"rate x{rate:g}: {report.requests} reqs, "
                 f"throughput {report.throughput_rps:.3f}/s, "
                 f"p99 {report.sojourn_p99_s:.3f}s, "
-                f"shed {report.shed_rate:.1%} "
+                f"shed {report.shed_rate:.1%}, "
+                f"{report.energy_j_per_query:.3f} J/query "
+                f"(miss/hit {report.hit_miss_energy_ratio:.1f}x) "
                 f"(simulated {duration_s:.0f}s in {wall_s:.2f}s wall)"
             )
         recorder.add_metric("sweep", sweep)

@@ -24,9 +24,19 @@ The v2 telemetry plane (always-on for the serving stack) adds:
 * :mod:`repro.obs.exposition` — Prometheus text + JSON rendering and an
   in-process asyncio HTTP endpoint;
 * :mod:`repro.obs.benchgate` — the ``repro bench-gate`` trajectory
-  regression gate.
+  regression gate;
+* :mod:`repro.obs.energy` — per-request energy breakdowns,
+  shared-fetch radio splits, the attribution conservation ledger, and
+  windowed energy telemetry.
 """
 
+from repro.obs.energy import (
+    ENERGY_COMPONENTS,
+    EnergyBreakdown,
+    EnergyLedger,
+    EnergyWindows,
+    split_shared_radio,
+)
 from repro.obs.manifest import RunManifest, collect_manifest
 from repro.obs.registry import (
     Counter,
@@ -56,6 +66,10 @@ from repro.obs.trace import (
 
 __all__ = [
     "Counter",
+    "ENERGY_COMPONENTS",
+    "EnergyBreakdown",
+    "EnergyLedger",
+    "EnergyWindows",
     "ExemplarRing",
     "Gauge",
     "MetricsRegistry",
@@ -79,4 +93,5 @@ __all__ = [
     "get_registry",
     "get_tracer",
     "set_tracer",
+    "split_shared_radio",
 ]

@@ -34,6 +34,12 @@ __all__ = ["DEFAULT_WATCH", "compare", "flatten_metrics", "load_benches", "main"
 #: ``"lower"`` (regression = increase) or ``"higher"`` (= decrease).
 #: First match wins; unmatched metrics are not gated.
 DEFAULT_WATCH: Tuple[Tuple[str, str], ...] = (
+    ("*energy_j_per_query", "lower"),
+    ("*energy_j_p50", "lower"),
+    ("*energy_j_p99", "lower"),
+    ("*hit_miss_energy_ratio", "higher"),
+    ("*battery_day_fraction", "lower"),
+    ("*queries_per_charge", "higher"),
     ("*p50_s", "lower"),
     ("*p99_s", "lower"),
     ("*p99*", "lower"),

@@ -26,11 +26,12 @@ import asyncio
 import json
 import math
 import re
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Iterable, Optional, Tuple
 
 from repro.obs.registry import MetricsRegistry
 
 __all__ = [
+    "LabeledSample",
     "TelemetryEndpoint",
     "prometheus_name",
     "render_json",
@@ -41,6 +42,9 @@ _NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
 
 #: Interior quantiles exposed for histogram summaries.
 SUMMARY_QUANTILES = (0.5, 0.95, 0.99)
+
+#: One labeled exposition sample: (dotted name, labels, value).
+LabeledSample = Tuple[str, Dict[str, str], float]
 
 
 def prometheus_name(name: str, prefix: str = "repro") -> str:
@@ -67,10 +71,37 @@ def _format_value(value: Any) -> str:
     return repr(number)
 
 
+def _escape_label_value(value: Any) -> str:
+    """Prometheus text-format label escaping: backslash, quote, newline."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _format_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_NAME_OK.sub("_", key)}="{_escape_label_value(value)}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
 def render_prometheus(
-    registry: MetricsRegistry, prefix: str = "repro"
+    registry: MetricsRegistry,
+    prefix: str = "repro",
+    extra_samples: Optional[Iterable[LabeledSample]] = None,
 ) -> str:
-    """The registry in Prometheus text exposition format (0.0.4)."""
+    """The registry in Prometheus text exposition format (0.0.4).
+
+    ``extra_samples`` appends labeled gauge samples the flat registry
+    cannot express (per-device battery levels, per-source wattage);
+    consecutive samples of the same dotted name share one TYPE line.
+    """
     lines = []
     for name, snap in sorted(registry.snapshot().items()):
         flat = prometheus_name(name, prefix)
@@ -93,6 +124,16 @@ def render_prometheus(
             lines.append(f"{flat}_sum {_format_value(snap['sum'])}")
         else:  # unknown instrument: expose what we can as untyped
             lines.append(f"{flat} {_format_value(snap.get('value'))}")
+    if extra_samples is not None:
+        last_flat = None
+        for name, labels, value in extra_samples:
+            flat = prometheus_name(name, prefix)
+            if flat != last_flat:
+                lines.append(f"# TYPE {flat} gauge")
+                last_flat = flat
+            lines.append(
+                f"{flat}{_format_labels(labels)} {_format_value(value)}"
+            )
     return "\n".join(lines) + "\n"
 
 
@@ -116,6 +157,9 @@ class TelemetryEndpoint:
         snapshot_fn: optional zero-arg callable returning extra JSON
             sections (windowed telemetry, SLO status, exemplars) merged
             into ``/metrics.json``.
+        samples_fn: optional zero-arg callable returning labeled
+            samples appended to ``/metrics`` (per-device battery
+            levels, per-source wattage).
         host: bind address (default loopback).
         port: bind port; 0 picks a free one (see :attr:`port` after
             :meth:`start`).
@@ -125,11 +169,13 @@ class TelemetryEndpoint:
         self,
         registry: MetricsRegistry,
         snapshot_fn: Optional[Callable[[], Dict[str, Any]]] = None,
+        samples_fn: Optional[Callable[[], Iterable[LabeledSample]]] = None,
         host: str = "127.0.0.1",
         port: int = 0,
     ) -> None:
         self.registry = registry
         self.snapshot_fn = snapshot_fn
+        self.samples_fn = samples_fn
         self.host = host
         self._requested_port = port
         self._server: Optional[asyncio.AbstractServer] = None
@@ -159,8 +205,9 @@ class TelemetryEndpoint:
 
     def _respond(self, path: str) -> tuple:
         if path in ("/metrics", "/"):
+            extra = self.samples_fn() if self.samples_fn else None
             return 200, "text/plain; version=0.0.4", render_prometheus(
-                self.registry
+                self.registry, extra_samples=extra
             )
         if path == "/metrics.json":
             extra = self.snapshot_fn() if self.snapshot_fn else None

@@ -54,7 +54,7 @@ from repro.obs.timeseries import WindowedCounter
 
 __all__ = ["SLOAlert", "SLOMonitor", "SLOPolicy", "SLORule"]
 
-RULE_KINDS = ("latency", "hit_rate", "shed_rate")
+RULE_KINDS = ("latency", "hit_rate", "shed_rate", "energy", "battery_burn")
 
 
 @dataclass(frozen=True)
@@ -63,15 +63,24 @@ class SLORule:
 
     Args:
         name: rule identifier (alert and verdict key).
-        kind: ``"latency"``, ``"hit_rate"``, or ``"shed_rate"``.
+        kind: ``"latency"``, ``"hit_rate"``, ``"shed_rate"``,
+            ``"energy"``, or ``"battery_burn"``.
         objective: required good-events fraction in (0, 1).
         threshold_s: latency cutoff; required for ``kind="latency"``.
+        threshold_j: per-request joules budget; required for
+            ``kind="energy"`` (a request is good iff its attributed
+            energy stays within the budget).
+        threshold: battery burn cutoff as charge fraction per simulated
+            day; required for ``kind="battery_burn"`` (a request is good
+            iff its device's projected burn rate stays at or below it).
     """
 
     name: str
     kind: str
     objective: float
     threshold_s: Optional[float] = None
+    threshold_j: Optional[float] = None
+    threshold: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.kind not in RULE_KINDS:
@@ -86,6 +95,14 @@ class SLORule:
             self.threshold_s is None or self.threshold_s <= 0
         ):
             raise ValueError("latency rules need a positive threshold_s")
+        if self.kind == "energy" and (
+            self.threshold_j is None or self.threshold_j <= 0
+        ):
+            raise ValueError("energy rules need a positive threshold_j")
+        if self.kind == "battery_burn" and (
+            self.threshold is None or self.threshold <= 0
+        ):
+            raise ValueError("battery_burn rules need a positive threshold")
 
     @property
     def budget(self) -> float:
@@ -100,6 +117,10 @@ class SLORule:
         }
         if self.threshold_s is not None:
             out["threshold_s"] = self.threshold_s
+        if self.threshold_j is not None:
+            out["threshold_j"] = self.threshold_j
+        if self.threshold is not None:
+            out["threshold"] = self.threshold
         return out
 
     @classmethod
@@ -110,6 +131,12 @@ class SLORule:
             objective=float(raw["objective"]),
             threshold_s=(
                 float(raw["threshold_s"]) if "threshold_s" in raw else None
+            ),
+            threshold_j=(
+                float(raw["threshold_j"]) if "threshold_j" in raw else None
+            ),
+            threshold=(
+                float(raw["threshold"]) if "threshold" in raw else None
             ),
         )
 
@@ -249,6 +276,8 @@ class SLOMonitor:
         latency_s: Optional[float] = None,
         hit: Optional[bool] = None,
         shed: bool = False,
+        energy_j: Optional[float] = None,
+        battery_burn_per_day: Optional[float] = None,
     ) -> None:
         """Classify one request against every rule.
 
@@ -257,6 +286,11 @@ class SLOMonitor:
             latency_s: end-to-end sojourn; ``None`` for sheds.
             hit: cache hit flag; ``None`` for sheds.
             shed: whether admission control rejected the request.
+            energy_j: attributed joules of the request; ``None`` for
+                sheds (a rejected request spends no radio energy) or
+                when attribution is off.
+            battery_burn_per_day: the device's projected charge fraction
+                burned per simulated day, as of this request.
         """
         self._t_last = max(self._t_last, t)
         for state in self._states:
@@ -271,6 +305,14 @@ class SLOMonitor:
             elif kind == "hit_rate":
                 if not shed and hit is not None:
                     state.record(t, good=hit)
+            elif kind == "energy":
+                if not shed and energy_j is not None:
+                    state.record(t, good=energy_j <= state.rule.threshold_j)
+            elif kind == "battery_burn":
+                if not shed and battery_burn_per_day is not None:
+                    state.record(
+                        t, good=battery_burn_per_day <= state.rule.threshold
+                    )
 
     # -- alerting ------------------------------------------------------------
 

@@ -246,6 +246,10 @@ class WindowedHistogram:
     def count(self, t: float) -> int:
         return sum(h.count for _, h in self._ring.live(t))
 
+    def total(self, t: float) -> float:
+        """Sum of all observed values inside the window at ``t``."""
+        return sum(h.total for _, h in self._ring.live(t))
+
     def quantile(self, t: float, q: float) -> float:
         """Rolling percentile over the window at ``t``.
 

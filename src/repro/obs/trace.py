@@ -135,15 +135,22 @@ class TraceContext:
     Marks carry the *name of the phase they end*.  ``annotations`` is a
     free-form dict for causal links (e.g. the leader trace a piggybacked
     miss rode on) and backend facts (hit/miss, refreshes applied).
+
+    ``energy`` mirrors the time breakdown in joules: the serving layer
+    attaches an :class:`~repro.obs.energy.EnergyBreakdown` once the
+    request's share of the radio timeline is known (post miss-batching),
+    and it rides along into exemplar payloads via :meth:`to_dict`.
     """
 
-    __slots__ = ("trace_id", "marks", "annotations")
+    __slots__ = ("trace_id", "marks", "annotations", "energy")
 
     def __init__(self, trace_id: int, t_origin: float) -> None:
         self.trace_id = trace_id
         #: ``(phase_name, t)`` pairs; index 0 is the origin mark.
         self.marks: List[Tuple[str, float]] = [("enqueued", t_origin)]
         self.annotations: Dict[str, Any] = {}
+        #: attributed energy breakdown (set by the serving layer)
+        self.energy: Optional[Any] = None
 
     @property
     def t_origin(self) -> float:
@@ -190,7 +197,7 @@ class TraceContext:
         return self.t_last - self.t_origin
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "trace_id": self.trace_id,
             "t_origin": self.t_origin,
             "end_to_end_s": self.end_to_end_s(),
@@ -198,6 +205,9 @@ class TraceContext:
             "breakdown": self.breakdown(),
             "annotations": dict(self.annotations),
         }
+        if self.energy is not None:
+            out["energy"] = self.energy.to_dict()
+        return out
 
 
 class _ActiveSpan:

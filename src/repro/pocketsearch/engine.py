@@ -20,10 +20,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.obs.energy import EnergyBreakdown
 from repro.obs.trace import get_tracer
 from repro.pocketsearch.cache import PocketSearchCache
 from repro.pocketsearch.content import DEFAULT_RECORD_BYTES
-from repro.radio.energy import isolated_request_energy, isolated_request_latency
+from repro.radio.energy import (
+    isolated_request_components,
+    isolated_request_energy,
+    isolated_request_latency,
+)
 from repro.radio.models import RadioProfile, THREE_G
 from repro.sim.browser import Browser, RADIO_SERP_BYTES, SERP_BYTES
 from repro.sim.metrics import QueryOutcome, ServiceSource
@@ -46,10 +51,18 @@ _SOURCE_BY_RADIO = {
 
 @dataclass(frozen=True)
 class ServeResult:
-    """Full accounting of one served query."""
+    """Full accounting of one served query.
+
+    Attributes:
+        outcome: the model outcome (latency, energy, source).
+        breakdown: latency components, keyed by stage name.
+        energy: per-component energy breakdown of the same query; its
+            radio components are what miss batching re-attributes.
+    """
 
     outcome: QueryOutcome
     breakdown: Dict[str, float] = field(default_factory=dict)
+    energy: Optional[EnergyBreakdown] = None
 
 
 class PocketSearchEngine:
@@ -205,7 +218,14 @@ class PocketSearchEngine:
             timestamp=timestamp,
             navigational=navigational,
         )
-        return ServeResult(outcome=outcome, breakdown=breakdown)
+        energy_breakdown = EnergyBreakdown(
+            storage_j=fetch_energy,
+            render_j=self.browser.render_energy_j(render_s),
+            base_j=latency * self.base_power_w,
+        )
+        return ServeResult(
+            outcome=outcome, breakdown=breakdown, energy=energy_breakdown
+        )
 
     def _serve_miss(self, query, navigational, timestamp) -> ServeResult:
         tracer = get_tracer()
@@ -214,10 +234,13 @@ class PocketSearchEngine:
                 self.radio, self.query_bytes_up, self.serp_bytes_down,
                 self.server_time_s,
             )
-            radio_energy = isolated_request_energy(
+            radio_parts = isolated_request_components(
                 self.radio, self.query_bytes_up, self.serp_bytes_down,
                 self.server_time_s,
             )
+            radio_energy = (
+                radio_parts.ramp_j + radio_parts.transfer_j
+            ) + radio_parts.tail_j
             if tracer.enabled:
                 radio_span.set_attrs(
                     model_latency_s=radio_latency, model_energy_j=radio_energy
@@ -246,7 +269,16 @@ class PocketSearchEngine:
             timestamp=timestamp,
             navigational=navigational,
         )
-        return ServeResult(outcome=outcome, breakdown=breakdown)
+        energy_breakdown = EnergyBreakdown(
+            ramp_j=radio_parts.ramp_j,
+            transfer_j=radio_parts.transfer_j,
+            tail_j=radio_parts.tail_j,
+            render_j=self.browser.render_energy_j(render_s),
+            base_j=latency * self.base_power_w,
+        )
+        return ServeResult(
+            outcome=outcome, breakdown=breakdown, energy=energy_breakdown
+        )
 
     def _trace_radio_states(self, tracer, timestamp: float) -> None:
         """Emit the implied radio state sequence of one isolated request.

@@ -22,14 +22,15 @@ budgets real-time refreshes for the small hot set of dynamic staples
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.core.management import ChargeState, UpdateScheduler
 from repro.core.selection import CommunityAccessModel, DataSelector, PersonalAccessModel
+from repro.obs.energy import EnergyBreakdown
 from repro.pocketweb.pages import PageModel, PageProfile
 from repro.pocketweb.store import PageStore
-from repro.radio.energy import isolated_request_energy, isolated_request_latency
+from repro.radio.energy import isolated_request_components, isolated_request_latency
 from repro.radio.models import RadioProfile, THREE_G
 from repro.sim.browser import Browser
 
@@ -43,13 +44,21 @@ CONDITIONAL_GET_BYTES = 1 * KB
 
 @dataclass(frozen=True)
 class BrowseOutcome:
-    """One page visit's result and cost."""
+    """One page visit's result and cost.
+
+    ``energy_breakdown`` splits ``energy_j``'s radio portion into the
+    ramp/transfer/tail components the serve layer's attribution needs;
+    it is observability metadata and does not affect the model numbers.
+    """
 
     url: str
     path: str  # "fresh-hit", "stale-hit", "stale-served", or "miss"
     latency_s: float
     energy_j: float
     bytes_over_radio: int
+    energy_breakdown: Optional[EnergyBreakdown] = field(
+        default=None, compare=False
+    )
 
     @property
     def hit(self) -> bool:
@@ -123,16 +132,24 @@ class PocketWebCloudlet:
             + read.energy_j
             + self.browser.render_energy_j(render_s)
         )
-        return BrowseOutcome(profile.url, path, latency, energy, 0)
+        breakdown = EnergyBreakdown(
+            storage_j=read.energy_j,
+            render_j=self.browser.render_energy_j(render_s),
+            base_j=latency * self.base_power_w,
+        )
+        return BrowseOutcome(profile.url, path, latency, energy, 0, breakdown)
 
     def _stale_hit(self, profile: PageProfile, live_version: int) -> BrowseOutcome:
         delta_bytes = int(profile.page_bytes * REVALIDATION_FRACTION)
         radio_latency = isolated_request_latency(
             self.radio, CONDITIONAL_GET_BYTES, delta_bytes, 0.1
         )
-        radio_energy = isolated_request_energy(
+        radio_parts = isolated_request_components(
             self.radio, CONDITIONAL_GET_BYTES, delta_bytes, 0.1
         )
+        radio_energy = (
+            radio_parts.ramp_j + radio_parts.transfer_j
+        ) + radio_parts.tail_j
         self.store.touch(profile.url, live_version)
         read = self.store.read(profile.url)
         render_s = self.browser.render(profile.page_bytes)
@@ -143,17 +160,28 @@ class PocketWebCloudlet:
             + read.energy_j
             + self.browser.render_energy_j(render_s)
         )
+        breakdown = EnergyBreakdown(
+            ramp_j=radio_parts.ramp_j,
+            transfer_j=radio_parts.transfer_j,
+            tail_j=radio_parts.tail_j,
+            storage_j=read.energy_j,
+            render_j=self.browser.render_energy_j(render_s),
+            base_j=latency * self.base_power_w,
+        )
         return BrowseOutcome(
-            profile.url, "stale-hit", latency, energy, delta_bytes
+            profile.url, "stale-hit", latency, energy, delta_bytes, breakdown
         )
 
     def _miss(self, profile: PageProfile, live_version: int) -> BrowseOutcome:
         radio_latency = isolated_request_latency(
             self.radio, CONDITIONAL_GET_BYTES, profile.page_bytes, 0.2
         )
-        radio_energy = isolated_request_energy(
+        radio_parts = isolated_request_components(
             self.radio, CONDITIONAL_GET_BYTES, profile.page_bytes, 0.2
         )
+        radio_energy = (
+            radio_parts.ramp_j + radio_parts.transfer_j
+        ) + radio_parts.tail_j
         render_s = self.browser.render(profile.page_bytes)
         latency = radio_latency + render_s
         energy = (
@@ -163,8 +191,15 @@ class PocketWebCloudlet:
         )
         if profile.page_bytes <= self.store.budget_bytes:
             self.store.put(profile.url, profile.page_bytes, live_version)
+        breakdown = EnergyBreakdown(
+            ramp_j=radio_parts.ramp_j,
+            transfer_j=radio_parts.transfer_j,
+            tail_j=radio_parts.tail_j,
+            render_j=self.browser.render_energy_j(render_s),
+            base_j=latency * self.base_power_w,
+        )
         return BrowseOutcome(
-            profile.url, "miss", latency, energy, profile.page_bytes
+            profile.url, "miss", latency, energy, profile.page_bytes, breakdown
         )
 
     def _observe(self, url: str, t_seconds: float) -> None:

@@ -2,10 +2,27 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Iterable, List, NamedTuple
 
 from repro.radio.states import PowerSegment, RadioState
 from repro.radio.models import RadioProfile
+
+
+class RadioEnergyComponents(NamedTuple):
+    """Per-state energy of one cold radio request.
+
+    The components sum (left-to-right) to exactly what
+    :func:`isolated_request_energy` returns for the same arguments —
+    the decomposition the serve layer's energy attribution rests on.
+    """
+
+    ramp_j: float
+    transfer_j: float
+    tail_j: float
+
+    @property
+    def total_j(self) -> float:
+        return (self.ramp_j + self.transfer_j) + self.tail_j
 
 
 def segments_energy(segments: Iterable[PowerSegment]) -> float:
@@ -26,6 +43,33 @@ def average_power(segments: List[PowerSegment]) -> float:
     return segments_energy(segments) / total
 
 
+def isolated_request_components(
+    profile: RadioProfile,
+    bytes_up: int,
+    bytes_down: int,
+    server_s: float = 0.0,
+    include_tail: bool = True,
+) -> RadioEnergyComponents:
+    """Per-state energy of one cold request (ramp, transfer, tail).
+
+    ``include_tail=False`` zeroes the tail component (a request whose
+    tail is absorbed by a follow-on transfer).
+    """
+    if bytes_up < 0 or bytes_down < 0:
+        raise ValueError("transfer sizes must be non-negative")
+    transfer_s = (
+        profile.request_rtt_s()
+        + bytes_up / profile.uplink_bps
+        + server_s
+        + bytes_down / profile.downlink_bps
+    )
+    return RadioEnergyComponents(
+        ramp_j=profile.wakeup_s * profile.ramp_power_w,
+        transfer_j=transfer_s * profile.active_power_w,
+        tail_j=profile.tail_s * profile.tail_power_w if include_tail else 0.0,
+    )
+
+
 def isolated_request_energy(
     profile: RadioProfile,
     bytes_up: int,
@@ -37,21 +81,15 @@ def isolated_request_energy(
 
     This is the per-query radio energy of Figure 15b, where each query is
     measured in isolation and the radio pays the full wake-up and tail.
+    Identical (to the bit) to summing :func:`isolated_request_components`
+    left-to-right.
     """
-    if bytes_up < 0 or bytes_down < 0:
-        raise ValueError("transfer sizes must be non-negative")
-    transfer_s = (
-        profile.request_rtt_s()
-        + bytes_up / profile.uplink_bps
-        + server_s
-        + bytes_down / profile.downlink_bps
+    parts = isolated_request_components(
+        profile, bytes_up, bytes_down, server_s, include_tail
     )
-    energy = (
-        profile.wakeup_s * profile.ramp_power_w
-        + transfer_s * profile.active_power_w
-    )
+    energy = parts.ramp_j + parts.transfer_j
     if include_tail:
-        energy += profile.tail_s * profile.tail_power_w
+        energy += parts.tail_j
     return energy
 
 

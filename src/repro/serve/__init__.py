@@ -35,7 +35,7 @@ from repro.serve.backends import (
     SearchBackend,
     WebBackend,
 )
-from repro.serve.batcher import MissBatcher
+from repro.serve.batcher import FetchShare, MissBatcher
 from repro.serve.harness import (
     ServeReport,
     run_loadtest,
@@ -58,6 +58,7 @@ __all__ = [
     "CloudletServer",
     "DailyUpdateBackend",
     "DeviceBackend",
+    "FetchShare",
     "LoadGenConfig",
     "MissBatcher",
     "Overloaded",

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Protocol, runtime_checkable
 
+from repro.obs.energy import EnergyBreakdown
 from repro.pocketsearch.content import CacheContent
 from repro.pocketsearch.engine import PocketSearchEngine
 from repro.pocketsearch.manager import CacheUpdateServer
@@ -48,6 +49,9 @@ class BackendResult:
     #: Backend facts worth carrying into the request's trace (e.g. how
     #: many pending nightly refreshes were applied before serving).
     annotations: Dict[str, Any] = field(default_factory=dict)
+    #: Per-component energy of this request served in isolation; the
+    #: server re-attributes the radio components when misses batch.
+    energy: Optional[EnergyBreakdown] = None
 
 
 @runtime_checkable
@@ -80,6 +84,7 @@ class SearchBackend:
         return BackendResult(
             outcome=result.outcome,
             radio_s=result.breakdown.get("radio_s", 0.0),
+            energy=result.energy,
         )
 
 
@@ -130,6 +135,7 @@ class DailyUpdateBackend:
                 annotations=dict(
                     result.annotations, refreshes_applied=applied
                 ),
+                energy=result.energy,
             )
         return result
 
@@ -157,4 +163,6 @@ class WebBackend:
         # Any path that moved bytes over the radio can share its fetch;
         # approximate the shareable window with the full visit latency.
         radio_s = browse.latency_s if browse.bytes_over_radio else 0.0
-        return BackendResult(outcome=outcome, radio_s=radio_s)
+        return BackendResult(
+            outcome=outcome, radio_s=radio_s, energy=browse.energy_breakdown
+        )

@@ -22,11 +22,34 @@ batch-wait segment was actually spent inside).
 from __future__ import annotations
 
 import asyncio
-from typing import Dict, Hashable, Optional
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Tuple
 
+from repro.obs.energy import split_shared_radio
 from repro.obs.trace import TraceContext
 
-__all__ = ["MissBatcher"]
+__all__ = ["FetchShare", "MissBatcher"]
+
+
+@dataclass(frozen=True)
+class FetchShare:
+    """One participant's slice of a (possibly shared) radio fetch.
+
+    Attributes:
+        shared: ``True`` if this call piggybacked on an in-flight fetch.
+        share: this participant's attributed ``(ramp_j, transfer_j,
+            tail_j)`` radio energy, or ``None`` when the leader supplied
+            no energy components (the caller then accounts for itself in
+            isolation).
+        timeline_j: the radio-timeline energy this participant is
+            responsible for reporting — the full fetch energy for a
+            leader, 0.0 for riders (their joules were already spent by
+            the leader's flight).
+    """
+
+    shared: bool
+    share: Optional[Tuple[float, float, float]] = None
+    timeline_j: float = 0.0
 
 
 class MissBatcher:
@@ -55,6 +78,26 @@ class MissBatcher:
         caller already had in flight, ``False`` if it was the leader.
         ``trace``, when given, is annotated with the causal link.
         """
+        share = await self.fetch_shared(key, duration_s, trace)
+        return share.shared
+
+    async def fetch_shared(
+        self,
+        key: Hashable,
+        duration_s: float,
+        trace: Optional[TraceContext] = None,
+        radio_energy: Optional[Tuple[float, float, float]] = None,
+    ) -> FetchShare:
+        """:meth:`fetch`, plus energy attribution of the shared flight.
+
+        ``radio_energy`` is the leader's isolated ``(ramp_j, transfer_j,
+        tail_j)`` for this fetch.  The rider count is only final when the
+        flight completes (the in-flight entry is removed before the
+        future resolves, so no further riders can join), which is where
+        the split is computed: the leader's :class:`FetchShare` carries
+        its remainder share, and every rider receives its equal
+        wake/tail slice through the leader's future.
+        """
         existing = self._inflight.get(key)
         if existing is not None:
             self.piggybacked += 1
@@ -63,22 +106,37 @@ class MissBatcher:
                 trace.annotate(
                     batch_role="rider", batch_leader_trace=existing[1]
                 )
-            await existing[0]
-            return True
+            rider_share = await existing[0]
+            return FetchShare(shared=True, share=rider_share, timeline_j=0.0)
 
         loop = asyncio.get_event_loop()
-        future: "asyncio.Future[None]" = loop.create_future()
+        future: "asyncio.Future[Optional[Tuple[float, float, float]]]" = (
+            loop.create_future()
+        )
         entry = [future, trace.trace_id if trace is not None else None, 0]
         self._inflight[key] = entry
         self.fetches += 1
+        leader_share: Optional[Tuple[float, float, float]] = None
         try:
             await asyncio.sleep(duration_s)
         finally:
             del self._inflight[key]
-            future.set_result(None)
+            if radio_energy is not None:
+                leader_share, rider_share = split_shared_radio(
+                    radio_energy[0], radio_energy[1], radio_energy[2],
+                    entry[2],
+                )
+                future.set_result(rider_share)
+            else:
+                future.set_result(None)
         if trace is not None:
             trace.annotate(batch_role="leader", batch_riders=entry[2])
-        return False
+        timeline_j = 0.0
+        if radio_energy is not None:
+            timeline_j = (radio_energy[0] + radio_energy[1]) + radio_energy[2]
+        return FetchShare(
+            shared=False, share=leader_share, timeline_j=timeline_j
+        )
 
     @property
     def inflight(self) -> int:

@@ -43,7 +43,7 @@ EQUIVALENCE_TOLERANCE = 1e-9
 
 
 def _report_rows(report: ServeReport) -> List[List[str]]:
-    return [
+    rows = [
         ["requests", str(report.requests)],
         ["completed", str(report.completed)],
         ["shed", f"{report.shed} ({report.shed_rate:.1%})"],
@@ -59,6 +59,29 @@ def _report_rows(report: ServeReport) -> List[List[str]]:
         ["piggybacked", str(report.piggybacked)],
         ["batch efficiency", f"{report.batch_efficiency:.3f}"],
     ]
+    if report.energy_j_per_query == report.energy_j_per_query:  # not NaN
+        rows += [
+            ["energy/query", f"{report.energy_j_per_query:.3f} J "
+             f"(p50 {report.energy_j_p50:.3f}, p99 {report.energy_j_p99:.3f})"],
+            ["hit energy", f"{report.hit_energy_j:.3f} J"],
+            ["miss energy", f"{report.miss_energy_j:.3f} J"],
+            ["miss/hit energy", f"{report.hit_miss_energy_ratio:.1f}x"],
+            ["radio attributed", f"{report.attributed_radio_j:.3f} J "
+             f"(timeline {report.timeline_radio_j:.3f} J, "
+             f"err {report.conservation_error_j:.2e})"],
+        ]
+    if report.battery_day_fraction == report.battery_day_fraction:
+        per_charge = (
+            str(report.queries_per_charge)
+            if report.queries_per_charge is not None
+            else "-"
+        )
+        rows += [
+            ["battery burn", f"{report.battery_day_fraction:.2%}/day "
+             f"(min level {report.battery_min_level:.1%})"],
+            ["queries/charge", per_charge],
+        ]
+    return rows
 
 
 def _print_slo(report: ServeReport) -> None:
@@ -99,6 +122,7 @@ async def _serve_endpoint(
     endpoint = TelemetryEndpoint(
         registry,
         snapshot_fn=lambda: {"serve": telemetry.snapshot()},
+        samples_fn=telemetry.prometheus_samples,
         port=port,
     )
     await endpoint.start()
@@ -274,6 +298,11 @@ def loadtest_main(argv: Optional[List[str]] = None) -> int:
         help="monitor the run against this SLO policy JSON",
     )
     parser.add_argument(
+        "--battery-capacity-j", type=float, default=None, metavar="J",
+        help="per-device battery size for drain tracking (default: the "
+        "Xperia X1a battery, ~19980 J)",
+    )
+    parser.add_argument(
         "--fail-on-alert", action="store_true",
         help="exit nonzero if the SLO verdict is fail (CI gate)",
     )
@@ -300,7 +329,16 @@ def loadtest_main(argv: Optional[List[str]] = None) -> int:
         except (OSError, ValueError, KeyError) as exc:
             print(f"repro loadtest: bad --slo-policy: {exc}", file=sys.stderr)
             return 2
-    telemetry = ServeTelemetry(slo_policy=slo_policy)
+    if args.battery_capacity_j is not None and args.battery_capacity_j <= 0:
+        print(
+            "repro loadtest: --battery-capacity-j must be positive",
+            file=sys.stderr,
+        )
+        return 2
+    telemetry_kwargs = {}
+    if args.battery_capacity_j is not None:
+        telemetry_kwargs["battery_capacity_j"] = args.battery_capacity_j
+    telemetry = ServeTelemetry(slo_policy=slo_policy, **telemetry_kwargs)
     registry = MetricsRegistry()
 
     recorder = ManifestRecorder(
@@ -315,6 +353,7 @@ def loadtest_main(argv: Optional[List[str]] = None) -> int:
             "max_inflight": args.max_inflight,
             "refresh_interval_s": args.refresh_interval,
             "slo_policy": args.slo_policy,
+            "battery_capacity_j": args.battery_capacity_j,
         },
         seed=args.seed,
     )
@@ -369,6 +408,17 @@ def loadtest_main(argv: Optional[List[str]] = None) -> int:
     if args.fail_on_alert and report.slo is not None and not report.slo["passed"]:
         print(
             "repro loadtest: SLO verdict fail (--fail-on-alert)",
+            file=sys.stderr,
+        )
+        exit_code = 1
+    if report.energy_conserved is False:
+        # Attribution drifting from the simulated radio timeline is an
+        # accounting bug, never load-dependent noise — always a failure.
+        print(
+            f"repro loadtest: energy attribution not conserved "
+            f"(attributed {report.attributed_radio_j:.6f} J vs timeline "
+            f"{report.timeline_radio_j:.6f} J, "
+            f"error {report.conservation_error_j:.3e} J)",
             file=sys.stderr,
         )
         exit_code = 1

@@ -94,6 +94,27 @@ class ServeReport:
     slo: Optional[Dict[str, Any]] = None
     #: slowest-request exemplars, each a full segment timeline
     exemplars: List[Dict[str, Any]] = field(default_factory=list)
+    #: attributed-energy accounting (NaN/None when no response carried a
+    #: breakdown — e.g. a backend without energy attribution)
+    energy_j_total: float = 0.0
+    energy_j_per_query: float = float("nan")
+    energy_j_p50: float = float("nan")
+    energy_j_p99: float = float("nan")
+    hit_energy_j: float = float("nan")
+    miss_energy_j: float = float("nan")
+    #: the online Figure 15b: mean miss joules over mean hit joules
+    hit_miss_energy_ratio: float = float("nan")
+    attributed_radio_j: float = 0.0
+    timeline_radio_j: float = 0.0
+    conservation_error_j: float = 0.0
+    #: whether attributed radio joules matched the simulated timeline
+    energy_conserved: Optional[bool] = None
+    battery_capacity_j: float = float("nan")
+    battery_min_level: float = float("nan")
+    #: mean projected charge fraction burned per simulated day
+    battery_day_fraction: float = float("nan")
+    #: projected queries one full charge sustains at the observed mean
+    queries_per_charge: Optional[int] = None
 
     @property
     def shed_rate(self) -> float:
@@ -136,6 +157,31 @@ class ServeReport:
             "batch_wait_p99_s": self.batch_wait_p99_s,
             "service_p99_s": self.service_p99_s,
         }
+        # Energy metrics are only meaningful when responses carried
+        # breakdowns; NaNs are omitted so manifests stay clean JSON for
+        # downstream tooling (jq, bench-gate).
+        for name in (
+            "energy_j_total",
+            "energy_j_per_query",
+            "energy_j_p50",
+            "energy_j_p99",
+            "hit_energy_j",
+            "miss_energy_j",
+            "hit_miss_energy_ratio",
+            "attributed_radio_j",
+            "timeline_radio_j",
+            "conservation_error_j",
+            "battery_capacity_j",
+            "battery_min_level",
+            "battery_day_fraction",
+        ):
+            value = getattr(self, name)
+            if value == value:  # not NaN
+                out[name] = value
+        if self.energy_conserved is not None:
+            out["energy_conserved"] = 1.0 if self.energy_conserved else 0.0
+        if self.queries_per_charge is not None:
+            out["queries_per_charge"] = float(self.queries_per_charge)
         for reason, count in sorted(self.shed_reasons.items()):
             out["shed_" + reason.replace("-", "_")] = count
         if self.slo is not None:
@@ -157,6 +203,9 @@ def _build_report(
     refresh_blocked: List[float] = []
     batch_waits: List[float] = []
     services: List[float] = []
+    energies: List[float] = []
+    hit_energies: List[float] = []
+    miss_energies: List[float] = []
     for reply in replies:
         if isinstance(reply, Overloaded):
             report.shed += 1
@@ -176,6 +225,12 @@ def _build_report(
         refresh_blocked.append(breakdown["refresh_blocked"])
         batch_waits.append(breakdown["batch_wait"])
         services.append(breakdown["service"])
+        if reply.energy is not None:
+            joules = reply.energy.total_j
+            energies.append(joules)
+            (hit_energies if reply.outcome.hit else miss_energies).append(
+                joules
+            )
         duration_s = max(duration_s, reply.completed_at)
     report.duration_s = duration_s
     for values, attr in (
@@ -191,8 +246,34 @@ def _build_report(
     report.sojourn_p50_s = _percentile(sojourns, 50)
     report.sojourn_p99_s = _percentile(sojourns, 99)
     report.sojourn_max_s = sojourns[-1] if sojourns else float("nan")
+    if energies:
+        energies.sort()
+        report.energy_j_total = sum(energies)
+        report.energy_j_per_query = report.energy_j_total / len(energies)
+        report.energy_j_p50 = _percentile(energies, 50)
+        report.energy_j_p99 = _percentile(energies, 99)
+        if hit_energies:
+            report.hit_energy_j = sum(hit_energies) / len(hit_energies)
+        if miss_energies:
+            report.miss_energy_j = sum(miss_energies) / len(miss_energies)
+        if hit_energies and miss_energies and report.hit_energy_j > 0:
+            report.hit_miss_energy_ratio = (
+                report.miss_energy_j / report.hit_energy_j
+            )
     telemetry = server.telemetry
     telemetry.finalize()
+    ledger = telemetry.energy.ledger
+    if ledger.requests:
+        report.attributed_radio_j = ledger.attributed_j
+        report.timeline_radio_j = ledger.timeline_j
+        report.conservation_error_j = ledger.conservation_error_j
+        report.energy_conserved = ledger.conserved()
+    batteries = telemetry.batteries.snapshot(telemetry.t_last)
+    if batteries["n_devices"]:
+        report.battery_capacity_j = batteries["capacity_j"]
+        report.battery_min_level = batteries["min_level"]
+        report.battery_day_fraction = batteries["mean_burn_per_day"]
+        report.queries_per_charge = batteries["queries_per_charge"]
     report.slo = telemetry.verdict()
     report.exemplars = telemetry.exemplars.top(telemetry.t_last)
     return report
@@ -396,6 +477,7 @@ def run_loadtest(
     slo_policy: Optional[SLOPolicy] = None,
     telemetry: Optional[ServeTelemetry] = None,
     registry: Optional[MetricsRegistry] = None,
+    battery_capacity_j: Optional[float] = None,
 ) -> Tuple[ServeReport, Workload]:
     """Load-test the server on the virtual clock.
 
@@ -413,11 +495,17 @@ def run_loadtest(
         telemetry: pre-built telemetry plane (wins over ``slo_policy``);
             pass one to keep a handle for snapshots/exposition after the
             run.
+        battery_capacity_j: per-device battery size for drain tracking
+            (defaults to the Xperia X1a battery; ignored when a
+            pre-built ``telemetry`` is passed).
     """
     content = build_cache_content(log.month(build_month), policy)
     workload = build_workload(log, workload_month, loadgen)
     if telemetry is None:
-        telemetry = ServeTelemetry(slo_policy=slo_policy)
+        kwargs: Dict[str, Any] = {"slo_policy": slo_policy}
+        if battery_capacity_j is not None:
+            kwargs["battery_capacity_j"] = battery_capacity_j
+        telemetry = ServeTelemetry(**kwargs)
 
     def backend_factory(device_id: int) -> SearchBackend:
         return SearchBackend(PocketSearchEngine(make_cache(content, CacheMode.FULL)))

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Union
 
+from repro.obs.energy import EnergyBreakdown
 from repro.obs.trace import TraceContext
 from repro.pocketsearch.content import DEFAULT_RECORD_BYTES
 from repro.sim.metrics import QueryOutcome
@@ -58,6 +59,13 @@ class ServeResponse:
     shared_fetch: bool = False
     #: request-scoped trace: id + causally ordered phase segments
     trace: Optional[TraceContext] = field(default=None, compare=False)
+    #: attributed energy breakdown (shared-fetch radio energy already
+    #: split across participants); observability metadata, never fed
+    #: back into ``outcome``
+    energy: Optional[EnergyBreakdown] = field(default=None, compare=False)
+    #: simulated radio-timeline joules this response reports for the
+    #: conservation ledger (full fetch for a leader/solo, 0.0 for riders)
+    radio_timeline_j: float = field(default=0.0, compare=False)
 
     ok = True
 
@@ -90,6 +98,17 @@ class ServeResponse:
         if self.trace is not None:
             return self.trace.segment_s("service")
         return self.sojourn_s - self.queue_wait_s
+
+    @property
+    def energy_j(self) -> float:
+        """Total attributed joules (0.0 when no breakdown was recorded)."""
+        return self.energy.total_j if self.energy is not None else 0.0
+
+    def energy_breakdown(self) -> Dict[str, float]:
+        """Component -> joules (all zeros when no breakdown was recorded)."""
+        if self.energy is None:
+            return EnergyBreakdown().to_dict()
+        return self.energy.to_dict()
 
     def breakdown(self) -> Dict[str, float]:
         """Phase -> seconds over :data:`SEGMENT_NAMES`.

@@ -35,6 +35,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Set
 
+from repro.obs.energy import EnergyBreakdown
 from repro.obs.registry import MetricsRegistry, get_registry
 from repro.obs.trace import TraceContext, get_tracer
 from repro.serve.backends import DeviceBackend
@@ -249,12 +250,33 @@ class CloudletServer:
                 trace.annotate(**result.annotations)
             outcome = result.outcome
             shared = False
+            energy: Optional[EnergyBreakdown] = result.energy
+            # Default (solo/hit) attribution: the request pays for its
+            # own isolated radio timeline.
+            radio_timeline_j = energy.radio_j if energy is not None else 0.0
             if not outcome.hit and result.radio_s > 0:
                 # Occupy the shared radio for the fetch; identical
                 # concurrent misses piggyback on one round trip.
-                shared = await self.batcher.fetch(
-                    request.key, result.radio_s * scale, trace=trace
+                fetch_share = await self.batcher.fetch_shared(
+                    request.key,
+                    result.radio_s * scale,
+                    trace=trace,
+                    radio_energy=(
+                        (energy.ramp_j, energy.transfer_j, energy.tail_j)
+                        if energy is not None
+                        else None
+                    ),
                 )
+                shared = fetch_share.shared
+                if energy is not None and fetch_share.share is not None:
+                    # Re-attribute the flight's wake/tail across its
+                    # participants; the leader reports the full timeline
+                    # spend, riders report none (the ledger's invariant).
+                    energy = energy.with_radio(*fetch_share.share)
+                    radio_timeline_j = fetch_share.timeline_j
+                # A rider whose leader carried no energy components
+                # keeps its isolated breakdown and accounts as a solo
+                # fetch — self-consistent, if pessimistic.
                 trace.mark("batch_wait", loop.time())
                 local_s = (outcome.latency_s - result.radio_s) * scale
                 if local_s > 0:
@@ -263,6 +285,8 @@ class CloudletServer:
                 await asyncio.sleep(outcome.latency_s * scale)
             completed_at = loop.time()
             trace.mark("service", completed_at)
+            if energy is not None:
+                trace.energy = energy
             response = ServeResponse(
                 request=request,
                 outcome=outcome,
@@ -271,6 +295,8 @@ class CloudletServer:
                 completed_at=completed_at,
                 shared_fetch=shared,
                 trace=trace,
+                energy=energy,
+                radio_timeline_j=radio_timeline_j,
             )
             self._record(response)
             self._inflight -= 1
@@ -290,6 +316,8 @@ class CloudletServer:
             reg.counter("serve.shared_fetches").inc()
         reg.histogram("serve.queue_wait_s").add(response.queue_wait_s)
         reg.histogram("serve.sojourn_s").add(response.sojourn_s)
+        if response.energy is not None:
+            reg.histogram("serve.energy_j").add(response.energy_j)
 
     # -- background refresh -------------------------------------------------
 

@@ -24,10 +24,12 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.obs.energy import EnergyWindows
 from repro.obs.slo import SLOAlert, SLOMonitor, SLOPolicy
 from repro.obs.timeseries import TimeSeriesRegistry
 from repro.obs.trace import get_tracer
 from repro.serve.requests import Overloaded, ServeResponse
+from repro.sim.battery import DEFAULT_CAPACITY_J, FleetBatteries
 
 __all__ = ["ServeTelemetry"]
 
@@ -46,6 +48,9 @@ class ServeTelemetry:
         exemplar_k: slow-request exemplars kept per bucket.
         slo_policy: optional SLO policy to monitor; alerts surface as
             ``slo_alert`` tracer events and in :meth:`verdict`.
+        battery_capacity_j: full-charge energy of each device's modelled
+            battery (drained by every attributed response).
+        battery_worst_k: most-drained devices surfaced per snapshot.
     """
 
     def __init__(
@@ -54,6 +59,8 @@ class ServeTelemetry:
         n_buckets: int = DEFAULT_N_BUCKETS,
         exemplar_k: int = DEFAULT_EXEMPLAR_K,
         slo_policy: Optional[SLOPolicy] = None,
+        battery_capacity_j: float = DEFAULT_CAPACITY_J,
+        battery_worst_k: int = 8,
     ) -> None:
         self.windows = TimeSeriesRegistry(bucket_width_s, n_buckets)
         w = self.windows
@@ -69,6 +76,11 @@ class ServeTelemetry:
         self._service = w.histogram("serve.service_s")
         self._inflight = w.gauge("serve.inflight")
         self.exemplars = w.exemplars("serve.slow_requests", k=exemplar_k)
+        #: windowed per-request energy attribution + conservation ledger
+        self.energy = EnergyWindows(w)
+        #: per-device battery drain (projections feed the SLO engine)
+        self.batteries = FleetBatteries(capacity_j=battery_capacity_j)
+        self.battery_worst_k = battery_worst_k
         self.slo: Optional[SLOMonitor] = (
             SLOMonitor(slo_policy, width_s=bucket_width_s)
             if slo_policy is not None
@@ -121,6 +133,20 @@ class ServeTelemetry:
         self._batch_wait.observe(t, response.batch_wait_s)
         self._service.observe(t, response.service_s)
         self._inflight.observe(t, inflight)
+        energy_j: Optional[float] = None
+        burn_per_day: Optional[float] = None
+        if response.energy is not None:
+            energy_j = response.energy.total_j
+            device_id = response.request.device_id
+            self.energy.on_request(
+                t,
+                source=response.outcome.source.value,
+                hit=response.outcome.hit,
+                breakdown=response.energy,
+                timeline_j=response.radio_timeline_j,
+            )
+            self.batteries.drain(device_id, energy_j, t)
+            burn_per_day = self.batteries.burn_per_day(device_id, t)
         if response.trace is not None:
             payload = response.trace.to_dict()
             payload["device_id"] = response.request.device_id
@@ -129,7 +155,11 @@ class ServeTelemetry:
             self.exemplars.observe(t, sojourn, payload)
         if self.slo is not None:
             self.slo.record_request(
-                t, latency_s=sojourn, hit=response.outcome.hit
+                t,
+                latency_s=sojourn,
+                hit=response.outcome.hit,
+                energy_j=energy_j,
+                battery_burn_per_day=burn_per_day,
             )
 
     # -- bucket ticks --------------------------------------------------------
@@ -238,6 +268,47 @@ class ServeTelemetry:
             )
         return rows
 
+    def prometheus_samples(self, t: Optional[float] = None) -> List[Any]:
+        """Labeled gauge samples for the Prometheus endpoint.
+
+        Per-source rolling wattage and joules, the fleet battery
+        aggregates, and the worst-drained devices' charge levels —
+        dimensions the flat process registry cannot carry.
+        """
+        t = self._t_last if t is None else t
+        samples: List[Any] = []
+        rolling = self.energy.rolling(t)
+        for source, stats in rolling["sources"].items():
+            labels = {"source": source}
+            samples.append(("serve.energy.source_power_w", labels, stats["power_w"]))
+            samples.append(("serve.energy.source_joules", labels, stats["energy_j"]))
+        conservation = rolling["conservation"]
+        samples.append(
+            ("serve.energy.attributed_radio_j", {},
+             conservation["attributed_radio_j"])
+        )
+        samples.append(
+            ("serve.energy.timeline_radio_j", {},
+             conservation["timeline_radio_j"])
+        )
+        batteries = self.batteries.snapshot(t, worst_k=self.battery_worst_k)
+        if batteries["n_devices"]:
+            samples.append(
+                ("serve.battery.min_level", {}, batteries["min_level"])
+            )
+            samples.append(
+                ("serve.battery.mean_level", {}, batteries["mean_level"])
+            )
+            for row in batteries["worst"]:
+                samples.append(
+                    (
+                        "serve.battery.level",
+                        {"device": str(row["device_id"])},
+                        row["level"],
+                    )
+                )
+        return samples
+
     def snapshot(self, t: Optional[float] = None) -> Dict[str, Any]:
         """One JSON-ready document: rolling stats, per-bucket series,
         exemplars, and SLO status — the ``/metrics.json`` extra section
@@ -250,6 +321,10 @@ class ServeTelemetry:
             "rolling": self.rolling(t),
             "per_bucket": self.per_bucket(t),
             "exemplars": self.exemplars.top(t),
+            "energy": self.energy.snapshot(t),
+            "batteries": self.batteries.snapshot(
+                t, worst_k=self.battery_worst_k
+            ),
         }
         if self.slo is not None:
             doc["slo"] = {

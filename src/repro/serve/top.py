@@ -113,6 +113,105 @@ def render_top(snapshot: Dict[str, Any], buckets_shown: int = 60) -> str:
                 f"  peak {_fmt(peak, '{:g}')}"
             )
 
+    energy = snapshot.get("energy")
+    if energy:
+        erolling = energy.get("rolling", {})
+        lines.append("")
+        lines.append(
+            f"energy {_fmt(erolling.get('energy_j_per_query'))} J/query "
+            f"(p50 {_fmt(erolling.get('energy_j_p50'))} "
+            f"p99 {_fmt(erolling.get('energy_j_p99'))})  "
+            f"hit {_fmt(erolling.get('hit_energy_j'))} J  "
+            f"miss {_fmt(erolling.get('miss_energy_j'))} J  "
+            f"miss/hit {_fmt(erolling.get('hit_miss_energy_ratio'), '{:.1f}')}x  "
+            f"{_fmt(erolling.get('power_w'))} W"
+        )
+        conservation = erolling.get("conservation", {})
+        if conservation.get("requests"):
+            lines.append(
+                "radio ledger: attributed "
+                f"{_fmt(conservation.get('attributed_radio_j'), '{:.3f}')} J"
+                " vs timeline "
+                f"{_fmt(conservation.get('timeline_radio_j'), '{:.3f}')} J"
+                "  (error "
+                f"{_fmt(conservation.get('conservation_error_j'), '{:.2e}')} J)"
+            )
+        erows = energy.get("per_bucket", [])[-buckets_shown:]
+        if erows:
+            source_names = sorted(
+                {name for row in erows for name in row.get("sources", {})}
+            )
+            for label, series in [
+                ("power (W)", [row.get("power_w") for row in erows]),
+            ] + [
+                (
+                    f"{name[:7]} (W)",
+                    [row.get("sources", {}).get(name, 0.0) for row in erows],
+                )
+                for name in source_names
+            ]:
+                numeric = [
+                    float(v) for v in series
+                    if v is not None and not math.isnan(float(v))
+                ]
+                peak = max(numeric) if numeric else 0.0
+                lines.append(
+                    f"{label:>10} "
+                    f"{_spark([None if v is None else float(v) for v in series])}"
+                    f"  peak {_fmt(peak, '{:.2f}')}"
+                )
+            width_s = float(snapshot.get("bucket_width_s") or 1.0)
+            from repro.sim.powertrace import render_trace, segments_from_buckets
+
+            # One chart column per bucket slot (last 60 buckets of time),
+            # so samples land on bucket centers and short bursts show.
+            last = float(erows[-1]["t_start"])
+            trace_rows = [
+                row for row in erows
+                if float(row["t_start"]) > last - 60 * width_s
+            ]
+            segments = segments_from_buckets(trace_rows, width_s)
+            if segments and any(s.power_w > 0 for s in segments):
+                first = float(trace_rows[0]["t_start"])
+                span = int(round((last - first) / width_s)) + 1
+                lines.append("")
+                lines.append(
+                    render_trace(
+                        segments,
+                        width=max(span, 10),
+                        height=5,
+                        title="radio power trace (window)",
+                    )
+                )
+
+    batteries = snapshot.get("batteries")
+    if batteries and batteries.get("n_devices"):
+        lines.append("")
+        lines.append(
+            f"batteries: {_fmt(batteries.get('n_devices'), '{:.0f}')} devices"
+            f"  min {_fmt(batteries.get('min_level'), '{:.1%}')}"
+            f"  mean {_fmt(batteries.get('mean_level'), '{:.1%}')}"
+            f"  exhausted {_fmt(batteries.get('exhausted'), '{:.0f}')}"
+            f"  burn {_fmt(batteries.get('mean_burn_per_day'), '{:.2%}')}/day"
+            f"  {_fmt(batteries.get('queries_per_charge'), '{:.0f}')} "
+            "queries/charge"
+        )
+        worst = batteries.get("worst", [])
+        if worst:
+            lines.append(
+                f"  {'device':>7} {'level':>7} {'drained':>9} {'queries':>8} "
+                f"{'burn/day':>9} {'q/charge':>9}"
+            )
+            for row in worst[:8]:
+                lines.append(
+                    f"  {_fmt(row.get('device_id'), '{:.0f}'):>7} "
+                    f"{_fmt(row.get('level'), '{:.1%}'):>7} "
+                    f"{_fmt(row.get('drained_j'), '{:.1f}J'):>9} "
+                    f"{_fmt(row.get('queries'), '{:.0f}'):>8} "
+                    f"{_fmt(row.get('burn_per_day'), '{:.2%}'):>9} "
+                    f"{_fmt(row.get('queries_per_charge'), '{:.0f}'):>9}"
+                )
+
     slo = snapshot.get("slo")
     if slo:
         lines.append("")

@@ -10,9 +10,17 @@ day of searching consumes, and how many queries one charge sustains.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
 
 #: The Xperia X1a-era battery: 1500 mAh at a nominal 3.7 V.
 DEFAULT_CAPACITY_J = 1.5 * 3.7 * 3600  # amp-hours x volts x seconds
+
+DAY_SECONDS = 86_400.0
+
+#: Minimum observation span (simulated s) a burn-rate projection is
+#: extrapolated over; shorter spans would project one query's joules
+#: into an absurd %/day figure.
+MIN_BURN_SPAN_S = 60.0
 
 
 @dataclass
@@ -66,3 +74,124 @@ class Battery:
         if queries_per_day < 0:
             raise ValueError("queries_per_day must be non-negative")
         return energy_per_query_j * queries_per_day / self.capacity_j
+
+
+class _DeviceDrain:
+    """One device's battery plus its drain history."""
+
+    __slots__ = ("battery", "drained_j", "queries", "t_first", "t_last")
+
+    def __init__(self, capacity_j: float, t: float) -> None:
+        self.battery = Battery(capacity_j=capacity_j)
+        self.drained_j = 0.0
+        self.queries = 0
+        self.t_first = t
+        self.t_last = t
+
+
+class FleetBatteries:
+    """Per-device battery drain tracking for a fleet of phones.
+
+    The serving telemetry drains one :class:`Battery` per device as
+    responses complete, turning attributed joules into the quantity the
+    paper argues about: battery life.  Projections are extrapolations of
+    each device's *observed* average power onto a full charge / a full
+    simulated day.
+
+    Args:
+        capacity_j: full-charge energy of every device's battery.
+    """
+
+    def __init__(self, capacity_j: float = DEFAULT_CAPACITY_J) -> None:
+        if capacity_j <= 0:
+            raise ValueError(f"capacity_j must be positive, got {capacity_j}")
+        self.capacity_j = capacity_j
+        self._devices: Dict[int, _DeviceDrain] = {}
+
+    def __len__(self) -> int:
+        return len(self._devices)
+
+    def drain(self, device_id: int, energy_j: float, t: float) -> bool:
+        """Drain ``device_id``'s battery; returns the battery's verdict
+        (``False`` once the device would be dead)."""
+        state = self._devices.get(device_id)
+        if state is None:
+            state = _DeviceDrain(self.capacity_j, t)
+            self._devices[device_id] = state
+        state.drained_j += energy_j
+        state.queries += 1
+        state.t_last = max(state.t_last, t)
+        return state.battery.drain(energy_j)
+
+    def level(self, device_id: int) -> float:
+        """Remaining charge fraction (1.0 for an unseen device)."""
+        state = self._devices.get(device_id)
+        return state.battery.level if state is not None else 1.0
+
+    def burn_per_day(self, device_id: int, t: float) -> float:
+        """Projected charge fraction per simulated day at the device's
+        observed average power (0.0 for an unseen device)."""
+        state = self._devices.get(device_id)
+        if state is None:
+            return 0.0
+        span = max(t - state.t_first, MIN_BURN_SPAN_S)
+        return (state.drained_j / self.capacity_j) * (DAY_SECONDS / span)
+
+    def queries_per_charge(self, device_id: int) -> Optional[int]:
+        """Projected queries a full charge sustains at the device's
+        observed mean joules/query (None before any drain)."""
+        state = self._devices.get(device_id)
+        if state is None or state.queries == 0 or state.drained_j <= 0:
+            return None
+        return state.battery.queries_per_charge(
+            state.drained_j / state.queries
+        )
+
+    def snapshot(self, t: float, worst_k: int = 8) -> Dict[str, Any]:
+        """Fleet aggregates plus the ``worst_k`` most-drained devices."""
+        devices = self._devices
+        if not devices:
+            return {
+                "capacity_j": self.capacity_j,
+                "n_devices": 0,
+                "min_level": None,
+                "mean_level": None,
+                "exhausted": 0,
+                "drained_j": 0.0,
+                "energy_j_per_query": None,
+                "queries_per_charge": None,
+                "mean_burn_per_day": None,
+                "worst": [],
+            }
+        levels = [s.battery.level for s in devices.values()]
+        drained = sum(s.drained_j for s in devices.values())
+        queries = sum(s.queries for s in devices.values())
+        per_query = drained / queries if queries else None
+        burns = [self.burn_per_day(d, t) for d in devices]
+        worst: List[Dict[str, Any]] = [
+            {
+                "device_id": device_id,
+                "level": state.battery.level,
+                "drained_j": state.drained_j,
+                "queries": state.queries,
+                "burn_per_day": self.burn_per_day(device_id, t),
+                "queries_per_charge": self.queries_per_charge(device_id),
+            }
+            for device_id, state in sorted(
+                devices.items(), key=lambda kv: (kv[1].battery.level, kv[0])
+            )[:worst_k]
+        ]
+        return {
+            "capacity_j": self.capacity_j,
+            "n_devices": len(devices),
+            "min_level": min(levels),
+            "mean_level": sum(levels) / len(levels),
+            "exhausted": sum(1 for lv in levels if lv == 0.0),
+            "drained_j": drained,
+            "energy_j_per_query": per_query,
+            "queries_per_charge": (
+                int(self.capacity_j // per_query) if per_query else None
+            ),
+            "mean_burn_per_day": sum(burns) / len(burns),
+            "worst": worst,
+        }

@@ -8,9 +8,9 @@ PocketSearch.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
-from repro.radio.states import PowerSegment
+from repro.radio.states import PowerSegment, RadioState
 
 #: Glyph per chart row, bottom to top.
 _FILL = "#"
@@ -42,6 +42,36 @@ def sample_power(
         else:
             samples.append(base_power_w)
     return samples
+
+
+def segments_from_buckets(
+    rows: Sequence[Dict[str, Any]],
+    width_s: float,
+    power_key: str = "power_w",
+) -> List[PowerSegment]:
+    """Turn windowed per-bucket power rows into a renderable timeline.
+
+    Each row (as produced by
+    :meth:`repro.obs.energy.EnergyWindows.per_bucket`) becomes one
+    constant-power segment of ``width_s`` seconds.  Bucket starts are
+    shifted so the window begins at t=0, which is what
+    :func:`render_trace` samples over — the live power trace of the
+    ``repro top`` energy panel.
+    """
+    if width_s <= 0:
+        raise ValueError(f"width_s must be positive, got {width_s}")
+    if not rows:
+        return []
+    origin = float(rows[0]["t_start"])
+    return [
+        PowerSegment(
+            t_start=float(row["t_start"]) - origin,
+            duration_s=width_s,
+            power_w=float(row.get(power_key) or 0.0),
+            state=RadioState.ACTIVE,
+        )
+        for row in rows
+    ]
 
 
 def render_trace(

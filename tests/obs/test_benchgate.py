@@ -123,3 +123,45 @@ class TestLoadBenches:
         single = tmp_path / "one.json"
         single.write_text(json.dumps(_manifest("y", {"m": 1.0})))
         assert set(load_benches(str(single))) == {"y"}
+
+
+class TestEnergyWatch:
+    def test_joules_per_query_regresses_upward(self):
+        base = {"lt": {"energy_j_per_query": 1.0}}
+        cand = {"lt": {"energy_j_per_query": 2.0}}
+        _, regressions = compare(base, cand, max_regression=0.25)
+        assert len(regressions) == 1
+        assert regressions[0]["direction"] == "lower"
+
+    def test_hit_miss_ratio_regresses_downward(self):
+        base = {"lt": {"hit_miss_energy_ratio": 23.0}}
+        cand = {"lt": {"hit_miss_energy_ratio": 10.0}}
+        _, regressions = compare(base, cand, max_regression=0.25)
+        assert len(regressions) == 1
+        assert regressions[0]["direction"] == "higher"
+
+    def test_battery_and_charge_projections_watched(self):
+        base = {
+            "lt": {"battery_day_fraction": 0.05, "queries_per_charge": 1000.0}
+        }
+        cand = {
+            "lt": {"battery_day_fraction": 0.20, "queries_per_charge": 200.0}
+        }
+        _, regressions = compare(base, cand, max_regression=0.25)
+        assert {r["metric"] for r in regressions} == {
+            "battery_day_fraction",
+            "queries_per_charge",
+        }
+
+    def test_nested_energy_sweep_keys_watched(self):
+        base = {"lt": {"sweep.x10.energy_j_p99": 1.0}}
+        cand = {"lt": {"sweep.x10.energy_j_p99": 5.0}}
+        _, regressions = compare(base, cand)
+        assert len(regressions) == 1
+
+    def test_improved_energy_is_not_a_regression(self):
+        base = {"lt": {"energy_j_per_query": 2.0, "hit_miss_energy_ratio": 10.0}}
+        cand = {"lt": {"energy_j_per_query": 1.0, "hit_miss_energy_ratio": 23.0}}
+        rows, regressions = compare(base, cand)
+        assert len(rows) == 2
+        assert regressions == []

@@ -98,3 +98,45 @@ class TestTelemetryEndpoint:
         assert health == (200, "ok\n")
         assert missing[0] == 404
         assert endpoint.scrapes == 4
+
+
+class TestExtraSamples:
+    def test_labeled_gauges_rendered(self):
+        text = render_prometheus(
+            _registry(),
+            extra_samples=[
+                ("serve.energy.source_power_w", {"source": "3g"}, 1.5),
+                ("serve.energy.source_power_w", {"source": "cache"}, 0.2),
+                ("serve.battery.min_level", {}, 0.8),
+            ],
+        )
+        assert "# TYPE repro_serve_energy_source_power_w gauge" in text
+        assert 'repro_serve_energy_source_power_w{source="3g"} 1.5' in text
+        assert 'repro_serve_energy_source_power_w{source="cache"} 0.2' in text
+        # One TYPE line per consecutive distinct name, not per sample.
+        assert text.count("# TYPE repro_serve_energy_source_power_w") == 1
+        assert "repro_serve_battery_min_level 0.8" in text
+
+    def test_label_values_escaped(self):
+        text = render_prometheus(
+            MetricsRegistry(),
+            extra_samples=[("m", {"k": 'say "hi"\\'}, 1.0)],
+        )
+        assert '\\"hi\\"' in text
+
+    def test_endpoint_serves_samples_fn(self):
+        async def scenario():
+            endpoint = TelemetryEndpoint(
+                _registry(),
+                samples_fn=lambda: [
+                    ("serve.battery.level", {"device": "3"}, 0.5)
+                ],
+            )
+            await endpoint.start()
+            result = await _get(endpoint.port, "/metrics")
+            await endpoint.close()
+            return result
+
+        status, body = asyncio.run(scenario())
+        assert status == 200
+        assert 'repro_serve_battery_level{device="3"} 0.5' in body

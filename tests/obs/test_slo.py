@@ -157,3 +157,60 @@ class TestVerdict:
         assert verdict["passed"] is False
         assert len(verdict["alerts"]) == 1
         assert verdict["alerts"][0]["rule"] == "p99"
+
+
+class TestEnergyRules:
+    def test_energy_rule_needs_threshold_j(self):
+        with pytest.raises(ValueError):
+            SLORule("e", "energy", objective=0.9)
+        with pytest.raises(ValueError):
+            SLORule("e", "energy", objective=0.9, threshold_j=0.0)
+
+    def test_battery_burn_rule_needs_threshold(self):
+        with pytest.raises(ValueError):
+            SLORule("b", "battery_burn", objective=0.9)
+
+    def test_energy_rule_classifies_joules_budget(self):
+        policy = _policy(
+            rules=(SLORule("e", "energy", objective=0.5, threshold_j=1.0),)
+        )
+        monitor = SLOMonitor(policy)
+        monitor.record_request(0.1, latency_s=0.1, hit=True, energy_j=0.4)
+        monitor.record_request(0.2, latency_s=2.0, hit=False, energy_j=9.0)
+        # No attribution and sheds are skipped (no energy spent).
+        monitor.record_request(0.3, latency_s=0.1, hit=True)
+        monitor.record_request(0.4, shed=True)
+        rule = monitor.verdict()["rules"]["e"]
+        assert rule["total"] == 2
+        assert rule["bad"] == 1
+
+    def test_battery_burn_rule_classifies_drain_rate(self):
+        policy = _policy(
+            rules=(
+                SLORule("b", "battery_burn", objective=0.5, threshold=0.25),
+            )
+        )
+        monitor = SLOMonitor(policy)
+        monitor.record_request(
+            0.1, latency_s=0.1, hit=True, battery_burn_per_day=0.1
+        )
+        monitor.record_request(
+            0.2, latency_s=0.1, hit=True, battery_burn_per_day=0.6
+        )
+        monitor.record_request(0.3, shed=True)
+        rule = monitor.verdict()["rules"]["b"]
+        assert rule["total"] == 2
+        assert rule["bad"] == 1
+
+    def test_energy_policy_json_round_trip(self, tmp_path):
+        policy = _policy(
+            rules=(
+                SLORule("e", "energy", objective=0.9, threshold_j=2.5),
+                SLORule(
+                    "b", "battery_burn", objective=0.95, threshold=0.3
+                ),
+            )
+        )
+        path = tmp_path / "policy.json"
+        path.write_text(json.dumps(policy.to_dict()))
+        assert SLOPolicy.from_json(str(path)) == policy

@@ -1,0 +1,125 @@
+"""Property-based tests on the radio energy accounting helpers."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.radio.energy import (
+    average_power,
+    isolated_request_components,
+    isolated_request_energy,
+    segments_energy,
+)
+from repro.radio.models import EDGE, THREE_G, WIFI_80211G
+from repro.radio.states import RadioLink
+
+KB = 1024
+
+profiles = st.sampled_from([THREE_G, EDGE, WIFI_80211G])
+byte_counts = st.integers(min_value=0, max_value=1024 * KB)
+server_times = st.floats(min_value=0.0, max_value=5.0)
+gaps = st.lists(
+    st.floats(min_value=0.0, max_value=30.0), min_size=1, max_size=10
+)
+
+
+def _timeline(profile, gap_list):
+    link = RadioLink(profile)
+    now = 0.0
+    for gap in gap_list:
+        now += gap
+        result = link.request(now, 1 * KB, 16 * KB, 0.1)
+        now = result.t_end
+    return link.drain(now + 20.0)
+
+
+@given(profile=profiles, gap_list=gaps)
+@settings(max_examples=50, deadline=None)
+def test_segments_energy_is_additive(profile, gap_list):
+    """Summing a split timeline equals summing the whole — energy is a
+    plain additive measure over segments."""
+    segments = _timeline(profile, gap_list)
+    whole = segments_energy(segments)
+    for cut in (1, len(segments) // 2, len(segments) - 1):
+        parts = segments_energy(segments[:cut]) + segments_energy(segments[cut:])
+        assert abs(parts - whole) <= 1e-9 * max(1.0, abs(whole))
+
+
+@given(
+    profile=profiles,
+    bytes_up=byte_counts,
+    bytes_down=byte_counts,
+    extra=st.integers(min_value=0, max_value=512 * KB),
+    server_s=server_times,
+)
+@settings(max_examples=80, deadline=None)
+def test_isolated_energy_monotone_in_bytes(
+    profile, bytes_up, bytes_down, extra, server_s
+):
+    """More payload never costs less energy, in either direction."""
+    base = isolated_request_energy(profile, bytes_up, bytes_down, server_s)
+    more_down = isolated_request_energy(
+        profile, bytes_up, bytes_down + extra, server_s
+    )
+    more_up = isolated_request_energy(
+        profile, bytes_up + extra, bytes_down, server_s
+    )
+    assert more_down >= base
+    assert more_up >= base
+
+
+@given(
+    profile=profiles,
+    bytes_up=byte_counts,
+    bytes_down=byte_counts,
+    server_s=server_times,
+)
+@settings(max_examples=80, deadline=None)
+def test_tail_only_adds_energy(profile, bytes_up, bytes_down, server_s):
+    """include_tail=True is always >= include_tail=False, by exactly the
+    tail component."""
+    with_tail = isolated_request_energy(
+        profile, bytes_up, bytes_down, server_s, include_tail=True
+    )
+    without = isolated_request_energy(
+        profile, bytes_up, bytes_down, server_s, include_tail=False
+    )
+    assert with_tail >= without
+    parts = isolated_request_components(profile, bytes_up, bytes_down, server_s)
+    assert with_tail - without <= parts.tail_j + 1e-12
+
+
+@given(profile=profiles, gap_list=gaps)
+@settings(max_examples=50, deadline=None)
+def test_average_power_within_segment_envelope(profile, gap_list):
+    """Duration-weighted mean power lies between the min and max segment
+    power of the timeline."""
+    segments = [s for s in _timeline(profile, gap_list) if s.duration_s > 0]
+    mean = average_power(segments)
+    powers = [s.power_w for s in segments]
+    assert min(powers) - 1e-9 <= mean <= max(powers) + 1e-9
+
+
+@given(
+    profile=profiles,
+    bytes_up=byte_counts,
+    bytes_down=byte_counts,
+    server_s=server_times,
+    include_tail=st.booleans(),
+)
+@settings(max_examples=80, deadline=None)
+def test_components_sum_bit_identical(
+    profile, bytes_up, bytes_down, server_s, include_tail
+):
+    """The decomposition re-sums to isolated_request_energy exactly —
+    the bit-identity the serve layer's attribution relies on."""
+    parts = isolated_request_components(
+        profile, bytes_up, bytes_down, server_s, include_tail
+    )
+    total = parts.ramp_j + parts.transfer_j
+    if include_tail:
+        total += parts.tail_j
+    assert total == isolated_request_energy(
+        profile, bytes_up, bytes_down, server_s, include_tail
+    )
+    assert parts.total_j == (parts.ramp_j + parts.transfer_j) + parts.tail_j
+    if not include_tail:
+        assert parts.tail_j == 0.0

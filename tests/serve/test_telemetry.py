@@ -167,3 +167,112 @@ class TestTicks:
         telemetry.on_submit(7.25, inflight=1)
         assert telemetry.snapshot()["t"] == 7.25
         assert telemetry.t_last == 7.25
+
+
+def _energy_response(trace_id, t, hit, energy, timeline_j, device_id=1):
+    import dataclasses
+
+    response = _response(
+        trace_id=trace_id,
+        enqueued_at=t - 0.1,
+        completed_at=t,
+        hit=hit,
+        device_id=device_id,
+    )
+    return dataclasses.replace(
+        response, energy=energy, radio_timeline_j=timeline_j
+    )
+
+
+class TestEnergyTelemetry:
+    def _hit(self):
+        from repro.obs.energy import EnergyBreakdown
+
+        return EnergyBreakdown(storage_j=0.3, base_j=0.2)
+
+    def _miss(self):
+        from repro.obs.energy import EnergyBreakdown
+
+        return EnergyBreakdown(ramp_j=1.0, transfer_j=7.0, tail_j=2.0)
+
+    def test_energy_and_battery_sections_in_snapshot(self):
+        telemetry = ServeTelemetry(battery_capacity_j=100.0)
+        hit, miss = self._hit(), self._miss()
+        telemetry.on_response(
+            1.0, _energy_response(1, 1.0, True, hit, 0.0, device_id=1),
+            inflight=0,
+        )
+        telemetry.on_response(
+            2.0,
+            _energy_response(2, 2.0, False, miss, miss.radio_j, device_id=2),
+            inflight=0,
+        )
+        snap = telemetry.snapshot()
+        rolling = snap["energy"]["rolling"]
+        assert rolling["hit_energy_j"] == pytest.approx(hit.total_j)
+        assert rolling["miss_energy_j"] == pytest.approx(miss.total_j)
+        assert rolling["hit_miss_energy_ratio"] == pytest.approx(
+            miss.total_j / hit.total_j
+        )
+        assert rolling["conservation"]["requests"] == 2
+        assert telemetry.energy.ledger.conserved()
+        batteries = snap["batteries"]
+        assert batteries["n_devices"] == 2
+        assert batteries["drained_j"] == pytest.approx(
+            hit.total_j + miss.total_j
+        )
+        assert batteries["min_level"] == pytest.approx(
+            1.0 - miss.total_j / 100.0
+        )
+
+    def test_responses_without_energy_leave_plane_empty(self):
+        telemetry = ServeTelemetry()
+        telemetry.on_response(1.0, _response(), inflight=0)
+        snap = telemetry.snapshot()
+        assert snap["energy"]["rolling"]["conservation"]["requests"] == 0
+        assert snap["batteries"]["n_devices"] == 0
+
+    def test_prometheus_samples_labeled(self):
+        telemetry = ServeTelemetry(battery_capacity_j=100.0)
+        miss = self._miss()
+        telemetry.on_response(
+            1.0,
+            _energy_response(1, 1.0, False, miss, miss.radio_j, device_id=7),
+            inflight=0,
+        )
+        samples = telemetry.prometheus_samples()
+        by_name = {}
+        for name, labels, value in samples:
+            by_name.setdefault(name, []).append((labels, value))
+        assert by_name["serve.energy.source_joules"] == [
+            ({"source": "3g"}, pytest.approx(miss.total_j))
+        ]
+        assert by_name["serve.energy.attributed_radio_j"][0][1] == (
+            pytest.approx(miss.radio_j)
+        )
+        assert ({"device": "7"}, pytest.approx(0.9)) in by_name[
+            "serve.battery.level"
+        ]
+
+    def test_energy_slo_rules_fed_from_responses(self):
+        from repro.obs.slo import SLOPolicy, SLORule
+
+        policy = SLOPolicy(
+            rules=(
+                SLORule("joules", "energy", objective=0.5, threshold_j=1.0),
+            ),
+            long_window_s=10.0,
+            short_window_s=2.0,
+        )
+        telemetry = ServeTelemetry(slo_policy=policy)
+        telemetry.on_response(
+            1.0, _energy_response(1, 1.0, True, self._hit(), 0.0), inflight=0
+        )
+        miss = self._miss()
+        telemetry.on_response(
+            2.0, _energy_response(2, 2.0, False, miss, miss.radio_j),
+            inflight=0,
+        )
+        rule = telemetry.verdict()["rules"]["joules"]
+        assert rule["total"] == 2
+        assert rule["bad"] == 1

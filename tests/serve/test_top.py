@@ -95,3 +95,56 @@ class TestTopMain:
                          "--interval", "0"])
         assert code == 1
         assert "repro top:" in capsys.readouterr().err
+
+
+def _energy_snapshot():
+    from repro.obs.energy import EnergyBreakdown
+
+    from .test_telemetry import _energy_response
+
+    telemetry = ServeTelemetry(bucket_width_s=1.0, n_buckets=30,
+                               battery_capacity_j=200.0)
+    hit = EnergyBreakdown(storage_j=0.3, base_j=0.2)
+    miss = EnergyBreakdown(ramp_j=1.0, transfer_j=7.0, tail_j=2.0)
+    for i in range(8):
+        t = 0.5 + i * 0.5
+        is_hit = i % 2 == 0
+        energy = hit if is_hit else miss
+        telemetry.on_response(
+            t,
+            _energy_response(
+                i + 1, t, is_hit, energy,
+                0.0 if is_hit else energy.radio_j, device_id=i % 3,
+            ),
+            inflight=0,
+        )
+    telemetry.finalize()
+    return telemetry.snapshot()
+
+
+class TestRenderTopEnergy:
+    def test_energy_panel_renders(self):
+        text = render_top(_energy_snapshot())
+        assert "J/query" in text
+        assert "miss/hit" in text
+        assert "radio ledger:" in text
+        assert "power (W)" in text
+        # Per-source wattage sparkline (truncated source label).
+        assert "3g" in text
+        # ASCII radio power trace over the window's buckets.
+        assert "radio power trace (window)" in text
+        assert "#" in text
+
+    def test_battery_section_renders(self):
+        text = render_top(_energy_snapshot())
+        assert "batteries: 3 devices" in text
+        assert "queries/charge" in text
+        assert "burn/day" in text
+
+    def test_snapshot_without_energy_omits_panel(self):
+        text = render_top(_snapshot())
+        # No attributed responses: headline shows placeholders and the
+        # ledger/battery/trace sections stay absent.
+        assert "radio ledger:" not in text
+        assert "batteries:" not in text
+        assert "radio power trace" not in text

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.sim.battery import DEFAULT_CAPACITY_J, Battery
+from repro.sim.battery import (
+    DAY_SECONDS,
+    DEFAULT_CAPACITY_J,
+    MIN_BURN_SPAN_S,
+    Battery,
+    FleetBatteries,
+)
 
 
 class TestBattery:
@@ -44,6 +50,21 @@ class TestBattery:
         with pytest.raises(ValueError):
             battery.daily_budget_share(1.0, -1)
 
+    def test_drain_exact_charge_succeeds(self):
+        """Draining exactly the remaining charge is not exhaustion."""
+        battery = Battery(capacity_j=10.0)
+        assert battery.drain(10.0)
+        assert battery.charge_j == 0.0
+        assert battery.level == 0.0
+
+    def test_drain_never_goes_negative(self):
+        battery = Battery(capacity_j=10.0)
+        battery.drain(10.0)
+        assert not battery.drain(0.001)
+        assert battery.charge_j == 0.0
+        # A zero-energy drain of a full-to-the-brim-empty battery is fine.
+        assert battery.drain(0.0)
+
     def test_paper_scale_comparison(self):
         """PocketSearch sustains ~23x more queries per charge than 3G —
         the energy ratio expressed in user terms."""
@@ -51,3 +72,66 @@ class TestBattery:
         ps = battery.queries_per_charge(0.47)
         threeg = battery.queries_per_charge(10.9)
         assert ps / threeg == pytest.approx(23, rel=0.05)
+
+
+class TestFleetBatteries:
+    def test_devices_created_on_first_drain(self):
+        fleet = FleetBatteries(capacity_j=100.0)
+        assert len(fleet) == 0
+        assert fleet.level(7) == 1.0
+        assert fleet.drain(7, 30.0, t=10.0)
+        assert len(fleet) == 1
+        assert fleet.level(7) == pytest.approx(0.7)
+
+    def test_exhaustion_verdict(self):
+        fleet = FleetBatteries(capacity_j=10.0)
+        assert fleet.drain(1, 6.0, t=0.0)
+        assert not fleet.drain(1, 6.0, t=1.0)
+        assert fleet.level(1) == 0.0
+
+    def test_burn_per_day_short_span_uses_floor(self):
+        """Spans shorter than MIN_BURN_SPAN_S extrapolate over the floor,
+        never over one query's instant."""
+        fleet = FleetBatteries(capacity_j=100.0)
+        fleet.drain(1, 1.0, t=0.0)
+        expected = (1.0 / 100.0) * (DAY_SECONDS / MIN_BURN_SPAN_S)
+        assert fleet.burn_per_day(1, t=0.5) == pytest.approx(expected)
+
+    def test_burn_per_day_long_span(self):
+        fleet = FleetBatteries(capacity_j=100.0)
+        fleet.drain(1, 2.0, t=100.0)
+        fleet.drain(1, 2.0, t=100.0 + DAY_SECONDS)
+        # 4 J over exactly one day on a 100 J battery: 4%/day.
+        assert fleet.burn_per_day(1, t=100.0 + DAY_SECONDS) == pytest.approx(0.04)
+        assert fleet.burn_per_day(99, t=0.0) == 0.0
+
+    def test_queries_per_charge(self):
+        fleet = FleetBatteries(capacity_j=100.0)
+        assert fleet.queries_per_charge(1) is None
+        fleet.drain(1, 2.0, t=0.0)
+        fleet.drain(1, 3.0, t=1.0)
+        assert fleet.queries_per_charge(1) == 40  # 100 / 2.5 mean J/query
+
+    def test_snapshot_empty_fleet(self):
+        snap = FleetBatteries(capacity_j=50.0).snapshot(t=0.0)
+        assert snap["n_devices"] == 0
+        assert snap["min_level"] is None
+        assert snap["worst"] == []
+
+    def test_snapshot_aggregates_and_worst_order(self):
+        fleet = FleetBatteries(capacity_j=100.0)
+        fleet.drain(1, 10.0, t=0.0)
+        fleet.drain(2, 60.0, t=0.0)
+        fleet.drain(3, 30.0, t=0.0)
+        snap = fleet.snapshot(t=120.0, worst_k=2)
+        assert snap["n_devices"] == 3
+        assert snap["min_level"] == pytest.approx(0.4)
+        assert snap["mean_level"] == pytest.approx((0.9 + 0.4 + 0.7) / 3)
+        assert snap["exhausted"] == 0
+        assert snap["drained_j"] == pytest.approx(100.0)
+        assert snap["energy_j_per_query"] == pytest.approx(100.0 / 3)
+        assert [row["device_id"] for row in snap["worst"]] == [2, 3]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FleetBatteries(capacity_j=0)

@@ -4,7 +4,11 @@ import pytest
 
 from repro.radio.models import THREE_G
 from repro.radio.states import PowerSegment, RadioLink, RadioState
-from repro.sim.powertrace import render_trace, sample_power
+from repro.sim.powertrace import (
+    render_trace,
+    sample_power,
+    segments_from_buckets,
+)
 
 
 def timeline():
@@ -33,6 +37,62 @@ class TestSampling:
     def test_validation(self):
         with pytest.raises(ValueError):
             sample_power(timeline(), 0)
+
+    def test_sample_on_segment_edge_takes_next_segment(self):
+        """A sample landing exactly on a boundary belongs to the segment
+        that *starts* there (t_end is exclusive)."""
+        segments = [
+            PowerSegment(0.0, 1.0, 2.0, RadioState.ACTIVE),
+            PowerSegment(1.0, 1.0, 0.5, RadioState.TAIL),
+        ]
+        # One sample over [0, 2) lands at t = 1.0, the exact edge.
+        assert sample_power(segments, 1) == [0.5]
+
+    def test_t_end_beyond_last_segment_samples_base(self):
+        segments = [PowerSegment(0.0, 1.0, 2.0, RadioState.ACTIVE)]
+        samples = sample_power(segments, 4, base_power_w=0.1, t_end=4.0)
+        # Samples at 0.5, 1.5, 2.5, 3.5 — only the first is in-segment.
+        assert samples == pytest.approx([2.1, 0.1, 0.1, 0.1])
+
+    def test_zero_duration_segments_are_skipped(self):
+        segments = [
+            PowerSegment(0.0, 1.0, 2.0, RadioState.ACTIVE),
+            PowerSegment(1.0, 0.0, 99.0, RadioState.RAMP),
+            PowerSegment(1.0, 1.0, 0.5, RadioState.TAIL),
+        ]
+        samples = sample_power(segments, 2)
+        assert samples == pytest.approx([2.0, 0.5])
+        assert 99.0 not in samples
+
+
+class TestSegmentsFromBuckets:
+    def test_empty_rows(self):
+        assert segments_from_buckets([], 1.0) == []
+
+    def test_buckets_become_shifted_segments(self):
+        rows = [
+            {"t_start": 10.0, "power_w": 0.5},
+            {"t_start": 11.0, "power_w": 2.0},
+        ]
+        segments = segments_from_buckets(rows, 1.0)
+        assert [s.t_start for s in segments] == [0.0, 1.0]
+        assert [s.power_w for s in segments] == [0.5, 2.0]
+        assert all(s.duration_s == 1.0 for s in segments)
+
+    def test_missing_power_is_zero(self):
+        segments = segments_from_buckets(
+            [{"t_start": 0.0}, {"t_start": 2.0, "power_w": None}], 2.0
+        )
+        assert [s.power_w for s in segments] == [0.0, 0.0]
+
+    def test_renders(self):
+        rows = [{"t_start": float(i), "power_w": float(i % 3)} for i in range(12)]
+        chart = render_trace(segments_from_buckets(rows, 1.0), width=12, height=4)
+        assert "#" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            segments_from_buckets([{"t_start": 0.0, "power_w": 1.0}], 0.0)
 
 
 class TestRendering:
