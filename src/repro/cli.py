@@ -233,9 +233,13 @@ def _print_table6() -> None:
     )
 
 
-def _make_fig17(users: int, workers: int) -> Callable[[], None]:
+def _make_fig17(
+    users: int, workers: int, engine: str
+) -> Callable[[], None]:
     def run() -> None:
-        f17 = hitrate.figure17(users_per_class=users, workers=workers)
+        f17 = hitrate.figure17(
+            users_per_class=users, workers=workers, engine=engine
+        )
         rows = [
             [mode] + [f"{d[k]:.3f}" for k in ("overall", "low", "medium", "high", "extreme")]
             for mode, d in f17.items()
@@ -245,9 +249,13 @@ def _make_fig17(users: int, workers: int) -> Callable[[], None]:
     return run
 
 
-def _make_fig18(users: int, workers: int) -> Callable[[], None]:
+def _make_fig18(
+    users: int, workers: int, engine: str
+) -> Callable[[], None]:
     def run() -> None:
-        f18 = hitrate.figure18(users_per_class=users, workers=workers)
+        f18 = hitrate.figure18(
+            users_per_class=users, workers=workers, engine=engine
+        )
         for window, modes in f18.items():
             for mode, by_class in modes.items():
                 values = " ".join(f"{v:.3f}" for v in by_class.values())
@@ -256,9 +264,13 @@ def _make_fig18(users: int, workers: int) -> Callable[[], None]:
     return run
 
 
-def _make_fig19(users: int, workers: int) -> Callable[[], None]:
+def _make_fig19(
+    users: int, workers: int, engine: str
+) -> Callable[[], None]:
     def run() -> None:
-        f19 = hitrate.figure19(users_per_class=users, workers=workers)
+        f19 = hitrate.figure19(
+            users_per_class=users, workers=workers, engine=engine
+        )
         rows = [
             [c, f"{s['navigational']:.3f}", f"{s['non_navigational']:.3f}"]
             for c, s in f19.items()
@@ -296,6 +308,13 @@ def build_parser(mode: Optional[str] = None) -> argparse.ArgumentParser:
         default=1,
         help="worker processes for replay fan-outs (default 1 = serial; "
         "results are bit-identical for any value)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("scalar", "vectorized"),
+        default="scalar",
+        help="replay engine for replay figures (vectorized batch-evaluates "
+        "each user's stream; results are bit-identical)",
     )
     parser.add_argument(
         "--manifest-out",
@@ -387,12 +406,14 @@ def main(argv=None) -> int:
         "table5": _print_table5,
         "fig16": _print_fig16,
         "table6": _print_table6,
-        "fig17": _make_fig17(args.users, args.workers),
-        "fig18": _make_fig18(args.users, args.workers),
-        "fig19": _make_fig19(args.users, args.workers),
+        "fig17": _make_fig17(args.users, args.workers, args.engine),
+        "fig18": _make_fig18(args.users, args.workers, args.engine),
+        "fig19": _make_fig19(args.users, args.workers, args.engine),
         "mobile-vs-desktop": lambda: print(characterization.mobile_vs_desktop()),
         "daily-updates": lambda: print(
-            hitrate.daily_updates(users_per_class=10, workers=args.workers)
+            hitrate.daily_updates(
+                users_per_class=10, workers=args.workers, engine=args.engine
+            )
         ),
         "baselines": lambda: print(
             ablations.baseline_hit_rates(
@@ -450,6 +471,7 @@ def main(argv=None) -> int:
         config={
             "users": args.users,
             "workers": args.workers,
+            "engine": args.engine,
             "mode": mode or "run",
         },
     )

@@ -55,19 +55,26 @@ def clear_replay_cache() -> None:
 
 
 def default_replay(
-    users_per_class: int = 100, seed: int = DEFAULT_SEED, workers: int = 1
+    users_per_class: int = 100,
+    seed: int = DEFAULT_SEED,
+    workers: int = 1,
+    engine: str = "scalar",
 ) -> Dict[str, ReplayResult]:
     """The memoized Section 6.2 replay (all three cache modes).
 
-    ``workers`` only parallelizes the first (cache-filling) run — replay
-    results are bit-identical for any worker count, so the memo key
-    deliberately ignores it.
+    ``workers`` and ``engine`` only accelerate the first (cache-filling)
+    run — replay results are bit-identical for any worker count or
+    engine, so the memo key deliberately ignores both.
     """
     key = (users_per_class, seed)
     if key not in _replay_cache:
         _replay_cache[key] = run_replay(
             default_log(seed=seed),
-            ReplayConfig(users_per_class=users_per_class, workers=workers),
+            ReplayConfig(
+                users_per_class=users_per_class,
+                workers=workers,
+                engine=engine,
+            ),
             modes=CacheMode.ALL,
         )
     return _replay_cache[key]

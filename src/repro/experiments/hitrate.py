@@ -37,11 +37,13 @@ def table6(seed: int = 23) -> Dict[str, dict]:
 
 
 def figure17(
-    users_per_class: int = 100, seed: int = 23, workers: int = 1
+    users_per_class: int = 100, seed: int = 23, workers: int = 1,
+    engine: str = "scalar",
 ) -> Dict[str, dict]:
     """Figure 17: hit rate per class for full / community / personal."""
     replay = default_replay(
-        users_per_class=users_per_class, seed=seed, workers=workers
+        users_per_class=users_per_class, seed=seed, workers=workers,
+        engine=engine,
     )
     out = {}
     for mode, result in replay.items():
@@ -54,11 +56,13 @@ def figure17(
 
 
 def figure18(
-    users_per_class: int = 100, seed: int = 23, workers: int = 1
+    users_per_class: int = 100, seed: int = 23, workers: int = 1,
+    engine: str = "scalar",
 ) -> Dict[str, dict]:
     """Figure 18: hit rates over the first week and first two weeks."""
     replay = default_replay(
-        users_per_class=users_per_class, seed=seed, workers=workers
+        users_per_class=users_per_class, seed=seed, workers=workers,
+        engine=engine,
     )
     t0 = 1 * MONTH_SECONDS  # replay month start
     windows = {
@@ -78,11 +82,13 @@ def figure18(
 
 
 def figure19(
-    users_per_class: int = 100, seed: int = 23, workers: int = 1
+    users_per_class: int = 100, seed: int = 23, workers: int = 1,
+    engine: str = "scalar",
 ) -> Dict[str, dict]:
     """Figure 19: navigational vs non-navigational share of cache hits."""
     replay = default_replay(
-        users_per_class=users_per_class, seed=seed, workers=workers
+        users_per_class=users_per_class, seed=seed, workers=workers,
+        engine=engine,
     )
     full = replay[CacheMode.FULL]
     breakdown = full.navigational_breakdown()
@@ -109,14 +115,17 @@ def figure19(
 
 
 def daily_updates(
-    users_per_class: int = 25, seed: int = 23, workers: int = 1
+    users_per_class: int = 25, seed: int = 23, workers: int = 1,
+    engine: str = "scalar",
 ) -> Dict[str, float]:
     """Section 6.2.2: full-cache hit rate with vs without daily updates."""
     log = default_log(seed=seed)
     users = select_replay_users(log, month=1, users_per_class=users_per_class)
     static = run_replay(
         log,
-        ReplayConfig(users_per_class=users_per_class, workers=workers),
+        ReplayConfig(
+            users_per_class=users_per_class, workers=workers, engine=engine
+        ),
         modes=(CacheMode.FULL,),
         selected_users=users,
     )[CacheMode.FULL]
@@ -126,6 +135,7 @@ def daily_updates(
             users_per_class=users_per_class,
             daily_updates=True,
             workers=workers,
+            engine=engine,
         ),
         modes=(CacheMode.FULL,),
         selected_users=users,

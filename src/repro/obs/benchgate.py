@@ -49,6 +49,8 @@ DEFAULT_WATCH: Tuple[Tuple[str, str], ...] = (
     ("*hit_rate", "higher"),
     ("*throughput_rps", "higher"),
     ("*batch_efficiency", "higher"),
+    ("*events_per_s", "higher"),
+    ("*speedup_x", "higher"),
 )
 
 

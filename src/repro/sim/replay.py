@@ -82,6 +82,13 @@ class ReplayConfig:
     #: per-shard dispatch overhead).  Affects scheduling only, never
     #: results.
     shard_size: Optional[int] = None
+    #: Replay engine: ``"scalar"`` is the per-event
+    #: :class:`PocketSearchEngine` loop; ``"vectorized"`` batch-evaluates
+    #: each user's stream (:mod:`repro.sim.vectorized`).  Results are
+    #: bit-identical; composes with ``workers`` sharding.
+    engine: str = "scalar"
+
+    ENGINES = ("scalar", "vectorized")
 
     def __post_init__(self) -> None:
         if self.users_per_class <= 0:
@@ -92,6 +99,10 @@ class ReplayConfig:
             raise ValueError("workers must be positive")
         if self.shard_size is not None and self.shard_size <= 0:
             raise ValueError("shard_size must be positive when given")
+        if self.engine not in self.ENGINES:
+            raise ValueError(
+                f"engine must be one of {self.ENGINES}, got {self.engine!r}"
+            )
 
 
 @dataclass
@@ -110,15 +121,26 @@ class ReplayResult:
     mode: str
     users: List[UserReplayResult] = field(default_factory=list)
 
-    def hit_rate_by_class(self) -> Dict[UserClass, float]:
-        """Mean per-user hit rate for each class (the Figure 17 bars)."""
+    def _mean_rate_by_class(self, user_rate) -> Dict[UserClass, float]:
+        """Bucket per-user rates by class and average each bucket.
+
+        ``user_rate`` maps a :class:`UserReplayResult` to a rate or
+        ``None`` (user excluded from their class bucket).  Classes with
+        no contributing users yield NaN.
+        """
         rates: Dict[UserClass, List[float]] = {c: [] for c in UserClass}
         for user in self.users:
-            rates[user.user_class].append(user.metrics.hit_rate)
+            rate = user_rate(user)
+            if rate is not None:
+                rates[user.user_class].append(rate)
         return {
             c: float(np.mean(v)) if v else float("nan")
             for c, v in rates.items()
         }
+
+    def hit_rate_by_class(self) -> Dict[UserClass, float]:
+        """Mean per-user hit rate for each class (the Figure 17 bars)."""
+        return self._mean_rate_by_class(lambda user: user.metrics.hit_rate)
 
     def overall_hit_rate(self) -> float:
         """Mean per-user hit rate across all replayed users."""
@@ -130,15 +152,12 @@ class ReplayResult:
         self, t_start: float, t_end: float
     ) -> Dict[UserClass, float]:
         """Figure 18: per-class hit rate restricted to a time window."""
-        rates: Dict[UserClass, List[float]] = {c: [] for c in UserClass}
-        for user in self.users:
+
+        def windowed_rate(user: UserReplayResult) -> Optional[float]:
             window = user.metrics.window(t_start, t_end)
-            if window.count:
-                rates[user.user_class].append(window.hit_rate)
-        return {
-            c: float(np.mean(v)) if v else float("nan")
-            for c, v in rates.items()
-        }
+            return window.hit_rate if window.count else None
+
+        return self._mean_rate_by_class(windowed_rate)
 
     def navigational_breakdown(self) -> Dict[UserClass, Dict[str, float]]:
         """Figure 19: cache-hit split into nav / non-nav per class."""
@@ -359,6 +378,13 @@ def replay_one_user(
     window, and the per-user seed — is passed in explicitly, so the
     result is identical whether this runs inline or in a worker process.
     """
+    if config.engine == "vectorized":
+        from repro.sim.vectorized import replay_one_user_vectorized
+
+        return replay_one_user_vectorized(
+            log, content, daily_contents, config, mode,
+            user_class, user_id, t_start, t_end,
+        )
     cache = make_cache(content, mode)
     engine = PocketSearchEngine(cache)
     metrics = _new_collector(config, user_id)

@@ -1,0 +1,1048 @@
+"""Vectorized replay engine: batch-evaluated cache service, bit-identical
+to the scalar :class:`~repro.pocketsearch.engine.PocketSearchEngine` path.
+
+The scalar harness serves one event at a time: each
+``engine.serve_query`` call performs multiple MD5-based ``hash64``
+lookups, builds dataclasses, and walks the hash-table/ranker/database
+object graph.  All of that work is *deterministic arithmetic* over the
+event stream — the cost model is pure page math, the miss cost is a
+constant, and hit/miss classification is a membership function — so a
+whole user's stream can be evaluated as numpy array operations plus a
+small per-query "mini-sim" for ranking state.
+
+Bit-identity, not approximation:
+
+* every float is accumulated in exactly the scalar engine's association
+  order (IEEE-754 addition is commutative but not associative, so the
+  expressions here mirror the scalar code's left-to-right grouping);
+* flash read costs are replicated from the page arithmetic of
+  :class:`~repro.storage.filesystem.FlashFilesystem` /
+  :class:`~repro.pocketsearch.database.ResultDatabase`;
+* ranking-score evolution (Equations 1-2) is replayed per (user, query)
+  group with the same ``math.exp`` decay and stable top-2 sort;
+* outcomes are fed to the same :class:`MetricsCollector` in stream
+  order, so bounded-mode reservoirs draw the identical RNG sequence.
+
+Events that mutate cross-batch state — the nightly community refresh of
+Section 6.2.2 — fall back to an exact scalar mirror of
+:meth:`CacheUpdateServer.refresh_with_content` applied between
+day-segments of the batch, including :class:`UpdatePatch` accounting and
+database compaction costs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.logs.generator import SearchLog
+from repro.logs.schema import UserClass
+from repro.pocketsearch.content import CacheContent
+from repro.pocketsearch.database import (
+    DEFAULT_N_FILES,
+    DIRECTORY_SCAN_S_PER_FILE,
+    HEADER_ENTRY_BYTES,
+    HEADER_PARSE_S_PER_ENTRY,
+    CompactionResult,
+)
+from repro.pocketsearch.engine import (
+    KB,
+    MISC_LATENCY_S,
+    RESULTS_PER_PAGE,
+    _SOURCE_BY_RADIO,
+)
+from repro.pocketsearch.hashtable import QueryHashTable, hash64
+from repro.pocketsearch.manager import CacheUpdateServer, UpdatePatch
+from repro.pocketsearch.ranking import PersonalizedRanker
+from repro.radio.energy import (
+    isolated_request_components,
+    isolated_request_latency,
+)
+from repro.radio.models import THREE_G
+from repro.sim.browser import RADIO_SERP_BYTES, SERP_BYTES, Browser
+from repro.sim.metrics import MetricsCollector, QueryOutcome, ServiceSource
+from repro.storage.filesystem import FlashFilesystem
+from repro.storage.flash import NandFlash
+
+__all__ = [
+    "EngineCostModel",
+    "replay_one_user_vectorized",
+    "replay_user_vectorized",
+]
+
+DAY_SECONDS = 24 * 3600
+
+
+class EngineCostModel:
+    """Constants of the default serving stack, pulled from the real models.
+
+    Instantiating the same default objects the scalar path uses keeps the
+    vectorized engine in lockstep with any future change to the model
+    defaults (rather than hard-coding today's numbers).
+    """
+
+    def __init__(self) -> None:
+        table = QueryHashTable()
+        browser = Browser()
+        flash = NandFlash()
+        fs = FlashFilesystem(flash)
+        server = CacheUpdateServer()
+
+        self.lookup_s = table.lookup_latency_s
+        self.results_per_entry = table.results_per_entry
+        self.render_s = browser.model.render_seconds(SERP_BYTES)
+        self.render_energy_j = browser.render_energy_j(self.render_s)
+        self.base_power_w = 0.9  # PocketSearchEngine default
+        self.misc_s = MISC_LATENCY_S
+        self.top_k = RESULTS_PER_PAGE
+
+        radio_latency = isolated_request_latency(
+            THREE_G, 1 * KB, RADIO_SERP_BYTES, 0.35
+        )
+        parts = isolated_request_components(
+            THREE_G, 1 * KB, RADIO_SERP_BYTES, 0.35
+        )
+        radio_energy = (parts.ramp_j + parts.transfer_j) + parts.tail_j
+        self.miss_latency_s = (
+            self.lookup_s + radio_latency
+        ) + self.render_s
+        self.miss_energy_j = (
+            self.miss_latency_s * self.base_power_w + radio_energy
+        ) + self.render_energy_j
+        self.miss_source = _SOURCE_BY_RADIO[THREE_G.name]
+
+        # Flash / database read-cost components.
+        self.n_files = DEFAULT_N_FILES
+        self.page_bytes = flash.geometry.page_bytes
+        self.read_page_s = flash.read_page_s
+        self.read_bw_bps = flash.read_bandwidth_bps
+        self.read_page_energy_j = flash.read_page_energy_j
+        self.energy_per_byte_j = flash.energy_per_byte_j
+        self.open_s = fs.open_overhead_s
+        self.open_j = fs.open_energy_j
+        self.dir_scan_s = DIRECTORY_SCAN_S_PER_FILE * self.n_files
+        self.header_entry_bytes = HEADER_ENTRY_BYTES
+        self.header_parse_s = HEADER_PARSE_S_PER_ENTRY
+
+        # Personalization decay factor (Equation 2), evaluated once: the
+        # scalar ranker calls math.exp per click, which is deterministic.
+        self.decay = math.exp(-PersonalizedRanker().decay_lambda)
+
+        # Update-protocol constants (Section 5.4).
+        self.retention_min_score = server.retention_min_score
+        self.compaction_threshold = server.compaction_threshold
+        self.header_len = QueryHashTable._HEADER.size
+        self.entry_head_len = QueryHashTable._ENTRY_HEAD.size
+        self.slot_len = QueryHashTable._SLOT.size
+
+    def read_cost(self, offset: int, nbytes: int) -> Tuple[float, float]:
+        """(latency, energy) of one positioned file read, scalar path."""
+        page = self.page_bytes
+        first = offset // page
+        last = (offset + nbytes - 1) // page
+        pages = last - first + 1
+        moved = pages * page
+        latency = (
+            pages * self.read_page_s + moved / self.read_bw_bps
+        ) + self.open_s
+        energy = (
+            pages * self.read_page_energy_j + moved * self.energy_per_byte_j
+        ) + self.open_j
+        return latency, energy
+
+    def fetch_cost(
+        self, entries: int, offset: int, nbytes: int
+    ) -> Tuple[float, float]:
+        """(latency, energy) of one database fetch, scalar path.
+
+        Mirrors :meth:`ResultDatabase.fetch` exactly, including the
+        skipped header read on an empty file.
+        """
+        latency = self.dir_scan_s
+        energy = 0.0
+        if entries > 0:
+            h_lat, h_en = self.read_cost(0, entries * self.header_entry_bytes)
+            latency += h_lat
+            energy += h_en
+        latency += entries * self.header_parse_s
+        r_lat, r_en = self.read_cost(offset, nbytes)
+        latency += r_lat
+        energy += r_en
+        return latency, energy
+
+    def fetch_cost_arrays(
+        self, entries: np.ndarray, offsets: np.ndarray, nbytes: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`fetch_cost` over int64 arrays.
+
+        Every intermediate mirrors the scalar association order; adding a
+        0.0 header term for empty files is exact (x + 0.0 == x for the
+        finite non-negative costs involved), so results are bitwise equal
+        to the scalar path.
+        """
+        page = self.page_bytes
+        header_bytes = entries * self.header_entry_bytes
+        h_pages = np.where(entries > 0, (header_bytes - 1) // page + 1, 0)
+        h_moved = h_pages * page
+        h_lat = (
+            h_pages * self.read_page_s + h_moved / self.read_bw_bps
+        ) + self.open_s
+        h_en = (
+            h_pages * self.read_page_energy_j
+            + h_moved * self.energy_per_byte_j
+        ) + self.open_j
+        empty = entries == 0
+        h_lat = np.where(empty, 0.0, h_lat)
+        h_en = np.where(empty, 0.0, h_en)
+
+        first = offsets // page
+        last = (offsets + nbytes - 1) // page
+        r_pages = last - first + 1
+        r_moved = r_pages * page
+        r_lat = (
+            r_pages * self.read_page_s + r_moved / self.read_bw_bps
+        ) + self.open_s
+        r_en = (
+            r_pages * self.read_page_energy_j
+            + r_moved * self.energy_per_byte_j
+        ) + self.open_j
+
+        latency = (
+            (self.dir_scan_s + h_lat) + entries * self.header_parse_s
+        ) + r_lat
+        energy = h_en + r_en
+        return latency, energy
+
+    def hit_cost_arrays(
+        self, fetch_lat: np.ndarray, fetch_en: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Hit latency/energy from summed fetch costs (scalar grouping)."""
+        latency = (
+            (self.lookup_s + fetch_lat) + self.render_s
+        ) + self.misc_s
+        energy = (
+            latency * self.base_power_w + fetch_en
+        ) + self.render_energy_j
+        return latency, energy
+
+
+_COST_MODEL: Optional[EngineCostModel] = None
+
+
+def _cost_model() -> EngineCostModel:
+    global _COST_MODEL
+    if _COST_MODEL is None:
+        _COST_MODEL = EngineCostModel()
+    return _COST_MODEL
+
+
+def _canonical_ids(strings: List[str]):
+    """(string -> first id) map plus an id -> canonical-id array.
+
+    Two keys with identical text are one entry to the MD5-keyed hash
+    table, so they must collapse to one canonical id.  The common case —
+    all strings distinct — resolves at C speed; duplicates take a slow
+    first-occurrence-wins pass.
+    """
+    n = len(strings)
+    mapping = dict(zip(strings, range(n)))
+    if len(mapping) == n:
+        return mapping, np.arange(n, dtype=np.int64)
+    mapping = {}
+    canonical = np.empty(n, dtype=np.int64)
+    for key, text in enumerate(strings):
+        canonical[key] = mapping.setdefault(text, key)
+    return mapping, canonical
+
+
+class ReplayUniverse:
+    """Per-(log, content, mode) immutable mirror of the initial cache.
+
+    Maps the log's string universe into canonical integer ids (two query
+    keys with the same string collapse to one id, exactly as their MD5
+    hashes collide in the real hash table) and mirrors the community
+    bulk-load: initial hash-table slots, result-database layout, and
+    query registry.  Shared read-only across all users of a shard.
+    """
+
+    def __init__(
+        self, log: SearchLog, content: Optional[CacheContent], mode: str
+    ) -> None:
+        self.costs = _cost_model()
+        self.log = log
+        self.mode = mode
+        community = log.community
+        self.n_queries = community.n_queries
+        self.n_results = community.n_results
+
+        # Canonical ids: first key with a given string wins, matching the
+        # hash table keying entries by the string's hash.
+        self._qid_of_str, self.qid_by_ckey = _canonical_ids(
+            community.query_strings
+        )
+        self._rid_of_url, self.rid_by_ckey = _canonical_ids(
+            community.result_urls
+        )
+        # Personal (unique) pair strings are mapped lazily: content almost
+        # never references them, and the full pass over _unique_names is
+        # measurable at paper scale.
+        self._personal_mapped = False
+        self._rb_of_rkey: Dict[int, int] = {}
+
+        # Mirror of the community bulk-load (make_cache + load_community).
+        self.slots0: Dict[int, List[List]] = {}
+        self.db0: Dict[int, Tuple[int, int, int]] = {}
+        self.file_sizes0 = [0] * self.costs.n_files
+        self.file_entries0 = [0] * self.costs.n_files
+        self.registry0: Dict[int, bool] = {}
+        self._file_of: Dict[int, int] = {}
+        self._qstr: Dict[int, str] = {}
+        self._static_cost: Dict[int, Tuple[float, float]] = {}
+        self._mapped: Dict[int, Tuple[CacheContent, List[Tuple]]] = {}
+        from repro.sim.replay import CacheMode
+
+        if mode == CacheMode.PERSONALIZATION_ONLY:
+            content = None  # scalar make_cache never loads community here
+        if content is not None:
+            for qid, rid, score, record_bytes in self.map_content(content):
+                self._load_pair(qid, rid, score, record_bytes)
+
+    # -- construction helpers ------------------------------------------------
+
+    def _load_pair(
+        self, qid: int, rid: int, score: float, record_bytes: int
+    ) -> None:
+        if rid not in self.db0:
+            file_index = self.file_of(rid)
+            self.db0[rid] = (
+                file_index, self.file_sizes0[file_index], record_bytes
+            )
+            self.file_sizes0[file_index] += (
+                record_bytes + self.costs.header_entry_bytes
+            )
+            self.file_entries0[file_index] += 1
+        _insert_slot(self.slots0.setdefault(qid, []), rid, score, False)
+        self.registry0[qid] = True
+
+    def map_content(self, content: CacheContent) -> List[Tuple]:
+        """Content entries as (qid, rid, score, record_bytes) tuples.
+
+        Cached per content object (daily-update experiments reuse each
+        day's mined content across every user).
+        """
+        cached = self._mapped.get(id(content))
+        if cached is not None and cached[0] is content:
+            return cached[1]
+        entries = []
+        for entry in content.entries:
+            qid = self._qid_of_str.get(entry.query)
+            rid = self._rid_of_url.get(entry.url)
+            if qid is None or rid is None:
+                self._ensure_personal_maps()
+                qid = self._qid_of_str.get(entry.query)
+                rid = self._rid_of_url.get(entry.url)
+            if qid is None or rid is None:
+                raise ValueError(
+                    "cache content refers to strings outside this log's "
+                    "universe; vectorized replay requires content mined "
+                    "from the replayed log"
+                )
+            entries.append((qid, rid, entry.score, entry.record_bytes))
+        self._mapped[id(content)] = (content, entries)
+        return entries
+
+    def _ensure_personal_maps(self) -> None:
+        """Extend the string maps with the log's unique (personal) pairs.
+
+        Deferred until a content entry actually references one — cache
+        content is community-dominated, and a full pass over the unique
+        table is measurable at paper scale.
+        """
+        if self._personal_mapped:
+            return
+        self._personal_mapped = True
+        for qkey, (text, url) in self.log._unique_names.items():
+            self._qid_of_str.setdefault(text, int(qkey))
+            rid = self.n_results + (int(qkey) - self.n_queries)
+            self._rid_of_url.setdefault(url, rid)
+
+    # -- key-space helpers ----------------------------------------------------
+
+    def map_qkeys(self, qkeys: np.ndarray) -> np.ndarray:
+        qid = qkeys.astype(np.int64, copy=True)
+        mask = qid < self.n_queries
+        if mask.any():
+            qid[mask] = self.qid_by_ckey[qid[mask]]
+        return qid
+
+    def map_rkeys(self, rkeys: np.ndarray) -> np.ndarray:
+        rid = rkeys.astype(np.int64, copy=True)
+        mask = rid < self.n_results
+        if mask.any():
+            rid[mask] = self.rid_by_ckey[rid[mask]]
+        return rid
+
+    def record_bytes_of(self, rkeys: np.ndarray) -> np.ndarray:
+        """Stored size per clicked result (community mined size, else 500).
+
+        Resolved per distinct result key through a cache: community sizes
+        are a computed property of ~1M records at paper scale, so an
+        eager table would cost more than every replay that uses it.
+        """
+        records = self.log.community.result_records
+        n_results = self.n_results
+        cache = self._rb_of_rkey
+        out = np.empty(len(rkeys), dtype=np.int64)
+        for i, rkey in enumerate(rkeys.tolist()):
+            rb = cache.get(rkey)
+            if rb is None:
+                rb = (
+                    records[rkey].record_bytes if rkey < n_results else 500
+                )
+                cache[rkey] = rb
+            out[i] = rb
+        return out
+
+    def file_of(self, rid: int) -> int:
+        """Database file index of a result: hash64(url) % n_files."""
+        cached = self._file_of.get(rid)
+        if cached is None:
+            cached = hash64(self.log.result_url(rid)) % self.costs.n_files
+            self._file_of[rid] = cached
+        return cached
+
+    def qstr(self, qkey: int) -> str:
+        cached = self._qstr.get(qkey)
+        if cached is None:
+            cached = self.log.query_string(qkey)
+            self._qstr[qkey] = cached
+        return cached
+
+
+def _insert_slot(
+    slots: List[List], rid: int, score: float, accessed: bool
+) -> None:
+    """Mirror of :meth:`QueryHashTable.insert` on a flat slot list."""
+    for slot in slots:
+        if slot[0] == rid:
+            slot[1] = max(slot[1], score)
+            slot[2] = slot[2] or accessed
+            return
+    slots.append([rid, score, accessed])
+
+
+class _UserCacheState:
+    """Mutable per-user cache mirror: slots, registry, result database.
+
+    Two construction modes: a *full* deep copy (daily updates mutate
+    global state) or a copy-on-write overlay over the shared
+    :class:`ReplayUniverse` (the common no-update path, where only
+    queries the user actually touches are ever copied).
+    """
+
+    __slots__ = (
+        "universe", "full", "slots", "base_slots", "db", "base_db",
+        "file_sizes", "file_entries", "garbage", "registry",
+    )
+
+    def __init__(self, universe: ReplayUniverse, full: bool) -> None:
+        self.universe = universe
+        self.full = full
+        if full:
+            self.slots = {
+                qid: [list(slot) for slot in slots]
+                for qid, slots in universe.slots0.items()
+            }
+            self.base_slots: Dict[int, List[List]] = {}
+            self.db = dict(universe.db0)
+            self.base_db: Dict[int, Tuple[int, int, int]] = {}
+            self.registry = dict(universe.registry0)
+        else:
+            self.slots = {}
+            self.base_slots = universe.slots0
+            self.db = {}
+            self.base_db = universe.db0
+            self.registry = {}
+        self.file_sizes = list(universe.file_sizes0)
+        self.file_entries = list(universe.file_entries0)
+        self.garbage = 0
+
+    def has_query(self, qid: int) -> bool:
+        return qid in self.slots or qid in self.base_slots
+
+    def slots_of(self, qid: int) -> Optional[List[List]]:
+        found = self.slots.get(qid)
+        if found is not None:
+            return found
+        return self.base_slots.get(qid)
+
+    def mutable_slots(self, qid: int) -> List[List]:
+        found = self.slots.get(qid)
+        if found is None:
+            base = self.base_slots.get(qid)
+            found = [list(slot) for slot in base] if base else []
+            self.slots[qid] = found
+        return found
+
+    def contains_result(self, rid: int) -> bool:
+        return rid in self.db or rid in self.base_db
+
+    def locate(self, rid: int) -> Tuple[int, int, int]:
+        found = self.db.get(rid)
+        if found is not None:
+            return found
+        return self.base_db[rid]
+
+    def add_result(self, rid: int, record_bytes: int) -> Tuple[int, int, int]:
+        file_index = self.universe.file_of(rid)
+        stored = (file_index, self.file_sizes[file_index], record_bytes)
+        self.db[rid] = stored
+        self.file_sizes[file_index] += (
+            record_bytes + self.universe.costs.header_entry_bytes
+        )
+        self.file_entries[file_index] += 1
+        return stored
+
+
+# -- batch service ----------------------------------------------------------
+
+
+def _serve_segment(
+    state: _UserCacheState,
+    qid: np.ndarray,
+    rid: np.ndarray,
+    rkeys: np.ndarray,
+    personalized: bool,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Batch-serve one refresh-free segment of a user's stream.
+
+    Returns (hit, latency, energy) arrays.  Mutates ``state`` exactly as
+    the scalar engine's click path would (personalized mode only).
+    """
+    costs = state.universe.costs
+    n = len(qid)
+    unique_q, first_q_idx, inv_q = np.unique(
+        qid, return_index=True, return_inverse=True
+    )
+    present0 = np.fromiter(
+        (state.has_query(int(u)) for u in unique_q),
+        dtype=bool,
+        count=len(unique_q),
+    )
+    if personalized:
+        first_mask = np.zeros(n, dtype=bool)
+        first_mask[first_q_idx] = True
+        hit = present0[inv_q] | ~first_mask
+    else:
+        hit = present0[inv_q]
+
+    if not personalized:
+        latency = np.full(n, costs.miss_latency_s)
+        energy = np.full(n, costs.miss_energy_j)
+        static = state.universe._static_cost if not state.full else None
+        for g, u in enumerate(unique_q.tolist()):
+            if not present0[g]:
+                continue
+            cost = static.get(u) if static is not None else None
+            if cost is None:
+                cost = _static_hit_cost(state, u)
+                if static is not None:
+                    static[u] = cost
+            rows = inv_q == g
+            latency[rows] = cost[0]
+            energy[rows] = cost[1]
+        return hit, latency, energy
+
+    # Personalization on: the click path adds clicked results to the
+    # database (first click of a result not yet stored).
+    record_bytes = state.universe.record_bytes_of(rkeys)
+    _unique_r, first_r_idx = np.unique(rid, return_index=True)
+    added_rows = sorted(
+        int(i) for i in first_r_idx.tolist()
+        if not state.contains_result(int(rid[i]))
+    )
+    n_files = costs.n_files
+    sizes_delta = np.zeros((n + 1, n_files), dtype=np.int64)
+    counts_delta = np.zeros((n + 1, n_files), dtype=np.int64)
+    add_files = [state.universe.file_of(int(rid[i])) for i in added_rows]
+    for i, file_index in zip(added_rows, add_files):
+        sizes_delta[i + 1, file_index] = (
+            int(record_bytes[i]) + costs.header_entry_bytes
+        )
+        counts_delta[i + 1, file_index] = 1
+    base_sizes = np.asarray(state.file_sizes, dtype=np.int64)
+    base_counts = np.asarray(state.file_entries, dtype=np.int64)
+    sizes_before = base_sizes + np.cumsum(sizes_delta, axis=0)[:n]
+    counts_before = base_counts + np.cumsum(counts_delta, axis=0)[:n]
+    # Register the adds (stream order keeps the database's insertion
+    # order identical to the scalar path, which compaction depends on).
+    for i, file_index in zip(added_rows, add_files):
+        state.db[int(rid[i])] = (
+            file_index,
+            int(sizes_before[i, file_index]),
+            int(record_bytes[i]),
+        )
+    state.file_sizes = (
+        base_sizes + np.sum(sizes_delta, axis=0)
+    ).tolist()
+    state.file_entries = (
+        base_counts + np.sum(counts_delta, axis=0)
+    ).tolist()
+
+    # Ranking mini-sim per query group: stable top-2 selection before
+    # each click, then the Equations (1)-(2) score updates.
+    top1 = np.full(n, -1, dtype=np.int64)
+    top2 = np.full(n, -1, dtype=np.int64)
+    decay = costs.decay
+    order = np.argsort(inv_q, kind="stable")
+    counts = np.bincount(inv_q, minlength=len(unique_q))
+    boundaries = np.cumsum(counts)
+    start = 0
+    rid_list = rid.tolist()
+    hit_list = hit.tolist()
+    for g, stop in enumerate(boundaries.tolist()):
+        rows = order[start:stop]
+        start = stop
+        slots = state.mutable_slots(int(unique_q[g]))
+        for i in rows.tolist():
+            if hit_list[i]:
+                if len(slots) == 1:
+                    top1[i] = slots[0][0]
+                elif len(slots) == 2:
+                    a, b = slots
+                    if b[1] > a[1]:
+                        top1[i], top2[i] = b[0], a[0]
+                    else:
+                        top1[i], top2[i] = a[0], b[0]
+                else:
+                    ranked = sorted(
+                        slots, key=lambda slot: slot[1], reverse=True
+                    )
+                    top1[i] = ranked[0][0]
+                    top2[i] = ranked[1][0]
+            clicked = rid_list[i]
+            clicked_slot = None
+            for slot in slots:
+                if slot[0] == clicked:
+                    clicked_slot = slot
+                else:
+                    slot[1] = slot[1] * decay
+            if clicked_slot is not None:
+                clicked_slot[1] = clicked_slot[1] + 1.0
+                clicked_slot[2] = True
+            else:
+                slots.append([clicked, 1.0, True])
+    for i in sorted(int(j) for j in first_q_idx.tolist()):
+        state.registry[int(qid[i])] = True
+
+    # Vectorized fetch costing over the hit rows.
+    latency = np.full(n, costs.miss_latency_s)
+    energy = np.full(n, costs.miss_energy_j)
+    hit_rows = np.flatnonzero(hit)
+    if len(hit_rows):
+        n_hits = len(hit_rows)
+        f1 = np.empty(n_hits, dtype=np.int64)
+        o1 = np.empty(n_hits, dtype=np.int64)
+        b1 = np.empty(n_hits, dtype=np.int64)
+        f2 = np.zeros(n_hits, dtype=np.int64)
+        o2 = np.zeros(n_hits, dtype=np.int64)
+        b2 = np.zeros(n_hits, dtype=np.int64)
+        locate = state.locate
+        top1_list = top1.tolist()
+        top2_list = top2.tolist()
+        for k, i in enumerate(hit_rows.tolist()):
+            f1[k], o1[k], b1[k] = locate(top1_list[i])
+            second = top2_list[i]
+            if second >= 0:
+                f2[k], o2[k], b2[k] = locate(second)
+        e1 = counts_before[hit_rows, f1]
+        lat1, en1 = costs.fetch_cost_arrays(e1, o1, b1)
+        has2 = top2[hit_rows] >= 0
+        e2 = counts_before[hit_rows, f2]
+        lat2, en2 = costs.fetch_cost_arrays(e2, o2, b2)
+        fetch_lat = lat1 + np.where(has2, lat2, 0.0)
+        fetch_en = en1 + np.where(has2, en2, 0.0)
+        hit_lat, hit_en = costs.hit_cost_arrays(fetch_lat, fetch_en)
+        latency[hit_rows] = hit_lat
+        energy[hit_rows] = hit_en
+    return hit, latency, energy
+
+
+def _static_hit_cost(
+    state: _UserCacheState, qid: int
+) -> Tuple[float, float]:
+    """Hit cost of a query whose slots and database are static.
+
+    Community-only mode never mutates scores or the database between
+    refreshes, so each cached query has one constant (latency, energy).
+    """
+    costs = state.universe.costs
+    slots = state.slots_of(qid)
+    ranked = sorted(slots, key=lambda slot: slot[1], reverse=True)
+    fetch_lat = 0.0
+    fetch_en = 0.0
+    for slot in ranked[: costs.top_k]:
+        file_index, offset, record_bytes = state.locate(slot[0])
+        lat, en = costs.fetch_cost(
+            state.file_entries[file_index], offset, record_bytes
+        )
+        fetch_lat += lat
+        fetch_en += en
+    latency = ((costs.lookup_s + fetch_lat) + costs.render_s) + costs.misc_s
+    energy = (
+        latency * costs.base_power_w + fetch_en
+    ) + costs.render_energy_j
+    return latency, energy
+
+
+# -- daily-update fallback seam ---------------------------------------------
+
+
+def _serialized_table_len(state: _UserCacheState, costs) -> int:
+    """Wire-format length of the mirrored hash table (Section 5.4)."""
+    width = costs.results_per_entry
+    n_slots = 0
+    n_entries = 0
+    for slots in state.slots.values():
+        n_slots += len(slots)
+        n_entries += -(-len(slots) // width)
+    return (
+        costs.header_len
+        + costs.entry_head_len * n_entries
+        + costs.slot_len * n_slots
+    )
+
+
+def _refresh_state(
+    state: _UserCacheState, entries: List[Tuple]
+) -> UpdatePatch:
+    """Exact mirror of :meth:`CacheUpdateServer.refresh_with_content`.
+
+    Operates on the user's state between batch segments — the scalar
+    fallback seam for events that mutate cross-batch state.
+    """
+    costs = state.universe.costs
+    bytes_uploaded = _serialized_table_len(state, costs)
+
+    # Step 2: prune never-accessed and decayed pairs.
+    pairs_removed = 0
+    retained = set()
+    removals: Dict[int, set] = {}
+    for qid in list(state.registry):
+        slots = state.slots.get(qid)
+        if not slots:
+            continue
+        for rid, score, accessed in slots:
+            if not accessed or score < costs.retention_min_score:
+                removals.setdefault(qid, set()).add(rid)
+                pairs_removed += 1
+            else:
+                retained.add((qid, rid))
+    for qid, dropped in removals.items():
+        kept = [slot for slot in state.slots[qid] if slot[0] not in dropped]
+        if kept:
+            state.slots[qid] = kept
+        else:
+            del state.slots[qid]
+
+    # Step 3: merge the fresh popular set (max score wins).
+    pairs_added = 0
+    results_added = 0
+    patch_files: Dict[int, int] = {}
+    for qid, rid, score, record_bytes in entries:
+        if rid not in state.db:
+            stored = state.add_result(rid, record_bytes)
+            results_added += 1
+            patch_files[stored[0]] = (
+                patch_files.get(stored[0], 0)
+                + record_bytes
+                + costs.header_entry_bytes
+            )
+        if (qid, rid) not in retained:
+            pairs_added += 1
+        _insert_slot(state.slots.setdefault(qid, []), rid, score, False)
+        state.registry[qid] = True
+
+    # Step 4: garbage-collect the registry and database, then compact.
+    queries_pruned = 0
+    for qid in list(state.registry):
+        if not state.slots.get(qid):
+            del state.registry[qid]
+            queries_pruned += 1
+    referenced = set()
+    for slots in state.slots.values():
+        for slot in slots:
+            referenced.add(slot[0])
+    results_removed = 0
+    for rid in list(state.db):
+        if rid not in referenced:
+            file_index, _offset, record_bytes = state.db.pop(rid)
+            state.file_entries[file_index] -= 1
+            state.garbage += record_bytes + costs.header_entry_bytes
+            results_removed += 1
+    compacted = None
+    if state.garbage > costs.compaction_threshold * max(
+        sum(state.file_sizes), 1
+    ):
+        compacted = _compact_state(state)
+
+    bytes_downloaded = _serialized_table_len(state, costs) + sum(
+        patch_files.values()
+    )
+    return UpdatePatch(
+        bytes_uploaded=bytes_uploaded,
+        bytes_downloaded=bytes_downloaded,
+        pairs_added=pairs_added,
+        pairs_removed=pairs_removed,
+        results_added=results_added,
+        results_removed=results_removed,
+        queries_pruned=queries_pruned,
+        compaction=compacted,
+        patch_files=patch_files,
+    )
+
+
+def _compact_state(state: _UserCacheState) -> CompactionResult:
+    """Exact mirror of :meth:`ResultDatabase.compact` on the state."""
+    costs = state.universe.costs
+    live = sorted(state.db.items(), key=lambda kv: (kv[1][0], kv[1][1]))
+    latency = 0.0
+    energy = 0.0
+    for _rid, (_file, offset, record_bytes) in live:
+        lat, en = costs.read_cost(offset, record_bytes)
+        latency += lat
+        energy += en
+    reclaimed = state.garbage
+    state.garbage = 0
+    old = list(state.db.items())  # preserves _index insertion order
+    state.file_sizes = [0] * costs.n_files
+    state.file_entries = [0] * costs.n_files
+    state.db = {}
+    for rid, (_file, _offset, record_bytes) in old:
+        state.add_result(rid, record_bytes)
+        latency += costs.open_s
+        energy += costs.open_j
+    return CompactionResult(
+        reclaimed_bytes=reclaimed,
+        live_results=len(old),
+        latency_s=latency,
+        energy_j=energy,
+    )
+
+
+# -- user-level entry points -------------------------------------------------
+
+
+def _replay_user_arrays(
+    universe: ReplayUniverse,
+    events: np.ndarray,
+    mode: str,
+    daily_contents: Optional[List[CacheContent]],
+    t_start: float,
+    patches_out: Optional[List[UpdatePatch]] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(hit, latency, energy) arrays of one user's replay."""
+    from repro.sim.replay import CacheMode
+
+    personalized = mode != CacheMode.COMMUNITY_ONLY
+    n = len(events)
+    if n == 0:
+        empty = np.zeros(0)
+        return empty.astype(bool), empty, empty
+    qid = universe.map_qkeys(events["query_key"])
+    rid = universe.map_rkeys(events["result_key"])
+    rkeys = events["result_key"]
+
+    if not daily_contents:
+        state = _UserCacheState(universe, full=False)
+        return _serve_segment(state, qid, rid, rkeys, personalized)
+
+    # Daily updates: split the stream into day segments, applying the
+    # refresh mirror between them (including skipped days, in order),
+    # exactly as the scalar loop does.
+    mapped = [universe.map_content(c) for c in daily_contents]
+    state = _UserCacheState(universe, full=True)
+    timestamps = events["timestamp"]
+    event_day = np.minimum(
+        ((timestamps - t_start) // DAY_SECONDS).astype(np.int64),
+        len(daily_contents) - 1,
+    )
+    hits: List[np.ndarray] = []
+    lats: List[np.ndarray] = []
+    ens: List[np.ndarray] = []
+    day = 0
+    boundaries = np.flatnonzero(np.diff(event_day)) + 1
+    starts = np.concatenate(([0], boundaries)).tolist()
+    stops = np.concatenate((boundaries, [n])).tolist()
+    for lo, hi in zip(starts, stops):
+        segment_day = int(event_day[lo])
+        while day <= segment_day:
+            patch = _refresh_state(state, mapped[day])
+            if patches_out is not None:
+                patches_out.append(patch)
+            day += 1
+        hit, lat, en = _serve_segment(
+            state, qid[lo:hi], rid[lo:hi], rkeys[lo:hi], personalized
+        )
+        hits.append(hit)
+        lats.append(lat)
+        ens.append(en)
+    return np.concatenate(hits), np.concatenate(lats), np.concatenate(ens)
+
+
+def _emit_outcomes(
+    universe: ReplayUniverse,
+    events: np.ndarray,
+    hit: np.ndarray,
+    latency: np.ndarray,
+    energy: np.ndarray,
+) -> List[QueryOutcome]:
+    """Materialize per-event outcomes in stream order.
+
+    Outcomes are built by populating each instance's ``__dict__``
+    directly: the frozen-dataclass ``__init__`` routes every field
+    through ``object.__setattr__``, which profiles as the single largest
+    per-event cost in the batch path.  Field values and equality
+    semantics are unchanged (dataclass ``__eq__`` compares fields).
+    """
+    cache_source = ServiceSource.CACHE
+    miss_source = universe.costs.miss_source
+    qstr = universe.qstr
+    new = object.__new__
+    out = []
+    append = out.append
+    for qkey, h, lat, en, ts, nav in zip(
+        events["query_key"].tolist(),
+        hit.tolist(),
+        latency.tolist(),
+        energy.tolist(),
+        events["timestamp"].tolist(),
+        events["navigational"].tolist(),
+    ):
+        outcome = new(QueryOutcome)
+        outcome.__dict__.update(
+            query=qstr(qkey),
+            hit=h,
+            source=cache_source if h else miss_source,
+            latency_s=lat,
+            energy_j=en,
+            timestamp=ts,
+            navigational=nav,
+        )
+        append(outcome)
+    return out
+
+
+# Process-level caches: shards replay many users against the same log /
+# content, and the mirrors are immutable, so they are built once per
+# worker.  Strong references are kept alongside so id() keys can never
+# alias a collected object.
+_UNIVERSE_CACHE: Dict[Tuple[int, int, str], ReplayUniverse] = {}
+_BATCH_CACHE: Dict[Tuple[int, float, float, int], object] = {}
+_CACHE_LIMIT = 8
+
+
+def _universe_for(
+    log: SearchLog, content: Optional[CacheContent], mode: str
+) -> ReplayUniverse:
+    key = (id(log), id(content), mode)
+    found = _UNIVERSE_CACHE.get(key)
+    if found is not None and found.log is log:
+        return found
+    if len(_UNIVERSE_CACHE) >= _CACHE_LIMIT:
+        _UNIVERSE_CACHE.clear()
+    universe = ReplayUniverse(log, content, mode)
+    _UNIVERSE_CACHE[key] = universe
+    return universe
+
+
+def _batch_for(log: SearchLog, t_start: float, t_end: float, seed: int):
+    from repro.logs.columnar import ColumnarEventBatch
+
+    key = (id(log), t_start, t_end, seed)
+    found = _BATCH_CACHE.get(key)
+    if found is not None and found[0] is log:
+        return found[1]
+    if len(_BATCH_CACHE) >= _CACHE_LIMIT:
+        _BATCH_CACHE.clear()
+    batch = ColumnarEventBatch.from_log(
+        log, t_start=t_start, t_end=t_end, seed=seed
+    )
+    _BATCH_CACHE[key] = (log, batch)
+    return batch
+
+
+def replay_user_vectorized(
+    log: SearchLog,
+    content: Optional[CacheContent],
+    daily_contents: Optional[List[CacheContent]],
+    mode: str,
+    user_id: int,
+    t_start: float,
+    t_end: float,
+    metrics: Optional[MetricsCollector] = None,
+    seed: int = 0,
+    collect_patches: bool = False,
+):
+    """Vectorized replay of one user; returns (metrics, patches).
+
+    ``patches`` is the per-refresh :class:`UpdatePatch` list when
+    ``collect_patches`` and daily contents are given, else ``None`` —
+    the hook the fallback-seam tests use to compare update accounting
+    against the scalar :class:`CacheUpdateServer`.
+    """
+    universe = _universe_for(log, content, mode)
+    batch = _batch_for(log, t_start, t_end, seed)
+    events = batch.for_user(user_id)
+    patches: Optional[List[UpdatePatch]] = (
+        [] if (collect_patches and daily_contents) else None
+    )
+    hit, latency, energy = _replay_user_arrays(
+        universe, events, mode, daily_contents, t_start, patches
+    )
+    if metrics is None:
+        metrics = MetricsCollector()
+    metrics.extend(_emit_outcomes(universe, events, hit, latency, energy))
+    return metrics, patches
+
+
+def replay_one_user_vectorized(
+    log: SearchLog,
+    content: Optional[CacheContent],
+    daily_contents: List[CacheContent],
+    config,
+    mode: str,
+    user_class: UserClass,
+    user_id: int,
+    t_start: float,
+    t_end: float,
+):
+    """Vectorized counterpart of :func:`repro.sim.replay.replay_one_user`."""
+    from repro.sim.replay import CacheMode, UserReplayResult, _new_collector
+
+    use_daily = (
+        config.daily_updates and mode != CacheMode.PERSONALIZATION_ONLY
+    )
+    metrics = _new_collector(config, user_id)
+    replay_user_vectorized(
+        log,
+        content,
+        daily_contents if use_daily else None,
+        mode,
+        user_id,
+        t_start,
+        t_end,
+        metrics=metrics,
+        seed=config.seed,
+    )
+    return UserReplayResult(
+        user_id=user_id, user_class=user_class, metrics=metrics
+    )
+
+
+def clear_caches() -> None:
+    """Drop the process-level universe/batch caches (test hygiene)."""
+    _UNIVERSE_CACHE.clear()
+    _BATCH_CACHE.clear()

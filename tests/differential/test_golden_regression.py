@@ -40,7 +40,7 @@ GOLDEN_CONFIG = {
 TOLERANCE = 1e-9
 
 
-def _golden_replay(workers: int = 1):
+def _golden_replay(workers: int = 1, engine: str = "scalar"):
     log = generate_logs(
         community=CommunityModel(
             Vocabulary.build(VocabularyConfig(**GOLDEN_CONFIG["vocabulary"]))
@@ -56,6 +56,7 @@ def _golden_replay(workers: int = 1):
             users_per_class=GOLDEN_CONFIG["users_per_class"],
             seed=GOLDEN_CONFIG["replay_seed"],
             workers=workers,
+            engine=engine,
         ),
         modes=[CacheMode.FULL],
     )[CacheMode.FULL]
@@ -118,6 +119,19 @@ class TestGoldenReplay:
         assert parallel["overall_hit_rate"] == pytest.approx(
             golden["overall_hit_rate"], abs=TOLERANCE
         )
+
+    def test_vectorized_run_matches_golden(self, golden):
+        """The vectorized engine must hit the same golden numbers."""
+        vectorized = _observed(_golden_replay(engine="vectorized"))
+        assert vectorized["total_queries"] == golden["total_queries"]
+        assert vectorized["total_hits"] == golden["total_hits"]
+        assert vectorized["overall_hit_rate"] == pytest.approx(
+            golden["overall_hit_rate"], abs=TOLERANCE
+        )
+        for user_class, expected in golden["hit_rate_by_class"].items():
+            assert vectorized["hit_rate_by_class"][
+                user_class
+            ] == pytest.approx(expected, abs=TOLERANCE), user_class
 
 
 def _regenerate() -> None:

@@ -98,6 +98,31 @@ class TestReplayResults:
         week1 = result.hit_rate_by_class_windowed(t0, t0 + 7 * 24 * 3600)
         assert set(week1) == set(UserClass)
 
+    def test_by_class_agrees_with_full_window(self, small_replay):
+        """Both by-class reports share one bucketing helper: over the whole
+        replay month (every query in window) they must agree exactly, and
+        per-class means must be reproducible from the raw user metrics."""
+        import math
+
+        result = small_replay[CacheMode.FULL]
+        by_class = result.hit_rate_by_class()
+        windowed = result.hit_rate_by_class_windowed(0, float("inf"))
+        for user_class in UserClass:
+            expected = [
+                u.metrics.hit_rate
+                for u in result.users
+                if u.user_class == user_class
+            ]
+            if not expected:
+                assert math.isnan(by_class[user_class])
+                assert math.isnan(windowed[user_class])
+                continue
+            mean = sum(expected) / len(expected)
+            assert by_class[user_class] == pytest.approx(mean, abs=1e-12)
+            assert windowed[user_class] == pytest.approx(
+                by_class[user_class], abs=1e-12
+            )
+
     def test_navigational_breakdown_sums_to_one(self, small_replay):
         breakdown = small_replay[CacheMode.FULL].navigational_breakdown()
         for split in breakdown.values():

@@ -1,0 +1,194 @@
+"""Vectorized/scalar fallback-seam coverage.
+
+The vectorized engine batch-evaluates refresh-free segments and falls
+back to an exact scalar mirror of ``CacheUpdateServer.refresh_with_content``
+at daily-update boundaries.  These tests pin the seam itself:
+
+* a mid-stream daily update forces a segment flush whose
+  :class:`UpdatePatch` accounting — byte counts, pair/result add/remove
+  counts, pruned queries, compaction costs — is identical to driving the
+  real scalar server against a real cache;
+* degenerate batches (users with no events, single-event users, empty
+  shards) pass through the batch path without crashing and produce the
+  scalar engine's outcomes.
+"""
+
+import pytest
+
+from repro.logs.schema import MONTH_SECONDS
+from repro.pocketsearch.content import build_cache_content
+from repro.pocketsearch.engine import PocketSearchEngine
+from repro.pocketsearch.manager import CacheUpdateServer
+from repro.sim.replay import (
+    CacheMode,
+    ReplayConfig,
+    _daily_contents,
+    _record_bytes,
+    make_cache,
+    select_replay_users,
+)
+from repro.sim.shard import partition_shards
+from repro.sim.vectorized import DAY_SECONDS, replay_user_vectorized
+
+T_START = 1 * MONTH_SECONDS
+T_END = T_START + MONTH_SECONDS
+
+
+@pytest.fixture(scope="module")
+def small_content(request):
+    small_log = request.getfixturevalue("small_log")
+    config = ReplayConfig()
+    return build_cache_content(
+        small_log.month(config.build_month), config.policy
+    )
+
+
+@pytest.fixture(scope="module")
+def daily_contents(request):
+    small_log = request.getfixturevalue("small_log")
+    return _daily_contents(small_log, ReplayConfig(daily_updates=True))
+
+
+@pytest.fixture(scope="module")
+def replay_users(request):
+    small_log = request.getfixturevalue("small_log")
+    selected = select_replay_users(small_log, 1, 3)
+    return [uid for uids in selected.values() for uid in uids]
+
+
+def _scalar_patches(log, content, daily, uid, mode):
+    """Drive the real scalar server/cache, collecting every UpdatePatch."""
+    cache = make_cache(content, mode)
+    engine = PocketSearchEngine(cache)
+    server = CacheUpdateServer()
+    stream = log.for_user(uid).window(T_START, T_END)
+    patches = []
+    outcomes = []
+    day = 0
+    for i in range(stream.n_events):
+        t = float(stream.timestamps[i])
+        event_day = min(int((t - T_START) // DAY_SECONDS), len(daily) - 1)
+        while day <= event_day:
+            patches.append(server.refresh_with_content(cache, daily[day]))
+            day += 1
+        qkey = int(stream.query_keys[i])
+        rkey = int(stream.result_keys[i])
+        result = engine.serve_query(
+            query=stream.query_string(qkey),
+            clicked_url=stream.result_url(rkey),
+            record_bytes=_record_bytes(stream, rkey),
+            navigational=bool(stream.navigational[i]),
+            timestamp=t,
+        )
+        outcomes.append(result.outcome)
+    return patches, outcomes
+
+
+class TestUpdatePatchParity:
+    @pytest.mark.parametrize("mode", [CacheMode.FULL, CacheMode.COMMUNITY_ONLY])
+    def test_mid_batch_refresh_has_identical_accounting(
+        self, small_log, small_content, daily_contents, replay_users, mode
+    ):
+        """Every refresh the scalar server performs — including skipped-day
+        catch-ups and database compactions — must appear in the vectorized
+        run with field-identical UpdatePatch records."""
+        checked_patches = 0
+        for uid in replay_users:
+            expected_patches, expected_outcomes = _scalar_patches(
+                small_log, small_content, daily_contents, uid, mode
+            )
+            metrics, patches = replay_user_vectorized(
+                small_log,
+                small_content,
+                daily_contents,
+                mode,
+                uid,
+                T_START,
+                T_END,
+                collect_patches=True,
+            )
+            assert metrics.outcomes == expected_outcomes, uid
+            assert len(patches) == len(expected_patches), uid
+            for got, want in zip(patches, expected_patches):
+                # Dataclass equality covers bytes up/down, pair and result
+                # add/remove counts, pruned queries, per-file patch bytes,
+                # and the CompactionResult (including float costs).
+                assert got == want, uid
+            checked_patches += len(patches)
+        assert checked_patches > 0  # the seam was actually exercised
+
+    def test_compaction_occurs_and_matches(
+        self, small_log, small_content, daily_contents, replay_users
+    ):
+        """At least one refresh in the matrix must trigger compaction —
+        otherwise the compaction mirror is dead code in this suite."""
+        compactions = 0
+        for uid in replay_users:
+            _, patches = replay_user_vectorized(
+                small_log, small_content, daily_contents,
+                CacheMode.FULL, uid, T_START, T_END,
+                collect_patches=True,
+            )
+            compactions += sum(1 for p in patches if p.compaction is not None)
+        assert compactions > 0
+
+
+class TestDegenerateBatches:
+    def test_user_with_no_events(self, small_log, small_content):
+        """An empty slice (user absent from the window) yields an empty
+        collector, not a crash."""
+        metrics, patches = replay_user_vectorized(
+            small_log, small_content, None, CacheMode.FULL,
+            10**9, T_START, T_END,
+        )
+        assert metrics.count == 0
+        assert metrics.outcomes == []
+        assert patches is None
+
+    def test_single_event_user(self, small_log, small_content, replay_users):
+        """A one-event window exercises the batch path's minimal case and
+        still matches the scalar engine exactly."""
+        uid = replay_users[0]
+        stream = small_log.for_user(uid).window(T_START, T_END)
+        t0 = float(stream.timestamps[0])
+        t1 = float(stream.timestamps[1])
+        metrics, _ = replay_user_vectorized(
+            small_log, small_content, None, CacheMode.FULL, uid, t0, t1
+        )
+        assert metrics.count == 1
+
+        cache = make_cache(small_content, CacheMode.FULL)
+        engine = PocketSearchEngine(cache)
+        qkey = int(stream.query_keys[0])
+        rkey = int(stream.result_keys[0])
+        expected = engine.serve_query(
+            query=stream.query_string(qkey),
+            clicked_url=stream.result_url(rkey),
+            record_bytes=_record_bytes(stream, rkey),
+            navigational=bool(stream.navigational[0]),
+            timestamp=t0,
+        ).outcome
+        assert metrics.outcomes == [expected]
+
+    def test_empty_shard_partition(self, replay_users):
+        """More shards than users leaves trailing shards empty; the
+        partitioner never emits them and never drops a user."""
+        work = [(None, uid) for uid in replay_users[:3]]
+        shards = partition_shards(work, shard_size=1)
+        assert all(shard for shard in shards)
+        assert sorted(uid for shard in shards for _, uid in shard) == sorted(
+            uid for _, uid in work
+        )
+
+    def test_daily_user_with_no_events_still_no_refresh(
+        self, small_log, small_content, daily_contents
+    ):
+        """No events → no segments → the update server is never invoked
+        (matching the scalar loop, which only refreshes ahead of events)."""
+        metrics, patches = replay_user_vectorized(
+            small_log, small_content, daily_contents, CacheMode.FULL,
+            10**9, T_START, T_END,
+            collect_patches=True,
+        )
+        assert metrics.count == 0
+        assert patches == []
