@@ -1,0 +1,222 @@
+"""Edge-tier community hit rate benchmark, recorded in a manifest.
+
+Two halves, one manifest:
+
+* **Offline capacity sweep** — the fixed device-miss reference stream
+  replayed through an 8-node tier at increasing per-node slice
+  capacities (:func:`repro.experiments.edge.capacity_sweep_experiment`).
+  Strict-LRU slices make the hit-rate curve provably monotone
+  non-decreasing; a violation is an implementation bug and the script
+  dies rather than record it.  The sweep runs on the
+  ``personalization`` replay mode, where device caches hold no
+  community content — the traffic the cloudlet tier exists to absorb.
+
+* **Live serve run** — the Section 6.2 replay through the online
+  server fronted by 8 cloudlet nodes, recording the per-hop latency
+  p99 and asserting every response's per-tier latency/energy breakdown
+  re-sums to its end-to-end sojourn/joules within 1e-9 (again fatal:
+  attribution drift is accounting corruption, not noise).
+
+The manifest is ``emit_bench_json.py``-compatible, so the edge tier
+rides the same BENCH trajectory as the rest of the benchmarks::
+
+    PYTHONPATH=src python benchmarks/edge_hitrate_manifest.py \
+        --out manifests/edge_hitrate.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.edge.tier import EdgeTopology
+from repro.experiments.common import DEFAULT_SEED, default_log
+from repro.experiments.edge import (
+    capacity_sweep_experiment,
+    hit_rate_vs_nodes,
+)
+from repro.obs.manifest import ManifestRecorder
+from repro.serve.harness import serve_replay
+from repro.sim.replay import CacheMode, ReplayConfig
+
+#: Per-tier re-sum drift above this is an accounting bug (fatal).
+RESUM_TOLERANCE = 1e-9
+
+
+def run(
+    users: int,
+    sweep_users: int,
+    n_nodes: int,
+    capacities: list,
+    seed: int,
+    out: str,
+) -> dict:
+    recorder = ManifestRecorder(
+        "edge_hitrate",
+        config={
+            "users": users,
+            "sweep_users": sweep_users,
+            "n_nodes": n_nodes,
+            "capacities": capacities,
+            "sweep_mode": CacheMode.PERSONALIZATION_ONLY,
+        },
+        seed=seed,
+    )
+    with recorder:
+        # -- offline: hit rate vs. per-node capacity (monotone gate) --
+        t0 = time.perf_counter()
+        sweep = capacity_sweep_experiment(
+            capacities=capacities,
+            n_nodes=n_nodes,
+            users_per_class=sweep_users,
+            seed=seed,
+            mode=CacheMode.PERSONALIZATION_ONLY,
+        )
+        sweep_wall_s = time.perf_counter() - t0
+        rows = sweep["rows"]
+        for row in rows:
+            cap = row["node_capacity"]
+            print(
+                f"capacity {'inf' if cap is None else cap:>6}: "
+                f"community hit rate {row['community_hit_rate']:.4f} "
+                f"({row['community_hits']}/{row['events']}, "
+                f"{row['evictions']} evictions)"
+            )
+        if not sweep["monotone"]:
+            raise SystemExit(
+                "FATAL: community hit rate is not monotone non-decreasing "
+                "in node capacity — the LRU inclusion property is broken"
+            )
+        recorder.add_metric(
+            "capacity_sweep",
+            {
+                (f"c{row['node_capacity']}" if row["node_capacity"]
+                 is not None else "cinf"): {
+                    "community_hit_rate": round(
+                        row["community_hit_rate"], 6
+                    ),
+                    "evictions": row["evictions"],
+                }
+                for row in rows
+            },
+        )
+        # flatten_metrics drops booleans; record the gate bit as a float
+        recorder.add_metric("capacity_monotone", 1.0)
+        recorder.add_metric(
+            "community_hit_rate", round(rows[-1]["community_hit_rate"], 6)
+        )
+        recorder.add_metric("sweep_events", sweep["n_events"])
+        recorder.add_metric("sweep_wall_s", round(sweep_wall_s, 4))
+
+        # node-count scaling at the middle capacity, same stream
+        mid_capacity = capacities[len(capacities) // 2]
+        node_rows = hit_rate_vs_nodes(
+            node_counts=(1, 2, 4, n_nodes),
+            node_capacity=mid_capacity,
+            users_per_class=sweep_users,
+            seed=seed,
+            mode=CacheMode.PERSONALIZATION_ONLY,
+        )
+        recorder.add_metric(
+            "node_sweep",
+            {
+                f"n{row['n_nodes']}": round(row["community_hit_rate"], 6)
+                for row in node_rows
+            },
+        )
+
+        # -- live: 8-node serve run, per-hop accounting gate --
+        t0 = time.perf_counter()
+        _, reports = serve_replay(
+            default_log(),
+            ReplayConfig(users_per_class=users, seed=seed),
+            modes=(CacheMode.FULL,),
+            edge_topology=EdgeTopology(n_nodes=n_nodes, seed=seed),
+        )
+        live_wall_s = time.perf_counter() - t0
+        report = reports[CacheMode.FULL]
+        assert report.edge is not None
+        for name, err in (
+            ("latency", report.hop_resum_error_s),
+            ("energy", report.hop_resum_error_j),
+        ):
+            if not err <= RESUM_TOLERANCE:
+                raise SystemExit(
+                    f"FATAL: per-hop {name} breakdowns drift "
+                    f"{err:.3e} off the end-to-end totals "
+                    f"(tolerance {RESUM_TOLERANCE})"
+                )
+        if report.shed:
+            raise SystemExit(
+                f"FATAL: unbounded edge run shed {report.shed} requests"
+            )
+        print(
+            f"live {n_nodes}-node serve: "
+            f"community hit rate {report.edge['community_hit_rate']:.4f}, "
+            f"edge hop p99 {report.edge_hop_p99_s:.4f}s, "
+            f"hop re-sum err {report.hop_resum_error_s:.2e}s / "
+            f"{report.hop_resum_error_j:.2e}J "
+            f"({live_wall_s:.2f}s wall)"
+        )
+        recorder.add_metric(
+            "live_community_hit_rate",
+            round(report.edge["community_hit_rate"], 6),
+        )
+        recorder.add_metric(
+            "edge_hop_p99_s", round(report.edge_hop_p99_s, 6)
+        )
+        recorder.add_metric(
+            "hop_resum_error_s", report.hop_resum_error_s
+        )
+        recorder.add_metric(
+            "hop_resum_error_j", report.hop_resum_error_j
+        )
+        recorder.add_metric("live_wall_s", round(live_wall_s, 4))
+    path = recorder.manifest.write(out)
+    print(f"wrote manifest to {path}")
+    return recorder.manifest.to_dict()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--users", type=int, default=2,
+        help="users per class in the live serve run (default 2)",
+    )
+    parser.add_argument(
+        "--sweep-users", type=int, default=20,
+        help="users per class behind the offline miss stream (default 20)",
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=8,
+        help="cloudlet node count (default 8)",
+    )
+    parser.add_argument(
+        "--capacities", default="64,256,1024,inf",
+        help="comma-separated per-node capacities, 'inf' = unbounded "
+        "(default 64,256,1024,inf)",
+    )
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--out", default="manifests/edge_hitrate.json",
+        help="manifest destination path",
+    )
+    args = parser.parse_args(argv)
+    capacities = [
+        None if c.strip() in ("inf", "none") else int(c)
+        for c in args.capacities.split(",")
+        if c.strip()
+    ]
+    if not capacities:
+        print("no capacities given", file=sys.stderr)
+        return 2
+    run(
+        args.users, args.sweep_users, args.nodes, capacities,
+        args.seed, args.out,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

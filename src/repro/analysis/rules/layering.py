@@ -11,8 +11,8 @@ level packages
 2     ``core``, ``sim``, ``baselines``, ``device``,
       ``pocketsearch``/``pocketads``/``pocketmaps``/``pocketweb``/
       ``pocketyellow``
-3     ``experiments``, ``analysis``
-4     ``serve``
+3     ``analysis``
+4     ``serve``, ``edge``, ``experiments``
 5     ``cli``, ``__init__``, ``__main__``
 ===== =========================================================
 
@@ -54,9 +54,13 @@ LAYERS = {
     "pocketmaps": 2,
     "pocketweb": 2,
     "pocketyellow": 2,
-    "experiments": 3,
     "analysis": 3,
+    # serve, edge, and experiments are one level by design: the edge
+    # tier plugs into the server's miss path (and borrows its batcher),
+    # while experiments drive serve_replay/loadtest sweeps.
+    "experiments": 4,
     "serve": 4,
+    "edge": 4,
     "cli": 5,
     "__init__": 5,
     "__main__": 5,

@@ -1,0 +1,49 @@
+"""Cooperative edge-cloudlet tier: a simulated distributed community cache.
+
+Grows the paper's single-device community cache into a shared edge
+tier: N simulated cloudlet nodes with consistent-hash query ownership,
+peer fetch on device-local miss (device -> owning cloudlet -> origin)
+with per-node single-flight dedup, bounded batched popularity
+propagation to the origin, and per-hop latency/energy attribution
+through the serve layer's trace and energy planes.
+"""
+
+from repro.edge.evaluate import (
+    EdgeEvalResult,
+    capacity_sweep,
+    evaluate_stream,
+    hit_rates_monotone,
+)
+from repro.edge.node import EdgeNode
+from repro.edge.placement import (
+    assign_device_region,
+    assign_device_regions,
+    region_weights,
+)
+from repro.edge.propagation import DELTA_BYTES, OriginCoordinator
+from repro.edge.ring import DEFAULT_VNODES, ConsistentHashRing
+from repro.edge.tier import (
+    EDGE_SHED_REASON,
+    EdgeFetchResult,
+    EdgeTier,
+    EdgeTopology,
+)
+
+__all__ = [
+    "DELTA_BYTES",
+    "DEFAULT_VNODES",
+    "EDGE_SHED_REASON",
+    "ConsistentHashRing",
+    "EdgeEvalResult",
+    "EdgeFetchResult",
+    "EdgeNode",
+    "EdgeTier",
+    "EdgeTopology",
+    "OriginCoordinator",
+    "assign_device_region",
+    "assign_device_regions",
+    "capacity_sweep",
+    "evaluate_stream",
+    "hit_rates_monotone",
+    "region_weights",
+]

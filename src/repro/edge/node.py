@@ -1,0 +1,169 @@
+"""One simulated cloudlet node: an LRU community-cache slice.
+
+A node holds a bounded slice of the community cache (strict LRU over
+query keys — LRU is a *stack algorithm*, so a larger slice's contents
+always contain a smaller slice's, which is what makes the hit-rate
+sweep in :mod:`repro.edge.evaluate` provably monotone in capacity), a
+bounded map of pending popularity deltas awaiting propagation to the
+origin, and the counters the telemetry plane reads.
+
+All node state is loop-confined and mutated synchronously between
+awaits; the only randomness is the per-node propagation-flush jitter,
+drawn once from the node's own ``SeedSequence(seed, spawn_key=(4,
+node_id))`` stream so fleets of any size stay deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["EdgeNode"]
+
+#: Spawn-key domain for per-node RNG streams (placement owns 3, the
+#: replay harness owns 0-2).
+_NODE_DOMAIN = 4
+
+
+class EdgeNode:
+    """A cloudlet node's cache slice, delta buffer, and counters."""
+
+    __slots__ = (
+        "node_id",
+        "capacity",
+        "max_pending_deltas",
+        "flush_jitter",
+        "next_flush_at",
+        "inflight",
+        "hits",
+        "misses",
+        "inserts",
+        "evictions",
+        "sheds",
+        "delta_overflow",
+        "_slice",
+        "_pending",
+    )
+
+    def __init__(
+        self,
+        node_id: int,
+        capacity: Optional[int] = None,
+        seed: int = 1009,
+        max_pending_deltas: int = 4096,
+    ) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive when bounded")
+        if max_pending_deltas <= 0:
+            raise ValueError("max_pending_deltas must be positive")
+        self.node_id = node_id
+        self.capacity = capacity
+        self.max_pending_deltas = max_pending_deltas
+        rng = np.random.default_rng(
+            np.random.SeedSequence(seed, spawn_key=(_NODE_DOMAIN, node_id))
+        )
+        #: uniform [0, 1) offset desynchronizing this node's propagation
+        #: flushes from its peers'
+        self.flush_jitter = float(rng.random())
+        #: loop-clock time of the next propagation flush (set lazily on
+        #: first traffic, since the loop epoch isn't known at build time)
+        self.next_flush_at: Optional[float] = None
+        self.inflight = 0
+        self.hits = 0
+        self.misses = 0
+        self.inserts = 0
+        self.evictions = 0
+        self.sheds = 0
+        self.delta_overflow = 0
+        self._slice: "OrderedDict[str, None]" = OrderedDict()
+        self._pending: Dict[str, int] = {}
+
+    # -- cache slice ---------------------------------------------------------
+
+    def lookup(self, key: str) -> bool:
+        """Probe the slice; a hit refreshes the key's LRU position."""
+        if key in self._slice:
+            self._slice.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def admit(self, key: str) -> None:
+        """Insert (or touch) ``key``, evicting LRU keys above capacity."""
+        if key in self._slice:
+            self._slice.move_to_end(key)
+            return
+        self._slice[key] = None
+        self.inserts += 1
+        if self.capacity is not None:
+            while len(self._slice) > self.capacity:
+                self._slice.popitem(last=False)
+                self.evictions += 1
+
+    def seed_slice(self, keys: Iterable[str]) -> None:
+        """Warm the slice; pass keys in ascending score order so the
+        most valuable key lands most-recently-used (and warm contents
+        stay nested across capacities)."""
+        for key in keys:
+            self.admit(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._slice
+
+    @property
+    def size(self) -> int:
+        return len(self._slice)
+
+    @property
+    def hit_rate(self) -> float:
+        probes = self.hits + self.misses
+        return self.hits / probes if probes else 0.0
+
+    # -- popularity deltas ---------------------------------------------------
+
+    def record_delta(self, key: str) -> None:
+        """Count one community access of ``key`` for eventual propagation.
+
+        The pending map is bounded: once ``max_pending_deltas`` distinct
+        keys are waiting, deltas for *new* keys are dropped (counted in
+        ``delta_overflow``) rather than growing without bound — known
+        keys keep accumulating, so the popular mass is preserved.
+        """
+        count = self._pending.get(key)
+        if count is not None:
+            self._pending[key] = count + 1
+        elif len(self._pending) < self.max_pending_deltas:
+            self._pending[key] = 1
+        else:
+            self.delta_overflow += 1
+
+    @property
+    def pending_deltas(self) -> int:
+        return len(self._pending)
+
+    def take_deltas(self, limit: Optional[int] = None) -> List[Tuple[str, int]]:
+        """Remove and return up to ``limit`` pending ``(key, count)``
+        deltas, hottest first (ties broken by key for determinism)."""
+        ordered = sorted(self._pending.items(), key=lambda kv: (-kv[1], kv[0]))
+        if limit is not None:
+            ordered = ordered[:limit]
+        for key, _ in ordered:
+            del self._pending[key]
+        return ordered
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "node_id": self.node_id,
+            "size": self.size,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "inserts": self.inserts,
+            "evictions": self.evictions,
+            "sheds": self.sheds,
+            "pending_deltas": self.pending_deltas,
+            "delta_overflow": self.delta_overflow,
+        }

@@ -1,0 +1,99 @@
+"""Consistent-hash ownership of queries across cloudlet nodes.
+
+Every cloudlet node projects ``vnodes`` virtual points onto a 64-bit
+ring (the first 8 bytes of MD5, via the same
+:func:`~repro.pocketsearch.hashtable.hash64` the cache's hash table
+uses); a query key belongs to the first node point clockwise of the
+key's own hash.  The construction gives the three properties the edge
+tier leans on, and the hypothesis suite in ``tests/edge/test_ring.py``
+pins each of them:
+
+* **determinism / permutation invariance** — the ring's state is the
+  sorted set of ``(point, node_id)`` pairs, a pure function of the node
+  ids, so insertion order cannot matter and two processes always agree
+  on ownership;
+* **balance** — with enough virtual points per node, ownership shares
+  concentrate around ``1/n`` without any coordination;
+* **minimal movement** — adding a node steals only the arcs it lands
+  on (keys move *to* the new node, never between old ones), and
+  removing a node reassigns only the keys it owned.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.pocketsearch.hashtable import hash64
+
+__all__ = ["ConsistentHashRing", "DEFAULT_VNODES"]
+
+#: Virtual points per node.  128 keeps the max/min ownership spread
+#: within a small constant factor for fleets up to a few dozen nodes.
+DEFAULT_VNODES = 128
+
+
+class ConsistentHashRing:
+    """Deterministic consistent-hash ring over integer node ids."""
+
+    def __init__(
+        self, node_ids: Iterable[int] = (), vnodes: int = DEFAULT_VNODES
+    ) -> None:
+        if vnodes <= 0:
+            raise ValueError("vnodes must be positive")
+        self.vnodes = vnodes
+        self._node_ids: List[int] = []
+        #: sorted ``(point, node_id)`` pairs; the node_id component
+        #: breaks (astronomically unlikely) point collisions the same
+        #: way on every host.
+        self._points: List[Tuple[int, int]] = []
+        for node_id in node_ids:
+            self.add_node(int(node_id))
+
+    # -- membership ----------------------------------------------------------
+
+    def _vnode_points(self, node_id: int) -> List[Tuple[int, int]]:
+        return [
+            (hash64(f"edge-node:{node_id}", salt=replica), node_id)
+            for replica in range(self.vnodes)
+        ]
+
+    def add_node(self, node_id: int) -> None:
+        if node_id in self._node_ids:
+            raise ValueError(f"node {node_id} already on the ring")
+        bisect.insort(self._node_ids, node_id)
+        self._points.extend(self._vnode_points(node_id))
+        self._points.sort()
+
+    def remove_node(self, node_id: int) -> None:
+        if node_id not in self._node_ids:
+            raise ValueError(f"node {node_id} not on the ring")
+        self._node_ids.remove(node_id)
+        self._points = [p for p in self._points if p[1] != node_id]
+
+    @property
+    def nodes(self) -> Tuple[int, ...]:
+        """Node ids, ascending."""
+        return tuple(self._node_ids)
+
+    def __len__(self) -> int:
+        return len(self._node_ids)
+
+    # -- ownership -----------------------------------------------------------
+
+    def owner(self, key: str) -> int:
+        """The node id owning ``key`` (first point clockwise of its hash)."""
+        if not self._points:
+            raise ValueError("ring has no nodes")
+        idx = bisect.bisect_right(self._points, (hash64(key), -1))
+        if idx == len(self._points):
+            idx = 0  # wrap past the top of the ring
+        return self._points[idx][1]
+
+    def ownership(self, keys: Sequence[str]) -> Dict[int, int]:
+        """``node_id -> owned-key count`` over a sample of keys (every
+        ring node appears, zero-count nodes included)."""
+        counts = {node_id: 0 for node_id in self._node_ids}
+        for key in keys:
+            counts[self.owner(key)] += 1
+        return counts

@@ -12,6 +12,7 @@ from repro.experiments import (
     cachedesign,
     characterization,
     common,
+    edge,
     extensions,
     export,
     hitrate,
@@ -25,6 +26,7 @@ __all__ = [
     "cachedesign",
     "characterization",
     "common",
+    "edge",
     "extensions",
     "export",
     "hitrate",

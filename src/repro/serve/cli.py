@@ -21,8 +21,9 @@ import argparse
 import asyncio
 import json
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
+from repro.edge.tier import EdgeTopology
 from repro.experiments.common import DEFAULT_SEED, default_log, format_table
 from repro.obs.exposition import TelemetryEndpoint
 from repro.obs.manifest import ManifestRecorder
@@ -40,6 +41,67 @@ __all__ = ["loadtest_main", "serve_main"]
 #: latencies are float accumulations; identical orders give identical
 #: sums, so this is belt-and-braces).
 EQUIVALENCE_TOLERANCE = 1e-9
+
+
+def _add_edge_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("edge tier")
+    group.add_argument(
+        "--edge-nodes", type=int, default=None, metavar="N",
+        help="front the origin with N simulated cloudlet nodes "
+        "(default: no edge tier)",
+    )
+    group.add_argument(
+        "--edge-capacity", type=int, default=None, metavar="K",
+        help="per-node community-slice capacity in records "
+        "(default: unbounded)",
+    )
+    group.add_argument(
+        "--edge-routing", choices=("key", "home"), default="key",
+        help="route device misses by consistent-hash key ownership "
+        "or by the device's home region (default key)",
+    )
+    group.add_argument(
+        "--edge-regions", type=int, default=None, metavar="R",
+        help="number of geographic regions for device placement "
+        "(default: one per node)",
+    )
+    group.add_argument(
+        "--placement-skew", type=float, default=0.0, metavar="S",
+        help="Zipf-like skew of device-to-region placement "
+        "(0.0 uniform, default)",
+    )
+    group.add_argument(
+        "--edge-max-inflight", type=int, default=None, metavar="M",
+        help="per-node in-flight bound; excess requests shed with "
+        "reason edge-queue-full (default: unbounded)",
+    )
+
+
+def _edge_topology(args: argparse.Namespace) -> Optional[EdgeTopology]:
+    if args.edge_nodes is None:
+        return None
+    return EdgeTopology(
+        n_nodes=args.edge_nodes,
+        node_capacity=args.edge_capacity,
+        routing=args.edge_routing,
+        n_regions=args.edge_regions,
+        placement_skew=args.placement_skew,
+        node_max_inflight=args.edge_max_inflight,
+    )
+
+
+def _edge_config(args: argparse.Namespace) -> Dict[str, object]:
+    """Manifest-config view of the edge flags (None when disabled)."""
+    if args.edge_nodes is None:
+        return {"edge_nodes": None}
+    return {
+        "edge_nodes": args.edge_nodes,
+        "edge_capacity": args.edge_capacity,
+        "edge_routing": args.edge_routing,
+        "edge_regions": args.edge_regions,
+        "placement_skew": args.placement_skew,
+        "edge_max_inflight": args.edge_max_inflight,
+    }
 
 
 def _report_rows(report: ServeReport) -> List[List[str]]:
@@ -69,6 +131,23 @@ def _report_rows(report: ServeReport) -> List[List[str]]:
             ["radio attributed", f"{report.attributed_radio_j:.3f} J "
              f"(timeline {report.timeline_radio_j:.3f} J, "
              f"err {report.conservation_error_j:.2e})"],
+        ]
+    if report.edge is not None:
+        edge = report.edge
+        rows += [
+            ["edge nodes", str(edge["n_nodes"])],
+            ["community hit rate", f"{edge['community_hit_rate']:.3f} "
+             f"({edge['community_hits']}/"
+             f"{edge['community_hits'] + edge['community_misses']})"],
+            ["edge hop p99", f"{report.edge_hop_p99_s:.3f} s"],
+            ["edge sheds", str(edge["sheds"])],
+            ["edge origin fetches", f"{edge['origin_fetches']} "
+             f"(+{edge['origin_piggybacked']} piggybacked)"],
+            ["edge propagation", f"{edge['origin']['flushes']} flushes, "
+             f"{edge['origin']['bytes_uploaded']} B up, "
+             f"{edge['origin']['bytes_downloaded']} B down"],
+            ["hop re-sum err", f"{report.hop_resum_error_s:.2e} s / "
+             f"{report.hop_resum_error_j:.2e} J"],
         ]
     if report.battery_day_fraction == report.battery_day_fraction:
         per_charge = (
@@ -173,9 +252,15 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         help="also run the offline replay and verify accounting matches",
     )
     parser.add_argument("--manifest-out", metavar="PATH", default=None)
+    _add_edge_args(parser)
     args = parser.parse_args(argv)
     if args.users <= 0:
         print("repro serve: --users must be positive", file=sys.stderr)
+        return 2
+    try:
+        edge_topology = _edge_topology(args)
+    except ValueError as exc:
+        print(f"repro serve: {exc}", file=sys.stderr)
         return 2
 
     log = default_log()
@@ -190,11 +275,14 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
             "users": args.users,
             "mode": args.mode,
             "daily_updates": args.daily_updates,
+            **_edge_config(args),
         },
         seed=args.seed,
     )
     with recorder:
-        results, reports = serve_replay(log, config, modes=(args.mode,))
+        results, reports = serve_replay(
+            log, config, modes=(args.mode,), edge_topology=edge_topology
+        )
         report = reports[args.mode]
         result = results[args.mode]
         recorder.add_metric("overall_hit_rate", result.overall_hit_rate())
@@ -320,8 +408,14 @@ def loadtest_main(argv: Optional[List[str]] = None) -> int:
         help="how long to keep the metrics endpoint up (default 5)",
     )
     parser.add_argument("--manifest-out", metavar="PATH", default=None)
+    _add_edge_args(parser)
     args = parser.parse_args(argv)
 
+    try:
+        edge_topology = _edge_topology(args)
+    except ValueError as exc:
+        print(f"repro loadtest: {exc}", file=sys.stderr)
+        return 2
     slo_policy = None
     if args.slo_policy is not None:
         try:
@@ -354,6 +448,7 @@ def loadtest_main(argv: Optional[List[str]] = None) -> int:
             "refresh_interval_s": args.refresh_interval,
             "slo_policy": args.slo_policy,
             "battery_capacity_j": args.battery_capacity_j,
+            **_edge_config(args),
         },
         seed=args.seed,
     )
@@ -368,6 +463,12 @@ def loadtest_main(argv: Optional[List[str]] = None) -> int:
                     arrivals=args.arrivals,
                     diurnal=not args.no_diurnal,
                     max_devices=args.max_devices,
+                    n_regions=(
+                        edge_topology.n_regions or edge_topology.n_nodes
+                        if edge_topology is not None
+                        else None
+                    ),
+                    placement_skew=args.placement_skew,
                 ),
                 ServeConfig(
                     queue_depth=args.queue_depth,
@@ -376,6 +477,7 @@ def loadtest_main(argv: Optional[List[str]] = None) -> int:
                 refresh_interval_s=args.refresh_interval,
                 telemetry=telemetry,
                 registry=registry,
+                edge_topology=edge_topology,
             )
             recorder.add_metric("offered_rate_rps", workload.offered_rate)
             recorder.add_metric("n_devices", workload.n_devices)

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
+from repro.edge.tier import EdgeTier, EdgeTopology
 from repro.logs.generator import SearchLog
 from repro.logs.schema import MONTH_SECONDS, UserClass
 from repro.obs.registry import MetricsRegistry
@@ -115,6 +116,15 @@ class ServeReport:
     battery_day_fraction: float = float("nan")
     #: projected queries one full charge sustains at the observed mean
     queries_per_charge: Optional[int] = None
+    #: cooperative edge tier accounting (``EdgeTier.stats()``; None when
+    #: no cloudlet tier was configured)
+    edge: Optional[Dict[str, Any]] = None
+    #: p99 cloudlet time (edge_hop + edge_serve) of edge-path requests
+    edge_hop_p99_s: float = float("nan")
+    #: worst |per-hop re-sum - end-to-end| over all responses; the
+    #: acceptance bound is 1e-9 on both
+    hop_resum_error_s: float = float("nan")
+    hop_resum_error_j: float = float("nan")
 
     @property
     def shed_rate(self) -> float:
@@ -174,6 +184,9 @@ class ServeReport:
             "battery_capacity_j",
             "battery_min_level",
             "battery_day_fraction",
+            "edge_hop_p99_s",
+            "hop_resum_error_s",
+            "hop_resum_error_j",
         ):
             value = getattr(self, name)
             if value == value:  # not NaN
@@ -184,6 +197,16 @@ class ServeReport:
             out["queries_per_charge"] = float(self.queries_per_charge)
         for reason, count in sorted(self.shed_reasons.items()):
             out["shed_" + reason.replace("-", "_")] = count
+        if self.edge is not None:
+            out["community_hit_rate"] = float(self.edge["community_hit_rate"])
+            out["edge_hits"] = float(self.edge["community_hits"])
+            out["edge_misses"] = float(self.edge["community_misses"])
+            out["edge_sheds"] = float(self.edge["sheds"])
+            out["edge_origin_fetches"] = float(self.edge["origin_fetches"])
+            out["edge_flushes"] = float(self.edge["origin"]["flushes"])
+            out["edge_bytes_uploaded"] = float(
+                self.edge["origin"]["bytes_uploaded"]
+            )
         if self.slo is not None:
             out["slo_passed"] = 1.0 if self.slo.get("passed") else 0.0
             out["slo_alerts_total"] = float(self.slo.get("alerts_total", 0))
@@ -198,14 +221,18 @@ def _build_report(
         fetches=server.batcher.fetches,
         piggybacked=server.batcher.piggybacked,
     )
+    edge_tier = server.edge
     sojourns: List[float] = []
     waits: List[float] = []
     refresh_blocked: List[float] = []
     batch_waits: List[float] = []
     services: List[float] = []
+    edge_hops: List[float] = []
     energies: List[float] = []
     hit_energies: List[float] = []
     miss_energies: List[float] = []
+    hop_err_s = 0.0
+    hop_err_j = 0.0
     for reply in replies:
         if isinstance(reply, Overloaded):
             report.shed += 1
@@ -225,6 +252,17 @@ def _build_report(
         refresh_blocked.append(breakdown["refresh_blocked"])
         batch_waits.append(breakdown["batch_wait"])
         services.append(breakdown["service"])
+        if edge_tier is not None:
+            edge_hops.append(breakdown["edge_hop"] + breakdown["edge_serve"])
+            hops = reply.hop_breakdown()
+            lat_sum = (
+                hops["device"]["latency_s"] + hops["edge"]["latency_s"]
+            ) + hops["origin"]["latency_s"]
+            j_sum = (
+                hops["device"]["energy_j"] + hops["edge"]["energy_j"]
+            ) + hops["origin"]["energy_j"]
+            hop_err_s = max(hop_err_s, abs(lat_sum - reply.sojourn_s))
+            hop_err_j = max(hop_err_j, abs(j_sum - reply.energy_j))
         if reply.energy is not None:
             joules = reply.energy.total_j
             energies.append(joules)
@@ -246,6 +284,15 @@ def _build_report(
     report.sojourn_p50_s = _percentile(sojourns, 50)
     report.sojourn_p99_s = _percentile(sojourns, 99)
     report.sojourn_max_s = sojourns[-1] if sojourns else float("nan")
+    if edge_tier is not None:
+        # End-of-run settlement: propagate every pending popularity
+        # delta so the origin's books are complete before snapshotting.
+        edge_tier.flush_all()
+        report.edge = edge_tier.stats()
+        edge_hops.sort()
+        report.edge_hop_p99_s = _percentile(edge_hops, 99)
+        report.hop_resum_error_s = hop_err_s
+        report.hop_resum_error_j = hop_err_j
     if energies:
         energies.sort()
         report.energy_j_total = sum(energies)
@@ -325,16 +372,34 @@ EQUIVALENCE_SERVE_CONFIG = ServeConfig(
 )
 
 
+def _edge_warm_keys(content) -> List[Tuple[str, float]]:
+    """``(query, score)`` warm-seed rankings from cache content (each
+    query once, at its best pair score)."""
+    scores: Dict[str, float] = {}
+    for entry in content.entries:
+        prev = scores.get(entry.query)
+        if prev is None or entry.score > prev:
+            scores[entry.query] = entry.score
+    return sorted(scores.items())
+
+
 def serve_replay(
     log: SearchLog,
     config: ReplayConfig = ReplayConfig(),
     modes: Iterable[str] = (CacheMode.FULL,),
     serve_config: Optional[ServeConfig] = None,
+    edge_topology: Optional[EdgeTopology] = None,
 ) -> Tuple[Dict[str, ReplayResult], Dict[str, ServeReport]]:
     """Run the replay experiment through the online server.
 
     Same inputs and accounting as :func:`repro.sim.replay.run_replay`;
     executed as live traffic on the deterministic virtual clock.
+
+    Args:
+        edge_topology: when given, a fresh cooperative cloudlet tier
+            fronts the origin for each mode.  The per-device outcome
+            model is untouched, so the per-user accounting stays
+            exactly comparable to ``run_replay`` at any topology.
 
     Returns:
         ``(results, reports)`` — per-mode :class:`ReplayResult` exactly
@@ -366,7 +431,7 @@ def serve_replay(
             users, report = run_simulated(
                 _serve_mode(
                     log, content, daily_contents, config, mode, work,
-                    t_start, t_end, serve_config,
+                    t_start, t_end, serve_config, edge_topology,
                 )
             )
             result = ReplayResult(mode=mode, users=users)
@@ -391,6 +456,7 @@ async def _serve_mode(
     t_start: float,
     t_end: float,
     serve_config: ServeConfig,
+    edge_topology: Optional[EdgeTopology] = None,
 ) -> Tuple[List[UserReplayResult], ServeReport]:
     updates_on = config.daily_updates and mode != CacheMode.PERSONALIZATION_ONLY
 
@@ -403,8 +469,15 @@ async def _serve_mode(
             return DailyUpdateBackend(backend, daily_contents, t_start)
         return backend
 
+    edge = None
+    if edge_topology is not None:
+        # One fresh tier per mode: cloudlet slices, like device caches,
+        # must not leak state across modes.
+        edge = EdgeTier(edge_topology)
+        if edge_topology.warm:
+            edge.seed_from_scores(_edge_warm_keys(content))
     server = CloudletServer(
-        backend_factory, serve_config, registry=MetricsRegistry()
+        backend_factory, serve_config, registry=MetricsRegistry(), edge=edge
     )
 
     # Per-user schedules in log order, stably merged by arrival offset —
@@ -478,6 +551,7 @@ def run_loadtest(
     telemetry: Optional[ServeTelemetry] = None,
     registry: Optional[MetricsRegistry] = None,
     battery_capacity_j: Optional[float] = None,
+    edge_topology: Optional[EdgeTopology] = None,
 ) -> Tuple[ServeReport, Workload]:
     """Load-test the server on the virtual clock.
 
@@ -498,6 +572,10 @@ def run_loadtest(
         battery_capacity_j: per-device battery size for drain tracking
             (defaults to the Xperia X1a battery; ignored when a
             pre-built ``telemetry`` is passed).
+        edge_topology: when given, a cooperative cloudlet tier fronts
+            the origin (warm-seeded from the build-month content when
+            ``edge_topology.warm``); edge accounting lands in
+            ``report.edge`` and the per-hop report fields.
     """
     content = build_cache_content(log.month(build_month), policy)
     workload = build_workload(log, workload_month, loadgen)
@@ -519,6 +597,11 @@ def run_loadtest(
         def refresh_fn(device_id: int, backend: SearchBackend) -> None:
             update_server.refresh_with_content(backend.engine.cache, content)
 
+    edge = None
+    if edge_topology is not None:
+        edge = EdgeTier(edge_topology)
+        if edge_topology.warm:
+            edge.seed_from_scores(_edge_warm_keys(content))
     server = CloudletServer(
         backend_factory,
         ServeConfig(
@@ -530,6 +613,7 @@ def run_loadtest(
         registry=registry if registry is not None else MetricsRegistry(),
         refresh_fn=refresh_fn,
         telemetry=telemetry,
+        edge=edge,
     )
     report = run_simulated(run_workload(server, workload))
     return report, workload

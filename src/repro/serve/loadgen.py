@@ -22,16 +22,22 @@ Two arrival processes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.edge.placement import assign_device_regions
 from repro.logs.generator import DIURNAL_WEIGHTS, SearchLog
 from repro.logs.schema import MONTH_SECONDS
 from repro.serve.requests import ServeRequest
 
-__all__ = ["LoadGenConfig", "Workload", "build_workload"]
+__all__ = [
+    "LoadGenConfig",
+    "Workload",
+    "assign_device_regions",
+    "build_workload",
+]
 
 
 @dataclass(frozen=True)
@@ -50,6 +56,12 @@ class LoadGenConfig:
             (e.g. ``9 * 3600.0`` starts the run at 9am).
         max_devices: cap on distinct devices (highest-volume first);
             None uses every device active in the source month.
+        n_regions: when given, every scheduled device also gets a
+            deterministic geographic/affinity region via
+            :func:`repro.edge.placement.assign_device_regions`
+            (recorded in ``Workload.device_regions``).
+        placement_skew: Zipf-like skew of the region assignment
+            (0.0 uniform; only meaningful with ``n_regions``).
     """
 
     duration_s: float = 600.0
@@ -59,6 +71,8 @@ class LoadGenConfig:
     diurnal: bool = True
     t_origin_s: float = 0.0
     max_devices: Optional[int] = None
+    n_regions: Optional[int] = None
+    placement_skew: float = 0.0
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0:
@@ -71,6 +85,10 @@ class LoadGenConfig:
             )
         if self.max_devices is not None and self.max_devices <= 0:
             raise ValueError("max_devices must be positive when given")
+        if self.n_regions is not None and self.n_regions <= 0:
+            raise ValueError("n_regions must be positive when given")
+        if self.placement_skew < 0:
+            raise ValueError("placement_skew must be non-negative")
 
 
 @dataclass
@@ -79,6 +97,10 @@ class Workload:
 
     arrivals: List[Tuple[float, ServeRequest]]
     duration_s: float
+    #: device -> home region (populated when ``LoadGenConfig.n_regions``
+    #: is set; independent per-device draws, so stable across runs and
+    #: fleet growth)
+    device_regions: Dict[int, int] = field(default_factory=dict)
 
     @property
     def n_requests(self) -> int:
@@ -184,8 +206,18 @@ def build_workload(
     if month_log.n_events == 0:
         raise ValueError(f"log month {month} has no events")
     if config.arrivals == "log":
-        return _log_workload(month_log, month, config)
-    return _poisson_workload(month_log, config)
+        workload = _log_workload(month_log, month, config)
+    else:
+        workload = _poisson_workload(month_log, config)
+    if config.n_regions is not None:
+        device_ids = sorted({req.device_id for _, req in workload.arrivals})
+        workload.device_regions = assign_device_regions(
+            device_ids,
+            config.n_regions,
+            skew=config.placement_skew,
+            seed=config.seed,
+        )
+    return workload
 
 
 def _log_workload(

@@ -10,10 +10,28 @@ from repro.obs.trace import TraceContext
 from repro.pocketsearch.content import DEFAULT_RECORD_BYTES
 from repro.sim.metrics import QueryOutcome
 
-__all__ = ["Overloaded", "ServeRequest", "ServeResponse", "ServeReply"]
+__all__ = [
+    "Overloaded",
+    "SEGMENT_NAMES",
+    "ServeRequest",
+    "ServeResponse",
+    "ServeReply",
+    "TIER_NAMES",
+]
 
 #: Segment names every response breakdown reports, in causal order.
-SEGMENT_NAMES = ("queue_wait", "refresh_blocked", "batch_wait", "service")
+#: The edge segments stay 0.0 when no cloudlet tier is configured.
+SEGMENT_NAMES = (
+    "queue_wait",
+    "refresh_blocked",
+    "edge_hop",
+    "edge_serve",
+    "batch_wait",
+    "service",
+)
+
+#: The serving tiers a request can be answered by, fetch-chain order.
+TIER_NAMES = ("device", "edge", "origin")
 
 
 @dataclass(frozen=True)
@@ -66,6 +84,11 @@ class ServeResponse:
     #: simulated radio-timeline joules this response reports for the
     #: conservation ledger (full fetch for a leader/solo, 0.0 for riders)
     radio_timeline_j: float = field(default=0.0, compare=False)
+    #: which tier answered: ``"device"`` (personal cache hit), ``"edge"``
+    #: (owning cloudlet's community slice), or ``"origin"`` (full fetch)
+    tier: str = field(default="device", compare=False)
+    #: cloudlet node consulted on the edge path (None off the edge path)
+    edge_node: Optional[int] = field(default=None, compare=False)
 
     ok = True
 
@@ -118,14 +141,44 @@ class ServeResponse:
         trace-propagation tests assert to 1e-9.
         """
         if self.trace is None:
-            return {
-                "queue_wait": self.queue_wait_s,
-                "refresh_blocked": 0.0,
-                "batch_wait": 0.0,
-                "service": self.sojourn_s - self.queue_wait_s,
-            }
+            out = {name: 0.0 for name in SEGMENT_NAMES}
+            out["queue_wait"] = self.queue_wait_s
+            out["service"] = self.sojourn_s - self.queue_wait_s
+            return out
         got = self.trace.breakdown()
         return {name: got.get(name, 0.0) for name in SEGMENT_NAMES}
+
+    def hop_breakdown(self) -> Dict[str, Dict[str, float]]:
+        """Per-tier latency seconds and attributed joules.
+
+        Latency partitions the trace segments by the tier that spent
+        them (device: queueing, refresh blocking, and local service;
+        edge: the cloudlet round trip and its community-slice service;
+        origin: the batched radio fetch).  Energy sends the attributed
+        radio joules to the tier the radio reached — the answering
+        ``tier`` for misses, the device itself for hits — and keeps the
+        storage/render/base components on the device.  Both views
+        re-sum to ``sojourn_s`` / ``energy_j`` within 1e-9 (the only
+        differences are float association order).
+        """
+        seg = self.breakdown()
+        latency = {
+            "device": (seg["queue_wait"] + seg["refresh_blocked"])
+            + seg["service"],
+            "edge": seg["edge_hop"] + seg["edge_serve"],
+            "origin": seg["batch_wait"],
+        }
+        energy = {name: 0.0 for name in TIER_NAMES}
+        if self.energy is not None:
+            energy["device"] = (
+                self.energy.storage_j + self.energy.render_j
+            ) + self.energy.base_j
+            radio_tier = self.tier if self.tier in TIER_NAMES else "device"
+            energy[radio_tier] += self.energy.radio_j
+        return {
+            name: {"latency_s": latency[name], "energy_j": energy[name]}
+            for name in TIER_NAMES
+        }
 
 
 @dataclass(frozen=True)
@@ -134,7 +187,9 @@ class Overloaded:
 
     Reasons:
         ``"device-queue-full"`` — the per-device bounded queue was full;
-        ``"server-busy"`` — the global in-flight cap was reached.
+        ``"server-busy"`` — the global in-flight cap was reached;
+        ``"edge-queue-full"`` — the owning cloudlet node's in-flight
+        bound was reached (shed mid-flight, on the edge hop).
     """
 
     request: ServeRequest

@@ -109,6 +109,14 @@ class CloudletServer:
         telemetry: windowed telemetry plane; a default
             :class:`~repro.serve.telemetry.ServeTelemetry` is created
             when not given, so every server is observable out of the box.
+        edge: optional cooperative cloudlet tier (an
+            :class:`~repro.edge.tier.EdgeTier`-shaped object).  When
+            set, device-local misses are resolved through it — edge
+            community hit or batched origin fetch — instead of the
+            server's own miss batcher, and an over-committed cloudlet
+            node sheds the request mid-flight with
+            ``Overloaded("edge-queue-full")``.  Duck-typed so the serve
+            layer never imports :mod:`repro.edge`.
 
     All methods must be called from the event loop the server runs on.
     """
@@ -120,6 +128,7 @@ class CloudletServer:
         registry: Optional[MetricsRegistry] = None,
         refresh_fn: Optional[Callable[[int, DeviceBackend], None]] = None,
         telemetry: Optional[ServeTelemetry] = None,
+        edge=None,
     ) -> None:
         if config.refresh_interval_s is not None and refresh_fn is None:
             raise ValueError("refresh_interval_s set but no refresh_fn given")
@@ -128,6 +137,7 @@ class CloudletServer:
         self.registry = registry if registry is not None else get_registry()
         self.refresh_fn = refresh_fn
         self.batcher = MissBatcher()
+        self.edge = edge
         self.telemetry = telemetry if telemetry is not None else ServeTelemetry()
         # Per-server trace ids: a plain counter is deterministic under
         # the virtual clock (no randomness, no wall time).
@@ -254,30 +264,68 @@ class CloudletServer:
             # Default (solo/hit) attribution: the request pays for its
             # own isolated radio timeline.
             radio_timeline_j = energy.radio_j if energy is not None else 0.0
+            tier = "device" if outcome.hit else "origin"
+            edge_node: Optional[int] = None
             if not outcome.hit and result.radio_s > 0:
-                # Occupy the shared radio for the fetch; identical
-                # concurrent misses piggyback on one round trip.
-                fetch_share = await self.batcher.fetch_shared(
-                    request.key,
-                    result.radio_s * scale,
-                    trace=trace,
-                    radio_energy=(
-                        (energy.ramp_j, energy.transfer_j, energy.tail_j)
-                        if energy is not None
-                        else None
-                    ),
+                radio_energy = (
+                    (energy.ramp_j, energy.transfer_j, energy.tail_j)
+                    if energy is not None
+                    else None
                 )
-                shared = fetch_share.shared
-                if energy is not None and fetch_share.share is not None:
-                    # Re-attribute the flight's wake/tail across its
-                    # participants; the leader reports the full timeline
-                    # spend, riders report none (the ledger's invariant).
-                    energy = energy.with_radio(*fetch_share.share)
-                    radio_timeline_j = fetch_share.timeline_j
-                # A rider whose leader carried no energy components
-                # keeps its isolated breakdown and accounts as a solo
-                # fetch — self-consistent, if pessimistic.
-                trace.mark("batch_wait", loop.time())
+                if self.edge is not None:
+                    # Peer-fetch chain: the owning cloudlet node either
+                    # answers from its community slice or fetches from
+                    # the origin through its single-flight batcher.
+                    edge_result = await self.edge.fetch(
+                        request.key,
+                        session.device_id,
+                        result.radio_s,
+                        scale,
+                        trace=trace,
+                        radio_energy=radio_energy,
+                    )
+                    if edge_result.shed:
+                        # The cloudlet refused the fetch mid-flight.
+                        # The device-side model state already advanced
+                        # (the backend served the local miss); the shed
+                        # accounts the refused community fetch.
+                        self._inflight -= 1
+                        self._shed(
+                            future,
+                            request,
+                            edge_result.reason,
+                            loop.time(),
+                            trace,
+                        )
+                        session.queue.task_done()
+                        continue
+                    shared = edge_result.shared
+                    tier = edge_result.tier
+                    edge_node = edge_result.node_id
+                    if energy is not None and edge_result.share is not None:
+                        energy = energy.with_radio(*edge_result.share)
+                        radio_timeline_j = edge_result.timeline_j
+                else:
+                    # Occupy the shared radio for the fetch; identical
+                    # concurrent misses piggyback on one round trip.
+                    fetch_share = await self.batcher.fetch_shared(
+                        request.key,
+                        result.radio_s * scale,
+                        trace=trace,
+                        radio_energy=radio_energy,
+                    )
+                    shared = fetch_share.shared
+                    if energy is not None and fetch_share.share is not None:
+                        # Re-attribute the flight's wake/tail across its
+                        # participants; the leader reports the full
+                        # timeline spend, riders report none (the
+                        # ledger's invariant).
+                        energy = energy.with_radio(*fetch_share.share)
+                        radio_timeline_j = fetch_share.timeline_j
+                    # A rider whose leader carried no energy components
+                    # keeps its isolated breakdown and accounts as a
+                    # solo fetch — self-consistent, if pessimistic.
+                    trace.mark("batch_wait", loop.time())
                 local_s = (outcome.latency_s - result.radio_s) * scale
                 if local_s > 0:
                     await asyncio.sleep(local_s)
@@ -297,6 +345,8 @@ class CloudletServer:
                 trace=trace,
                 energy=energy,
                 radio_timeline_j=radio_timeline_j,
+                tier=tier,
+                edge_node=edge_node,
             )
             self._record(response)
             self._inflight -= 1
@@ -314,6 +364,7 @@ class CloudletServer:
             reg.counter("serve.misses").inc()
         if response.shared_fetch:
             reg.counter("serve.shared_fetches").inc()
+        reg.counter("serve.tier." + response.tier).inc()
         reg.histogram("serve.queue_wait_s").add(response.queue_wait_s)
         reg.histogram("serve.sojourn_s").add(response.sojourn_s)
         if response.energy is not None:

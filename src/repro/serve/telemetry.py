@@ -74,6 +74,10 @@ class ServeTelemetry:
         self._queue_wait = w.histogram("serve.queue_wait_s")
         self._batch_wait = w.histogram("serve.batch_wait_s")
         self._service = w.histogram("serve.service_s")
+        #: cloudlet time (edge_hop + edge_serve) of edge-path requests
+        self._edge_hop = w.histogram("serve.edge_hop_s")
+        #: per-answering-tier completion counters, created lazily
+        self._tiers: Dict[str, Any] = {}
         self._inflight = w.gauge("serve.inflight")
         self.exemplars = w.exemplars("serve.slow_requests", k=exemplar_k)
         #: windowed per-request energy attribution + conservation ledger
@@ -133,6 +137,17 @@ class ServeTelemetry:
         self._batch_wait.observe(t, response.batch_wait_s)
         self._service.observe(t, response.service_s)
         self._inflight.observe(t, inflight)
+        tier_counter = self._tiers.get(response.tier)
+        if tier_counter is None:
+            tier_counter = self.windows.counter("serve.tier." + response.tier)
+            self._tiers[response.tier] = tier_counter
+        tier_counter.inc(t)
+        if response.trace is not None:
+            edge_s = response.trace.segment_s("edge_hop") + (
+                response.trace.segment_s("edge_serve")
+            )
+            if edge_s > 0:
+                self._edge_hop.observe(t, edge_s)
         energy_j: Optional[float] = None
         burn_per_day: Optional[float] = None
         if response.energy is not None:
@@ -152,6 +167,9 @@ class ServeTelemetry:
             payload["device_id"] = response.request.device_id
             payload["key"] = response.request.key
             payload["hit"] = response.outcome.hit
+            payload["tier"] = response.tier
+            if response.edge_node is not None:
+                payload["edge_node"] = response.edge_node
             self.exemplars.observe(t, sojourn, payload)
         if self.slo is not None:
             self.slo.record_request(
@@ -228,6 +246,11 @@ class ServeTelemetry:
             "batch_efficiency": (
                 piggybacked / shared_total if shared_total else 0.0
             ),
+            "edge_hop_p99_s": self._edge_hop.quantile(t, 99),
+            "tiers": {
+                name: counter.total(t)
+                for name, counter in sorted(self._tiers.items())
+            },
             "inflight": self._inflight.last(t),
             "inflight_hwm": self._inflight.high_watermark(t),
         }

@@ -93,6 +93,15 @@ def render_top(snapshot: Dict[str, Any], buckets_shown: int = 60) -> str:
         f"batch-wait p99 {_fmt(rolling.get('batch_wait_p99_s'))}s  "
         f"batch eff {_fmt(rolling.get('batch_efficiency'), '{:.2f}')}"
     )
+    tiers = rolling.get("tiers") or {}
+    if any(name != "device" for name in tiers):
+        mix = "  ".join(
+            f"{name} {_fmt(count, '{:.0f}')}" for name, count in sorted(tiers.items())
+        )
+        lines.append(
+            f"answered by: {mix}  "
+            f"edge-hop p99 {_fmt(rolling.get('edge_hop_p99_s'))}s"
+        )
 
     rows = snapshot.get("per_bucket", [])[-buckets_shown:]
     if rows:
@@ -231,22 +240,49 @@ def render_top(snapshot: Dict[str, Any], buckets_shown: int = 60) -> str:
     if exemplars:
         lines.append("")
         lines.append("slowest requests in window")
-        lines.append(
-            f"  {'trace':>7} {'latency':>9} {'queue':>8} {'refresh':>8} "
-            f"{'batch':>8} {'service':>8}  device key"
+        # Edge hop columns only when an edge tier actually served traffic
+        # in the window, so the classic layout stays unchanged without one.
+        has_edge = any(
+            ex.get("edge_node") is not None
+            or ex.get("breakdown", {}).get("edge_hop")
+            for ex in exemplars
         )
+        header = (
+            f"  {'trace':>7} {'latency':>9} {'queue':>8} {'refresh':>8} "
+        )
+        if has_edge:
+            header += f"{'e.hop':>8} {'e.serve':>8} "
+        header += f"{'batch':>8} {'service':>8}  "
+        if has_edge:
+            header += "tier   "
+        header += "device key"
+        lines.append(header)
         for ex in exemplars[:8]:
             breakdown = ex.get("breakdown", {})
             key = str(ex.get("key", ""))[:24]
-            lines.append(
+            row = (
                 f"  {_fmt(ex.get('trace_id'), '{:.0f}'):>7} "
                 f"{_fmt(ex.get('latency_s')):>9} "
                 f"{_fmt(breakdown.get('queue_wait')):>8} "
                 f"{_fmt(breakdown.get('refresh_blocked')):>8} "
+            )
+            if has_edge:
+                row += (
+                    f"{_fmt(breakdown.get('edge_hop', 0.0)):>8} "
+                    f"{_fmt(breakdown.get('edge_serve', 0.0)):>8} "
+                )
+            row += (
                 f"{_fmt(breakdown.get('batch_wait')):>8} "
                 f"{_fmt(breakdown.get('service')):>8}  "
-                f"{_fmt(ex.get('device_id'), '{:.0f}')} {key}"
             )
+            if has_edge:
+                tier = str(ex.get("tier", "-"))
+                node = ex.get("edge_node")
+                if node is not None:
+                    tier += f"/{node}"
+                row += f"{tier:<6} "
+            row += f"{_fmt(ex.get('device_id'), '{:.0f}')} {key}"
+            lines.append(row)
     return "\n".join(lines)
 
 

@@ -1,0 +1,120 @@
+"""EdgeNode: strict LRU slice semantics and bounded delta buffering."""
+
+import pytest
+
+from repro.edge.node import EdgeNode
+
+
+class TestLRUSlice:
+    def test_miss_then_hit(self):
+        node = EdgeNode(0)
+        assert not node.lookup("a")
+        node.admit("a")
+        assert node.lookup("a")
+        assert node.hits == 1 and node.misses == 1
+        assert node.hit_rate == 0.5
+
+    def test_eviction_is_lru_order(self):
+        node = EdgeNode(0, capacity=2)
+        node.admit("a")
+        node.admit("b")
+        node.admit("c")  # evicts a
+        assert "a" not in node
+        assert "b" in node and "c" in node
+        assert node.evictions == 1
+
+    def test_hit_refreshes_recency(self):
+        node = EdgeNode(0, capacity=2)
+        node.admit("a")
+        node.admit("b")
+        node.lookup("a")  # a is now MRU
+        node.admit("c")  # evicts b, not a
+        assert "a" in node and "b" not in node
+
+    def test_admit_existing_key_touches_without_insert(self):
+        node = EdgeNode(0, capacity=2)
+        node.admit("a")
+        node.admit("b")
+        node.admit("a")  # touch, not insert
+        assert node.inserts == 2
+        node.admit("c")  # evicts b (a was touched)
+        assert "a" in node and "b" not in node
+
+    def test_inclusion_property_small_slice_subset_of_large(self):
+        """LRU is a stack algorithm: after any access sequence, the
+        C-capacity slice's contents are a subset of the C'-capacity
+        slice's for C' > C — the basis of the monotone hit-rate sweep."""
+        keys = [f"k{i % 7}" for i in range(100)] + [f"x{i}" for i in range(20)]
+        small, large = EdgeNode(0, capacity=4), EdgeNode(1, capacity=16)
+        for key in keys:
+            for node in (small, large):
+                if not node.lookup(key):
+                    node.admit(key)
+        assert {k for k in small._slice} <= {k for k in large._slice}
+
+    def test_unbounded_never_evicts(self):
+        node = EdgeNode(0, capacity=None)
+        for i in range(1000):
+            node.admit(f"k{i}")
+        assert node.size == 1000 and node.evictions == 0
+
+    def test_seed_slice_sets_recency_from_order(self):
+        node = EdgeNode(0, capacity=2)
+        node.seed_slice(["cold", "warm", "hot"])  # ascending score
+        assert "hot" in node and "warm" in node and "cold" not in node
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EdgeNode(0, capacity=0)
+        with pytest.raises(ValueError):
+            EdgeNode(0, max_pending_deltas=0)
+
+
+class TestDeltas:
+    def test_accumulates_counts(self):
+        node = EdgeNode(0)
+        for _ in range(3):
+            node.record_delta("a")
+        node.record_delta("b")
+        assert node.pending_deltas == 2
+        assert node.take_deltas() == [("a", 3), ("b", 1)]
+        assert node.pending_deltas == 0
+
+    def test_take_orders_hottest_first_ties_by_key(self):
+        node = EdgeNode(0)
+        for key in ("c", "b", "a", "b"):
+            node.record_delta(key)
+        assert node.take_deltas() == [("b", 2), ("a", 1), ("c", 1)]
+
+    def test_take_respects_limit(self):
+        node = EdgeNode(0)
+        for key in ("a", "b", "c"):
+            node.record_delta(key)
+        first = node.take_deltas(2)
+        assert len(first) == 2
+        assert node.pending_deltas == 1
+
+    def test_overflow_drops_new_keys_keeps_known_mass(self):
+        node = EdgeNode(0, max_pending_deltas=2)
+        node.record_delta("a")
+        node.record_delta("b")
+        node.record_delta("c")  # dropped — buffer full
+        node.record_delta("a")  # known key still accumulates
+        assert node.delta_overflow == 1
+        assert node.take_deltas() == [("a", 2), ("b", 1)]
+
+    def test_flush_jitter_deterministic_per_node(self):
+        assert EdgeNode(3, seed=11).flush_jitter == EdgeNode(3, seed=11).flush_jitter
+        assert EdgeNode(3, seed=11).flush_jitter != EdgeNode(4, seed=11).flush_jitter
+        assert 0.0 <= EdgeNode(3).flush_jitter < 1.0
+
+    def test_stats_shape(self):
+        node = EdgeNode(2, capacity=8)
+        node.admit("a")
+        node.lookup("a")
+        node.record_delta("a")
+        stats = node.stats()
+        assert stats["node_id"] == 2
+        assert stats["size"] == 1
+        assert stats["hits"] == 1
+        assert stats["pending_deltas"] == 1

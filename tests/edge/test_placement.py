@@ -1,0 +1,94 @@
+"""Placement helper: deterministic, order-invariant, skew-shaped."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.edge.placement import (
+    assign_device_region,
+    assign_device_regions,
+    region_weights,
+)
+
+device_id_sets = st.lists(
+    st.integers(min_value=0, max_value=100_000),
+    min_size=1,
+    max_size=50,
+    unique=True,
+)
+
+
+class TestRegionWeights:
+    def test_uniform_at_zero_skew(self):
+        weights = region_weights(8, 0.0)
+        assert weights == pytest.approx(np.full(8, 1 / 8))
+
+    def test_normalized_and_decreasing_under_skew(self):
+        weights = region_weights(8, 1.5)
+        assert weights.sum() == pytest.approx(1.0)
+        assert all(a > b for a, b in zip(weights, weights[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            region_weights(0)
+        with pytest.raises(ValueError):
+            region_weights(4, skew=-0.1)
+
+
+class TestAssignment:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        device_id_sets,
+        st.integers(min_value=1, max_value=16),
+        st.floats(min_value=0.0, max_value=3.0, allow_nan=False),
+    )
+    def test_order_invariant_and_in_range(self, device_ids, n_regions, skew):
+        forward = assign_device_regions(device_ids, n_regions, skew=skew)
+        backward = assign_device_regions(
+            list(reversed(device_ids)), n_regions, skew=skew
+        )
+        assert forward == backward
+        assert all(0 <= r < n_regions for r in forward.values())
+
+    @settings(max_examples=30, deadline=None)
+    @given(device_id_sets, st.integers(min_value=1, max_value=16))
+    def test_subset_stable_under_fleet_growth(self, device_ids, n_regions):
+        """Adding devices never moves existing ones."""
+        whole = assign_device_regions(device_ids, n_regions)
+        half = assign_device_regions(device_ids[: len(device_ids) // 2 + 1], n_regions)
+        for device_id, region in half.items():
+            assert whole[device_id] == region
+
+    def test_deterministic_across_calls(self):
+        ids = list(range(200))
+        assert assign_device_regions(ids, 8, skew=1.0) == assign_device_regions(
+            ids, 8, skew=1.0
+        )
+
+    def test_seed_changes_assignment(self):
+        ids = list(range(200))
+        a = assign_device_regions(ids, 8, seed=7)
+        b = assign_device_regions(ids, 8, seed=8)
+        assert a != b
+
+    def test_skew_concentrates_mass_on_first_regions(self):
+        ids = list(range(2000))
+        uniform = assign_device_regions(ids, 8, skew=0.0)
+        skewed = assign_device_regions(ids, 8, skew=2.0)
+
+        def share_of_region0(mapping):
+            return sum(1 for r in mapping.values() if r == 0) / len(mapping)
+
+        assert share_of_region0(uniform) == pytest.approx(1 / 8, abs=0.05)
+        assert share_of_region0(skewed) > 2 * share_of_region0(uniform)
+
+    def test_single_region_is_constant(self):
+        assert set(assign_device_regions(range(50), 1).values()) == {0}
+
+    def test_scalar_matches_batch(self):
+        for device_id in (0, 17, 9999):
+            assert (
+                assign_device_region(device_id, 6, skew=0.5)
+                == assign_device_regions([device_id], 6, skew=0.5)[device_id]
+            )

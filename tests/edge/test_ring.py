@@ -1,0 +1,131 @@
+"""Hypothesis property suite for the consistent-hash ownership ring.
+
+The three properties the edge tier leans on: balanced ownership within
+tolerance, minimal key movement on membership change, and invariance to
+node insertion order.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.edge.ring import ConsistentHashRing, DEFAULT_VNODES
+
+#: A fixed sample of keys shaped like real query keys.
+KEYS = [f"query {i}" for i in range(2000)]
+
+node_sets = st.lists(
+    st.integers(min_value=0, max_value=63), min_size=1, max_size=12, unique=True
+)
+
+
+class TestBasics:
+    def test_empty_ring_rejects_lookup(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing().owner("q")
+
+    def test_vnodes_validated(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing([0], vnodes=0)
+
+    def test_duplicate_add_and_missing_remove_rejected(self):
+        ring = ConsistentHashRing([0, 1])
+        with pytest.raises(ValueError):
+            ring.add_node(0)
+        with pytest.raises(ValueError):
+            ring.remove_node(5)
+
+    def test_single_node_owns_everything(self):
+        ring = ConsistentHashRing([3])
+        assert all(ring.owner(k) == 3 for k in KEYS[:100])
+
+    def test_nodes_listing_sorted(self):
+        ring = ConsistentHashRing([5, 1, 3])
+        assert ring.nodes == (1, 3, 5)
+        assert len(ring) == 3
+
+    def test_ownership_covers_all_nodes(self):
+        ring = ConsistentHashRing(range(4))
+        counts = ring.ownership(KEYS)
+        assert set(counts) == {0, 1, 2, 3}
+        assert sum(counts.values()) == len(KEYS)
+
+
+class TestProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(node_sets)
+    def test_ownership_deterministic_and_permutation_invariant(self, nodes):
+        """The ring is a pure function of the node *set* — insertion
+        order can never change ownership."""
+        forward = ConsistentHashRing(nodes)
+        backward = ConsistentHashRing(list(reversed(nodes)))
+        sample = KEYS[:300]
+        assert [forward.owner(k) for k in sample] == [
+            backward.owner(k) for k in sample
+        ]
+
+    @settings(max_examples=25, deadline=None)
+    @given(node_sets)
+    def test_incremental_equals_batch_construction(self, nodes):
+        batch = ConsistentHashRing(nodes)
+        incremental = ConsistentHashRing()
+        for node_id in nodes:
+            incremental.add_node(node_id)
+        assert incremental.nodes == batch.nodes
+        sample = KEYS[:300]
+        assert [incremental.owner(k) for k in sample] == [
+            batch.owner(k) for k in sample
+        ]
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=2, max_value=12))
+    def test_balanced_ownership_within_tolerance(self, n_nodes):
+        """With DEFAULT_VNODES virtual points, every node's share of a
+        2000-key sample stays within a constant factor of fair."""
+        ring = ConsistentHashRing(range(n_nodes), vnodes=DEFAULT_VNODES)
+        counts = ring.ownership(KEYS)
+        fair = len(KEYS) / n_nodes
+        for node_id, count in counts.items():
+            assert count > 0.35 * fair, (node_id, counts)
+            assert count < 2.2 * fair, (node_id, counts)
+
+    @settings(max_examples=25, deadline=None)
+    @given(node_sets, st.integers(min_value=64, max_value=127))
+    def test_adding_a_node_moves_keys_only_to_it(self, nodes, new_node):
+        """Minimal movement: keys either keep their owner or move to the
+        new node — never between surviving nodes."""
+        ring = ConsistentHashRing(nodes)
+        before = {k: ring.owner(k) for k in KEYS[:500]}
+        ring.add_node(new_node)
+        moved = 0
+        for key, old in before.items():
+            now = ring.owner(key)
+            if now != old:
+                assert now == new_node, (key, old, now)
+                moved += 1
+        # The newcomer takes roughly 1/(n+1); generous upper bound.
+        assert moved <= len(before) * 0.8
+
+    @settings(max_examples=25, deadline=None)
+    @given(node_sets.filter(lambda ns: len(ns) >= 2))
+    def test_removing_a_node_moves_only_its_keys(self, nodes):
+        ring = ConsistentHashRing(nodes)
+        victim = nodes[0]
+        before = {k: ring.owner(k) for k in KEYS[:500]}
+        ring.remove_node(victim)
+        for key, old in before.items():
+            now = ring.owner(key)
+            if old == victim:
+                assert now != victim
+            else:
+                assert now == old, (key, old, now)
+
+    @settings(max_examples=25, deadline=None)
+    @given(node_sets.filter(lambda ns: len(ns) >= 2))
+    def test_remove_then_readd_round_trips(self, nodes):
+        ring = ConsistentHashRing(nodes)
+        sample = KEYS[:200]
+        before = [ring.owner(k) for k in sample]
+        ring.remove_node(nodes[-1])
+        ring.add_node(nodes[-1])
+        assert [ring.owner(k) for k in sample] == before

@@ -1,0 +1,91 @@
+"""The load generator's device geographic/affinity assignment.
+
+``LoadGenConfig.n_regions`` turns on a deterministic per-device region
+draw (reused from :mod:`repro.edge.placement`) recorded in
+``Workload.device_regions`` — stable across runs, draw order, and
+fleet growth.
+"""
+
+import pytest
+
+from repro.serve.loadgen import (
+    LoadGenConfig,
+    assign_device_regions,
+    build_workload,
+)
+
+
+class TestConfig:
+    def test_regions_off_by_default(self, small_log):
+        workload = build_workload(small_log, 1, LoadGenConfig(seed=7))
+        assert workload.device_regions == {}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadGenConfig(n_regions=0)
+        with pytest.raises(ValueError):
+            LoadGenConfig(placement_skew=-0.5)
+
+
+class TestDeviceRegions:
+    def test_every_scheduled_device_gets_a_region(self, small_log):
+        config = LoadGenConfig(seed=7, rate_multiplier=500.0, n_regions=4)
+        workload = build_workload(small_log, 1, config)
+        scheduled = {req.device_id for _, req in workload.arrivals}
+        assert set(workload.device_regions) == scheduled
+        assert all(0 <= r < 4 for r in workload.device_regions.values())
+
+    def test_deterministic_across_builds(self, small_log):
+        config = LoadGenConfig(seed=7, rate_multiplier=500.0, n_regions=8, placement_skew=1.0)
+        a = build_workload(small_log, 1, config)
+        b = build_workload(small_log, 1, config)
+        assert a.device_regions == b.device_regions
+
+    def test_matches_reusable_helper(self, small_log):
+        """The workload records exactly what the standalone helper
+        computes — one assignment authority, two entry points."""
+        config = LoadGenConfig(seed=7, rate_multiplier=500.0, n_regions=8, placement_skew=0.5)
+        workload = build_workload(small_log, 1, config)
+        expected = assign_device_regions(
+            sorted(workload.device_regions),
+            8,
+            skew=0.5,
+            seed=7,
+        )
+        assert workload.device_regions == expected
+
+    def test_stable_under_device_cap(self, small_log):
+        """Capping the fleet never moves the surviving devices — the
+        draw is per-device, not positional."""
+        whole = build_workload(
+            small_log, 1, LoadGenConfig(seed=7, rate_multiplier=500.0, n_regions=4)
+        )
+        capped = build_workload(
+            small_log, 1, LoadGenConfig(seed=7, rate_multiplier=500.0, n_regions=4, max_devices=3)
+        )
+        assert capped.device_regions  # the cap leaves someone scheduled
+        for device_id, region in capped.device_regions.items():
+            assert whole.device_regions[device_id] == region
+
+    def test_skew_concentrates_devices(self, small_log):
+        uniform = build_workload(
+            small_log, 1, LoadGenConfig(seed=7, rate_multiplier=500.0, n_regions=4)
+        )
+        skewed = build_workload(
+            small_log, 1,
+            LoadGenConfig(seed=7, rate_multiplier=500.0, n_regions=4, placement_skew=3.0),
+        )
+
+        def region0_share(workload):
+            regions = list(workload.device_regions.values())
+            return regions.count(0) / len(regions)
+
+        assert region0_share(skewed) > region0_share(uniform)
+
+    def test_log_arrivals_also_assigned(self, small_log):
+        config = LoadGenConfig(
+            seed=7, n_regions=4, arrivals="log", rate_multiplier=5000.0
+        )
+        workload = build_workload(small_log, 1, config)
+        scheduled = {req.device_id for _, req in workload.arrivals}
+        assert set(workload.device_regions) == scheduled
