@@ -1,0 +1,171 @@
+"""Flight-recorder overhead: recorder-on vs recorder-off, one manifest.
+
+Runs the identical open-loop load test twice on the simulated clock —
+once with a bare :class:`~repro.serve.telemetry.ServeTelemetry`, once
+with a :class:`~repro.obs.flight.FlightRecorder` attached and a forced
+bundle dump at the end — and writes one ``flight_overhead`` manifest
+carrying both runs' serving metrics plus the wall-clock cost of
+recording.  Because the clock is simulated, the recorder must be a pure
+observer: any drift between the two runs' serving metrics is an
+observer-effect bug and aborts the bench.  The manifest rides the
+normal BENCH trajectory, so CI gates the recorder-on latency
+percentiles against the committed seed::
+
+    PYTHONPATH=src python benchmarks/flight_overhead_manifest.py \
+        --out manifests/flight_overhead.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+
+from repro.experiments.common import DEFAULT_SEED, default_log
+from repro.obs.flight import FlightRecorder
+from repro.obs.manifest import ManifestRecorder
+from repro.obs.triggers import TriggerConfig, TriggerEngine
+from repro.serve import LoadGenConfig, ServeConfig, run_loadtest
+from repro.serve.telemetry import ServeTelemetry
+
+#: Serving metrics that must be bit-identical with and without the
+#: recorder attached, and that the bench gate watches over time.
+SERVING_METRICS = (
+    "requests",
+    "completed",
+    "shed_rate",
+    "hit_rate",
+    "throughput_rps",
+    "sojourn_p50_s",
+    "sojourn_p99_s",
+)
+
+
+def _run_once(log, loadgen, serve_config, flight=None):
+    telemetry = ServeTelemetry()
+    if flight is not None:
+        flight.attach(telemetry)
+    t0 = time.perf_counter()
+    report, _ = run_loadtest(
+        log, loadgen, serve_config, telemetry=telemetry
+    )
+    wall_s = time.perf_counter() - t0
+    point = {name: getattr(report, name) for name in SERVING_METRICS}
+    point["wall_s"] = round(wall_s, 4)
+    return point, wall_s
+
+
+def run(
+    duration_s: float,
+    rate: float,
+    max_devices: int,
+    bundle_dir: str,
+    seed: int,
+    out: str,
+) -> dict:
+    log = default_log()
+    loadgen = LoadGenConfig(
+        duration_s=duration_s,
+        rate_multiplier=rate,
+        seed=seed,
+        max_devices=max_devices or None,
+    )
+    serve_config = ServeConfig()
+    recorder = ManifestRecorder(
+        "flight_overhead",
+        config={
+            "duration_s": duration_s,
+            "rate_multiplier": rate,
+            "max_devices": max_devices,
+        },
+        seed=seed,
+    )
+    with recorder:
+        off, wall_off = _run_once(log, loadgen, serve_config)
+        flight = FlightRecorder(
+            config={"bench": "flight_overhead"},
+            seed=seed,
+            triggers=TriggerEngine(TriggerConfig(bundle_dir=bundle_dir)),
+        )
+        on, wall_on = _run_once(log, loadgen, serve_config, flight=flight)
+        t0 = time.perf_counter()
+        flight.finalize(force=True)
+        dump_wall_s = time.perf_counter() - t0
+
+        drifted = [
+            name for name in SERVING_METRICS if off[name] != on[name]
+        ]
+        if drifted:
+            raise SystemExit(
+                "FATAL: flight recorder perturbed the simulated run: "
+                + ", ".join(
+                    f"{n} {off[n]!r} -> {on[n]!r}" for n in drifted
+                )
+            )
+        status = flight.status()
+        recorder.add_metric("off", off)
+        recorder.add_metric("on", on)
+        recorder.add_metric("identical", True)
+        recorder.add_metric(
+            "wall_overhead_frac",
+            round((wall_on - wall_off) / max(wall_off, 1e-9), 4),
+        )
+        recorder.add_metric("bundle_dump_wall_s", round(dump_wall_s, 4))
+        recorder.add_metric(
+            "flight_records_seen", sum(status["seen"].values())
+        )
+        recorder.add_metric(
+            "flight_records_retained", sum(status["retained"].values())
+        )
+        print(
+            f"off: p99 {off['sojourn_p99_s']:.3f}s in {wall_off:.2f}s wall; "
+            f"on: p99 {on['sojourn_p99_s']:.3f}s in {wall_on:.2f}s wall "
+            f"(+{(wall_on - wall_off) / max(wall_off, 1e-9):.1%}); "
+            f"dump {dump_wall_s * 1e3:.1f}ms"
+        )
+    path = recorder.manifest.write(out)
+    print(f"wrote manifest to {path}")
+    return recorder.manifest.to_dict()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--duration", type=float, default=600.0,
+        help="simulated seconds per run (default 600)",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=10.0,
+        help="offered-load multiplier (default 10)",
+    )
+    parser.add_argument(
+        "--max-devices", type=int, default=50,
+        help="cap distinct devices, 0 = no cap (default 50)",
+    )
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--bundle-dir", default=None, metavar="DIR",
+        help="where the forced bundle lands (default: a temp dir)",
+    )
+    parser.add_argument(
+        "--out", default="manifests/flight_overhead.json",
+        help="manifest destination path",
+    )
+    args = parser.parse_args(argv)
+    if args.bundle_dir is not None:
+        run(
+            args.duration, args.rate, args.max_devices,
+            args.bundle_dir, args.seed, args.out,
+        )
+    else:
+        with tempfile.TemporaryDirectory() as tmp:
+            run(
+                args.duration, args.rate, args.max_devices,
+                tmp, args.seed, args.out,
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,7 @@ from typing import Dict, List, Type
 
 from repro.analysis.engine import Rule
 from repro.analysis.rules.asyncsafety import AsyncSafetyRule
+from repro.analysis.rules.buffers import BufferBoundRule
 from repro.analysis.rules.defaults import MutableDefaultRule
 from repro.analysis.rules.excepts import ExceptionSwallowRule
 from repro.analysis.rules.layering import LayeringRule
@@ -21,9 +22,10 @@ from repro.analysis.rules.setorder import SetOrderRule
 from repro.analysis.rules.tasks import OrphanTaskRule
 from repro.analysis.rules.wallclock import WallClockRule
 
-__all__ = ["ALL_RULES", "RULES_BY_ID", "AsyncSafetyRule", "ExceptionSwallowRule",
-           "LayeringRule", "MutableDefaultRule", "OrphanTaskRule",
-           "SetOrderRule", "UnseededRngRule", "WallClockRule"]
+__all__ = ["ALL_RULES", "RULES_BY_ID", "AsyncSafetyRule", "BufferBoundRule",
+           "ExceptionSwallowRule", "LayeringRule", "MutableDefaultRule",
+           "OrphanTaskRule", "SetOrderRule", "UnseededRngRule",
+           "WallClockRule"]
 
 ALL_RULES: List[Type[Rule]] = [
     WallClockRule,        # REP001
@@ -34,6 +36,7 @@ ALL_RULES: List[Type[Rule]] = [
     MutableDefaultRule,   # REP006
     ExceptionSwallowRule, # REP007
     LayeringRule,         # REP008
+    BufferBoundRule,      # REP009
 ]
 
 RULES_BY_ID: Dict[str, Type[Rule]] = {rule.id: rule for rule in ALL_RULES}

@@ -1,0 +1,162 @@
+"""REP009: appends to unbounded instance buffers on hot paths.
+
+The serving stack's observability invariant is that *always-on* state
+is strictly bounded: rings are ``deque(maxlen=...)``, histograms use
+reservoir sampling, accumulators reset per bucket.  A plain
+``self.buf = []`` (or a ``deque()`` without ``maxlen``) that a hot-path
+method keeps ``.append``-ing to is a slow memory leak that only shows
+up after hours of uptime — exactly the failure mode the flight
+recorder exists to debug, and exactly the one it must never cause.
+
+A method is "hot" when its name starts with ``on_`` (the telemetry /
+flight-recorder callback convention) or is one of the per-request verbs
+(``submit``, ``fetch``, ``observe``, ``record``, ...).  Constructors,
+``finalize``/``snapshot``/``dump`` paths and test helpers run O(1)
+times per process and may append freely.
+
+Scoped to the packages with always-on per-request state: ``serve``,
+``obs`` and ``edge``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional, Set
+
+from repro.analysis.context import FileContext
+from repro.analysis.engine import Rule
+from repro.analysis.findings import Severity
+
+__all__ = ["BufferBoundRule"]
+
+#: Packages whose classes hold always-on per-request state.
+SCOPED_PACKAGES: Set[str] = {"serve", "obs", "edge"}
+
+#: Per-request verbs besides the ``on_*`` callback convention.  ``add``
+#: is deliberately absent: reservoir/merge helpers named ``*add*`` bound
+#: their growth by construction.
+HOT_METHOD_NAMES: Set[str] = {
+    "submit",
+    "fetch",
+    "observe",
+    "record",
+    "record_delta",
+    "admit",
+    "event",
+    "serve",
+    "drain",
+}
+
+#: Canonical dotted names of unbounded-sequence constructors.
+_DEQUE_NAMES = {"collections.deque", "deque"}
+
+
+class BufferBoundRule(Rule):
+    """Flag ``self.<buf>.append`` in hot methods when ``<buf>`` was
+    created unbounded (``[]``, ``list()`` or ``deque()`` sans maxlen)."""
+
+    id = "REP009"
+    name = "unbounded-buffer-append"
+    severity = Severity.ERROR
+
+    @classmethod
+    def applies_to(cls, ctx: FileContext) -> bool:
+        return ctx.in_packages(SCOPED_PACKAGES)
+
+    # -- helpers ------------------------------------------------------------
+
+    def _unbounded_ctor(self, value: ast.AST) -> Optional[str]:
+        """``"list"``/``"deque"`` when ``value`` builds an unbounded
+        sequence, else ``None`` (anything unrecognized is *not* a match)."""
+        if isinstance(value, ast.List):
+            return "list"
+        if not isinstance(value, ast.Call):
+            return None
+        target = self.ctx.imports.resolve(value.func)
+        if target == "list" and not value.args and not value.keywords:
+            return "list"
+        if target in _DEQUE_NAMES:
+            # deque(iterable, maxlen) — bounded via keyword or the
+            # second positional argument.
+            if len(value.args) >= 2:
+                return None
+            if any(kw.arg == "maxlen" for kw in value.keywords):
+                return None
+            return "deque"
+        return None
+
+    @staticmethod
+    def _self_attr(node: ast.AST) -> Optional[str]:
+        """Attribute name when ``node`` is exactly ``self.<attr>``."""
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr
+        return None
+
+    @staticmethod
+    def _is_hot(method: ast.AST) -> bool:
+        if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return False
+        return method.name.startswith("on_") or method.name in HOT_METHOD_NAMES
+
+    # -- the check ----------------------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        methods = [
+            item for item in node.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        # Pass 1: every ``self.x = <ctor>`` anywhere in the class.  A
+        # bounded rebind anywhere wins — the attribute provably has a
+        # bounded life somewhere, so flagging it would be noise.
+        unbounded: dict = {}
+        bounded: Set[str] = set()
+        for method in methods:
+            for sub in ast.walk(method):
+                targets = []
+                if isinstance(sub, ast.Assign):
+                    targets, value = sub.targets, sub.value
+                elif isinstance(sub, ast.AnnAssign) and sub.value is not None:
+                    targets, value = [sub.target], sub.value
+                else:
+                    continue
+                for target in targets:
+                    attr = self._self_attr(target)
+                    if attr is None:
+                        continue
+                    kind = self._unbounded_ctor(value)
+                    if kind is not None:
+                        unbounded.setdefault(attr, kind)
+                    elif isinstance(value, (ast.Call, ast.List)):
+                        bounded.add(attr)
+        suspects = {
+            attr: kind for attr, kind in unbounded.items()
+            if attr not in bounded
+        }
+        if not suspects:
+            return
+        # Pass 2: appends to a suspect buffer inside a hot method.
+        for method in methods:
+            if not self._is_hot(method):
+                continue
+            for sub in ast.walk(method):
+                if not isinstance(sub, ast.Call):
+                    continue
+                func = sub.func
+                if not isinstance(func, ast.Attribute):
+                    continue
+                if func.attr not in ("append", "appendleft"):
+                    continue
+                attr = self._self_attr(func.value)
+                if attr is None or attr not in suspects:
+                    continue
+                self.report(
+                    sub,
+                    f"hot-path method {method.name!r} appends to unbounded "
+                    f"{suspects[attr]} buffer 'self.{attr}'; always-on state "
+                    f"must be bounded (use deque(maxlen=...) or reset per "
+                    f"window)",
+                )

@@ -22,6 +22,7 @@ Telemetry verbs::
     python -m repro top --url http://127.0.0.1:9464   # live dashboard
     python -m repro top --snapshot snap.json          # render one frame
     python -m repro bench-gate --baseline BENCH_seed.json --candidate b.json
+    python -m repro postmortem flight_bundles/flight-shed-spike-t95000
 
 Static analysis (see :mod:`repro.analysis`)::
 
@@ -381,6 +382,10 @@ def main(argv=None) -> int:
         from repro.obs.benchgate import main as benchgate_main
 
         return benchgate_main(argv[1:])
+    if argv and argv[0] == "postmortem":
+        from repro.obs.postmortem import postmortem_main
+
+        return postmortem_main(argv[1:])
     if argv and argv[0] == "lint":
         from repro.analysis.cli import lint_main
 

@@ -158,6 +158,7 @@ class EdgeNode:
         return {
             "node_id": self.node_id,
             "size": self.size,
+            "inflight": self.inflight,
             "hits": self.hits,
             "misses": self.misses,
             "hit_rate": self.hit_rate,

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from repro.edge.node import EdgeNode
 from repro.edge.placement import assign_device_region
@@ -176,6 +176,9 @@ class EdgeTier:
         }
         self._device_regions: Dict[int, int] = {}
         self.sheds = 0
+        #: called as ``fn(t, node_id, n_deltas)`` after each propagation
+        #: flush — the flight recorder hangs off this.
+        self.on_flush: Optional[Callable[[float, int, int], None]] = None
 
     # -- routing -------------------------------------------------------------
 
@@ -229,6 +232,8 @@ class EdgeTier:
         if bound is not None and node.inflight >= bound:
             node.sheds += 1
             self.sheds += 1
+            if trace is not None:
+                trace.annotate(edge_node=node.node_id)
             return EdgeFetchResult(
                 node_id=node.node_id, shed=True, reason=EDGE_SHED_REASON
             )
@@ -303,6 +308,8 @@ class EdgeTier:
         deltas = node.take_deltas(self.topology.propagation_batch)
         self.origin.apply_deltas(node.node_id, deltas)
         node.next_flush_at = now + interval
+        if self.on_flush is not None:
+            self.on_flush(now, node.node_id, len(deltas))
 
     def flush_all(self) -> None:
         """Propagate every pending delta (end-of-run settlement)."""

@@ -1,0 +1,503 @@
+"""Always-on flight recorder: bounded black-box capture for the serve stack.
+
+The live telemetry plane answers "what is happening"; this module
+answers "what *was* happening when it went wrong".  A
+:class:`FlightRecorder` rides along with a
+:class:`~repro.serve.telemetry.ServeTelemetry` and keeps bounded ring
+buffers of the recent past:
+
+* completed request records (segment breakdown, tier, energy, per-request
+  hop re-sum error);
+* shed events with their typed reasons;
+* per-bucket window rows (counts, shed fractions by reason, sojourn and
+  queue-wait extremes, energy-ledger deltas);
+* per-edge-node slice stats and propagation flushes;
+* SLO burn alerts.
+
+Everything is keyed by loop-clock timestamps the serve layer passes in,
+so under :class:`~repro.serve.vclock.VirtualTimeLoop` two runs with the
+same seed capture byte-identical histories.  Memory is strictly bounded:
+every buffer is a ``deque(maxlen=...)`` and the per-bucket accumulator
+is O(number of shed reasons).
+
+When a :class:`~repro.obs.triggers.TriggerEngine` decides an incident
+happened, :meth:`FlightRecorder.dump_bundle` atomically writes a
+versioned *postmortem bundle* — ``events.jsonl`` (time-sorted records)
+plus ``manifest.json`` (git SHA, config, seed, trigger, analysis
+windows) — into a fresh directory, renamed into place only once fully
+written.  ``repro postmortem`` (:mod:`repro.obs.postmortem`) consumes
+these bundles.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import shutil
+import threading
+from collections import deque
+from datetime import datetime, timezone
+from typing import Any, Dict, List, Optional
+
+from repro.obs.manifest import git_sha
+
+__all__ = [
+    "BUNDLE_VERSION",
+    "EVENTS_FILENAME",
+    "MANIFEST_FILENAME",
+    "FlightRecorder",
+]
+
+#: Bundle schema version (bumped on any incompatible record change).
+BUNDLE_VERSION = 1
+EVENTS_FILENAME = "events.jsonl"
+MANIFEST_FILENAME = "manifest.json"
+
+#: Default ring capacities.  Requests dominate; at ~300 bytes/record the
+#: defaults bound the recorder to a few MB regardless of offered load.
+DEFAULT_REQUEST_RING = 8192
+DEFAULT_SHED_RING = 8192
+DEFAULT_BUCKET_RING = 600
+DEFAULT_EDGE_RING = 600
+DEFAULT_ALERT_RING = 256
+DEFAULT_FLUSH_RING = 1024
+
+#: Sort order for records sharing a timestamp in the dumped bundle.
+_KIND_ORDER = {
+    "bucket": 0,
+    "edge": 1,
+    "flush": 2,
+    "alert": 3,
+    "trigger": 4,
+    "request": 5,
+    "shed": 6,
+}
+
+
+def _json_safe(value: Any) -> Any:
+    """NaN/inf -> None so bundles stay strict JSON."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+class _BucketAccumulator:
+    """Per-bucket counters reset on every telemetry tick (O(1) memory)."""
+
+    __slots__ = (
+        "completed",
+        "hits",
+        "shed",
+        "shed_reasons",
+        "sojourn_sum",
+        "sojourn_max",
+        "queue_wait_max",
+        "hop_err_s_max",
+        "hop_err_j_max",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.completed = 0
+        self.hits = 0
+        self.shed = 0
+        self.shed_reasons: Dict[str, int] = {}
+        self.sojourn_sum = 0.0
+        self.sojourn_max = 0.0
+        self.queue_wait_max = 0.0
+        self.hop_err_s_max = 0.0
+        self.hop_err_j_max = 0.0
+
+    def row(self) -> Dict[str, Any]:
+        events = self.completed + self.shed
+        return {
+            "completed": self.completed,
+            "hits": self.hits,
+            "shed": self.shed,
+            "shed_reasons": dict(self.shed_reasons),
+            "shed_fraction": self.shed / events if events else 0.0,
+            "sojourn_mean_s": (
+                self.sojourn_sum / self.completed if self.completed else None
+            ),
+            "sojourn_max_s": self.sojourn_max if self.completed else None,
+            "queue_wait_max_s": (
+                self.queue_wait_max if self.completed else None
+            ),
+            "hop_err_s_max": self.hop_err_s_max,
+            "hop_err_j_max": self.hop_err_j_max,
+        }
+
+
+class FlightRecorder:
+    """Bounded black-box capture of the serving stack's recent past.
+
+    Args:
+        config: run configuration echoed into bundle manifests (the
+            load-test flags, typically).
+        seed: workload seed echoed into bundle manifests.
+        triggers: optional :class:`~repro.obs.triggers.TriggerEngine`
+            (duck-typed) consulted on every response/alert/tick.
+        request_ring / shed_ring / bucket_ring / edge_ring / alert_ring /
+            flush_ring: per-buffer capacities.
+
+    Thread-safety: the capture hooks and :meth:`dump_bundle` serialize on
+    one lock, so rings survive the same thread/task hammering the tracer
+    rings do (``tests/obs/test_concurrency.py``).
+    """
+
+    def __init__(
+        self,
+        config: Optional[Dict[str, Any]] = None,
+        seed: Optional[int] = None,
+        triggers=None,
+        request_ring: int = DEFAULT_REQUEST_RING,
+        shed_ring: int = DEFAULT_SHED_RING,
+        bucket_ring: int = DEFAULT_BUCKET_RING,
+        edge_ring: int = DEFAULT_EDGE_RING,
+        alert_ring: int = DEFAULT_ALERT_RING,
+        flush_ring: int = DEFAULT_FLUSH_RING,
+    ) -> None:
+        for name, cap in (
+            ("request_ring", request_ring),
+            ("shed_ring", shed_ring),
+            ("bucket_ring", bucket_ring),
+            ("edge_ring", edge_ring),
+            ("alert_ring", alert_ring),
+            ("flush_ring", flush_ring),
+        ):
+            if cap <= 0:
+                raise ValueError(f"{name} must be positive, got {cap}")
+        self.config = dict(config) if config else {}
+        self.seed = seed
+        self.triggers = triggers
+        self._lock = threading.Lock()
+        self._rings: Dict[str, deque] = {
+            "request": deque(maxlen=request_ring),
+            "shed": deque(maxlen=shed_ring),
+            "bucket": deque(maxlen=bucket_ring),
+            "edge": deque(maxlen=edge_ring),
+            "alert": deque(maxlen=alert_ring),
+            "flush": deque(maxlen=flush_ring),
+        }
+        #: records ever seen per ring (len(ring) + evicted)
+        self.seen: Dict[str, int] = {kind: 0 for kind in self._rings}
+        self._seq = 0
+        self._bkt = _BucketAccumulator()
+        self._last_tick_t: Optional[float] = None
+        self._last_ledger = (0.0, 0.0)
+        self.bundles: List[str] = []
+        self._telemetry = None
+
+    # -- wiring --------------------------------------------------------------
+
+    def attach(self, telemetry) -> "FlightRecorder":
+        """Hook into a :class:`~repro.serve.telemetry.ServeTelemetry`:
+        the telemetry plane forwards sheds/responses/alerts and the
+        per-bucket tick."""
+        telemetry.flight = self
+        telemetry.on_tick.append(self.on_tick)
+        self._telemetry = telemetry
+        return self
+
+    def observe_edge(self, edge) -> None:
+        """Record the edge tier's propagation flushes (the server wires
+        this when it owns both the recorder and an edge tier)."""
+        edge.on_flush = self.on_edge_flush
+
+    # -- capture hooks -------------------------------------------------------
+
+    def on_response(self, t: float, response) -> None:
+        """Record one completed request (called by the telemetry plane)."""
+        segments = response.breakdown()
+        sojourn = response.sojourn_s
+        # Per-request re-sum checks: the segment telescoping invariant
+        # and the energy components-vs-total invariant, live instead of
+        # end-of-run only (the trigger engine watches these).
+        err_s = abs(sum(segments.values()) - sojourn)
+        energy = response.energy
+        if energy is not None:
+            energy_j = energy.total_j
+            err_j = abs(
+                ((energy.storage_j + energy.render_j) + energy.base_j)
+                + energy.radio_j
+                - energy_j
+            )
+        else:
+            energy_j = None
+            err_j = 0.0
+        record = {
+            "kind": "request",
+            "t": t,
+            "trace_id": response.trace_id,
+            "device_id": response.request.device_id,
+            "key": response.request.key,
+            "hit": response.outcome.hit,
+            "shared": response.shared_fetch,
+            "tier": response.tier,
+            "edge_node": response.edge_node,
+            "sojourn_s": sojourn,
+            "segments": segments,
+            "energy_j": energy_j,
+            "hop_err_s": err_s,
+            "hop_err_j": err_j,
+        }
+        with self._lock:
+            self._append("request", record)
+            bkt = self._bkt
+            bkt.completed += 1
+            if response.outcome.hit:
+                bkt.hits += 1
+            bkt.sojourn_sum += sojourn
+            if sojourn > bkt.sojourn_max:
+                bkt.sojourn_max = sojourn
+            queue_wait = segments.get("queue_wait", 0.0)
+            if queue_wait > bkt.queue_wait_max:
+                bkt.queue_wait_max = queue_wait
+            if err_s > bkt.hop_err_s_max:
+                bkt.hop_err_s_max = err_s
+            if err_j > bkt.hop_err_j_max:
+                bkt.hop_err_j_max = err_j
+        if self.triggers is not None:
+            self.triggers.on_response(t, record, self)
+
+    def on_shed(self, t: float, reply) -> None:
+        """Record one typed shed event (called by the telemetry plane)."""
+        trace = reply.trace
+        edge_node = (
+            trace.annotations.get("edge_node") if trace is not None else None
+        )
+        record = {
+            "kind": "shed",
+            "t": t,
+            "reason": reply.reason,
+            "trace_id": reply.trace_id,
+            "device_id": reply.request.device_id,
+            "key": reply.request.key,
+            "edge_node": edge_node,
+        }
+        with self._lock:
+            self._append("shed", record)
+            self._bkt.shed += 1
+            self._bkt.shed_reasons[reply.reason] = (
+                self._bkt.shed_reasons.get(reply.reason, 0) + 1
+            )
+
+    def on_alerts(self, t: float, alerts) -> None:
+        """Record fired SLO burn alerts (forwarded by the telemetry
+        plane's bucket evaluation)."""
+        with self._lock:
+            for alert in alerts:
+                record = dict(alert.to_dict())
+                record["kind"] = "alert"
+                record.setdefault("t", t)
+                self._append("alert", record)
+        if self.triggers is not None:
+            self.triggers.on_alerts(t, alerts, self)
+
+    def on_tick(self, t: float, telemetry) -> None:
+        """Close the bucket that just ended: emit its row (with the
+        energy-ledger delta) and a per-edge-node stats snapshot."""
+        ledger = telemetry.energy.ledger
+        attributed, timeline = ledger.attributed_j, ledger.timeline_j
+        with self._lock:
+            row = self._bkt.row()
+            row["kind"] = "bucket"
+            row["t"] = t
+            row["t_prev"] = self._last_tick_t
+            row["ledger"] = {
+                "attributed_j": attributed,
+                "timeline_j": timeline,
+                "d_attributed_j": attributed - self._last_ledger[0],
+                "d_timeline_j": timeline - self._last_ledger[1],
+                "error_j": ledger.conservation_error_j,
+                "requests": ledger.requests,
+            }
+            self._append("bucket", row)
+            self._bkt.reset()
+            self._last_tick_t = t
+            self._last_ledger = (attributed, timeline)
+            edge_stats_fn = getattr(telemetry, "edge_stats_fn", None)
+            if edge_stats_fn is not None:
+                stats = edge_stats_fn()
+                self._append(
+                    "edge",
+                    {
+                        "kind": "edge",
+                        "t": t,
+                        "sheds": stats.get("sheds", 0),
+                        "community_hits": stats.get("community_hits", 0),
+                        "community_misses": stats.get("community_misses", 0),
+                        "origin_fetches": stats.get("origin_fetches", 0),
+                        "nodes": stats.get("nodes", []),
+                    },
+                )
+        if self.triggers is not None:
+            self.triggers.on_tick(t, self, telemetry)
+
+    def on_edge_flush(self, t: float, node_id: int, n_deltas: int) -> None:
+        """Record one popularity-propagation flush from an edge node."""
+        with self._lock:
+            self._append(
+                "flush",
+                {"kind": "flush", "t": t, "node": node_id, "deltas": n_deltas},
+            )
+
+    def finalize(self, t: Optional[float] = None, force: bool = False) -> None:
+        """Close out the run: flush the open bucket accumulator as a
+        final (partial) row, then let the trigger engine settle — a
+        pending trigger dumps with whatever baseline accumulated, and
+        ``force=True`` dumps a manual bundle even without a trigger."""
+        telemetry = self._telemetry
+        if t is None:
+            t = telemetry.t_last if telemetry is not None else 0.0
+        if telemetry is not None:
+            self.on_tick(t, telemetry)
+        if self.triggers is not None:
+            self.triggers.finalize(t, self, force=force)
+
+    # -- read side -----------------------------------------------------------
+
+    def last_bucket(self) -> Optional[Dict[str, Any]]:
+        """The most recently closed per-bucket row (None before any)."""
+        with self._lock:
+            ring = self._rings["bucket"]
+            return ring[-1] if ring else None
+
+    def dropped(self) -> Dict[str, int]:
+        """Records evicted per ring since construction."""
+        with self._lock:
+            return {
+                kind: self.seen[kind] - len(ring)
+                for kind, ring in sorted(self._rings.items())
+            }
+
+    def status(self) -> Dict[str, Any]:
+        """One JSON-ready health document (the ``flight`` section of the
+        telemetry snapshot and the ``repro top`` flight line)."""
+        with self._lock:
+            retained = {
+                kind: len(ring) for kind, ring in sorted(self._rings.items())
+            }
+            doc: Dict[str, Any] = {
+                "retained": retained,
+                "seen": dict(sorted(self.seen.items())),
+                "dropped": {
+                    kind: self.seen[kind] - retained[kind] for kind in retained
+                },
+                "bundles": list(self.bundles),
+            }
+        if self.triggers is not None:
+            doc["pending_trigger"] = self.triggers.pending
+            doc["triggers_exhausted"] = self.triggers.exhausted
+        return doc
+
+    # -- bundle dump ---------------------------------------------------------
+
+    def dump_bundle(
+        self,
+        out_dir: str,
+        trigger: Dict[str, Any],
+        windows: Dict[str, List[float]],
+    ) -> str:
+        """Atomically write one versioned postmortem bundle.
+
+        The bundle directory is built under a ``.tmp`` name and renamed
+        into place only once both files are fully written, so a reader
+        never sees a partial bundle.  Returns the bundle path.
+        """
+        with self._lock:
+            records: List[Any] = []
+            for ring in self._rings.values():
+                records.extend(ring)
+            dropped = {
+                kind: self.seen[kind] - len(ring)
+                for kind, ring in sorted(self._rings.items())
+            }
+            seen = dict(sorted(self.seen.items()))
+        records.append(trigger)
+        records.sort(
+            key=lambda r: (r["t"], _KIND_ORDER.get(r["kind"], 9), r.get("seq", 0))
+        )
+        name = "flight-{kind}-t{ms}".format(
+            kind=str(trigger.get("trigger", "manual")).replace("_", "-"),
+            ms=int(round(float(trigger["t"]) * 1000)),
+        )
+        final = os.path.join(out_dir, name)
+        n = 2
+        while os.path.exists(final):
+            final = os.path.join(out_dir, f"{name}-{n}")
+            n += 1
+        tmp = final + ".tmp"
+        if os.path.exists(tmp):
+            shutil.rmtree(tmp)
+        os.makedirs(tmp)
+        meta = {
+            "kind": "meta",
+            "t": float(trigger["t"]),
+            "bundle_version": BUNDLE_VERSION,
+            "n_records": len(records),
+            "dropped": dropped,
+        }
+        with open(os.path.join(tmp, EVENTS_FILENAME), "w") as fh:
+            fh.write(_dumps(meta) + "\n")
+            for record in records:
+                fh.write(_dumps(record) + "\n")
+        manifest = {
+            "name": "flight_bundle",
+            "schema_version": 1,
+            "bundle_version": BUNDLE_VERSION,
+            "trigger": trigger,
+            "windows": windows,
+            "git_sha": git_sha(),
+            "config": self.config,
+            "seed": self.seed,
+            "seen": seen,
+            "dropped": dropped,
+            "n_records": len(records),
+            "events": EVENTS_FILENAME,
+            # Wall-clock provenance: excluded from byte-identity checks.
+            "started_at": datetime.now(timezone.utc).isoformat(),
+        }
+        with open(os.path.join(tmp, MANIFEST_FILENAME), "w") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.rename(tmp, final)
+        with self._lock:
+            self.bundles.append(final)
+        return final
+
+    # -- internals -----------------------------------------------------------
+
+    def _append(self, kind: str, record: Dict[str, Any]) -> None:
+        """Append under the caller's lock, stamping a sequence number so
+        same-timestamp records sort stably in dumped bundles."""
+        record["seq"] = self._seq
+        self._seq += 1
+        self.seen[kind] += 1
+        self._rings[kind].append(record)
+
+    def record_trigger(self, record: Dict[str, Any]) -> None:
+        """Stamp a trigger record's sequence number (the trigger engine
+        hands the same dict to :meth:`dump_bundle` later)."""
+        with self._lock:
+            record["seq"] = self._seq
+            self._seq += 1
+
+
+def _dumps(record: Dict[str, Any]) -> str:
+    return json.dumps(
+        {key: _json_safe(value) for key, value in record.items()},
+        sort_keys=True,
+        allow_nan=False,
+        default=_scrub,
+    )
+
+
+def _scrub(value: Any) -> Any:
+    """Last-resort serializer for nested non-JSON values."""
+    if isinstance(value, float):
+        return None
+    return str(value)

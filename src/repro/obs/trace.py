@@ -307,6 +307,12 @@ class Tracer:
     Args:
         capacity: maximum retained records; older records are evicted.
         clock: monotonic time source (injectable for tests).
+        sample_rate: fraction of finished records kept, in (0, 1].
+            Sampling is *systematic* (an accumulator keeps every
+            ``1/rate``-th record) rather than random, so a sampled trace
+            of a deterministic run is itself deterministic.  Sampled-out
+            records count toward :attr:`spans_dropped` so a thinned
+            trace is detectable from its meta line.
     """
 
     enabled = True
@@ -315,10 +321,18 @@ class Tracer:
         self,
         capacity: int = DEFAULT_CAPACITY,
         clock: Callable[[], float] = time.perf_counter,
+        sample_rate: float = 1.0,
     ) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
+        if not 0.0 < sample_rate <= 1.0:
+            raise ValueError(
+                f"sample_rate must be in (0, 1], got {sample_rate}"
+            )
         self.capacity = capacity
+        self.sample_rate = sample_rate
+        self._sample_acc = 0.0
+        self.sampled_out = 0  # records discarded by sampling
         self._clock = clock
         self._epoch = clock()
         self._records: deque = deque(maxlen=capacity)
@@ -395,12 +409,15 @@ class Tracer:
         with self._lock:
             self._records.clear()
             self.dropped = 0
+            self.sampled_out = 0
+            self._sample_acc = 0.0
             self._drop_warned = False
 
     @property
     def spans_dropped(self) -> int:
-        """Spans silently evicted from the ring since the last clear."""
-        return self.dropped
+        """Records not retained since the last clear: ring evictions
+        plus records discarded by the sampler."""
+        return self.dropped + self.sampled_out
 
     def export_jsonl(self, path: str) -> int:
         """Write retained records as JSON Lines; returns the record count.
@@ -416,7 +433,9 @@ class Tracer:
                     {
                         "kind": "meta",
                         "capacity": self.capacity,
-                        "spans_dropped": self.dropped,
+                        "spans_dropped": self.spans_dropped,
+                        "sampled_out": self.sampled_out,
+                        "sample_rate": self.sample_rate,
                         "n_records": len(records),
                     }
                 )
@@ -440,6 +459,13 @@ class Tracer:
     def _append(self, record: SpanRecord) -> None:
         warn_now = False
         with self._lock:
+            if self.sample_rate < 1.0:
+                self._sample_acc += self.sample_rate
+                if self._sample_acc >= 1.0:
+                    self._sample_acc -= 1.0
+                else:
+                    self.sampled_out += 1
+                    return
             if len(self._records) == self.capacity:
                 self.dropped += 1
                 if not self._drop_warned:
@@ -472,9 +498,11 @@ def set_tracer(tracer) -> None:
     _tracer = tracer
 
 
-def enable(capacity: int = DEFAULT_CAPACITY) -> Tracer:
+def enable(
+    capacity: int = DEFAULT_CAPACITY, sample_rate: float = 1.0
+) -> Tracer:
     """Install and return a fresh recording tracer."""
-    tracer = Tracer(capacity=capacity)
+    tracer = Tracer(capacity=capacity, sample_rate=sample_rate)
     set_tracer(tracer)
     return tracer
 

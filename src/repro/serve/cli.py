@@ -21,14 +21,17 @@ import argparse
 import asyncio
 import json
 import sys
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.edge.tier import EdgeTopology
-from repro.experiments.common import DEFAULT_SEED, default_log, format_table
+from repro.experiments.common import default_log, format_table
+from repro.obs import trace as obs_trace
 from repro.obs.exposition import TelemetryEndpoint
+from repro.obs.flight import FlightRecorder
 from repro.obs.manifest import ManifestRecorder
 from repro.obs.registry import MetricsRegistry
 from repro.obs.slo import SLOPolicy
+from repro.obs.triggers import TriggerConfig, TriggerEngine
 from repro.serve.harness import ServeReport, run_loadtest, serve_replay
 from repro.serve.loadgen import LoadGenConfig
 from repro.serve.server import ServeConfig
@@ -75,6 +78,89 @@ def _add_edge_args(parser: argparse.ArgumentParser) -> None:
         help="per-node in-flight bound; excess requests shed with "
         "reason edge-queue-full (default: unbounded)",
     )
+
+
+def _add_flight_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("flight recorder")
+    group.add_argument(
+        "--no-flight", action="store_true",
+        help="disable the always-on flight recorder",
+    )
+    group.add_argument(
+        "--flight-bundle-dir", metavar="DIR", default="flight_bundles",
+        help="where triggered postmortem bundles are written "
+        "(default flight_bundles)",
+    )
+    group.add_argument(
+        "--flight-ring", type=int, default=8192, metavar="N",
+        help="request/shed ring capacity (default 8192)",
+    )
+    group.add_argument(
+        "--flight-shed-spike", type=float, default=0.5, metavar="F",
+        help="bucket shed fraction that triggers a bundle "
+        "(<= 0 disables; default 0.5)",
+    )
+    group.add_argument(
+        "--flight-trigger-at", type=float, default=None, metavar="T",
+        help="manually trigger a bundle at this simulated time",
+    )
+    group.add_argument(
+        "--flight-dump", action="store_true",
+        help="force a bundle at end of run even if nothing triggered",
+    )
+    group.add_argument(
+        "--flight-incident-window", type=float, default=60.0, metavar="S",
+        help="pre-trigger analysis window seconds (default 60)",
+    )
+    group.add_argument(
+        "--flight-baseline-window", type=float, default=30.0, metavar="S",
+        help="trailing baseline window seconds captured after the "
+        "trigger before dumping (default 30)",
+    )
+    group.add_argument(
+        "--flight-max-bundles", type=int, default=1, metavar="N",
+        help="bundles dumped per run (default 1)",
+    )
+
+
+def _build_flight(
+    args: argparse.Namespace, config: Dict[str, object]
+) -> Optional[FlightRecorder]:
+    """The load test's flight recorder (None with ``--no-flight``)."""
+    if args.no_flight:
+        return None
+    trigger_config = TriggerConfig(
+        shed_spike=(
+            args.flight_shed_spike if args.flight_shed_spike > 0 else None
+        ),
+        trigger_at=args.flight_trigger_at,
+        incident_window_s=args.flight_incident_window,
+        baseline_window_s=args.flight_baseline_window,
+        bundle_dir=args.flight_bundle_dir,
+        max_bundles=args.flight_max_bundles,
+    )
+    return FlightRecorder(
+        config=config,
+        seed=args.seed,
+        triggers=TriggerEngine(trigger_config),
+        request_ring=args.flight_ring,
+        shed_ring=args.flight_ring,
+    )
+
+
+def _parse_burst(
+    spec: Optional[str],
+) -> Tuple[Optional[float], float, float]:
+    """``START:DUR:MULT`` -> burst fields (all-None when unset)."""
+    if spec is None:
+        return None, 0.0, 1.0
+    parts = spec.split(":")
+    if len(parts) != 3:
+        raise ValueError(
+            f"--burst wants START:DURATION:MULTIPLIER, got {spec!r}"
+        )
+    start, duration, multiplier = (float(p) for p in parts)
+    return start, duration, multiplier
 
 
 def _edge_topology(args: argparse.Namespace) -> Optional[EdgeTopology]:
@@ -378,8 +464,28 @@ def loadtest_main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument(
+        "--burst", metavar="START:DUR:MULT", default=None,
+        help="inject an overload burst: at START simulated seconds, "
+        "multiply the offered rate by MULT for DUR seconds "
+        "(poisson arrivals only)",
+    )
+    parser.add_argument(
         "--max-shed-rate", type=float, default=None, metavar="F",
         help="exit nonzero if the shed fraction exceeds F (CI gate)",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="run under the span tracer and write trace JSONL here",
+    )
+    parser.add_argument(
+        "--trace-sample-rate", type=float, default=1.0, metavar="F",
+        help="keep this fraction of trace records (deterministic "
+        "systematic sampling; sampled-out spans still count in the "
+        "meta record's spans_dropped)",
+    )
+    parser.add_argument(
+        "--trace-capacity", type=int, default=obs_trace.DEFAULT_CAPACITY,
+        help="tracer ring-buffer size (default %(default)s)",
     )
     parser.add_argument(
         "--slo-policy", metavar="PATH", default=None,
@@ -409,12 +515,29 @@ def loadtest_main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--manifest-out", metavar="PATH", default=None)
     _add_edge_args(parser)
+    _add_flight_args(parser)
     args = parser.parse_args(argv)
 
     try:
         edge_topology = _edge_topology(args)
+        burst_start, burst_duration, burst_multiplier = _parse_burst(
+            args.burst
+        )
     except ValueError as exc:
         print(f"repro loadtest: {exc}", file=sys.stderr)
+        return 2
+    if not 0.0 < args.trace_sample_rate <= 1.0:
+        print(
+            "repro loadtest: --trace-sample-rate must be in (0, 1], "
+            f"got {args.trace_sample_rate}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.trace_capacity <= 0:
+        print(
+            "repro loadtest: --trace-capacity must be positive",
+            file=sys.stderr,
+        )
         return 2
     slo_policy = None
     if args.slo_policy is not None:
@@ -435,23 +558,35 @@ def loadtest_main(argv: Optional[List[str]] = None) -> int:
     telemetry = ServeTelemetry(slo_policy=slo_policy, **telemetry_kwargs)
     registry = MetricsRegistry()
 
-    recorder = ManifestRecorder(
-        "loadtest",
-        config={
-            "duration_s": args.duration,
-            "rate_multiplier": args.rate,
-            "arrivals": args.arrivals,
-            "diurnal": not args.no_diurnal,
-            "max_devices": args.max_devices,
-            "queue_depth": args.queue_depth,
-            "max_inflight": args.max_inflight,
-            "refresh_interval_s": args.refresh_interval,
-            "slo_policy": args.slo_policy,
-            "battery_capacity_j": args.battery_capacity_j,
-            **_edge_config(args),
-        },
-        seed=args.seed,
-    )
+    run_config = {
+        "duration_s": args.duration,
+        "rate_multiplier": args.rate,
+        "arrivals": args.arrivals,
+        "diurnal": not args.no_diurnal,
+        "burst": args.burst,
+        "max_devices": args.max_devices,
+        "queue_depth": args.queue_depth,
+        "max_inflight": args.max_inflight,
+        "refresh_interval_s": args.refresh_interval,
+        "slo_policy": args.slo_policy,
+        "battery_capacity_j": args.battery_capacity_j,
+        **_edge_config(args),
+    }
+    try:
+        flight = _build_flight(args, run_config)
+    except ValueError as exc:
+        print(f"repro loadtest: {exc}", file=sys.stderr)
+        return 2
+    if flight is not None:
+        flight.attach(telemetry)
+    tracer = None
+    if args.trace_out is not None:
+        tracer = obs_trace.enable(
+            capacity=args.trace_capacity,
+            sample_rate=args.trace_sample_rate,
+        )
+
+    recorder = ManifestRecorder("loadtest", config=run_config, seed=args.seed)
     try:
         with recorder:
             report, workload = run_loadtest(
@@ -469,6 +604,9 @@ def loadtest_main(argv: Optional[List[str]] = None) -> int:
                         else None
                     ),
                     placement_skew=args.placement_skew,
+                    burst_start_s=burst_start,
+                    burst_duration_s=burst_duration,
+                    burst_multiplier=burst_multiplier,
                 ),
                 ServeConfig(
                     queue_depth=args.queue_depth,
@@ -483,9 +621,27 @@ def loadtest_main(argv: Optional[List[str]] = None) -> int:
             recorder.add_metric("n_devices", workload.n_devices)
             if report.slo is not None:
                 recorder.add_metric("slo", report.slo)
+            if flight is not None:
+                flight.finalize(force=args.flight_dump)
+                recorder.add_metric(
+                    "flight_bundles", len(flight.triggers.dumped)
+                )
     except (ValueError, RuntimeError) as exc:
         print(f"repro loadtest: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if tracer is not None:
+            obs_trace.disable()
+
+    if flight is not None:
+        for path in flight.triggers.dumped:
+            print(f"wrote flight bundle to {path}")
+    if tracer is not None:
+        written = tracer.export_jsonl(args.trace_out)
+        print(
+            f"wrote {written} trace records to {args.trace_out} "
+            f"(sampled out {tracer.sampled_out}, evicted {tracer.dropped})"
+        )
 
     print(
         f"=== loadtest: {workload.n_requests} requests over "

@@ -62,6 +62,13 @@ class LoadGenConfig:
             (recorded in ``Workload.device_regions``).
         placement_skew: Zipf-like skew of the region assignment
             (0.0 uniform; only meaningful with ``n_regions``).
+        burst_start_s: start of an injected overload burst (None — the
+            default — injects nothing and leaves the schedule bit-
+            identical to earlier releases).  Poisson arrivals only.
+        burst_duration_s: how long the burst lasts.
+        burst_multiplier: rate multiplier inside the burst window
+            (relative to the already-scaled offered rate) — the knob CI
+            uses to manufacture incidents for the flight recorder.
     """
 
     duration_s: float = 600.0
@@ -73,6 +80,9 @@ class LoadGenConfig:
     max_devices: Optional[int] = None
     n_regions: Optional[int] = None
     placement_skew: float = 0.0
+    burst_start_s: Optional[float] = None
+    burst_duration_s: float = 0.0
+    burst_multiplier: float = 1.0
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0:
@@ -89,6 +99,19 @@ class LoadGenConfig:
             raise ValueError("n_regions must be positive when given")
         if self.placement_skew < 0:
             raise ValueError("placement_skew must be non-negative")
+        if self.burst_start_s is not None:
+            if self.arrivals == "log":
+                raise ValueError(
+                    "burst injection requires arrivals='poisson'"
+                )
+            if self.burst_start_s < 0:
+                raise ValueError("burst_start_s must be non-negative")
+            if self.burst_duration_s <= 0:
+                raise ValueError(
+                    "burst_duration_s must be positive when bursting"
+                )
+            if self.burst_multiplier <= 0:
+                raise ValueError("burst_multiplier must be positive")
 
 
 @dataclass
@@ -259,12 +282,26 @@ def _poisson_workload(
     mean_w = float(DIURNAL_WEIGHTS.mean())
     peak_factor = float(DIURNAL_WEIGHTS.max()) / mean_w if config.diurnal else 1.0
     lam_max = base_rate * peak_factor
+    burst = config.burst_start_s is not None
+    if burst:
+        # Raising lam_max only when a burst is configured keeps the
+        # thinning stream — and therefore every burst-free schedule —
+        # bit-identical to earlier releases.
+        lam_max *= max(1.0, config.burst_multiplier)
 
     def intensity(t: float) -> float:
         if not config.diurnal:
-            return base_rate
-        hour = int(((t + config.t_origin_s) % 86400.0) // 3600.0)
-        return base_rate * float(DIURNAL_WEIGHTS[hour]) / mean_w
+            rate = base_rate
+        else:
+            hour = int(((t + config.t_origin_s) % 86400.0) // 3600.0)
+            rate = base_rate * float(DIURNAL_WEIGHTS[hour]) / mean_w
+        if burst and (
+            config.burst_start_s
+            <= t
+            < config.burst_start_s + config.burst_duration_s
+        ):
+            rate *= config.burst_multiplier
+        return rate
 
     arrivals: List[Tuple[float, ServeRequest]] = []
     t = 0.0

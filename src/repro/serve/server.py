@@ -139,6 +139,11 @@ class CloudletServer:
         self.batcher = MissBatcher()
         self.edge = edge
         self.telemetry = telemetry if telemetry is not None else ServeTelemetry()
+        if edge is not None:
+            self.telemetry.edge_stats_fn = edge.stats
+            flight = getattr(self.telemetry, "flight", None)
+            if flight is not None:
+                flight.observe_edge(edge)
         # Per-server trace ids: a plain counter is deterministic under
         # the virtual clock (no randomness, no wall time).
         self._trace_ids = itertools.count(1)

@@ -93,6 +93,14 @@ class ServeTelemetry:
         #: called as ``fn(t, self)`` once per completed bucket — the
         #: ``repro top`` live view hangs off this.
         self.on_tick: List[Callable[[float, "ServeTelemetry"], None]] = []
+        #: attached :class:`~repro.obs.flight.FlightRecorder` (None when
+        #: no black-box capture rides along); set by ``attach()``.
+        self.flight: Optional[Any] = None
+        #: zero-arg edge-tier stats thunk (``EdgeTier.stats``), wired by
+        #: the server when a cloudlet tier is configured — feeds the
+        #: per-node Prometheus samples and the flight recorder's
+        #: per-tick edge snapshots.
+        self.edge_stats_fn: Optional[Callable[[], Dict[str, Any]]] = None
         self._last_bucket: Optional[int] = None
         self._t_last = 0.0
 
@@ -121,6 +129,8 @@ class ServeTelemetry:
         self._shed.inc(t)
         if self.slo is not None:
             self.slo.record_request(t, shed=True)
+        if self.flight is not None:
+            self.flight.on_shed(t, reply)
 
     def on_response(self, t: float, response: ServeResponse, inflight: int) -> None:
         self._maybe_tick(t)
@@ -179,6 +189,8 @@ class ServeTelemetry:
                 energy_j=energy_j,
                 battery_burn_per_day=burn_per_day,
             )
+        if self.flight is not None:
+            self.flight.on_response(t, response)
 
     # -- bucket ticks --------------------------------------------------------
 
@@ -207,6 +219,8 @@ class ServeTelemetry:
             tracer = get_tracer()
             for alert in fired:
                 tracer.event("slo_alert", **alert.to_dict())
+            if self.flight is not None:
+                self.flight.on_alerts(t, fired)
         return fired
 
     def finalize(self, t: Optional[float] = None) -> None:
@@ -330,6 +344,19 @@ class ServeTelemetry:
                         row["level"],
                     )
                 )
+        if self.edge_stats_fn is not None:
+            for node in self.edge_stats_fn()["nodes"]:
+                labels = {"node": str(node["node_id"])}
+                for field, value in (
+                    ("hits", node["hits"]),
+                    ("misses", node["misses"]),
+                    ("inflight", node["inflight"]),
+                    ("sheds", node["sheds"]),
+                    ("slice_size", node["size"]),
+                ):
+                    samples.append(
+                        ("serve.edge.node_" + field, labels, value)
+                    )
         return samples
 
     def snapshot(self, t: Optional[float] = None) -> Dict[str, Any]:
@@ -354,4 +381,6 @@ class ServeTelemetry:
                 "status": self.slo.status(t),
                 "alerts_total": len(self.slo.alerts),
             }
+        if self.flight is not None:
+            doc["flight"] = self.flight.status()
         return doc

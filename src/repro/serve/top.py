@@ -236,6 +236,31 @@ def render_top(snapshot: Dict[str, Any], buckets_shown: int = 60) -> str:
                 f"alerts {_fmt(rule.get('alerts'), '{:.0f}')}"
             )
 
+    flight = snapshot.get("flight")
+    if flight:
+        retained = flight.get("retained", {})
+        dropped = flight.get("dropped", {})
+        kept = sum(retained.values()) if retained else 0
+        lost = sum(dropped.values()) if dropped else 0
+        bundles = flight.get("bundles", [])
+        line = (
+            f"flight recorder: {kept} records retained "
+            f"(req {_fmt(retained.get('request'), '{:.0f}')} "
+            f"shed {_fmt(retained.get('shed'), '{:.0f}')} "
+            f"bkt {_fmt(retained.get('bucket'), '{:.0f}')}), "
+            f"{lost} evicted, {len(bundles)} bundle(s)"
+        )
+        pending = flight.get("pending_trigger")
+        if pending:
+            line += (
+                f"  TRIGGERED: {pending.get('trigger')} "
+                f"at t={_fmt(pending.get('t'), '{:.1f}')}s"
+            )
+        lines.append("")
+        lines.append(line)
+        for path in bundles:
+            lines.append(f"  bundle: {path}")
+
     exemplars = snapshot.get("exemplars", [])
     if exemplars:
         lines.append("")

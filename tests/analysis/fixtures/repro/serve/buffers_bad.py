@@ -1,0 +1,38 @@
+"""Positive fixture for REP009 (unbounded-buffer-append).
+
+Three hot-path appends to unbounded instance buffers; cold-path appends
+and bounded rings must stay silent.
+"""
+
+from collections import deque
+
+
+class LeakyTelemetry:
+    def __init__(self):
+        self.events = []                # unbounded list
+        self.spans = deque()            # unbounded deque
+        self.ring = deque(maxlen=256)   # bounded: never flagged
+
+    def on_response(self, t, response):
+        self.events.append((t, response))   # REP009
+        self.ring.append(t)                 # bounded, clean
+
+    def record(self, span):
+        self.spans.appendleft(span)         # REP009
+
+    def snapshot(self):
+        # Cold path: unbounded append outside a hot method is fine.
+        self.events.append(None)
+        return len(self.events)
+
+
+class LeakyQueue:
+    def __init__(self):
+        self.backlog = list()
+
+    def submit(self, item):
+        self.backlog.append(item)           # REP009
+
+    def drain_all(self):
+        # "drain_all" is not a hot verb ("drain" is).
+        self.backlog.append(None)

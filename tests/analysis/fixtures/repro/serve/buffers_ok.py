@@ -1,0 +1,41 @@
+"""Negative fixture for REP009 (unbounded-buffer-append).
+
+Bounded rings, cold-path appends, non-``self`` targets and bounded
+rebinds — all clean, for every rule.
+"""
+
+from collections import deque
+
+
+class BoundedTelemetry:
+    def __init__(self):
+        self.ring = deque(maxlen=512)
+        self.recent = deque((), 64)     # bounded via positional maxlen
+        self.sink = []
+
+    def on_response(self, t, response):
+        self.ring.append((t, response))
+        self.recent.append(t)
+
+    def flush(self):
+        # Cold path: appending to an unbounded buffer here is fine.
+        self.sink.append(len(self.ring))
+
+
+class ReboundSamples:
+    def __init__(self):
+        self.samples = []
+
+    def configure(self, cap):
+        # A bounded rebind anywhere clears the suspicion.
+        self.samples = deque((), cap)
+
+    def observe(self, x):
+        self.samples.append(x)
+
+
+class NotInstanceState:
+    def on_event(self, bus):
+        local = []
+        local.append(bus)           # local, not instance state
+        bus.queue.append(local)     # not rooted at ``self``

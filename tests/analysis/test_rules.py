@@ -29,6 +29,7 @@ POSITIVE = [
     ("defaults_bad.py", "REP006", 5),
     ("repro/serve/excepts_bad.py", "REP007", 2),
     ("repro/sim/layering_bad.py", "REP008", 2),
+    ("repro/serve/buffers_bad.py", "REP009", 3),
 ]
 
 #: Negative fixtures must be *entirely* clean, not just clean for the
@@ -42,6 +43,7 @@ NEGATIVE = [
     ("defaults_ok.py", "REP006"),
     ("repro/serve/excepts_ok.py", "REP007"),
     ("repro/sim/layering_ok.py", "REP008"),
+    ("repro/serve/buffers_ok.py", "REP009"),
 ]
 
 

@@ -1,0 +1,258 @@
+"""Postmortem analyzer tests: window stats, culprit attribution through
+both channels, the bench-gate verdict, CLI exit codes, and a scaled-down
+end-to-end run through the real load-test engine."""
+
+import json
+
+import pytest
+
+from repro.obs.flight import FlightRecorder
+from repro.obs.postmortem import (
+    REASON_SEGMENT,
+    SEGMENT_NAMES,
+    analyze,
+    load_bundle,
+    percentile,
+    postmortem_main,
+    render_report,
+)
+from repro.obs.triggers import TriggerConfig, TriggerEngine
+from repro.serve import LoadGenConfig, ServeConfig, run_loadtest
+from repro.serve.telemetry import ServeTelemetry
+
+
+def seg(**overrides):
+    out = {name: 0.0 for name in SEGMENT_NAMES}
+    out.update(overrides)
+    return out
+
+
+def request_record(t, sojourn=0.3, segments=None, hit=True, tier="device",
+                   edge_node=None):
+    return {
+        "kind": "request", "t": t, "trace_id": None, "device_id": 1,
+        "key": "q", "hit": hit, "shared": False, "tier": tier,
+        "edge_node": edge_node, "sojourn_s": sojourn,
+        "segments": segments or seg(service=sojourn),
+        "energy_j": 1.0, "hop_err_s": 0.0, "hop_err_j": 0.0,
+    }
+
+
+def shed_record(t, reason="server-busy", edge_node=None):
+    return {
+        "kind": "shed", "t": t, "reason": reason, "trace_id": None,
+        "device_id": 1, "key": "q", "edge_node": edge_node,
+    }
+
+
+def trigger_record(t, kind="manual"):
+    return {"kind": "trigger", "t": t, "trigger": kind, "detail": {}}
+
+
+def manifest_for(t0, incident_s=60.0, baseline_s=30.0):
+    return {
+        "name": "flight_bundle", "bundle_version": 1, "seed": 7,
+        "git_sha": "abc", "config": {},
+        "trigger": trigger_record(t0),
+        "windows": {
+            "incident": [max(0.0, t0 - incident_s), t0],
+            "baseline": [t0, t0 + baseline_s],
+        },
+    }
+
+
+class TestAttribution:
+    def test_queue_saturation_names_queue_wait(self):
+        # Incident: slow queue_wait + server-busy sheds; baseline calm.
+        records = []
+        for i in range(20):
+            records.append(request_record(
+                10.0 + i, sojourn=2.0,
+                segments=seg(queue_wait=1.7, service=0.3),
+            ))
+            records.append(shed_record(10.0 + i + 0.5))
+        for i in range(20):
+            records.append(request_record(61.0 + i, sojourn=0.3))
+        records.append(trigger_record(60.0))
+        result = analyze(manifest_for(60.0), records)
+        assert result["culprit"]["segment"] == "queue_wait"
+        assert result["culprit"]["score"] == pytest.approx(2.0)
+        assert result["verdict"] == "regression"
+        assert any(
+            row["metric"] == "queue_wait_p99_s"
+            for row in result["gate"]["regressions"]
+        )
+
+    def test_edge_inflight_names_edge_hop(self):
+        records = []
+        for i in range(20):
+            records.append(request_record(10.0 + i, sojourn=0.3))
+            records.append(shed_record(
+                10.0 + i + 0.5, reason="edge-queue-full", edge_node=0,
+            ))
+        for i in range(20):
+            records.append(request_record(61.0 + i, sojourn=0.3))
+        records.append(trigger_record(60.0))
+        result = analyze(manifest_for(60.0), records)
+        assert result["culprit"]["segment"] == "edge_hop"
+        assert "edge-queue-full" in result["culprit"]["reasons"]
+        # The hot node shows up in the incident window's node table.
+        assert result["incident"]["edge_nodes"][0]["shed"] == 20
+
+    def test_spike_onset_trigger_attributes_from_trailing_window(self):
+        # The anomaly sits AFTER the trigger (shed-spike fires at the
+        # first bad bucket): attribution is direction-agnostic.
+        records = [request_record(30.0 + i, sojourn=0.3) for i in range(20)]
+        records += [shed_record(60.5 + i) for i in range(20)]
+        records.append(trigger_record(60.0, kind="shed-spike"))
+        result = analyze(manifest_for(60.0), records)
+        assert result["culprit"]["segment"] == "queue_wait"
+
+    def test_clean_windows_name_no_culprit(self):
+        records = [request_record(10.0 + i) for i in range(30)]
+        records += [request_record(61.0 + i) for i in range(20)]
+        records.append(trigger_record(60.0))
+        result = analyze(manifest_for(60.0), records)
+        assert result["culprit"] is None
+        assert result["verdict"] == "clean"
+        assert result["gate"]["regressions"] == []
+
+    def test_latency_floor_suppresses_noise(self):
+        records = [
+            request_record(10.0 + i, sojourn=0.3001,
+                           segments=seg(service=0.3001))
+            for i in range(20)
+        ]
+        records += [request_record(61.0 + i, sojourn=0.3) for i in range(20)]
+        records.append(trigger_record(60.0))
+        result = analyze(manifest_for(60.0), records)
+        assert result["culprit"] is None
+
+    def test_reason_map_covers_known_shed_reasons(self):
+        assert REASON_SEGMENT["device-queue-full"] == "queue_wait"
+        assert REASON_SEGMENT["server-busy"] == "queue_wait"
+        assert REASON_SEGMENT["edge-queue-full"] == "edge_hop"
+
+    def test_timeline_spans_both_windows(self):
+        records = [
+            {"kind": "bucket", "t": float(t), "completed": 1, "shed": 0,
+             "shed_fraction": 0.0, "shed_reasons": {}, "hits": 1,
+             "sojourn_mean_s": 0.3, "sojourn_max_s": 0.3,
+             "queue_wait_max_s": 0.0, "hop_err_s_max": 0.0,
+             "hop_err_j_max": 0.0}
+            for t in range(0, 120)
+        ]
+        records.append(request_record(10.0))
+        records.append(trigger_record(60.0))
+        result = analyze(manifest_for(60.0), records)
+        ts = [row["t"] for row in result["timeline"]]
+        assert min(ts) == 0.0 and max(ts) == 90.0
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [float(i) for i in range(1, 101)]
+        assert percentile(values, 50) == 50.0
+        assert percentile(values, 99) == 99.0
+        assert percentile([], 99) is None
+
+
+class TestCli:
+    def _bundle(self, tmp_path, records, t0=60.0):
+        flight = FlightRecorder(config={"scenario": "cli"}, seed=7)
+        for record in records:
+            kind = record["kind"]
+            if kind in flight._rings:
+                with flight._lock:
+                    flight._append(kind, record)
+        trigger = trigger_record(t0)
+        windows = manifest_for(t0)["windows"]
+        return flight.dump_bundle(str(tmp_path), trigger, windows)
+
+    def test_exit_zero_on_clean(self, tmp_path, capsys):
+        records = [request_record(10.0 + i) for i in range(30)]
+        records += [request_record(61.0 + i) for i in range(20)]
+        path = self._bundle(tmp_path, records)
+        assert postmortem_main([path]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: clean" in out
+        assert "culprit: none" in out
+
+    def test_exit_one_on_regression_with_culprit(self, tmp_path, capsys):
+        records = []
+        for i in range(20):
+            records.append(request_record(
+                10.0 + i, sojourn=2.0,
+                segments=seg(queue_wait=1.7, service=0.3),
+            ))
+            records.append(shed_record(10.0 + i + 0.5))
+        records += [request_record(61.0 + i) for i in range(20)]
+        path = self._bundle(tmp_path, records)
+        assert postmortem_main([path]) == 1
+        out = capsys.readouterr().out
+        assert "culprit: queue_wait" in out
+        assert "verdict: regression" in out
+
+    def test_exit_two_on_missing_bundle(self, tmp_path, capsys):
+        assert postmortem_main([str(tmp_path / "nope")]) == 2
+
+    def test_exit_two_on_future_bundle_version(self, tmp_path, capsys):
+        bundle = tmp_path / "bundle"
+        bundle.mkdir()
+        (bundle / "events.jsonl").write_text(
+            json.dumps({"kind": "meta", "t": 0.0, "bundle_version": 99}) + "\n"
+        )
+        assert postmortem_main([str(bundle)]) == 2
+
+    def test_json_out(self, tmp_path, capsys):
+        records = [request_record(10.0 + i) for i in range(30)]
+        records += [request_record(61.0 + i) for i in range(20)]
+        path = self._bundle(tmp_path, records)
+        json_path = str(tmp_path / "verdict.json")
+        postmortem_main([path, "--json-out", json_path])
+        doc = json.load(open(json_path))
+        assert doc["verdict"] == "clean"
+        assert set(doc["windows"]) == {"incident", "baseline"}
+
+    def test_report_renders_from_loaded_bundle(self, tmp_path):
+        records = [request_record(10.0 + i) for i in range(30)]
+        path = self._bundle(tmp_path, records)
+        manifest, loaded = load_bundle(path)
+        analysis = analyze(manifest, loaded)
+        text = render_report(analysis, manifest, path)
+        assert "postmortem:" in text
+        assert "segment" in text
+        assert "verdict: clean" in text
+
+
+class TestEndToEnd:
+    def test_loadtest_burst_bundle_names_queue_culprit(self, small_log, tmp_path):
+        """Scaled-down CI scenario: healthy base, a hard burst, manual
+        trigger after the burst drains -> culprit queue_wait, exit 1."""
+        engine = TriggerEngine(TriggerConfig(
+            slo_alert=False, shed_spike=None, hop_resum_tol_s=None,
+            hop_resum_tol_j=None, trigger_at=110.0,
+            incident_window_s=60.0, baseline_window_s=30.0,
+            bundle_dir=str(tmp_path),
+        ))
+        telemetry = ServeTelemetry()
+        FlightRecorder(
+            config={"scenario": "e2e"}, seed=11, triggers=engine
+        ).attach(telemetry)
+        run_loadtest(
+            small_log,
+            LoadGenConfig(
+                duration_s=150.0, rate_multiplier=40.0, seed=11,
+                diurnal=False, burst_start_s=60.0, burst_duration_s=10.0,
+                burst_multiplier=40.0,
+            ),
+            ServeConfig(queue_depth=8, max_inflight=8),
+            telemetry=telemetry,
+        )
+        telemetry.flight.finalize()
+        assert len(engine.dumped) == 1
+        manifest, records = load_bundle(engine.dumped[0])
+        result = analyze(manifest, records)
+        assert result["culprit"] is not None
+        assert result["culprit"]["segment"] == "queue_wait"
+        assert postmortem_main([engine.dumped[0]]) == 1

@@ -183,3 +183,85 @@ class TestBreakdown:
         (row,) = span_breakdown(t.records())
         assert row["count"] == 5
         assert row["mean_ms"] == pytest.approx(row["total_s"] / 5 * 1e3)
+
+
+class TestSampling:
+    def test_systematic_rate_keeps_exact_fraction(self):
+        t = Tracer(sample_rate=0.25)
+        for i in range(100):
+            with t.span(f"s{i}"):
+                pass
+        assert len(t.records()) == 25
+        assert t.sampled_out == 75
+        assert t.spans_dropped == 75
+
+    def test_sampling_is_deterministic_not_random(self):
+        def kept_names():
+            t = Tracer(sample_rate=0.5)
+            for i in range(10):
+                with t.span(f"s{i}"):
+                    pass
+            return [r.name for r in t.records()]
+
+        first, second = kept_names(), kept_names()
+        assert first == second
+        assert len(first) == 5
+
+    def test_full_rate_keeps_everything(self):
+        t = Tracer(sample_rate=1.0)
+        for i in range(10):
+            with t.span(f"s{i}"):
+                pass
+        assert len(t.records()) == 10
+        assert t.sampled_out == 0
+
+    def test_spans_dropped_counts_evictions_plus_sampling(self):
+        t = Tracer(capacity=4, sample_rate=0.5)
+        for i in range(20):
+            with t.span(f"s{i}"):
+                pass
+        assert t.sampled_out == 10
+        assert t.dropped == 6  # 10 kept by the sampler, ring holds 4
+        assert t.spans_dropped == 16
+        assert len(t.records()) == 4
+
+    def test_export_meta_records_sampling(self, tmp_path):
+        t = Tracer(sample_rate=0.5)
+        for i in range(10):
+            with t.span(f"s{i}"):
+                pass
+        path = str(tmp_path / "trace.jsonl")
+        t.export_jsonl(path)
+        with open(path) as fh:
+            meta = json.loads(fh.readline())
+        assert meta["sample_rate"] == 0.5
+        assert meta["sampled_out"] == 5
+        assert meta["spans_dropped"] == 5
+        assert meta["n_records"] == 5
+
+    def test_clear_resets_sampler_state(self):
+        t = Tracer(sample_rate=0.5)
+        for i in range(9):
+            with t.span(f"s{i}"):
+                pass
+        t.clear()
+        assert t.sampled_out == 0
+        assert t.spans_dropped == 0
+        # Phase restarts: the first post-clear record lands exactly where
+        # the first record of a fresh tracer would.
+        with t.span("after"):
+            pass
+        fresh = Tracer(sample_rate=0.5)
+        with fresh.span("after"):
+            pass
+        assert len(t.records()) == len(fresh.records())
+
+    def test_invalid_rate_rejected(self):
+        for rate in (0.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                Tracer(sample_rate=rate)
+
+    def test_enable_passes_sample_rate(self):
+        tracer = enable(capacity=16, sample_rate=0.5)
+        assert get_tracer() is tracer
+        assert tracer.sample_rate == 0.5

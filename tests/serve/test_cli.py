@@ -2,8 +2,18 @@
 
 import json
 
+import pytest
+
 from repro.cli import main as repro_main
 from repro.serve.cli import loadtest_main, serve_main
+
+@pytest.fixture(autouse=True)
+def _run_in_tmp(tmp_path, monkeypatch):
+    # The flight recorder is always on: any loadtest that trips a
+    # trigger dumps a bundle into ./flight_bundles.  Keep those (and
+    # any other relative-path artifacts) out of the repo tree.
+    monkeypatch.chdir(tmp_path)
+
 
 LIGHT_LOADTEST = [
     "--duration", "600", "--rate", "5", "--seed", "7",
@@ -157,3 +167,87 @@ class TestBenchGateVerb:
         )
         assert code == 1
         assert "REGRESSED" in capsys.readouterr().out
+
+
+class TestLoadtestBurstAndSamplingFlags:
+    def test_bad_burst_spec_exits_2(self, capsys):
+        for spec in ("60:10", "a:b:c", "60:-5:2", "60:10:0"):
+            assert loadtest_main(LIGHT_LOADTEST + ["--burst", spec]) == 2, spec
+        assert "--burst" in capsys.readouterr().err
+
+    def test_burst_run_records_spec_in_manifest(self, tmp_path):
+        out = tmp_path / "burst.json"
+        code = loadtest_main(
+            LIGHT_LOADTEST
+            + ["--burst", "60:10:20", "--manifest-out", str(out),
+               "--flight-bundle-dir", str(tmp_path / "fb")]
+        )
+        assert code == 0
+        manifest = json.loads(out.read_text())
+        assert manifest["config"]["burst"] == "60:10:20"
+
+    def test_bad_trace_sample_rate_exits_2(self, capsys):
+        for rate in ("0", "1.5", "-0.2"):
+            assert loadtest_main(
+                LIGHT_LOADTEST + ["--trace-sample-rate", rate]
+            ) == 2, rate
+        assert "--trace-sample-rate" in capsys.readouterr().err
+
+    def test_sampled_trace_meta_accounts_for_dropped_spans(self, tmp_path):
+        trace_out = tmp_path / "trace.jsonl"
+        code = loadtest_main(
+            LIGHT_LOADTEST
+            + ["--trace-out", str(trace_out), "--trace-sample-rate", "0.25",
+               "--flight-bundle-dir", str(tmp_path / "fb")]
+        )
+        assert code == 0
+        with open(trace_out) as fh:
+            meta = json.loads(fh.readline())
+        assert meta["kind"] == "meta"
+        assert meta["sample_rate"] == 0.25
+        assert meta["sampled_out"] > 0
+        assert meta["spans_dropped"] >= meta["sampled_out"]
+        # ~3/4 of the spans were thinned out relative to what was kept.
+        assert meta["sampled_out"] == pytest.approx(
+            3 * (meta["n_records"] + meta["spans_dropped"]
+                 - meta["sampled_out"]), rel=0.01
+        )
+
+
+class TestLoadtestFlightFlags:
+    def test_no_flight_omits_bundle_metric(self, tmp_path):
+        out = tmp_path / "m.json"
+        code = loadtest_main(
+            LIGHT_LOADTEST + ["--no-flight", "--manifest-out", str(out)]
+        )
+        assert code == 0
+        manifest = json.loads(out.read_text())
+        assert "flight_bundles" not in manifest["metrics"]
+
+    def test_flight_dump_forces_a_bundle(self, tmp_path, capsys):
+        bundles = tmp_path / "bundles"
+        out = tmp_path / "m.json"
+        code = loadtest_main(
+            LIGHT_LOADTEST
+            + ["--flight-dump", "--flight-bundle-dir", str(bundles),
+               "--manifest-out", str(out)]
+        )
+        assert code == 0
+        manifest = json.loads(out.read_text())
+        assert manifest["metrics"]["flight_bundles"] == 1
+        (bundle,) = list(bundles.iterdir())
+        assert (bundle / "events.jsonl").exists()
+        assert (bundle / "manifest.json").exists()
+        assert "wrote flight bundle" in capsys.readouterr().out
+
+    def test_quiet_run_dumps_nothing(self, tmp_path):
+        bundles = tmp_path / "bundles"
+        out = tmp_path / "m.json"
+        code = loadtest_main(
+            LIGHT_LOADTEST
+            + ["--flight-bundle-dir", str(bundles), "--manifest-out", str(out)]
+        )
+        assert code == 0
+        manifest = json.loads(out.read_text())
+        assert manifest["metrics"]["flight_bundles"] == 0
+        assert not bundles.exists()

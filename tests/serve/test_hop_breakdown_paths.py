@@ -1,0 +1,149 @@
+"""Per-tier hop accounting on the degraded paths.
+
+The happy path's hop re-sum invariants are covered by the trace and
+edge suites; these tests pin the shed/overloaded paths the flight
+recorder leans on: completed replies re-sum while the server is
+actively shedding, shed traces carry the ``shed`` mark and typed
+reason, and an edge-inflight shed records which cloudlet node refused.
+"""
+
+from repro.edge.tier import EdgeTier, EdgeTopology
+from repro.obs.registry import MetricsRegistry
+from repro.serve.requests import (
+    Overloaded,
+    ServeRequest,
+    ServeResponse,
+    TIER_NAMES,
+)
+from repro.serve.server import CloudletServer, ServeConfig
+from repro.serve.vclock import run_simulated
+from repro.sim.metrics import QueryOutcome, ServiceSource
+
+from tests.serve.test_trace_propagation import StubBackend, _request
+
+TOL = 1e-9
+
+
+def _hop_sums(response):
+    hops = response.hop_breakdown()
+    assert set(hops) == set(TIER_NAMES)
+    latency = sum(h["latency_s"] for h in hops.values())
+    energy = sum(h["energy_j"] for h in hops.values())
+    return latency, energy
+
+
+async def _overload_scenario(n=24, **config):
+    server = CloudletServer(
+        lambda uid: StubBackend(cached={"hit"}),
+        ServeConfig(**config),
+        registry=MetricsRegistry(),
+    )
+    futures = [
+        server.submit(_request(device_id=i % 3, key="hit" if i % 2 else f"m{i}"))
+        for i in range(n)
+    ]
+    await server.drain()
+    replies = [f.result() for f in futures]
+    await server.close()
+    return replies
+
+
+class TestNoTracePath:
+    def test_hop_breakdown_without_trace_resums(self):
+        outcome = QueryOutcome(
+            query="q", hit=True, source=ServiceSource.CACHE,
+            latency_s=0.2, energy_j=0.0, timestamp=0.0,
+        )
+        response = ServeResponse(
+            request=ServeRequest(device_id=1, key="q"),
+            outcome=outcome,
+            enqueued_at=1.0, started_at=1.3, completed_at=1.5,
+        )
+        latency, energy = _hop_sums(response)
+        assert abs(latency - response.sojourn_s) <= TOL
+        assert energy == 0.0
+        # Without a trace everything is device-side time.
+        assert response.hop_breakdown()["device"]["latency_s"] == (
+            response.sojourn_s
+        )
+
+
+class TestOverloadedServerPath:
+    def test_completed_replies_resum_while_shedding(self):
+        replies = run_simulated(
+            _overload_scenario(queue_depth=1, max_inflight=4)
+        )
+        responses = [r for r in replies if isinstance(r, ServeResponse)]
+        sheds = [r for r in replies if isinstance(r, Overloaded)]
+        assert responses and sheds  # genuinely degraded, not idle
+        for response in responses:
+            latency, energy = _hop_sums(response)
+            assert abs(latency - response.sojourn_s) <= TOL
+            assert abs(energy - response.energy_j) <= TOL
+
+    def test_shed_trace_carries_mark_and_reason(self):
+        replies = run_simulated(
+            _overload_scenario(queue_depth=1, max_inflight=4)
+        )
+        sheds = [r for r in replies if isinstance(r, Overloaded)]
+        assert sheds
+        for shed in sheds:
+            assert shed.reason in ("device-queue-full", "server-busy")
+            assert shed.trace is not None
+            assert [name for name, _ in shed.trace.marks[1:]] == ["shed"]
+            assert shed.trace.annotations["shed_reason"] == shed.reason
+
+    def test_server_busy_when_inflight_cap_hit(self):
+        replies = run_simulated(
+            _overload_scenario(queue_depth=64, max_inflight=2)
+        )
+        reasons = {
+            r.reason for r in replies if isinstance(r, Overloaded)
+        }
+        assert reasons == {"server-busy"}
+
+
+class TestEdgeShedPath:
+    def _scenario(self):
+        async def run():
+            edge = EdgeTier(EdgeTopology(n_nodes=2, node_max_inflight=1))
+            server = CloudletServer(
+                lambda uid: StubBackend(cached=frozenset()),
+                ServeConfig(queue_depth=64, max_inflight=64),
+                registry=MetricsRegistry(),
+                edge=edge,
+            )
+            futures = [
+                server.submit(_request(device_id=i, key=f"miss-{i}"))
+                for i in range(16)
+            ]
+            await server.drain()
+            replies = [f.result() for f in futures]
+            await server.close()
+            return replies
+
+        return run_simulated(run())
+
+    def test_edge_shed_records_refusing_node(self):
+        replies = self._scenario()
+        edge_sheds = [
+            r for r in replies
+            if isinstance(r, Overloaded) and r.reason == "edge-queue-full"
+        ]
+        assert edge_sheds  # inflight bound of 1 must refuse concurrent fetches
+        topology_nodes = {0, 1}
+        for shed in edge_sheds:
+            assert shed.trace is not None
+            assert shed.trace.annotations["edge_node"] in topology_nodes
+            assert shed.trace.annotations["shed_reason"] == "edge-queue-full"
+
+    def test_edge_completions_resum_alongside_sheds(self):
+        replies = self._scenario()
+        responses = [r for r in replies if isinstance(r, ServeResponse)]
+        assert responses
+        for response in responses:
+            latency, energy = _hop_sums(response)
+            assert abs(latency - response.sojourn_s) <= TOL
+            assert abs(energy - response.energy_j) <= TOL
+        # At least one answer actually crossed the edge hop.
+        assert any(r.edge_node is not None for r in responses)

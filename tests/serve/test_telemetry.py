@@ -276,3 +276,38 @@ class TestEnergyTelemetry:
         rule = telemetry.verdict()["rules"]["joules"]
         assert rule["total"] == 2
         assert rule["bad"] == 1
+
+
+class TestEdgeNodeExposition:
+    def test_per_node_labeled_samples(self):
+        from repro.edge.tier import EdgeTier, EdgeTopology
+        from repro.obs.exposition import render_prometheus
+        from repro.obs.registry import MetricsRegistry
+
+        telemetry = ServeTelemetry()
+        tier = EdgeTier(EdgeTopology(n_nodes=2, seed=7))
+        telemetry.edge_stats_fn = tier.stats
+        telemetry.on_response(1.0, _response(), inflight=0)
+
+        by_name = {}
+        for name, labels, value in telemetry.prometheus_samples():
+            by_name.setdefault(name, []).append((labels, value))
+        for field in ("hits", "misses", "inflight", "sheds", "slice_size"):
+            rows = by_name["serve.edge.node_" + field]
+            assert [labels for labels, _ in rows] == [
+                {"node": "0"}, {"node": "1"},
+            ], field
+
+        text = render_prometheus(
+            MetricsRegistry(),
+            extra_samples=telemetry.prometheus_samples(),
+        )
+        assert '# TYPE repro_serve_edge_node_hits gauge' in text
+        assert 'repro_serve_edge_node_hits{node="0"} 0' in text
+        assert 'repro_serve_edge_node_hits{node="1"} 0' in text
+
+    def test_no_edge_tier_no_node_samples(self):
+        telemetry = ServeTelemetry()
+        telemetry.on_response(1.0, _response(), inflight=0)
+        names = {name for name, _, _ in telemetry.prometheus_samples()}
+        assert not any(name.startswith("serve.edge.") for name in names)
