@@ -4,13 +4,22 @@ Usage::
 
     python -m repro lint                         # src/ benchmarks/ tests/differential/
     python -m repro lint src/repro/serve         # one subtree
+    python -m repro lint --flow                  # + whole-program rules REP010-REP012
+    python -m repro lint --changed               # git-diff scope + call-graph dependents
     python -m repro lint --format json           # machine-readable report
+    python -m repro lint --format sarif          # SARIF 2.1.0 (GitHub code scanning)
     python -m repro lint --stats                 # findings per rule / package
     python -m repro lint --write-baseline        # grandfather current findings
     python -m repro lint --manifest-out lint.json  # lint-health run manifest
 
 Exit-code semantics match ``repro bench-gate``: 0 clean, 1 findings
 (new errors; warnings too under ``--strict``), 2 usage/input error.
+
+The flow layer keeps an incremental cache (``--flow-cache``, default
+``.repro_flow_cache.json``): a warm rerun on an unchanged tree
+re-analyzes zero files, and touching one file re-analyzes exactly that
+file plus its reverse call-graph dependents — ``--stats``/``--format
+json`` expose the honest counts CI asserts on.
 """
 
 from __future__ import annotations
@@ -18,11 +27,13 @@ from __future__ import annotations
 import argparse
 import collections
 import json
+import os
+import subprocess
 import sys
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Set
 
 from repro.analysis.baseline import DEFAULT_BASELINE, Baseline, partition
-from repro.analysis.engine import Analyzer, FileReport
+from repro.analysis.engine import Analyzer, FileReport, iter_python_files
 from repro.analysis.findings import Finding, Severity
 
 __all__ = ["lint_main"]
@@ -99,6 +110,17 @@ def _print_stats(stats: Dict[str, Any]) -> None:
         print(_format_table(pkg_rows, ["package", "findings"]))
     if not rule_rows:
         print("no findings")
+    flow = stats.get("flow")
+    if flow:
+        print(
+            f"\nflow: {flow['files']} files, "
+            f"{flow['reanalyzed']} re-analyzed "
+            f"({flow['summaries_reused']} summaries reused), "
+            f"{flow['graph_nodes']} call-graph nodes / "
+            f"{flow['graph_edges']} edges, "
+            f"{flow['tainted_functions']} tainted fn(s), "
+            f"{flow['wall_s']:.3f}s"
+        )
 
 
 def _manifest_metrics(stats: Dict[str, Any]) -> Dict[str, Any]:
@@ -111,22 +133,54 @@ def _manifest_metrics(stats: Dict[str, Any]) -> Dict[str, Any]:
         metrics[f"lint.rule.{rule}"] = count
     for pkg, count in stats["per_package"].items():
         metrics[f"lint.package.{pkg}"] = count
+    flow = stats.get("flow")
+    if flow:
+        for key in ("files", "reanalyzed", "summaries_reused",
+                    "summaries_computed", "graph_nodes", "graph_edges",
+                    "wall_s"):
+            metrics[f"lint.flow.{key}"] = flow[key]
     return metrics
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro lint",
-        description="AST-based determinism & async-safety analyzer "
-        "(project-specific rules REP001-REP008).",
+        description="AST + whole-program determinism & async-safety "
+        "analyzer (project rules REP001-REP012).",
     )
     parser.add_argument(
         "paths", nargs="*", default=None,
         help=f"files/directories to analyze (default: {' '.join(DEFAULT_PATHS)})",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="report format (default text)",
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (default text; sarif is SARIF 2.1.0 for "
+        "GitHub code scanning)",
+    )
+    parser.add_argument(
+        "--flow", action="store_true",
+        help="run the whole-program flow rules (REP010-REP012): "
+        "call-graph taint, await-interleaving races, escaping "
+        "unawaited coroutines",
+    )
+    parser.add_argument(
+        "--changed", action="store_true",
+        help="lint only files changed per git (vs --changed-base, "
+        "default HEAD) plus their reverse call-graph dependents",
+    )
+    parser.add_argument(
+        "--changed-base", metavar="REF", default="HEAD",
+        help="git ref to diff against for --changed (default HEAD: "
+        "staged + unstaged + untracked)",
+    )
+    parser.add_argument(
+        "--flow-cache", metavar="PATH", default=None,
+        help="incremental flow-cache file (default "
+        ".repro_flow_cache.json)",
+    )
+    parser.add_argument(
+        "--no-flow-cache", action="store_true",
+        help="disable the incremental cache: every file re-analyzes",
     )
     parser.add_argument(
         "--baseline", metavar="PATH", default=DEFAULT_BASELINE,
@@ -174,23 +228,162 @@ def _split_specs(specs: Optional[List[str]]) -> Optional[List[str]]:
     return out
 
 
+def _git_changed_files(base: str) -> Optional[Set[str]]:
+    """Real paths of files changed vs ``base`` plus untracked files,
+    or ``None`` when git is unavailable / not a repository."""
+    changed: Set[str] = set()
+    for cmd in (
+        ["git", "diff", "--name-only", base, "--"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            proc = subprocess.run(
+                cmd, capture_output=True, text=True, check=True,
+            )
+        except (OSError, subprocess.CalledProcessError):
+            return None
+        changed.update(
+            os.path.realpath(line.strip())
+            for line in proc.stdout.splitlines() if line.strip()
+        )
+    return changed
+
+
+def _public_flow_stats(flow_stats: Dict[str, Any]) -> Dict[str, Any]:
+    return {k: v for k, v in flow_stats.items() if not k.startswith("_")}
+
+
+def _tool_version() -> str:
+    """The installed distribution version, without importing the
+    ``repro`` facade (layer 5 — off-limits from the analysis layer)."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        return "0"
+
+
 def lint_main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    try:
-        analyzer = Analyzer(
-            select=_split_specs(args.select), ignore=_split_specs(args.ignore)
-        )
-    except ValueError as exc:
-        print(f"repro lint: {exc}", file=sys.stderr)
+    select = _split_specs(args.select)
+    ignore = _split_specs(args.ignore)
+
+    # One uniform id space for --select/--ignore validation: the AST
+    # rules plus (importing registers them) the flow rules.
+    from repro.analysis.flow.rules import FLOW_RULES
+    from repro.analysis.rules import ALL_RULES
+
+    flow_names = {r.id for r in FLOW_RULES} | {r.name for r in FLOW_RULES}
+    known = flow_names | {r.id for r in ALL_RULES} | {
+        r.name for r in ALL_RULES
+    }
+    for spec, label in ((select, "select"), (ignore, "ignore")):
+        unknown = set(spec or ()) - known
+        if unknown:
+            print(
+                f"repro lint: unknown rule(s) in --{label}: "
+                f"{sorted(unknown)}; known: "
+                f"{sorted(r.id for r in ALL_RULES) + sorted(r.id for r in FLOW_RULES)}",
+                file=sys.stderr,
+            )
+            return 2
+    ast_select = (
+        None if select is None
+        else [s for s in select if s not in flow_names]
+    )
+    ast_ignore = (
+        None if ignore is None
+        else [s for s in ignore if s not in flow_names]
+    )
+    analyzer = Analyzer(select=ast_select, ignore=ast_ignore)
+    if select is not None and not analyzer.rules and not (
+        set(select) & flow_names
+    ):
+        print("repro lint: --select matched no rules", file=sys.stderr)
         return 2
 
     paths = args.paths or list(DEFAULT_PATHS)
-    reports: List[FileReport] = analyzer.run(paths)
-    if not reports:
+    universe = list(iter_python_files(paths))
+    if not universe:
         print(f"repro lint: no python files under {paths}", file=sys.stderr)
         return 2
+
+    run_flow = args.flow or args.changed
+    flow_result = None
+    flow_stats: Optional[Dict[str, Any]] = None
+    if run_flow:
+        from repro.analysis.engine import _display_path
+        from repro.analysis.flow.cache import (
+            DEFAULT_CACHE_PATH,
+            FlowCache,
+        )
+        from repro.analysis.flow.engine import FlowEngine
+
+        cache = None
+        if not args.no_flow_cache:
+            cache = FlowCache(args.flow_cache or DEFAULT_CACHE_PATH)
+        flow_engine = FlowEngine(
+            select=select, ignore=ignore, cache=cache
+        )
+        flow_result = flow_engine.run(
+            [_display_path(p) for p in universe]
+        )
+        flow_stats = _public_flow_stats(flow_result.stats)
+
+    # --changed: narrow the reported set to git-changed files plus
+    # their reverse call-graph dependents.  The flow pass above still
+    # saw the whole universe — whole-program facts need it — but only
+    # the selected files' findings are reported.
+    selected = list(universe)
+    if args.changed:
+        changed = _git_changed_files(args.changed_base)
+        if changed is None:
+            print(
+                "repro lint: --changed requires git (repository + "
+                "binary); run without --changed",
+                file=sys.stderr,
+            )
+            return 2
+        selected = [
+            p for p in universe if os.path.realpath(p) in changed
+        ]
+        if flow_result is not None and selected:
+            from repro.analysis.engine import _display_path
+
+            display_selected = {_display_path(p) for p in selected}
+            dependents = flow_result.dependents_of(display_selected)
+            extra = sorted(
+                dependents - display_selected
+            )
+            by_display = {
+                _display_path(p): p for p in universe
+            }
+            selected.extend(
+                by_display[d] for d in extra if d in by_display
+            )
+        if not selected:
+            print(
+                "repro lint: no changed python files under "
+                f"{paths} (base {args.changed_base})"
+            )
+            return 0
+
+    reports: List[FileReport] = [
+        analyzer.analyze_file(p) for p in iter_python_files(selected)
+    ]
     all_findings = [f for r in reports for f in r.findings]
     suppressed_total = sum(len(r.suppressed) for r in reports)
+
+    if args.flow and flow_result is not None:
+        reported_paths = {r.path for r in reports}
+        for path in sorted(flow_result.reports):
+            if path not in reported_paths:
+                continue
+            flow_report = flow_result.reports[path]
+            all_findings.extend(flow_report.findings)
+            suppressed_total += len(flow_report.suppressed)
+        all_findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
 
     if args.write_baseline:
         baseline = Baseline.from_findings(all_findings)
@@ -210,8 +403,14 @@ def lint_main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"repro lint: {exc}", file=sys.stderr)
             return 2
     new, grandfathered, stale = partition(all_findings, baseline)
+    if args.changed:
+        # A scoped run sees only a slice of the tree: baseline entries
+        # for unselected files look "stale" but are not.
+        stale = []
 
     stats = _stats(new, grandfathered, suppressed_total, files=len(reports))
+    if flow_stats is not None:
+        stats["flow"] = flow_stats
     failing = stats["errors"] + (stats["warnings"] if args.strict else 0)
     exit_code = 1 if failing else 0
 
@@ -223,14 +422,36 @@ def lint_main(argv: Optional[Sequence[str]] = None) -> int:
             config={
                 "paths": list(paths),
                 "strict": args.strict,
+                "flow": bool(args.flow),
+                "changed": bool(args.changed),
                 "baseline": None if args.no_baseline else args.baseline,
-                "rules": [r.id for r in analyzer.rules],
+                "rules": [r.id for r in analyzer.rules] + (
+                    sorted(flow_stats["rules"]) if args.flow and flow_stats
+                    else []
+                ),
             },
         )
         with recorder:
             for key, value in _manifest_metrics(stats).items():
-                recorder.add_metric(key, value)
+                if isinstance(value, (int, float, str, bool)):
+                    recorder.add_metric(key, value)
         recorder.manifest.write(args.manifest_out)
+
+    if args.format == "sarif":
+        from repro.analysis.sarif import to_sarif
+
+        active_rules = list(analyzer.rules) + (
+            list(FLOW_RULES) if args.flow else []
+        )
+        doc = to_sarif(
+            new, grandfathered, rules=active_rules,
+            tool_version=_tool_version(),
+        )
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        if args.manifest_out:
+            print(f"wrote lint manifest to {args.manifest_out}",
+                  file=sys.stderr)
+        return exit_code
 
     if args.format == "json":
         doc = {

@@ -17,7 +17,49 @@ import ast
 import re
 from typing import Dict, List, Optional, Set, Tuple
 
-__all__ = ["FileContext", "ImportMap", "parse_noqa"]
+__all__ = ["FileContext", "ImportMap", "canonical_chain", "parse_noqa"]
+
+#: Placeholder for a subscript hop in a canonical chain: ``self.locks[key]``
+#: and ``self.locks[other]`` both canonicalize to ``self.locks[·]`` — the
+#: *container* is the shared object whose locking/mutation discipline the
+#: rules track, whatever the key expression is.
+SUBSCRIPT_HOP = "[·]"
+
+
+def canonical_chain(node: ast.AST) -> Optional[str]:
+    """Canonical dotted form of a Name/Attribute/Subscript chain.
+
+    ``self.session.lock`` -> ``"self.session.lock"``;
+    ``self.locks[key]`` -> ``"self.locks[·]"`` (any subscript collapses
+    to the same placeholder, so two accesses through different keys
+    still canonicalize to the same container).  Returns ``None`` when
+    the chain is rooted in anything other than a plain name (a call
+    result, a literal, ...).
+    """
+    parts: List[str] = []
+    while True:
+        if isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            parts.append(SUBSCRIPT_HOP)
+            node = node.value
+        else:
+            break
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    # Join with "." except subscript hops, which glue onto the previous
+    # component: self.locks[·] not self.locks.[·].
+    chain = ""
+    for part in reversed(parts):
+        if part == SUBSCRIPT_HOP:
+            chain += SUBSCRIPT_HOP
+        elif chain:
+            chain += "." + part
+        else:
+            chain = part
+    return chain
 
 #: ``# repro: noqa``, ``# repro: noqa[REP001,REP002]`` or the ruff-shaped
 #: ``# repro: noqa: REP001,REP002``.  A bare directive suppresses every

@@ -1,0 +1,56 @@
+"""Whole-program flow layer for ``repro lint`` (``--flow``).
+
+The per-file AST rules (REP001-REP009) see one file at a time; this
+package sees the project.  It is built in four stages, each a module:
+
+``summaries``
+    One parse per file -> a JSON-serializable :class:`FileSummary`:
+    the file's functions and classes, every call site resolved as far
+    as file-local information allows (through the shared
+    :class:`~repro.analysis.context.ImportMap`), direct nondeterminism
+    sources, and the ordered read/write/await event stream of every
+    ``async def``.
+
+``callgraph``
+    Links summaries into a project :class:`SymbolTable` and
+    :class:`CallGraph` — module functions, methods resolved through
+    class attributes and base classes, forward + reverse edges.
+
+``taint``
+    Worklist fixpoints over the graph: transitive nondeterminism
+    (with deterministic shortest call chains for the REP010 message),
+    coroutine factories (REP012), and per-class transitive
+    ``self.*``-write sets (REP011's interprocedural half).
+
+``cache``
+    Content-fingerprinted incremental store: per-file summaries and
+    findings keyed by the file digest plus the digests of every
+    transitive call-graph dependency, invalidated transitively.
+
+``rules`` holds the three flow rules (REP010-REP012) and ``engine``
+the :class:`FlowEngine` orchestrating a run.  Findings come out as
+plain :class:`~repro.analysis.findings.Finding` objects so the noqa /
+baseline / SARIF machinery downstream does not know flow findings are
+special.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.flow.cache import FlowCache
+from repro.analysis.flow.callgraph import CallGraph, SymbolTable, build_program
+from repro.analysis.flow.engine import FlowEngine, FlowReport
+from repro.analysis.flow.rules import FLOW_RULES, FLOW_RULES_BY_ID
+from repro.analysis.flow.summaries import FileSummary, summarize_source
+
+__all__ = [
+    "CallGraph",
+    "FLOW_RULES",
+    "FLOW_RULES_BY_ID",
+    "FileSummary",
+    "FlowCache",
+    "FlowEngine",
+    "FlowReport",
+    "SymbolTable",
+    "build_program",
+    "summarize_source",
+]

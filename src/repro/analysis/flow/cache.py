@@ -1,0 +1,181 @@
+"""Content-fingerprinted incremental cache for the flow layer.
+
+Two things are cached per file, under one JSON document:
+
+* the :class:`~repro.analysis.flow.summaries.FileSummary` — valid
+  whenever the file's own digest matches (summaries are a pure
+  function of the file text);
+* the file's flow *findings* — valid only when, additionally, the
+  digest of every transitive call-graph dependency matches what it was
+  when the findings were computed (taint and factory facts flow across
+  files, so a change anywhere in the dependency closure invalidates
+  transitively), and the active flow-rule set is identical.
+
+Dependencies are tracked at *module* granularity, including modules
+that were absent at computation time (recorded with a ``null`` digest):
+if ``repro.core.util`` did not exist and now does, every file that
+referenced it re-analyzes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Dict, List, Optional
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.flow.summaries import FileSummary
+
+__all__ = ["DEFAULT_CACHE_PATH", "FlowCache", "digest_text"]
+
+DEFAULT_CACHE_PATH = ".repro_flow_cache.json"
+
+SCHEMA_VERSION = 1
+
+
+def digest_text(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:24]
+
+
+def _finding_to_dict(finding: Finding) -> Dict[str, Any]:
+    return {
+        "rule": finding.rule,
+        "severity": finding.severity.value,
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "message": finding.message,
+        "snippet": finding.snippet,
+    }
+
+
+def _finding_from_dict(doc: Dict[str, Any]) -> Finding:
+    return Finding(
+        rule=doc["rule"],
+        severity=Severity(doc["severity"]),
+        path=doc["path"],
+        line=doc["line"],
+        col=doc["col"],
+        message=doc["message"],
+        snippet=doc.get("snippet", ""),
+    )
+
+
+class FlowCache:
+    """On-disk store, loaded once per run and rewritten atomically."""
+
+    def __init__(self, path: Optional[str] = DEFAULT_CACHE_PATH) -> None:
+        self.path = path
+        #: file path -> cache entry (raw dicts; see module docstring)
+        self.entries: Dict[str, Dict[str, Any]] = {}
+        self.loaded = False
+        if path is not None and os.path.exists(path):
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    doc = json.load(fh)
+                if (
+                    isinstance(doc, dict)
+                    and doc.get("schema_version") == SCHEMA_VERSION
+                    and isinstance(doc.get("files"), dict)
+                ):
+                    self.entries = doc["files"]
+                    self.loaded = True
+            except (OSError, ValueError):
+                self.entries = {}  # corrupt cache == cold cache
+
+    # -- summaries ----------------------------------------------------------
+
+    def summary_for(self, path: str, digest: str) -> Optional[FileSummary]:
+        entry = self.entries.get(path)
+        if entry is None or entry.get("digest") != digest:
+            return None
+        try:
+            return FileSummary.from_dict(entry["summary"])
+        except (KeyError, TypeError):
+            return None
+
+    # -- findings -----------------------------------------------------------
+
+    def findings_valid(
+        self,
+        path: str,
+        digest: str,
+        module_deps: Dict[str, Optional[str]],
+        rule_ids: List[str],
+    ) -> bool:
+        entry = self.entries.get(path)
+        if entry is None or entry.get("digest") != digest:
+            return False
+        if entry.get("rules") != rule_ids:
+            return False
+        return entry.get("module_deps") == {
+            mod: dep for mod, dep in sorted(module_deps.items())
+        }
+
+    def findings_for(self, path: str) -> Optional[Dict[str, List[Finding]]]:
+        entry = self.entries.get(path)
+        if entry is None or "findings" not in entry:
+            return None
+        try:
+            return {
+                "findings": [
+                    _finding_from_dict(d) for d in entry["findings"]
+                ],
+                "suppressed": [
+                    _finding_from_dict(d)
+                    for d in entry.get("suppressed", ())
+                ],
+            }
+        except (KeyError, ValueError, TypeError):
+            return None
+
+    # -- writing ------------------------------------------------------------
+
+    def store(
+        self,
+        summary: FileSummary,
+        module_deps: Dict[str, Optional[str]],
+        rule_ids: List[str],
+        findings: List[Finding],
+        suppressed: List[Finding],
+    ) -> None:
+        self.entries[summary.path] = {
+            "digest": summary.digest,
+            "summary": summary.to_dict(),
+            "module_deps": {
+                mod: dep for mod, dep in sorted(module_deps.items())
+            },
+            "rules": rule_ids,
+            "findings": [_finding_to_dict(f) for f in findings],
+            "suppressed": [_finding_to_dict(f) for f in suppressed],
+        }
+
+    def prune(self, live_paths) -> None:
+        """Drop entries for files no longer under analysis."""
+        live = set(live_paths)
+        for path in list(self.entries):
+            if path not in live:
+                del self.entries[path]
+
+    def save(self) -> None:
+        if self.path is None:
+            return
+        doc = {
+            "schema_version": SCHEMA_VERSION,
+            "files": {k: self.entries[k] for k in sorted(self.entries)},
+        }
+        directory = os.path.dirname(os.path.abspath(self.path))
+        fd, tmp = tempfile.mkstemp(
+            dir=directory, prefix=".repro_flow_cache.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, sort_keys=True)
+            os.replace(tmp, self.path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass

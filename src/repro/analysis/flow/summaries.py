@@ -1,0 +1,865 @@
+"""Per-file flow summaries: everything the whole-program layer needs
+from one file, extracted in one parse and serializable to JSON.
+
+A summary is a pure function of the file's text — no global knowledge
+leaks in.  Call targets are therefore recorded as *references* (a
+dotted candidate via the ImportMap, a ``self.method``, a
+``self.attr.method``) and resolved later against the project symbol
+table; that split is what makes summaries cacheable per file digest.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.analysis.context import ImportMap, canonical_chain, parse_noqa
+from repro.analysis.rules.rng import (
+    NUMPY_LEGACY_FNS,
+    SEEDABLE_CTORS,
+    STDLIB_GLOBAL_FNS,
+    _has_seed_argument,
+)
+from repro.analysis.rules.wallclock import BANNED_CALLS as WALLCLOCK_CALLS
+
+__all__ = [
+    "CallRef",
+    "CallUse",
+    "ClassInfo",
+    "Event",
+    "FileSummary",
+    "FunctionSummary",
+    "Source",
+    "module_name_for",
+    "summarize_source",
+]
+
+#: Files whose whole body is a clock/randomness abstraction: nothing in
+#: them counts as a nondeterminism *source* (they are the sanctioned
+#: shims REP001 whitelists).
+SOURCE_EXEMPT_FILES = {
+    ("repro", "sim", "clock.py"),
+    ("repro", "serve", "vclock.py"),
+}
+
+#: Mutating container/collection methods: a call ``self.x.append(...)``
+#: is a *write* to ``self.x``.
+MUTATOR_METHODS = {
+    "add", "append", "appendleft", "clear", "discard", "extend",
+    "insert", "pop", "popitem", "popleft", "remove", "rotate",
+    "setdefault", "sort", "update",
+}
+
+#: Call wrappers that retain/schedule a coroutine: a coroutine passed
+#: straight into one of these is not "escaping unawaited".
+SPAWN_WRAPPERS = {
+    "create_task", "ensure_future", "gather", "wait", "wait_for",
+    "as_completed", "run", "run_until_complete", "shield", "Task",
+}
+
+#: ``os.environ`` style ambient-environment reads.
+ENVIRON_READS = {"os.environ", "os.getenv", "os.environb"}
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name of ``path``.
+
+    Files under a ``repro`` directory (the real package, or the
+    fixture trees that mirror it) become ``repro.<...>``; anything
+    else falls back to its stem, so loose single-file fixtures still
+    get distinct module names.
+    """
+    parts = path.replace("\\", "/").split("/")
+    stem = parts[-1][:-3] if parts[-1].endswith(".py") else parts[-1]
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            mod = parts[i:-1] + ([] if stem == "__init__" else [stem])
+            return ".".join(mod)
+    return stem
+
+
+def rng_call_is_unseeded(resolved: str, call: ast.Call) -> bool:
+    """Shared with REP002: does this resolved call draw hidden entropy?"""
+    parts = resolved.split(".")
+    if len(parts) == 2 and parts[0] == "random" \
+            and parts[1] in STDLIB_GLOBAL_FNS:
+        return True
+    if len(parts) == 3 and parts[0] == "numpy" and parts[1] == "random" \
+            and parts[2] in NUMPY_LEGACY_FNS:
+        return True
+    if resolved in SEEDABLE_CTORS:
+        if resolved == "random.SystemRandom":
+            return True
+        return not _has_seed_argument(call)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# serializable record types
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CallRef:
+    """One call site, resolved as far as file-local knowledge allows.
+
+    ``kind``:
+        ``dotted``   — canonical dotted candidate (``target``), e.g.
+                       ``repro.core.util.helper`` or
+                       ``repro.sim.clock.SimClock.now`` for typed locals;
+        ``self``     — ``self.<method>()`` on the enclosing class;
+        ``selfattr`` — ``self.<attr>.<method>()`` through a class
+                       attribute whose type the symbol table may know.
+    """
+
+    kind: str
+    line: int
+    col: int = 0
+    target: Optional[str] = None   # dotted candidate (kind == dotted)
+    attr: Optional[str] = None     # kind == selfattr
+    method: Optional[str] = None   # kind in (self, selfattr)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"kind": self.kind, "line": self.line,
+                               "col": self.col}
+        for key in ("target", "attr", "method"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "CallRef":
+        return cls(**doc)
+
+
+@dataclass
+class Source:
+    """A direct nondeterminism source inside one function."""
+
+    kind: str       # wallclock | rng | environ | setiter
+    detail: str     # e.g. "time.time()" — goes verbatim into messages
+    line: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "detail": self.detail, "line": self.line}
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "Source":
+        return cls(**doc)
+
+
+@dataclass
+class Event:
+    """One entry of an async function's ordered access stream.
+
+    ``op`` is ``read``/``write``/``await``; ``chain`` the canonical
+    shared-state chain (``self.pending``, ``self.locks[·]``, a
+    ``nonlocal`` name) or ``""`` for awaits; ``locks`` the stack of
+    ``async with``-lock span ids covering the event.
+    """
+
+    op: str
+    pos: int
+    line: int
+    chain: str = ""
+    locks: Tuple[int, ...] = ()
+    ref: Optional[CallRef] = None   # awaited call, for op == "await"
+    #: ids of enclosing *terminating* branches (a branch ending in
+    #: return/raise): an event inside one cannot precede events after
+    #: the branch on any execution path.
+    regions: Tuple[int, ...] = ()
+    #: write half of an AugAssign — a self-contained read-modify-write
+    #: whose read is fresh (same statement), never a stale-state write.
+    rmw: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"op": self.op, "pos": self.pos,
+                               "line": self.line}
+        if self.chain:
+            out["chain"] = self.chain
+        if self.locks:
+            out["locks"] = list(self.locks)
+        if self.ref is not None:
+            out["ref"] = self.ref.to_dict()
+        if self.regions:
+            out["regions"] = list(self.regions)
+        if self.rmw:
+            out["rmw"] = True
+        return out
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "Event":
+        ref = doc.get("ref")
+        return cls(
+            op=doc["op"], pos=doc["pos"], line=doc["line"],
+            chain=doc.get("chain", ""),
+            locks=tuple(doc.get("locks", ())),
+            ref=CallRef.from_dict(ref) if ref else None,
+            regions=tuple(doc.get("regions", ())),
+            rmw=bool(doc.get("rmw", False)),
+        )
+
+
+@dataclass
+class CallUse:
+    """How one call site's *result* is consumed (REP012's raw material).
+
+    ``usage``: ``awaited`` | ``spawned`` | ``passed`` | ``returned`` |
+    ``stored`` | ``yielded`` | ``discarded`` | ``dead``.
+    """
+
+    ref: CallRef
+    usage: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"ref": self.ref.to_dict(), "usage": self.usage}
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "CallUse":
+        return cls(ref=CallRef.from_dict(doc["ref"]), usage=doc["usage"])
+
+
+@dataclass
+class FunctionSummary:
+    qualname: str                     # module.[Class.]name
+    module: str
+    cls: Optional[str]                # owning class qualname, or None
+    name: str
+    line: int
+    is_async: bool
+    calls: List[CallRef] = field(default_factory=list)
+    sources: List[Source] = field(default_factory=list)
+    events: List[Event] = field(default_factory=list)       # async only
+    call_uses: List[CallUse] = field(default_factory=list)
+    writes_self_attrs: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "qualname": self.qualname, "module": self.module,
+            "cls": self.cls, "name": self.name, "line": self.line,
+            "is_async": self.is_async,
+            "calls": [c.to_dict() for c in self.calls],
+            "sources": [s.to_dict() for s in self.sources],
+            "events": [e.to_dict() for e in self.events],
+            "call_uses": [u.to_dict() for u in self.call_uses],
+            "writes_self_attrs": list(self.writes_self_attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "FunctionSummary":
+        return cls(
+            qualname=doc["qualname"], module=doc["module"],
+            cls=doc["cls"], name=doc["name"], line=doc["line"],
+            is_async=doc["is_async"],
+            calls=[CallRef.from_dict(c) for c in doc["calls"]],
+            sources=[Source.from_dict(s) for s in doc["sources"]],
+            events=[Event.from_dict(e) for e in doc["events"]],
+            call_uses=[CallUse.from_dict(u) for u in doc["call_uses"]],
+            writes_self_attrs=list(doc["writes_self_attrs"]),
+        )
+
+
+@dataclass
+class ClassInfo:
+    qualname: str
+    module: str
+    bases: List[str] = field(default_factory=list)      # dotted candidates
+    attr_types: Dict[str, str] = field(default_factory=dict)
+    methods: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "qualname": self.qualname, "module": self.module,
+            "bases": list(self.bases), "attr_types": dict(self.attr_types),
+            "methods": list(self.methods),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "ClassInfo":
+        return cls(
+            qualname=doc["qualname"], module=doc["module"],
+            bases=list(doc["bases"]), attr_types=dict(doc["attr_types"]),
+            methods=list(doc["methods"]),
+        )
+
+
+@dataclass
+class FileSummary:
+    path: str
+    module: str
+    digest: str
+    functions: Dict[str, FunctionSummary] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    #: referenced foreign modules (dotted prefixes of call candidates) —
+    #: the raw material for dependency tracking.
+    referenced_modules: List[str] = field(default_factory=list)
+    #: line -> suppressed rule list (["*"] for blanket noqa).
+    noqa: Dict[str, List[str]] = field(default_factory=dict)
+    error: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path, "module": self.module, "digest": self.digest,
+            "functions": {q: f.to_dict() for q, f in self.functions.items()},
+            "classes": {q: c.to_dict() for q, c in self.classes.items()},
+            "referenced_modules": list(self.referenced_modules),
+            "noqa": {k: list(v) for k, v in self.noqa.items()},
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "FileSummary":
+        return cls(
+            path=doc["path"], module=doc["module"], digest=doc["digest"],
+            functions={
+                q: FunctionSummary.from_dict(f)
+                for q, f in doc["functions"].items()
+            },
+            classes={
+                q: ClassInfo.from_dict(c) for q, c in doc["classes"].items()
+            },
+            referenced_modules=list(doc["referenced_modules"]),
+            noqa={k: list(v) for k, v in doc["noqa"].items()},
+            error=doc.get("error"),
+        )
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        rules = self.noqa.get(str(line))
+        if rules is None:
+            return False
+        return "*" in rules or rule_id in rules
+
+
+# ---------------------------------------------------------------------------
+# extraction
+# ---------------------------------------------------------------------------
+
+
+def _is_source_exempt(path: str) -> bool:
+    parts = tuple(path.replace("\\", "/").split("/"))
+    for exempt in SOURCE_EXEMPT_FILES:
+        if parts[-len(exempt):] == exempt:
+            return True
+    return False
+
+
+def _walk_same_function(fn: ast.AST):
+    """Source-order descendants of ``fn``, not entering nested defs."""
+    stack = list(reversed(list(ast.iter_child_nodes(fn))))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        stack.extend(reversed(list(ast.iter_child_nodes(node))))
+
+
+def _terminates(stmts: List[ast.stmt]) -> bool:
+    """Whether a statement list definitely leaves the function (the
+    last statement returns or raises on every path).  Conservative:
+    loops and try blocks are assumed to fall through."""
+    if not stmts:
+        return False
+    last = stmts[-1]
+    if isinstance(last, (ast.Return, ast.Raise)):
+        return True
+    if isinstance(last, ast.If):
+        return _terminates(last.body) and _terminates(last.orelse)
+    if isinstance(last, (ast.With, ast.AsyncWith)):
+        return _terminates(last.body)
+    return False
+
+
+def _looks_like_lock(chain: Optional[str]) -> bool:
+    if not chain:
+        return False
+    tail = chain.rsplit(".", 1)[-1].lower()
+    return "lock" in tail or "mutex" in tail or "sem" in tail
+
+
+class _FunctionExtractor:
+    """Extract one :class:`FunctionSummary` from a def node."""
+
+    def __init__(
+        self,
+        fn: ast.AST,
+        qualname: str,
+        module: str,
+        cls: Optional[str],
+        imports: ImportMap,
+        source_exempt: bool,
+        set_names: Set[str],
+    ) -> None:
+        self.fn = fn
+        self.imports = imports
+        self.source_exempt = source_exempt
+        self.set_names = set_names
+        self.is_async = isinstance(fn, ast.AsyncFunctionDef)
+        self.summary = FunctionSummary(
+            qualname=qualname, module=module, cls=cls,
+            name=fn.name, line=fn.lineno, is_async=self.is_async,
+        )
+        #: local name -> dotted class candidate (``x = SimClock(...)``).
+        self.local_types: Dict[str, str] = {}
+        self._collect_local_types()
+
+    # -- call reference resolution (file-local half) ------------------------
+
+    def _collect_local_types(self) -> None:
+        for node in _walk_same_function(self.fn):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            value = node.value
+            if isinstance(value, ast.Call):
+                dotted = self.imports.resolve(value.func)
+                if dotted is not None:
+                    self.local_types[target.id] = dotted
+
+    def call_ref(self, call: ast.Call) -> Optional[CallRef]:
+        func = call.func
+        line, col = call.lineno, call.col_offset
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            # self.m(...)
+            if isinstance(base, ast.Name) and base.id == "self":
+                return CallRef("self", line, col, method=func.attr)
+            # self.attr.m(...)
+            if (
+                isinstance(base, ast.Attribute)
+                and isinstance(base.value, ast.Name)
+                and base.value.id == "self"
+            ):
+                return CallRef("selfattr", line, col,
+                               attr=base.attr, method=func.attr)
+            # x.m(...) with x a ctor-typed local
+            if isinstance(base, ast.Name) and base.id in self.local_types:
+                dotted = f"{self.local_types[base.id]}.{func.attr}"
+                return CallRef("dotted", line, col, target=dotted)
+        dotted = self.imports.resolve(func)
+        if dotted is not None:
+            return CallRef("dotted", line, col, target=dotted)
+        return None
+
+    # -- direct sources -----------------------------------------------------
+
+    def _is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.set_names
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                return True
+        return False
+
+    def _scan_sources(self) -> None:
+        if self.source_exempt:
+            return
+        for node in _walk_same_function(self.fn):
+            if isinstance(node, ast.Call):
+                resolved = self.imports.resolve(node.func)
+                if resolved in WALLCLOCK_CALLS:
+                    self.summary.sources.append(
+                        Source("wallclock", f"{resolved}()", node.lineno)
+                    )
+                elif resolved == "os.getenv":
+                    self.summary.sources.append(
+                        Source("environ", "os.getenv()", node.lineno)
+                    )
+                elif resolved is not None and rng_call_is_unseeded(
+                    resolved, node
+                ):
+                    self.summary.sources.append(
+                        Source("rng", f"{resolved}()", node.lineno)
+                    )
+                elif isinstance(node.func, ast.Name) and node.func.id in (
+                    "list", "tuple"
+                ) and node.args and self._is_set_expr(node.args[0]):
+                    self.summary.sources.append(
+                        Source(
+                            "setiter",
+                            f"{node.func.id}() over a set", node.lineno,
+                        )
+                    )
+            elif isinstance(node, ast.Attribute):
+                resolved = self.imports.resolve(node)
+                if resolved in ENVIRON_READS and isinstance(
+                    node.ctx, ast.Load
+                ):
+                    self.summary.sources.append(
+                        Source("environ", resolved, node.lineno)
+                    )
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if self._is_set_expr(node.iter) and self._accumulates(node):
+                    self.summary.sources.append(
+                        Source(
+                            "setiter", "order-sensitive loop over a set",
+                            node.lineno,
+                        )
+                    )
+
+    def _accumulates(self, loop: ast.AST) -> bool:
+        for child in _walk_same_function(loop):
+            if isinstance(child, ast.AugAssign) and isinstance(
+                child.op, (ast.Add, ast.Sub, ast.Mult)
+            ):
+                return True
+            if (
+                isinstance(child, ast.Call)
+                and isinstance(child.func, ast.Attribute)
+                and child.func.attr in ("append", "extend", "insert")
+            ):
+                return True
+        return False
+
+    # -- shared-state event stream (REP011) ---------------------------------
+
+    def _shared_chain(self, node: ast.AST,
+                      nonlocals: Set[str]) -> Optional[str]:
+        chain = canonical_chain(node)
+        if chain is None:
+            return None
+        root = chain.split(".", 1)[0].split("[", 1)[0]
+        if root == "self" and "." in chain:
+            return chain
+        if root in nonlocals and chain == root:
+            return chain
+        return None
+
+    def _scan_events(self) -> None:
+        """Linearize the async function body into the event stream."""
+        nonlocals: Set[str] = set()
+        for node in _walk_same_function(self.fn):
+            if isinstance(node, ast.Nonlocal):
+                nonlocals.update(node.names)
+        events = self.summary.events
+        pos_counter = [0]
+        region_counter = [0]
+
+        def nxt() -> int:
+            pos_counter[0] += 1
+            return pos_counter[0]
+
+        def emit_access(node: ast.AST, op: str, locks: Tuple[int, ...],
+                        regions: Tuple[int, ...], rmw: bool = False) -> None:
+            if isinstance(node, (ast.Tuple, ast.List)):
+                for elt in node.elts:
+                    emit_access(elt, op, locks, regions)
+                return
+            if isinstance(node, ast.Starred):
+                emit_access(node.value, op, locks, regions)
+                return
+            chain = self._shared_chain(node, nonlocals)
+            if chain is None:
+                return
+            events.append(Event(op, nxt(), node.lineno, chain, locks,
+                                regions=regions, rmw=rmw))
+
+        def walk_branch(stmts: List[ast.stmt], locks: Tuple[int, ...],
+                        regions: Tuple[int, ...]) -> None:
+            """An ``if`` arm: a branch that *terminates* (return/raise)
+            gets its own region id — control never flows from inside it
+            to statements after the enclosing ``if``, so its events
+            must not pair with later writes."""
+            if _terminates(stmts):
+                region_counter[0] += 1
+                regions = regions + (region_counter[0],)
+            for stmt in stmts:
+                walk(stmt, locks, regions)
+
+        def walk(node: ast.AST, locks: Tuple[int, ...],
+                 regions: Tuple[int, ...]) -> None:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                return
+            if isinstance(node, ast.If):
+                walk(node.test, locks, regions)
+                walk_branch(node.body, locks, regions)
+                walk_branch(node.orelse, locks, regions)
+                return
+            if isinstance(node, ast.AsyncWith):
+                new_locks = locks
+                for item in node.items:
+                    chain = canonical_chain(item.context_expr)
+                    if chain is None and isinstance(
+                        item.context_expr, ast.Call
+                    ):
+                        chain = canonical_chain(item.context_expr.func)
+                    if _looks_like_lock(chain):
+                        new_locks = new_locks + (node.lineno,)
+                    walk(item.context_expr, locks, regions)
+                for stmt in node.body:
+                    walk(stmt, new_locks, regions)
+                return
+            if isinstance(node, ast.Await):
+                # Children (the awaited expression: reads inside the
+                # call arguments) happen before suspension.
+                for child in ast.iter_child_nodes(node):
+                    walk(child, locks, regions)
+                ref = None
+                if isinstance(node.value, ast.Call):
+                    ref = self.call_ref(node.value)
+                events.append(
+                    Event("await", nxt(), node.lineno, "", locks, ref,
+                          regions=regions)
+                )
+                return
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                if node.value is not None:
+                    walk(node.value, locks, regions)
+                targets = (
+                    node.targets if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                is_rmw = isinstance(node, ast.AugAssign)
+                if is_rmw:
+                    emit_access(node.target, "read", locks, regions)
+                for target in targets:
+                    # A subscript/attribute store mutates the base
+                    # container: self.d[k] = v writes self.d[·].
+                    emit_access(target, "write", locks, regions,
+                                rmw=is_rmw)
+                return
+            if isinstance(node, ast.Delete):
+                for target in node.targets:
+                    emit_access(target, "write", locks, regions)
+                return
+            if isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute):
+                    # The *base object* is what is read (or, for a
+                    # mutator method, written): self.cache.get(k) reads
+                    # self.cache; self.pending.append(x) writes it.
+                    op = (
+                        "write" if func.attr in MUTATOR_METHODS else "read"
+                    )
+                    emit_access(func.value, op, locks, regions)
+                else:
+                    walk(func, locks, regions)
+                for child in list(node.args) + [
+                    kw.value for kw in node.keywords
+                ]:
+                    walk(child, locks, regions)
+                return
+            if isinstance(node, (ast.Attribute, ast.Subscript, ast.Name)):
+                if isinstance(getattr(node, "ctx", None), ast.Load):
+                    emit_access(node, "read", locks, regions)
+                    return
+            for child in ast.iter_child_nodes(node):
+                walk(child, locks, regions)
+
+        for stmt in self.fn.body:
+            walk(stmt, (), ())
+
+    # -- coroutine escape classification (REP012) ---------------------------
+
+    def _scan_call_uses(self) -> None:
+        fn = self.fn
+        parents: Dict[int, ast.AST] = {}
+        calls: List[ast.Call] = []
+        for node in _walk_same_function(fn):
+            for child in ast.iter_child_nodes(node):
+                parents[id(child)] = node
+            if isinstance(node, ast.Call):
+                calls.append(node)
+        # Names assigned from calls, then checked for any later use.
+        used_names: Set[str] = set()
+        for node in _walk_same_function(fn):
+            if isinstance(node, ast.Name) and isinstance(
+                node.ctx, ast.Load
+            ):
+                used_names.add(node.id)
+        for call in calls:
+            ref = self.call_ref(call)
+            if ref is None:
+                continue
+            parent = parents.get(id(call), fn)
+            usage = "passed"  # conservative default: result consumed
+            if isinstance(parent, ast.Await):
+                usage = "awaited"
+            elif isinstance(parent, ast.Call):
+                func = parent.func
+                attr = (
+                    func.attr if isinstance(func, ast.Attribute)
+                    else func.id if isinstance(func, ast.Name) else ""
+                )
+                usage = "spawned" if attr in SPAWN_WRAPPERS else "passed"
+            elif isinstance(parent, ast.Expr):
+                usage = "discarded"
+            elif isinstance(parent, ast.Return):
+                usage = "returned"
+            elif isinstance(parent, (ast.Yield, ast.YieldFrom)):
+                usage = "yielded"
+            elif isinstance(parent, ast.Assign):
+                names = [
+                    t.id for t in parent.targets if isinstance(t, ast.Name)
+                ]
+                if names and not any(n in used_names for n in names):
+                    usage = "dead"
+                else:
+                    usage = "stored"
+            elif isinstance(parent, (ast.AnnAssign, ast.AugAssign)):
+                usage = "stored"
+            self.summary.call_uses.append(CallUse(ref, usage))
+
+    # -- self.* writes (interprocedural REP011 raw material) ----------------
+
+    def _scan_self_writes(self) -> None:
+        writes: Set[str] = set()
+        for node in _walk_same_function(self.fn):
+            targets: List[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets = [node.target]
+            elif isinstance(node, ast.Delete):
+                targets = list(node.targets)
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ) and node.func.attr in MUTATOR_METHODS:
+                targets = [node.func.value]
+            for target in targets:
+                chain = canonical_chain(target)
+                if chain and chain.startswith("self.") :
+                    attr = chain[5:].split(".", 1)[0].split("[", 1)[0]
+                    if attr:
+                        writes.add(attr)
+        self.summary.writes_self_attrs = sorted(writes)
+
+    # -- driver -------------------------------------------------------------
+
+    def extract(self) -> FunctionSummary:
+        for node in _walk_same_function(self.fn):
+            if isinstance(node, ast.Call):
+                ref = self.call_ref(node)
+                if ref is not None:
+                    self.summary.calls.append(ref)
+        self._scan_sources()
+        self._scan_call_uses()
+        self._scan_self_writes()
+        if self.is_async:
+            self._scan_events()
+        return self.summary
+
+
+def _file_set_names(tree: ast.AST) -> Set[str]:
+    """Names ever bound to an obvious set expression (file-wide)."""
+    out: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            value = node.value
+            is_set = isinstance(value, (ast.Set, ast.SetComp)) or (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id in ("set", "frozenset")
+            )
+            if is_set:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        out.add(target.id)
+    return out
+
+
+def summarize_source(path: str, source: str, digest: str) -> FileSummary:
+    """Parse ``source`` and extract its :class:`FileSummary`."""
+    module = module_name_for(path)
+    summary = FileSummary(path=path, module=module, digest=digest)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        summary.error = f"syntax error: {exc.msg} (line {exc.lineno})"
+        return summary
+    imports = ImportMap(tree)
+    noqa = parse_noqa(source.splitlines())
+    summary.noqa = {
+        str(line): sorted(rules) for line, rules in noqa.items()
+    }
+    source_exempt = _is_source_exempt(path)
+    set_names = _file_set_names(tree)
+
+    def visit_body(body, prefix: str, cls: Optional[ClassInfo]) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}.{node.name}"
+                extractor = _FunctionExtractor(
+                    node, qual, module,
+                    cls.qualname if cls else None,
+                    imports, source_exempt, set_names,
+                )
+                summary.functions[qual] = extractor.extract()
+                if cls is not None:
+                    cls.methods.append(node.name)
+                    _scan_attr_types(node, cls, imports)
+                # Nested defs get their own (nested) qualnames.
+                visit_body(node.body, qual, None)
+            elif isinstance(node, ast.ClassDef):
+                qual = f"{prefix}.{node.name}"
+                info = ClassInfo(qualname=qual, module=module)
+                for base in node.bases:
+                    dotted = imports.resolve(base)
+                    if dotted is not None:
+                        info.bases.append(dotted)
+                summary.classes[qual] = info
+                visit_body(node.body, qual, info)
+
+    visit_body(tree.body, module, None)
+    summary.referenced_modules = sorted(_referenced_modules(summary))
+    return summary
+
+
+def _scan_attr_types(method: ast.AST, cls: ClassInfo,
+                     imports: ImportMap) -> None:
+    """Record ``self.x = Ctor(...)`` / ``self.x: T`` attribute types."""
+    for node in _walk_same_function(method):
+        target = None
+        type_node = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(node.value, ast.Call):
+                type_node = node.value.func
+        elif isinstance(node, ast.AnnAssign):
+            target = node.target
+            type_node = node.annotation
+        if (
+            target is not None and type_node is not None
+            and isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            dotted = imports.resolve(type_node)
+            if dotted is not None:
+                cls.attr_types.setdefault(target.attr, dotted)
+
+
+def _referenced_modules(summary: FileSummary) -> Set[str]:
+    """Foreign-module prefixes this file's resolution may depend on.
+
+    For a dotted candidate ``a.b.c.d`` both ``a.b.c`` (module function)
+    and ``a.b`` (class method: ``a.b.C.d``) are plausible defining
+    modules; record both so the incremental cache can notice when a
+    previously-absent module appears.
+    """
+    out: Set[str] = set()
+    for fn in summary.functions.values():
+        refs = [c for c in fn.calls] + [u.ref for u in fn.call_uses]
+        for ref in refs:
+            if ref.kind != "dotted" or not ref.target:
+                continue
+            parts = ref.target.split(".")
+            for cut in (1, 2):
+                if len(parts) > cut:
+                    out.add(".".join(parts[:-cut]))
+    for cls in summary.classes.values():
+        for dotted in list(cls.bases) + list(cls.attr_types.values()):
+            parts = dotted.split(".")
+            if len(parts) > 1:
+                out.add(".".join(parts[:-1]))
+    out.discard(summary.module)
+    return out

@@ -40,3 +40,9 @@ ALL_RULES: List[Type[Rule]] = [
 ]
 
 RULES_BY_ID: Dict[str, Type[Rule]] = {rule.id: rule for rule in ALL_RULES}
+
+
+# REP010-REP012 (the whole-program flow rules) register themselves
+# into RULES_BY_ID when repro.analysis.flow.rules is imported — they
+# cannot be imported from here because flow's summaries reuse this
+# package's source tables (rng, wallclock), which would cycle.

@@ -29,7 +29,7 @@ from __future__ import annotations
 import ast
 from typing import Dict, Iterator, List, Optional
 
-from repro.analysis.context import FileContext
+from repro.analysis.context import FileContext, canonical_chain
 from repro.analysis.engine import Rule
 from repro.analysis.findings import Severity
 
@@ -57,15 +57,11 @@ BLOCKING_SCOPE = {"serve"}
 
 
 def _chain_str(node: ast.AST) -> Optional[str]:
-    """``self.session.lock`` -> that dotted string, else ``None``."""
-    parts: List[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if not isinstance(node, ast.Name):
-        return None
-    parts.append(node.id)
-    return ".".join(reversed(parts))
+    """``self.session.lock`` -> that dotted string, ``self.locks[key]``
+    -> the canonical ``self.locks[·]`` (any key collapses to the same
+    container slot, so acquire/release through different key
+    expressions still pair up), else ``None``."""
+    return canonical_chain(node)
 
 
 def _looks_like_lock(name: Optional[str]) -> bool:

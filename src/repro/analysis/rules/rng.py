@@ -67,8 +67,25 @@ SEEDABLE_CTORS = {
 }
 
 
+def _is_none_constant(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
 def _has_seed_argument(node: ast.Call) -> bool:
-    return bool(node.args) or bool(node.keywords)
+    """True iff the call passes a *real* seed.
+
+    ``default_rng()`` is unseeded, but so are ``default_rng(None)`` and
+    ``RandomState(seed=None)`` — numpy documents ``None`` as "pull
+    fresh OS entropy", which is exactly the nondeterminism this rule
+    exists to block, so an explicit ``None`` must not count as seeded.
+    """
+    for arg in node.args:
+        if not _is_none_constant(arg):
+            return True
+    for kw in node.keywords:
+        if not _is_none_constant(kw.value):
+            return True
+    return False
 
 
 class UnseededRngRule(Rule):

@@ -1,0 +1,125 @@
+"""SARIF 2.1.0 export for ``repro lint --format sarif``.
+
+Emits one run with the full rule registry as ``tool.driver.rules`` and
+one result per finding.  Grandfathered (baselined) findings are
+included with a ``suppressions`` entry of kind ``external`` so GitHub
+code scanning shows them as suppressed rather than resurfacing them;
+new findings carry no suppressions and gate the upload.
+
+``partialFingerprints`` reuses the baseline fingerprint (rule + path +
+line *text*), so alert identity on the code-scanning side survives
+pure line renumbering exactly like the committed baseline does.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Type
+
+from repro.analysis.engine import Rule
+from repro.analysis.findings import Finding, Severity
+
+__all__ = ["SARIF_VERSION", "to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+TOOL_NAME = "repro-lint"
+TOOL_URI = "https://github.com/pocket-cloudlets/repro"
+
+
+def _level(severity: Severity) -> str:
+    return "error" if severity is Severity.ERROR else "warning"
+
+
+def _rule_descriptor(rule: Type[Rule]) -> Dict[str, Any]:
+    doc = (rule.__doc__ or "").strip().splitlines()
+    short = doc[0].strip() if doc else rule.name
+    return {
+        "id": rule.id,
+        "name": rule.name,
+        "shortDescription": {"text": short},
+        "defaultConfiguration": {
+            "level": _level(rule.severity),
+        },
+    }
+
+
+def _result(finding: Finding, rule_index: Dict[str, int],
+            suppressed: bool) -> Dict[str, Any]:
+    result: Dict[str, Any] = {
+        "ruleId": finding.rule,
+        "level": _level(finding.severity),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col + 1,
+                    },
+                },
+            }
+        ],
+        "partialFingerprints": {
+            "reproLintFingerprint/v1": finding.fingerprint(),
+        },
+    }
+    if finding.rule in rule_index:
+        result["ruleIndex"] = rule_index[finding.rule]
+    if suppressed:
+        result["suppressions"] = [
+            {
+                "kind": "external",
+                "justification": "grandfathered in LINT_baseline.json",
+            }
+        ]
+    return result
+
+
+def to_sarif(
+    findings: Sequence[Finding],
+    baselined: Sequence[Finding] = (),
+    rules: Optional[Sequence[Type[Rule]]] = None,
+    tool_version: str = "0",
+) -> Dict[str, Any]:
+    """Build the SARIF 2.1.0 document as a plain dict."""
+    if rules is None:
+        from repro.analysis.flow.rules import FLOW_RULES
+        from repro.analysis.rules import ALL_RULES
+
+        rules = list(ALL_RULES) + list(FLOW_RULES)
+    descriptors = [_rule_descriptor(rule) for rule in rules]
+    rule_index = {d["id"]: i for i, d in enumerate(descriptors)}
+    results: List[Dict[str, Any]] = []
+    for finding in findings:
+        results.append(_result(finding, rule_index, suppressed=False))
+    for finding in baselined:
+        results.append(_result(finding, rule_index, suppressed=True))
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": TOOL_URI,
+                        "version": tool_version,
+                        "rules": descriptors,
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": "file:///"},
+                },
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+            }
+        ],
+    }

@@ -196,10 +196,13 @@ class TelemetryEndpoint:
         return self
 
     async def close(self) -> None:
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
+        # Swap the handle out *before* awaiting so a concurrent close()
+        # (or a start() racing a shutdown) never sees a half-closed
+        # server through self._server.
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
 
     # -- request handling ----------------------------------------------------
 

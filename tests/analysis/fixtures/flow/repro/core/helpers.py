@@ -1,0 +1,36 @@
+"""Flow fixtures: out-of-scope helpers the sim/serve fixtures call.
+
+Lives in ``repro/core`` so REP010 sees calls from the entry packages
+into this module as *boundary* call sites.
+"""
+
+import time
+
+import numpy as np
+
+
+def stamp():
+    return time.time()
+
+
+def indirect():
+    return stamp()
+
+
+def fanout():
+    return indirect() + 1
+
+
+def merge_weights(weights):
+    total = 0.0
+    for key in set(weights):
+        total += weights[key]
+    return total
+
+
+def seeded_draw(seed):
+    return np.random.default_rng(seed).random()
+
+
+def pure(x):
+    return x * 2

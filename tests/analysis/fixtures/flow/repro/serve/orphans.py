@@ -1,0 +1,24 @@
+"""REP012 positive fixture: coroutines that escape unawaited."""
+
+import asyncio
+
+
+async def refresh(key):
+    await asyncio.sleep(0)
+    return key
+
+
+def make_refresh(key):
+    # A factory: returns a bare coroutine the caller must await.
+    return refresh(key)
+
+
+async def fire_and_forget(key):
+    refresh(key)  # fires: discarded coroutine
+    await asyncio.sleep(0)
+
+
+async def parked(key):
+    pending = make_refresh(key)  # fires: dead local, factory coroutine
+    await asyncio.sleep(0)
+    return None

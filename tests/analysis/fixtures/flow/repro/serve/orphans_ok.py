@@ -1,0 +1,30 @@
+"""REP012 negative fixture: every coroutine is awaited or retained."""
+
+import asyncio
+
+
+async def refresh(key):
+    await asyncio.sleep(0)
+    return key
+
+
+def make_refresh(key):
+    return refresh(key)
+
+
+async def direct(key):
+    return await refresh(key)
+
+
+async def chained(key):
+    return await make_refresh(key)
+
+
+async def gathered(keys):
+    return await asyncio.gather(*(refresh(k) for k in keys))
+
+
+async def retained(key, registry):
+    task = asyncio.create_task(refresh(key))
+    registry.add(task)
+    return await task

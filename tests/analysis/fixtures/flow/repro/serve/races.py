@@ -1,0 +1,29 @@
+"""REP011 positive fixture: stale reads across awaits."""
+
+import asyncio
+
+
+class Cache:
+    def __init__(self):
+        self.entries = {}
+        self.version = 0
+
+    async def compute(self, key):
+        await asyncio.sleep(0)
+        return key
+
+    async def get_or_fill(self, key):
+        value = self.entries.get(key)
+        if value is None:
+            value = await self.compute(key)
+            self.entries[key] = value  # fires: write from a stale read
+        return value
+
+    async def _advance(self):
+        self.version = self.version + 1
+        await asyncio.sleep(0)
+
+    async def snapshot(self):
+        before = self.version
+        await self._advance()  # fires: awaited callee writes self.version
+        return before

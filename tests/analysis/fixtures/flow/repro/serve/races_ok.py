@@ -1,0 +1,57 @@
+"""REP011 negative fixture: every pattern that must NOT fire.
+
+Covers: one lock span over read+await+write, mutually exclusive
+branches (the await lives in an arm that returns), owned slots (the
+check-then-act closes before suspension), RMW counters, and
+swap-before-await teardown.
+"""
+
+import asyncio
+
+
+class Guarded:
+    def __init__(self):
+        self.lock = asyncio.Lock()
+        self.entries = {}
+        self.inflight = {}
+        self.active = 0
+        self.conn = None
+
+    async def compute(self, key):
+        await asyncio.sleep(0)
+        return key
+
+    async def locked_fill(self, key):
+        async with self.lock:
+            value = self.entries.get(key)
+            if value is None:
+                value = await self.compute(key)
+                self.entries[key] = value
+        return value
+
+    async def single_flight(self, key):
+        waiter = self.inflight.get(key)
+        if waiter is not None:
+            return await waiter
+        self.inflight[key] = asyncio.get_event_loop().create_future()
+        return None
+
+    async def owned_slot(self, key):
+        if self.inflight.get(key):
+            return None
+        self.inflight[key] = 1
+        await self.compute(key)
+        del self.inflight[key]
+
+    async def gated(self):
+        if self.active >= 4:
+            return None
+        self.active += 1
+        await self.compute(0)
+        self.active -= 1
+        return 1
+
+    async def close(self):
+        conn, self.conn = self.conn, None
+        if conn is not None:
+            await conn.wait_closed()

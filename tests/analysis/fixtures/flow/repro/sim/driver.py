@@ -1,0 +1,17 @@
+"""REP010 positive fixture: transitively nondeterministic entry points."""
+
+import os
+
+from repro.core.helpers import fanout, merge_weights
+
+
+def run_step(state):
+    return state + fanout()  # fires: -> indirect -> stamp -> time.time()
+
+
+def load_mode():
+    return os.environ.get("REPRO_MODE", "strict")  # fires: ambient env
+
+
+def rank(weights):
+    return merge_weights(weights)  # fires (warning): set-iteration order

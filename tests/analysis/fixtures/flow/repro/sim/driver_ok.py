@@ -1,0 +1,11 @@
+"""REP010 negative fixture: determinism threaded through explicitly."""
+
+from repro.core.helpers import pure, seeded_draw
+
+
+def run_step(state, seed):
+    return pure(state) + seeded_draw(seed)
+
+
+def doubled(x):
+    return pure(pure(x))

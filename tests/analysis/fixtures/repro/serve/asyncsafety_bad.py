@@ -19,6 +19,20 @@ class Session:
             await asyncio.sleep(0)  # fires: await inside sync `with lock:`
 
 
+class Shards:
+    def __init__(self):
+        self.locks = {i: asyncio.Lock() for i in range(4)}
+
+    async def manual_acquire_shard(self, key):
+        await self.locks[key].acquire()
+        await asyncio.sleep(1.0)  # fires: await while self.locks[·] held
+        self.locks[key].release()
+
+    async def sync_with_shard(self, key):
+        with self.locks[key]:
+            await asyncio.sleep(0)  # fires: await inside sync with-shard
+
+
 async def blocking_sleep():
     time.sleep(0.1)  # fires: blocks the loop in serve/
 

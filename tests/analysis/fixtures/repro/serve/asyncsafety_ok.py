@@ -23,6 +23,20 @@ class Session:
         time.sleep(0.001)  # sync function: blocking is the caller's problem
 
 
+class Shards:
+    def __init__(self):
+        self.locks = {i: asyncio.Lock() for i in range(4)}
+
+    async def disciplined_shard(self, key):
+        async with self.locks[key]:
+            await asyncio.sleep(1.0)  # async-with on a shard lock: fine
+
+    async def shard_acquire_release_no_await(self, key):
+        await self.locks[key].acquire()
+        self.locks[key].release()
+        await asyncio.sleep(0)
+
+
 async def nested_sync_def():
     def inner():
         time.sleep(0.001)  # sync helper defined inside async fn: fine

@@ -28,3 +28,11 @@ def unseeded_instance():
 
 def entropy_backed():
     return random.SystemRandom()  # fires: never deterministic
+
+
+def explicit_none_seed():
+    return np.random.default_rng(None)  # fires: None = fresh OS entropy
+
+
+def explicit_none_keyword():
+    return random.Random(seed=None)  # fires: explicit None is unseeded

@@ -4,6 +4,7 @@ manifest wiring, and dispatch through the top-level ``repro`` verb."""
 from __future__ import annotations
 
 import json
+import subprocess
 
 import pytest
 
@@ -148,6 +149,148 @@ class TestStatsAndManifest:
         )
         assert lint_main(["pkg"]) == 0
         assert "1 suppressed inline" in capsys.readouterr().out
+
+
+#: AST-clean, but REP011 fires once the flow layer runs.
+FLOW_RACY = (
+    "import asyncio\n\n\n"
+    "class C:\n"
+    "    async def fill(self, k):\n"
+    "        v = self.d.get(k)\n"
+    "        if v is None:\n"
+    "            v = await asyncio.sleep(0)\n"
+    "            self.d[k] = v\n"
+    "        return v\n"
+)
+
+
+class TestFlowFlag:
+    def test_flow_adds_whole_program_findings(self, tree, capsys):
+        write(tree, "a.py", FLOW_RACY)
+        assert lint_main(["pkg", "--no-flow-cache"]) == 0
+        capsys.readouterr()
+        assert lint_main(["pkg", "--flow", "--no-flow-cache"]) == 1
+        assert "REP011" in capsys.readouterr().out
+
+    def test_flow_rule_ids_accepted_by_select(self, tree):
+        write(tree, "a.py", FLOW_RACY)
+        assert lint_main(
+            ["pkg", "--flow", "--no-flow-cache", "--select", "REP012"]
+        ) == 0
+        assert lint_main(
+            ["pkg", "--flow", "--no-flow-cache", "--ignore", "REP011"]
+        ) == 0
+
+    def test_flow_stats_exposed_in_json(self, tree, capsys):
+        write(tree, "a.py", FLOW_RACY)
+        cache = str(tree / "flow_cache.json")
+        lint_main(["pkg", "--flow", "--flow-cache", cache,
+                   "--format", "json"])
+        cold = json.loads(capsys.readouterr().out)["stats"]["flow"]
+        assert cold["reanalyzed"] == cold["files"] == 1
+        lint_main(["pkg", "--flow", "--flow-cache", cache,
+                   "--format", "json"])
+        warm = json.loads(capsys.readouterr().out)["stats"]["flow"]
+        assert warm["reanalyzed"] == 0
+        assert warm["summaries_reused"] == warm["files"]
+
+    def test_flow_manifest_metrics(self, tree):
+        write(tree, "a.py", FLOW_RACY)
+        out_path = str(tree / "lint_manifest.json")
+        lint_main(["pkg", "--flow", "--no-flow-cache",
+                   "--manifest-out", out_path])
+        manifest = RunManifest.read(out_path)
+        assert manifest.metrics["lint.flow.files"] == 1
+        assert manifest.metrics["lint.flow.reanalyzed"] == 1
+        assert manifest.config["flow"] is True
+
+
+class TestSarifFormat:
+    def test_sarif_document_shape(self, tree, capsys):
+        write(tree, "a.py", DIRTY)
+        assert lint_main(["pkg", "--format", "sarif"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        [run] = doc["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert {r["ruleId"] for r in run["results"]} == {"REP006"}
+
+    def test_sarif_includes_flow_rules_when_enabled(self, tree, capsys):
+        write(tree, "a.py", FLOW_RACY)
+        assert lint_main(
+            ["pkg", "--flow", "--no-flow-cache", "--format", "sarif"]
+        ) == 1
+        doc = json.loads(capsys.readouterr().out)
+        [run] = doc["runs"]
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert "REP011" in rule_ids
+        assert {r["ruleId"] for r in run["results"]} == {"REP011"}
+
+    def test_sarif_marks_baselined_as_suppressed(self, tree, capsys):
+        write(tree, "a.py", DIRTY)
+        assert lint_main(["pkg", "--write-baseline"]) == 0
+        capsys.readouterr()
+        assert lint_main(["pkg", "--format", "sarif"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        results = doc["runs"][0]["results"]
+        assert results and all("suppressions" in r for r in results)
+
+
+class TestChangedScope:
+    @staticmethod
+    def _git(*args):
+        subprocess.run(
+            ["git", "-c", "user.email=lint@test", "-c", "user.name=lint",
+             *args],
+            check=True, capture_output=True,
+        )
+
+    def _committed_tree(self, tree):
+        self._git("init", "-q")
+        self._git("add", "-A")
+        self._git("commit", "-qm", "seed")
+
+    def test_changed_narrows_to_edited_files(self, tree, capsys):
+        write(tree, "a.py", DIRTY)
+        write(tree, "b.py", CLEAN)
+        self._committed_tree(tree)
+        # Nothing changed: nothing linted, clean exit despite a.py.
+        assert lint_main(["pkg", "--changed", "--no-flow-cache"]) == 0
+        assert "no changed python files" in capsys.readouterr().out
+        # Touch only the clean file: still clean.
+        write(tree, "b.py", CLEAN + "\n# edited\n")
+        assert lint_main(["pkg", "--changed", "--no-flow-cache"]) == 0
+        # Touch the dirty file: its findings come back.
+        write(tree, "a.py", DIRTY + "\n# edited\n")
+        capsys.readouterr()
+        assert lint_main(["pkg", "--changed", "--no-flow-cache"]) == 1
+        assert "REP006" in capsys.readouterr().out
+
+    def test_changed_includes_reverse_dependents(self, tree, capsys):
+        # lib.py is imported by app.py; app.py carries the violation.
+        # Editing *only* lib.py must still re-lint app.py.  A `repro`
+        # directory so the summarizer assigns real dotted modules.
+        root = tree / "repro"
+        root.mkdir()
+        (root / "lib.py").write_text("def helper():\n    return 1\n")
+        (root / "app.py").write_text(
+            "from repro.lib import helper\n\n\n"
+            "def g(b={}):\n    return helper(), b\n"
+        )
+        self._committed_tree(tree)
+        (root / "lib.py").write_text("def helper():\n    return 2\n")
+        capsys.readouterr()
+        assert lint_main(["repro", "--changed", "--no-flow-cache"]) == 1
+        out = capsys.readouterr().out
+        assert "app.py" in out and "REP006" in out
+
+    def test_changed_sees_untracked_files(self, tree, capsys):
+        write(tree, "a.py", CLEAN)
+        self._committed_tree(tree)
+        write(tree, "new.py", DIRTY)
+        capsys.readouterr()
+        assert lint_main(["pkg", "--changed", "--no-flow-cache"]) == 1
+        assert "new.py" in capsys.readouterr().out
 
 
 class TestTopLevelVerb:

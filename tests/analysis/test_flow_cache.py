@@ -1,0 +1,123 @@
+"""Incremental flow-cache tests: the warm path re-analyzes nothing,
+and touching one file re-analyzes exactly that file plus its reverse
+call-graph dependents — never the whole tree.
+"""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import iter_python_files
+from repro.analysis.flow.cache import FlowCache
+from repro.analysis.flow.engine import FlowEngine
+
+FLOW_FIXTURES = Path(__file__).parent / "fixtures" / "flow"
+
+
+@pytest.fixture
+def tree(tmp_path):
+    shutil.copytree(FLOW_FIXTURES, tmp_path / "flow")
+    return tmp_path / "flow"
+
+
+def run(tree, tmp_path):
+    files = [str(p) for p in iter_python_files([str(tree)])]
+    engine = FlowEngine(cache=FlowCache(str(tmp_path / "cache.json")))
+    return engine.run(files)
+
+
+def rel(tree, result_paths):
+    return {str(Path(p).relative_to(tree)) for p in result_paths}
+
+
+def test_cold_run_analyzes_everything(tree, tmp_path):
+    result = run(tree, tmp_path)
+    assert result.stats["summaries_computed"] == result.stats["files"]
+    assert result.stats["reanalyzed"] == result.stats["files"]
+
+
+def test_warm_run_reanalyzes_nothing(tree, tmp_path):
+    first = run(tree, tmp_path)
+    second = run(tree, tmp_path)
+    assert second.stats["summaries_reused"] == second.stats["files"]
+    assert second.stats["summaries_computed"] == 0
+    assert second.stats["reanalyzed"] == 0
+    assert second.stats["reanalyzed_files"] == []
+    # Cached findings are byte-identical to the cold ones.
+    for path, report in first.reports.items():
+        cached = second.reports[path]
+        assert [f.fingerprint() for f in report.findings] == [
+            f.fingerprint() for f in cached.findings
+        ]
+
+
+def test_touching_one_file_reanalyzes_exactly_its_dependents(
+    tree, tmp_path
+):
+    run(tree, tmp_path)
+    helpers = tree / "repro" / "core" / "helpers.py"
+    helpers.write_text(helpers.read_text() + "\n# touched\n")
+    result = run(tree, tmp_path)
+    # helpers.py itself re-summarizes; everything else reuses.
+    assert result.stats["summaries_computed"] == 1
+    # Re-analyzed: the touched file plus the two sim/ fixtures that
+    # call into it — and nothing in serve/, whose findings cannot
+    # depend on repro.core.helpers.
+    assert rel(tree, result.stats["reanalyzed_files"]) == {
+        "repro/core/helpers.py",
+        "repro/sim/driver.py",
+        "repro/sim/driver_ok.py",
+    }
+
+
+def test_touching_a_leaf_reanalyzes_only_that_leaf(tree, tmp_path):
+    run(tree, tmp_path)
+    races = tree / "repro" / "serve" / "races.py"
+    races.write_text(races.read_text() + "\n# touched\n")
+    result = run(tree, tmp_path)
+    assert rel(tree, result.stats["reanalyzed_files"]) == {
+        "repro/serve/races.py"
+    }
+
+
+def test_rule_selection_change_invalidates_findings(tree, tmp_path):
+    run(tree, tmp_path)
+    files = [str(p) for p in iter_python_files([str(tree)])]
+    engine = FlowEngine(
+        select=["REP011"],
+        cache=FlowCache(str(tmp_path / "cache.json")),
+    )
+    result = engine.run(files)
+    # Summaries survive (file digests unchanged) but the cached
+    # finding sets were computed under a different rule list.
+    assert result.stats["summaries_reused"] == result.stats["files"]
+    assert result.stats["reanalyzed"] == result.stats["files"]
+
+
+def test_corrupt_cache_degrades_to_cold(tree, tmp_path):
+    run(tree, tmp_path)
+    (tmp_path / "cache.json").write_text("{not json")
+    result = run(tree, tmp_path)
+    assert result.stats["summaries_reused"] == 0
+    assert result.stats["reanalyzed"] == result.stats["files"]
+
+
+def test_deleted_file_is_pruned_from_cache(tree, tmp_path):
+    run(tree, tmp_path)
+    (tree / "repro" / "serve" / "orphans_ok.py").unlink()
+    run(tree, tmp_path)
+    cache = FlowCache(str(tmp_path / "cache.json"))
+    assert not any("orphans_ok" in p for p in cache.entries)
+
+
+def test_dependents_of_follows_reverse_imports(tree, tmp_path):
+    result = run(tree, tmp_path)
+    helpers = str(tree / "repro" / "core" / "helpers.py")
+    dependents = result.dependents_of([helpers])
+    assert rel(tree, dependents) == {
+        "repro/sim/driver.py",
+        "repro/sim/driver_ok.py",
+    }

@@ -1,0 +1,148 @@
+"""Property-based tests for call-graph construction.
+
+Invariants (hypothesis-generated programs):
+
+* the node and edge sets are invariant under definition *reordering*
+  within a module;
+* an edge resolves identically under every import spelling of the same
+  callee (``from m import f``, ``import m``, ``import m as alias``);
+* cyclic and self-recursive call graphs never crash linking or the
+  taint/factory fixpoints, and taint still reaches every function on a
+  path to a source.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.flow.callgraph import build_program
+from repro.analysis.flow.summaries import summarize_source
+from repro.analysis.flow.taint import coroutine_factories, propagate_taint
+
+NAMES = [f"fn{i}" for i in range(6)]
+
+# caller -> callee pairs over a small closed universe of functions.
+edge_sets = st.frozensets(
+    st.tuples(st.sampled_from(NAMES), st.sampled_from(NAMES)),
+    max_size=12,
+)
+
+
+def module_source(order, edges, tainted=frozenset()):
+    lines = ["import time", ""]
+    calls = {}
+    for caller, callee in edges:
+        calls.setdefault(caller, set()).add(callee)
+    for name in order:
+        lines.append(f"def {name}():")
+        body = [f"    {c}()" for c in sorted(calls.get(name, ()))]
+        if name in tainted:
+            body.append("    return time.time()")
+        lines.extend(body or ["    pass"])
+        lines.append("")
+    return "\n".join(lines)
+
+
+def link(src, path="repro/core/mod.py"):
+    return build_program([summarize_source(path, src, "digest")])
+
+
+@given(edges=edge_sets, order=st.permutations(NAMES))
+@settings(max_examples=60, deadline=None)
+def test_nodes_and_edges_invariant_under_reordering(edges, order):
+    base = link(module_source(NAMES, edges))
+    shuffled = link(module_source(order, edges))
+    assert base.graph.nodes() == shuffled.graph.nodes()
+    assert base.graph.edges == shuffled.graph.edges
+    assert base.graph.redges == shuffled.graph.redges
+
+
+@given(
+    edges=edge_sets,
+    alias=st.sampled_from(["helpers", "h", "corehelpers"]),
+    spelling=st.sampled_from(["from", "import", "alias"]),
+)
+@settings(max_examples=60, deadline=None)
+def test_edges_stable_under_import_aliasing(edges, alias, spelling):
+    lib = module_source(NAMES, edges)
+    if spelling == "from":
+        prelude = "from repro.core.helpers import fn0\n"
+        call = "fn0()"
+    elif spelling == "import":
+        prelude = "import repro.core.helpers\n"
+        call = "repro.core.helpers.fn0()"
+    else:
+        prelude = f"import repro.core.helpers as {alias}\n"
+        call = f"{alias}.fn0()"
+    client = f"{prelude}\n\ndef entry():\n    return {call}\n"
+    program = build_program([
+        summarize_source("repro/core/helpers.py", lib, "a"),
+        summarize_source("repro/sim/client.py", client, "b"),
+    ])
+    assert "repro.core.helpers.fn0" in program.graph.callees(
+        "repro.sim.client.entry"
+    )
+
+
+@given(edges=edge_sets)
+@settings(max_examples=60, deadline=None)
+def test_cycles_and_recursion_never_crash_fixpoints(edges):
+    # Force at least one cycle and one self-recursion on top of the
+    # random edges; fn0 is always a taint source.
+    forced = set(edges) | {("fn1", "fn2"), ("fn2", "fn1"), ("fn3", "fn3")}
+    program = link(module_source(NAMES, forced, tainted={"fn0"}))
+    taint = propagate_taint(program)
+    factories = coroutine_factories(program)
+    qual = "repro.core.mod.fn0"
+    assert qual in taint
+    assert taint[qual].chain[-1] == qual
+    assert factories == set()
+    # Every caller with an edge path to fn0 is tainted too.
+    reaches = {qual}
+    changed = True
+    while changed:
+        changed = False
+        for target in sorted(reaches):
+            for caller in program.graph.callers(target):
+                if caller not in reaches:
+                    reaches.add(caller)
+                    changed = True
+    assert reaches <= set(taint)
+
+
+def test_self_recursion_produces_no_edge():
+    program = link("def loop():\n    return loop()\n")
+    assert program.graph.nodes() == []
+
+
+def test_method_resolution_through_base_class():
+    src = (
+        "class Base:\n"
+        "    def tick(self):\n"
+        "        return 0\n\n"
+        "class Child(Base):\n"
+        "    def run(self):\n"
+        "        return self.tick()\n"
+    )
+    program = link(src)
+    assert program.graph.callees("repro.core.mod.Child.run") == [
+        "repro.core.mod.Base.tick"
+    ]
+
+
+def test_attribute_typed_receiver_resolves():
+    src = (
+        "class Engine:\n"
+        "    def lookup(self, k):\n"
+        "        return k\n\n"
+        "class Server:\n"
+        "    def __init__(self):\n"
+        "        self.engine = Engine()\n\n"
+        "    def handle(self, k):\n"
+        "        return self.engine.lookup(k)\n"
+    )
+    program = link(src)
+    assert program.graph.callees("repro.core.mod.Server.handle") == [
+        "repro.core.mod.Engine.lookup"
+    ]

@@ -1,0 +1,121 @@
+"""Flow-rule fixture tests: REP010/REP011/REP012 fire on their
+positive fixtures with exact counts and stay silent on the negatives.
+
+The fixtures live under ``tests/analysis/fixtures/flow/repro/`` so the
+summarizer resolves them to real-looking ``repro.sim``/``repro.serve``
+modules; the whole subtree is linked into one program per test run,
+exactly like a real ``repro lint --flow`` invocation.
+"""
+
+from __future__ import annotations
+
+import collections
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import iter_python_files
+from repro.analysis.findings import Severity
+from repro.analysis.flow.engine import FlowEngine, FlowResult
+
+FLOW_FIXTURES = Path(__file__).parent / "fixtures" / "flow"
+
+#: (fixture relpath, rule id, expected finding count) — exact, so a
+#: rule that starts over- or under-matching fails loudly.
+POSITIVE = [
+    ("repro/sim/driver.py", "REP010", 3),
+    ("repro/serve/races.py", "REP011", 2),
+    ("repro/serve/orphans.py", "REP012", 2),
+]
+
+#: Negative fixtures must be entirely clean under every flow rule.
+NEGATIVE = [
+    "repro/sim/driver_ok.py",
+    "repro/serve/races_ok.py",
+    "repro/serve/orphans_ok.py",
+    "repro/core/helpers.py",  # out of REP010 scope: sources live here
+]
+
+
+@pytest.fixture(scope="module")
+def result() -> FlowResult:
+    files = [str(p) for p in iter_python_files([str(FLOW_FIXTURES)])]
+    return FlowEngine().run(files)
+
+
+def _report(result: FlowResult, relpath: str):
+    path = str(FLOW_FIXTURES / relpath)
+    assert path in result.reports, sorted(result.reports)
+    return result.reports[path]
+
+
+@pytest.mark.parametrize("relpath,rule,count", POSITIVE)
+def test_flow_rule_fires_on_positive_fixture(result, relpath, rule, count):
+    report = _report(result, relpath)
+    by_rule = collections.Counter(f.rule for f in report.findings)
+    assert by_rule[rule] == count, (
+        f"{relpath}: expected {count} {rule}, got "
+        f"{[f.format() for f in report.findings]}"
+    )
+
+
+@pytest.mark.parametrize("relpath", NEGATIVE)
+def test_flow_rule_silent_on_negative_fixture(result, relpath):
+    report = _report(result, relpath)
+    assert report.findings == [], [
+        f.format() for f in report.findings
+    ]
+
+
+class TestGoldenChains:
+    """REP010 messages carry the full, deterministic call chain."""
+
+    def test_wallclock_chain_is_spelled_out(self, result):
+        findings = _report(result, "repro/sim/driver.py").findings
+        [hit] = [f for f in findings if "fanout" in f.message]
+        assert (
+            "via repro.sim.driver.run_step -> repro.core.helpers.fanout "
+            "-> repro.core.helpers.indirect -> repro.core.helpers.stamp "
+            "-> time.time()"
+        ) in hit.message
+        assert hit.severity is Severity.ERROR
+        assert hit.line == 9
+
+    def test_setiter_chain_is_warning_severity(self, result):
+        findings = _report(result, "repro/sim/driver.py").findings
+        [hit] = [f for f in findings if "merge_weights" in f.message]
+        assert (
+            "via repro.sim.driver.rank -> repro.core.helpers.merge_weights"
+        ) in hit.message
+        assert hit.severity is Severity.WARNING
+
+    def test_environ_read_reported_directly(self, result):
+        findings = _report(result, "repro/sim/driver.py").findings
+        [hit] = [f for f in findings if "os.environ" in f.message]
+        assert "pure function of (log, seed, config)" in hit.message
+
+    def test_interprocedural_race_names_the_callee_path(self, result):
+        findings = _report(result, "repro/serve/races.py").findings
+        [hit] = [f for f in findings if "self.version" in f.message]
+        assert "(via the awaited callee)" in hit.message
+
+
+class TestNoqaSuppression:
+    def test_flow_findings_respect_inline_noqa(self, tmp_path):
+        src = (
+            "import asyncio\n\n\n"
+            "class C:\n"
+            "    async def fill(self, k):\n"
+            "        v = self.d.get(k)\n"
+            "        if v is None:\n"
+            "            v = await asyncio.sleep(0)\n"
+            "            self.d[k] = v  # repro: noqa[REP011]\n"
+            "        return v\n"
+        )
+        path = tmp_path / "repro" / "serve" / "mod.py"
+        path.parent.mkdir(parents=True)
+        path.write_text(src)
+        result = FlowEngine().run([str(path)])
+        report = result.reports[str(path)]
+        assert report.findings == []
+        assert [f.rule for f in report.suppressed] == ["REP011"]

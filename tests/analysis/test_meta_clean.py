@@ -39,6 +39,28 @@ def test_gated_trees_are_lint_clean():
     )
 
 
+def test_gated_trees_are_flow_clean():
+    """The whole-program layer (REP010-REP012) over the same trees the
+    CI lint-gate runs with ``--flow`` — no cache, so this is always the
+    honest cold answer."""
+    from repro.analysis.engine import iter_python_files
+    from repro.analysis.flow.engine import FlowEngine
+
+    files = [
+        str(p) for p in iter_python_files(
+            [str(REPO_ROOT / tree) for tree in GATED_TREES]
+        )
+    ]
+    result = FlowEngine().run(files)
+    findings = [
+        f for report in result.reports.values() for f in report.findings
+    ]
+    assert findings == [], "flow findings:\n" + "\n".join(
+        f.format() for f in findings
+    )
+    assert result.stats["graph_edges"] > 500  # sanity: linking worked
+
+
 def test_no_parse_failures_anywhere():
     reports = Analyzer().run(
         [str(REPO_ROOT / tree) for tree in GATED_TREES]

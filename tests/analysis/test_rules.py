@@ -22,9 +22,9 @@ FIXTURES = Path(__file__).parent / "fixtures"
 #: rule that quietly starts over- or under-matching fails loudly.
 POSITIVE = [
     ("repro/sim/wallclock_bad.py", "REP001", 3),
-    ("rng_bad.py", "REP002", 6),
+    ("rng_bad.py", "REP002", 8),
     ("setorder_bad.py", "REP003", 4),
-    ("repro/serve/asyncsafety_bad.py", "REP004", 4),
+    ("repro/serve/asyncsafety_bad.py", "REP004", 6),
     ("tasks_bad.py", "REP005", 3),
     ("defaults_bad.py", "REP006", 5),
     ("repro/serve/excepts_bad.py", "REP007", 2),

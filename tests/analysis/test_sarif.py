@@ -1,0 +1,226 @@
+"""SARIF export tests: document shape, suppressions, and validation
+against an embedded subset of the SARIF 2.1.0 JSON schema.
+
+The subset covers everything ``to_sarif`` emits — required top-level
+keys, the tool driver with rule descriptors, and per-result location,
+fingerprint and suppression structure — with ``additionalProperties``
+left open exactly where the full OASIS schema leaves it open.
+"""
+
+from __future__ import annotations
+
+import json
+
+import jsonschema
+import pytest
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.sarif import SARIF_VERSION, to_sarif
+
+#: Subset of the OASIS SARIF 2.1.0 schema, tightened to what the
+#: exporter promises (e.g. results always carry a physical location).
+SARIF_SCHEMA = {
+    "$schema": "https://json-schema.org/draft/2020-12/schema",
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "$schema": {"type": "string", "format": "uri"},
+        "version": {"const": "2.1.0"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "version": {"type": "string"},
+                                    "informationUri": {
+                                        "type": "string",
+                                        "format": "uri",
+                                    },
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                                "name": {"type": "string"},
+                                                "shortDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                    "columnKind": {
+                        "enum": [
+                            "utf16CodeUnits", "unicodeCodePoints",
+                        ],
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": [
+                                "ruleId", "level", "message", "locations",
+                            ],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "ruleIndex": {
+                                    "type": "integer", "minimum": 0,
+                                },
+                                "level": {
+                                    "enum": [
+                                        "none", "note", "warning", "error",
+                                    ],
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "minItems": 1,
+                                    "items": {
+                                        "type": "object",
+                                        "required": ["physicalLocation"],
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "required": [
+                                                    "artifactLocation",
+                                                    "region",
+                                                ],
+                                                "properties": {
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type": "integer",  # noqa: E501
+                                                                "minimum": 1,
+                                                            },
+                                                            "startColumn": {
+                                                                "type": "integer",  # noqa: E501
+                                                                "minimum": 1,
+                                                            },
+                                                        },
+                                                    },
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                                "partialFingerprints": {
+                                    "type": "object",
+                                    "additionalProperties": {
+                                        "type": "string",
+                                    },
+                                },
+                                "suppressions": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "required": ["kind"],
+                                        "properties": {
+                                            "kind": {
+                                                "enum": [
+                                                    "inSource", "external",
+                                                ],
+                                            },
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+def finding(rule="REP001", severity=Severity.ERROR, line=3):
+    return Finding(
+        rule=rule, severity=severity, path="src/repro/sim/mod.py",
+        line=line, col=4, message=f"{rule} fired",
+        snippet="t = time.time()",
+    )
+
+
+@pytest.fixture
+def doc():
+    return to_sarif(
+        [finding(), finding("REP011", Severity.ERROR, 9)],
+        baselined=[finding("REP003", Severity.WARNING, 12)],
+        tool_version="1.2.3",
+    )
+
+
+def test_document_validates_against_sarif_schema(doc):
+    jsonschema.validate(doc, SARIF_SCHEMA)
+
+
+def test_document_is_json_round_trippable(doc):
+    assert json.loads(json.dumps(doc)) == doc
+
+
+def test_driver_lists_every_registered_rule(doc):
+    driver = doc["runs"][0]["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    assert driver["version"] == "1.2.3"
+    ids = [r["id"] for r in driver["rules"]]
+    # The default registry: all AST rules plus the flow rules.
+    for rule_id in ("REP001", "REP009", "REP010", "REP011", "REP012"):
+        assert rule_id in ids
+    assert ids == sorted(ids, key=ids.index)  # stable order
+    for descriptor in driver["rules"]:
+        assert descriptor["shortDescription"]["text"]
+
+
+def test_results_carry_location_and_fingerprint(doc):
+    results = doc["runs"][0]["results"]
+    assert len(results) == 3
+    first = results[0]
+    assert first["ruleId"] == "REP001"
+    loc = first["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"] == "src/repro/sim/mod.py"
+    assert loc["region"] == {"startLine": 3, "startColumn": 5}
+    assert first["partialFingerprints"]["reproLintFingerprint/v1"]
+    assert "suppressions" not in first
+
+
+def test_baselined_findings_are_suppressed_not_dropped(doc):
+    results = doc["runs"][0]["results"]
+    [suppressed] = [r for r in results if "suppressions" in r]
+    assert suppressed["ruleId"] == "REP003"
+    assert suppressed["level"] == "warning"
+    assert suppressed["suppressions"][0]["kind"] == "external"
+
+
+def test_rule_index_points_into_driver_rules(doc):
+    driver_rules = doc["runs"][0]["tool"]["driver"]["rules"]
+    for result in doc["runs"][0]["results"]:
+        idx = result["ruleIndex"]
+        assert driver_rules[idx]["id"] == result["ruleId"]
+
+
+def test_empty_run_still_validates():
+    doc = to_sarif([], [])
+    jsonschema.validate(doc, SARIF_SCHEMA)
+    assert doc["runs"][0]["results"] == []
+    assert doc["version"] == SARIF_VERSION
